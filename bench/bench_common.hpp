@@ -1,0 +1,125 @@
+// Shared fixtures for the benchmark harnesses: the paper-shaped resource
+// inventory (four clusters, four Condor pools, one volunteer pool — §IV),
+// workload generation, and uniform result printing.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/estimator.hpp"
+#include "core/lattice.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace lattice::bench {
+
+/// Print a section header so bench output reads as a report. Also mutes
+/// component logging so tables stay clean.
+inline void section(const std::string& title) {
+  util::set_log_level(util::LogLevel::kOff);
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Print a paper-vs-measured annotation line.
+inline void paper_note(const std::string& note) {
+  std::cout << "[paper] " << note << "\n";
+}
+
+struct InventoryOptions {
+  std::size_t boinc_hosts = 300;
+  std::size_t condor_machines_per_pool = 40;
+  bool include_boinc = true;
+  double cluster_overhead = 30.0;
+  double condor_overhead = 60.0;
+  std::uint64_t seed = 1;
+};
+
+/// The Lattice Project's §IV inventory: clusters at four institutions
+/// (PBS/SGE, differing speeds and memory), four Condor pools, and the
+/// international BOINC pool.
+inline void build_inventory(core::LatticeSystem& system,
+                            const InventoryOptions& options = {}) {
+  using grid::Arch;
+  using grid::OsType;
+  using grid::PlatformSpec;
+
+  auto cluster = [&](const std::string& name, std::size_t nodes,
+                     std::size_t cores, double speed, double memory,
+                     grid::ResourceKind kind) {
+    grid::BatchQueueResource::Config config;
+    config.nodes = nodes;
+    config.cores_per_node = cores;
+    config.node_speed = speed;
+    config.node_memory_gb = memory;
+    config.kind = kind;
+    config.mpi_capable = true;
+    config.job_overhead_seconds = options.cluster_overhead;
+    config.software = {"java"};
+    system.add_cluster(name, config);
+  };
+  cluster("umd-deepthought", 32, 8, 1.6, 32.0, grid::ResourceKind::kPbsCluster);
+  cluster("umd-cbcb", 16, 4, 1.2, 64.0, grid::ResourceKind::kSgeCluster);
+  cluster("bowie-hpc", 8, 4, 0.8, 8.0, grid::ResourceKind::kPbsCluster);
+  cluster("smithsonian-hpc", 12, 4, 1.0, 16.0,
+          grid::ResourceKind::kSgeCluster);
+
+  const char* pool_names[4] = {"umd-condor", "bowie-condor", "coppin-condor",
+                               "smithsonian-condor"};
+  const double pool_speeds[4] = {1.0, 0.7, 0.6, 0.9};
+  for (int i = 0; i < 4; ++i) {
+    grid::CondorPool::Config config;
+    config.machines = options.condor_machines_per_pool;
+    config.mean_speed = pool_speeds[i];
+    config.machine_memory_gb = 2.0;
+    config.job_overhead_seconds = options.condor_overhead;
+    config.seed = options.seed + static_cast<std::uint64_t>(i) * 101;
+    system.add_condor_pool(pool_names[i], config);
+  }
+
+  if (options.include_boinc && options.boinc_hosts > 0) {
+    boinc::BoincPoolConfig config;
+    config.hosts = options.boinc_hosts;
+    config.mean_speed = 0.8;
+    config.speed_sigma = 0.6;
+    config.seed = options.seed + 999;
+    system.add_boinc_pool("lattice-boinc", config);
+  }
+}
+
+/// Train the system's estimator on a synthetic "previously submitted jobs"
+/// corpus (the paper's ~150-job training matrix by default).
+inline void train_estimator(core::LatticeSystem& system,
+                            std::size_t corpus_size = 150,
+                            std::size_t n_trees = 300,
+                            std::size_t retrain_every = 0) {
+  core::RuntimeEstimator::Config config;
+  config.forest.n_trees = n_trees;
+  config.retrain_every = retrain_every;
+  system.estimator() = core::RuntimeEstimator(config);
+  util::Rng rng(4242);
+  system.estimator().train(
+      core::generate_corpus(corpus_size, system.cost_model(), rng));
+}
+
+/// A mixed workload drawn from the portal job distribution. Jobs whose
+/// expected reference runtime exceeds `max_expected_hours` are resampled —
+/// the paper's months-long analyses are real but do not fit a simulable
+/// benchmark horizon.
+inline std::vector<core::GarliFeatures> make_workload(
+    std::size_t n_jobs, std::uint64_t seed,
+    double max_expected_hours = 100.0) {
+  util::Rng rng(seed);
+  const core::GarliCostModel model;
+  std::vector<core::GarliFeatures> jobs;
+  jobs.reserve(n_jobs);
+  while (jobs.size() < n_jobs) {
+    const core::GarliFeatures f = core::random_features(rng);
+    if (model.expected_runtime(f) > max_expected_hours * 3600.0) continue;
+    jobs.push_back(f);
+  }
+  return jobs;
+}
+
+}  // namespace lattice::bench

@@ -1,0 +1,102 @@
+// GRID-SCALE — The paper's capacity story (§II.B, §III.B, §IV): four
+// institutions' clusters and Condor pools plus an international BOINC pool
+// totalling "well over 5000 CPU cores", where "the BOINC client pool can
+// easily grow to meet this demand". This harness runs the same
+// 2000-replicate portal batch (the web interface's maximum single
+// submission) against the fixed institutional inventory while sweeping the
+// volunteer pool size.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/fmt.hpp"
+#include "core/portal.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lattice;
+
+  bench::section("GRID-SCALE: throughput as the volunteer pool grows");
+  bench::paper_note(
+      "\"our resource base will automatically scale up to meet with demand "
+      "by attracting more volunteer computers that run BOINC\"");
+
+  util::Table table({"BOINC hosts", "total slots", "completed",
+                     "median turnaround h", "p95 h", "last job h",
+                     "volunteer share %"});
+  table.set_precision(1);
+
+  for (const std::size_t hosts : {0u, 250u, 1000u, 2500u}) {
+    core::LatticeConfig config;
+    config.scheduler.mode = core::SchedulingMode::kEstimateAware;
+    config.seed = 9;
+    core::LatticeSystem system(config);
+    bench::InventoryOptions inventory;
+    inventory.boinc_hosts = hosts;
+    inventory.include_boinc = hosts > 0;
+    bench::build_inventory(system, inventory);
+    system.calibrate_speeds();
+    bench::train_estimator(system, 150);
+    core::Portal portal(system);
+
+    // Demand from six AToL investigators at once, each submitting a
+    // maximal 2000-replicate bootstrap batch of short equal-rates
+    // searches (~0.5 reference hours each). Short replicates are the
+    // "pleasingly parallel" traffic the paper sends to desktop/volunteer
+    // pools; six batches together exceed what the institutional slots can
+    // absorb quickly, which is when the volunteer pool earns its keep.
+    phylo::GarliJob job;
+    job.genthresh = 400;
+    std::size_t total_jobs = 0;
+    for (int user = 0; user < 6; ++user) {
+      const auto outcome = portal.submit(
+          util::format("investigator{}@umd.edu", user), true, job, 2000,
+          45, 300);
+      if (!outcome.accepted) {
+        std::cout << "portal rejected a batch!\n";
+        return 1;
+      }
+      total_jobs += outcome.grid_jobs;
+    }
+    (void)total_jobs;
+
+    system.run_until_drained(120.0 * 86400.0);
+    const core::LatticeMetrics& m = system.metrics();
+
+    std::size_t slots = 0;
+    for (const auto& name : system.resource_names()) {
+      slots += system.resource(name)->info().total_slots;
+    }
+    double volunteer_cpu = 0.0;
+    if (hosts > 0) {
+      auto* server = dynamic_cast<boinc::BoincServer*>(
+          system.resource("lattice-boinc"));
+      volunteer_cpu = server->total_cpu_seconds();
+    }
+    const double total_cpu =
+        m.useful_cpu_seconds + m.wasted_cpu_seconds;
+    std::vector<double> turnaround;
+    for (const auto& [batch_id, record] : portal.batches()) {
+      for (const std::uint64_t job_id : record.job_ids) {
+        const grid::GridJob* job = system.job(job_id);
+        if (job != nullptr && job->state == grid::JobState::kCompleted) {
+          turnaround.push_back((job->finish_time - job->submit_time) /
+                               3600.0);
+        }
+      }
+    }
+    table.add_row(
+        {static_cast<long long>(hosts), static_cast<long long>(slots),
+         static_cast<long long>(m.completed),
+         util::median(turnaround), util::quantile(turnaround, 0.95),
+         m.last_completion / 3600.0,
+         total_cpu > 0 ? volunteer_cpu / total_cpu * 100.0 : 0.0});
+  }
+  table.print(std::cout);
+  std::cout << "\n(shape: volunteers absorb the overflow — median turnaround "
+               "falls steeply as hosts join — while the tail (p95 / last "
+               "job) stretches with volunteer churn: the desktop grid buys "
+               "throughput, the clusters buy latency, and the scheduler "
+               "uses both, exactly the paper's division of labor)\n";
+  return 0;
+}

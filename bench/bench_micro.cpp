@@ -1,0 +1,170 @@
+// PERF — google-benchmark microbenchmarks for the kernels everything else
+// stands on: the RNG, the event queue, the Felsenstein pruning likelihood,
+// the eigen decompositions behind P(t), CART/forest training and
+// prediction, and a GA generation step.
+#include <benchmark/benchmark.h>
+
+#include "core/cost_model.hpp"
+#include "phylo/ga.hpp"
+#include "phylo/likelihood.hpp"
+#include "phylo/linalg.hpp"
+#include "phylo/model.hpp"
+#include "phylo/simulate.hpp"
+#include "rf/forest.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lattice;
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_SimScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.after(static_cast<double>(i % 37), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_fired());
+  }
+}
+BENCHMARK(BM_SimScheduleFire);
+
+void BM_EigenDecompose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<double> m(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      m[i * n + j] = m[j * n + i] = rng.normal();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phylo::symmetric_eigen(m, n));
+  }
+}
+BENCHMARK(BM_EigenDecompose)->Arg(4)->Arg(20)->Arg(61);
+
+void BM_TransitionMatrix(benchmark::State& state) {
+  phylo::ModelSpec spec;
+  spec.data_type = state.range(0) == 0 ? phylo::DataType::kNucleotide
+                                       : phylo::DataType::kCodon;
+  const phylo::SubstitutionModel model(spec);
+  std::vector<double> p(model.n_states() * model.n_states());
+  for (auto _ : state) {
+    model.transition_matrix(0.1, 1.0, p);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_TransitionMatrix)->Arg(0)->Arg(1);
+
+void BM_Likelihood(benchmark::State& state) {
+  util::Rng rng(5);
+  phylo::ModelSpec spec;
+  spec.rate_het = phylo::RateHet::kGamma;
+  spec.n_rate_categories = 4;
+  const auto taxa = static_cast<std::size_t>(state.range(0));
+  const auto dataset = phylo::simulate_dataset(taxa, 500, spec, rng, 0.1);
+  const phylo::PatternizedAlignment patterns(dataset.alignment);
+  phylo::LikelihoodEngine engine(patterns);
+  const phylo::SubstitutionModel model(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.log_likelihood(dataset.tree, model));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(patterns.n_patterns()));
+}
+BENCHMARK(BM_Likelihood)->Arg(8)->Arg(24)->Arg(64);
+
+void BM_LikelihoodCodonCacheAblation(benchmark::State& state) {
+  // GA-like access pattern: re-evaluate trees whose branch lengths mostly
+  // repeat. arg 0 = no cache, 1 = BEAGLE-style matrix cache.
+  util::Rng rng(6);
+  phylo::ModelSpec spec;
+  spec.data_type = phylo::DataType::kCodon;
+  const auto dataset = phylo::simulate_dataset(8, 60, spec, rng, 0.1);
+  const phylo::PatternizedAlignment patterns(dataset.alignment);
+  phylo::LikelihoodEngine engine(patterns);
+  if (state.range(0) == 1) engine.enable_matrix_cache();
+  const phylo::SubstitutionModel model(spec);
+  phylo::Tree tree = dataset.tree;
+  std::size_t branch = 0;
+  for (auto _ : state) {
+    // Perturb one branch per evaluation, as a GA mutation would.
+    const int index = static_cast<int>(branch++ % tree.n_nodes());
+    if (index != tree.root()) {
+      tree.set_branch_length(index, tree.branch_length(index) * 1.01);
+    }
+    benchmark::DoNotOptimize(engine.log_likelihood(tree, model));
+  }
+}
+BENCHMARK(BM_LikelihoodCodonCacheAblation)->Arg(0)->Arg(1);
+
+void BM_GaGeneration(benchmark::State& state) {
+  util::Rng rng(7);
+  phylo::ModelSpec spec;
+  const auto dataset = phylo::simulate_dataset(12, 300, spec, rng, 0.15);
+  const phylo::PatternizedAlignment patterns(dataset.alignment);
+  phylo::GaConfig config;
+  config.genthresh = 1u << 30;
+  config.max_generations = 1u << 30;
+  phylo::GaSearch search(patterns, spec, config);
+  for (auto _ : state) {
+    search.step();
+    benchmark::DoNotOptimize(search.best().log_likelihood);
+  }
+}
+BENCHMARK(BM_GaGeneration);
+
+void BM_ForestTrain(benchmark::State& state) {
+  const core::GarliCostModel model;
+  util::Rng rng(9);
+  const auto corpus = core::generate_corpus(150, model, rng);
+  const auto data = core::corpus_to_dataset(corpus, true);
+  rf::ForestParams params;
+  params.n_trees = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    rf::RandomForest forest;
+    forest.fit(data, params);
+    benchmark::DoNotOptimize(forest.n_trees());
+  }
+}
+BENCHMARK(BM_ForestTrain)->Arg(100)->Arg(500);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const core::GarliCostModel model;
+  util::Rng rng(11);
+  const auto corpus = core::generate_corpus(150, model, rng);
+  const auto data = core::corpus_to_dataset(corpus, true);
+  rf::ForestParams params;
+  params.n_trees = 500;
+  rf::RandomForest forest;
+  forest.fit(data, params);
+  const auto row = core::to_feature_vector(core::random_features(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(row));
+  }
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_CostModelSample(benchmark::State& state) {
+  const core::GarliCostModel model;
+  util::Rng rng(13);
+  const core::GarliFeatures f = core::random_features(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.sample_runtime(f, rng));
+  }
+}
+BENCHMARK(BM_CostModelSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// RF-VAR / RF-XVAL — The paper's accuracy claims for the runtime model:
+// "The percentage of variance explained by these nine variables is
+// approximately 93%, an excellent result" (§VI.D, ~150 training jobs) and
+// "In our cross-validation testing, predicted runtimes matched the actual
+// runtimes closely enough to greatly improve scheduling effectiveness."
+//
+// Reported here:
+//   * OOB variance explained vs. corpus size (log space, the strict view,
+//     and raw-runtime space, the paper's inflated-by-big-jobs view);
+//   * forest-size sweep showing the paper's 1e4 trees is past the plateau;
+//   * 5-fold cross-validation error of predicted vs. actual runtimes.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/cost_model.hpp"
+#include "core/estimator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lattice;
+
+double raw_space_r2(const core::RuntimeEstimator& estimator,
+                    const std::vector<core::TrainingExample>& test) {
+  std::vector<double> observed;
+  std::vector<double> predicted;
+  for (const auto& example : test) {
+    observed.push_back(example.runtime);
+    predicted.push_back(*estimator.predict(example.features));
+  }
+  return util::r_squared(observed, predicted);
+}
+
+}  // namespace
+
+int main() {
+  const core::GarliCostModel model;
+  util::ThreadPool pool;
+
+  bench::section("RF-VAR: variance explained vs corpus size");
+  bench::paper_note("~93% variance explained on ~150 jobs");
+  {
+    util::Table table({"corpus", "OOB %var (log)", "held-out R2 (raw)",
+                       "held-out MAPE %"});
+    table.set_precision(1);
+    for (std::size_t corpus_size : {50u, 150u, 500u, 2000u}) {
+      util::Rng rng(100 + corpus_size);
+      const auto corpus = core::generate_corpus(corpus_size, model, rng);
+      const auto test = core::generate_corpus(400, model, rng);
+      core::RuntimeEstimator::Config config;
+      config.forest.n_trees = 500;
+      config.retrain_every = 0;
+      core::RuntimeEstimator estimator(config);
+      estimator.train(corpus, &pool);
+
+      std::vector<double> observed;
+      std::vector<double> predicted;
+      for (const auto& example : test) {
+        observed.push_back(example.runtime);
+        predicted.push_back(*estimator.predict(example.features));
+      }
+      table.add_row({static_cast<long long>(corpus_size),
+                     estimator.variance_explained() * 100.0,
+                     raw_space_r2(estimator, test),
+                     util::mean_absolute_percentage_error(observed,
+                                                          predicted) *
+                         100.0});
+    }
+    table.print(std::cout);
+  }
+
+  bench::section(
+      "raw-runtime-space training (the paper's exact % Var explained)");
+  bench::paper_note(
+      "the paper regresses runtime in seconds and quotes randomForest's "
+      "OOB '% Var explained' (~93%); with heavy-tailed runtimes that "
+      "statistic is dominated by whether the few week-long jobs are "
+      "ranked correctly");
+  {
+    util::Table table({"corpus", "OOB %var (raw space)"});
+    table.set_precision(1);
+    for (std::size_t corpus_size : {150u, 500u}) {
+      util::Rng rng(300 + corpus_size);
+      const auto corpus = core::generate_corpus(corpus_size, model, rng);
+      core::RuntimeEstimator::Config config;
+      config.forest.n_trees = 500;
+      config.retrain_every = 0;
+      config.log_space = false;  // exactly the paper's setup
+      core::RuntimeEstimator estimator(config);
+      estimator.train(corpus, &pool);
+      table.add_row({static_cast<long long>(corpus_size),
+                     estimator.variance_explained() * 100.0});
+    }
+    table.print(std::cout);
+  }
+
+  bench::section("forest-size sweep at 150 jobs (paper: 1e4 trees)");
+  {
+    util::Rng rng(7);
+    const auto corpus = core::generate_corpus(150, model, rng);
+    util::Table table({"trees", "OOB %var (log)"});
+    table.set_precision(1);
+    for (std::size_t trees : {10u, 50u, 200u, 1000u, 5000u, 10000u}) {
+      core::RuntimeEstimator::Config config;
+      config.forest.n_trees = trees;
+      config.retrain_every = 0;
+      core::RuntimeEstimator estimator(config);
+      estimator.train(corpus, &pool);
+      table.add_row({static_cast<long long>(trees),
+                     estimator.variance_explained() * 100.0});
+    }
+    table.print(std::cout);
+    std::cout << "(accuracy plateaus well before 1e4 trees, as Breiman's "
+                 "robustness results predict)\n";
+  }
+
+  bench::section("RF-XVAL: 5-fold cross-validation on a 150-job corpus");
+  bench::paper_note(
+      "\"predicted runtimes matched the actual runtimes closely enough to "
+      "greatly improve scheduling effectiveness\"");
+  {
+    util::Rng rng(13);
+    auto corpus = core::generate_corpus(150, model, rng);
+    const std::size_t folds = 5;
+    std::vector<double> observed;
+    std::vector<double> predicted;
+    for (std::size_t fold = 0; fold < folds; ++fold) {
+      std::vector<core::TrainingExample> train;
+      std::vector<core::TrainingExample> test;
+      for (std::size_t i = 0; i < corpus.size(); ++i) {
+        (i % folds == fold ? test : train).push_back(corpus[i]);
+      }
+      core::RuntimeEstimator::Config config;
+      config.forest.n_trees = 500;
+      config.retrain_every = 0;
+      core::RuntimeEstimator estimator(config);
+      estimator.train(train, &pool);
+      for (const auto& example : test) {
+        observed.push_back(example.runtime);
+        predicted.push_back(*estimator.predict(example.features));
+      }
+    }
+    std::vector<double> log_obs;
+    std::vector<double> log_pred;
+    double within2x = 0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+      log_obs.push_back(std::log(observed[i]));
+      log_pred.push_back(std::log(predicted[i]));
+      const double ratio = predicted[i] / observed[i];
+      if (ratio > 0.5 && ratio < 2.0) ++within2x;
+    }
+    util::Table table({"metric", "value"});
+    table.set_precision(2);
+    table.add_row({std::string("MAPE %"),
+                   util::mean_absolute_percentage_error(observed, predicted) *
+                       100.0});
+    table.add_row({std::string("R2 (log space)"),
+                   util::r_squared(log_obs, log_pred)});
+    table.add_row({std::string("R2 (raw space)"),
+                   util::r_squared(observed, predicted)});
+    table.add_row({std::string("% within 2x of actual"),
+                   within2x / static_cast<double>(observed.size()) * 100.0});
+    table.print(std::cout);
+  }
+  return 0;
+}

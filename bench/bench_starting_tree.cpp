@@ -1,0 +1,93 @@
+// START (ablation) — Starting-tree strategies on the *real* GA engine.
+// GARLI's documentation (and predictor #9 of the runtime model) say the
+// starting tree matters: a user-supplied or constructed tree skips the
+// GA's initial climb. This ablation runs genuine maximum-likelihood
+// searches from random, neighbor-joining, and stepwise-addition-parsimony
+// starts and reports final likelihood, distance to the true tree, and the
+// search effort spent — the mechanism behind the cost model's
+// starting_tree_factor.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "phylo/distance.hpp"
+#include "phylo/garli.hpp"
+#include "phylo/parsimony.hpp"
+#include "phylo/simulate.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lattice;
+
+  bench::section("START: starting-tree strategies on the real GA engine");
+  bench::paper_note(
+      "predictor #9: a starting tree speeds the search (cost model factor "
+      "0.72); GARLI's own default is stepwise addition");
+
+  util::Rng rng(2026);
+  phylo::ModelSpec truth;
+  truth.nuc_model = phylo::NucModel::kHKY85;
+  truth.kappa = 3.0;
+  const std::size_t n_datasets = 5;
+
+  struct Totals {
+    util::RunningStat lnl_gap;  // lnL deficit vs the best of the 3 runs
+    util::RunningStat rf;
+    util::RunningStat generations;
+    util::RunningStat evaluations;
+  };
+  const char* labels[3] = {"random", "neighbor-joining",
+                           "stepwise parsimony"};
+  const phylo::GarliJob::StartTopology strategies[3] = {
+      phylo::GarliJob::StartTopology::kRandom,
+      phylo::GarliJob::StartTopology::kNeighborJoining,
+      phylo::GarliJob::StartTopology::kStepwise};
+  Totals totals[3];
+
+  for (std::size_t d = 0; d < n_datasets; ++d) {
+    const auto dataset =
+        phylo::simulate_dataset(10, 800, truth, rng, 0.12);
+    double best_lnl = -1e300;
+    double lnl[3];
+    std::size_t gens[3];
+    std::uint64_t evals[3];
+    std::size_t rf[3];
+    for (int s = 0; s < 3; ++s) {
+      phylo::GarliJob job;
+      job.model = truth;
+      job.genthresh = 60;
+      job.max_generations = 4000;
+      job.seed = 11 + d;
+      job.start_topology = strategies[s];
+      const auto run = phylo::run_garli_job(job, dataset.alignment);
+      const auto& rep = run.replicates[0];
+      lnl[s] = rep.best_log_likelihood;
+      gens[s] = rep.generations;
+      evals[s] = rep.likelihood_evaluations;
+      rf[s] = phylo::Tree::robinson_foulds(rep.best_tree, dataset.tree);
+      best_lnl = std::max(best_lnl, lnl[s]);
+    }
+    for (int s = 0; s < 3; ++s) {
+      totals[s].lnl_gap.add(best_lnl - lnl[s]);
+      totals[s].rf.add(static_cast<double>(rf[s]));
+      totals[s].generations.add(static_cast<double>(gens[s]));
+      totals[s].evaluations.add(static_cast<double>(evals[s]));
+    }
+  }
+
+  util::Table table({"start", "mean lnL gap", "mean RF to truth",
+                     "mean generations", "mean lnL evals"});
+  table.set_precision(1);
+  for (int s = 0; s < 3; ++s) {
+    table.add_row({std::string(labels[s]), totals[s].lnl_gap.mean(),
+                   totals[s].rf.mean(), totals[s].generations.mean(),
+                   totals[s].evaluations.mean()});
+  }
+  table.print(std::cout);
+  std::cout << "\n(real executions, 5 datasets of 10 taxa x 800 sites; "
+               "shape: constructed starts reach equal-or-better trees with "
+               "fewer likelihood evaluations than random starts — the "
+               "mechanism behind the runtime model's starting-tree "
+               "speedup)\n";
+  return 0;
+}

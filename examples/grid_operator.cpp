@@ -1,0 +1,88 @@
+// The grid operator's view: build the full §IV inventory, calibrate it,
+// replay a day of diurnal portal traffic from a recorded trace, watch the
+// condor_status-style reports, and exercise the §III job-control utilities
+// (status queries, cancelling a runaway batch).
+#include <iostream>
+
+#include "core/portal.hpp"
+#include "core/status.hpp"
+#include "core/workload.hpp"
+#include "util/fmt.hpp"
+
+int main() {
+  using namespace lattice;
+
+  core::LatticeConfig config;
+  config.scheduler.mode = core::SchedulingMode::kEstimateAware;
+  core::LatticeSystem system(config);
+
+  // The four-institution inventory.
+  grid::BatchQueueResource::Config big;
+  big.nodes = 32;
+  big.cores_per_node = 8;
+  big.node_speed = 1.6;
+  system.add_cluster("umd-deepthought", big);
+  grid::BatchQueueResource::Config small;
+  small.nodes = 8;
+  small.cores_per_node = 4;
+  small.kind = grid::ResourceKind::kSgeCluster;
+  system.add_cluster("smithsonian-hpc", small);
+  grid::CondorPool::Config condor;
+  condor.machines = 60;
+  condor.memory_sigma = 0.5;
+  system.add_condor_pool("umd-condor", condor);
+  boinc::BoincPoolConfig volunteers;
+  volunteers.hosts = 200;
+  system.add_boinc_pool("lattice-boinc", volunteers);
+  system.calibrate_speeds();
+
+  core::RuntimeEstimator::Config est;
+  est.forest.n_trees = 150;
+  est.retrain_every = 25;
+  system.estimator() = core::RuntimeEstimator(est);
+  util::Rng rng(2011);
+  system.estimator().train(
+      core::generate_corpus(150, system.cost_model(), rng));
+
+  std::cout << "=== resource board after calibration ===\n"
+            << core::resource_status_report(system);
+
+  // Record a trace of two days of portal traffic, save it, replay it.
+  core::DiurnalConfig diurnal;
+  diurnal.mean_jobs_per_day = 40.0;
+  diurnal.max_expected_hours = 30.0;
+  const auto trace = core::generate_diurnal_workload(
+      80, diurnal, system.cost_model(), rng);
+  const std::string csv = core::workload_to_csv(trace);
+  std::cout << util::format(
+      "\nrecorded trace: {} jobs over {:.1f} days ({} bytes of CSV)\n",
+      trace.size(), trace.back().arrival_seconds / 86400.0, csv.size());
+  core::submit_workload(system, core::workload_from_csv(csv));
+
+  // Meanwhile a user submits a batch through the portal... and regrets it.
+  core::Portal portal(system);
+  phylo::GarliJob job;
+  job.model.data_type = phylo::DataType::kCodon;
+  job.model.rate_het = phylo::RateHet::kGamma;
+  const auto runaway =
+      portal.submit("overeager@example.org", true, job, 40, 200, 900);
+  std::cout << util::format("\nrunaway batch accepted: {} grid jobs\n",
+                            runaway.grid_jobs);
+
+  system.run(6.0 * 3600.0);  // six hours in
+  std::cout << "\n=== six hours in ===\n"
+            << core::resource_status_report(system)
+            << core::job_status_report(system)
+            << core::batch_status_report(portal);
+
+  const std::size_t cancelled = portal.cancel_batch(runaway.batch_id);
+  std::cout << util::format("\noperator cancelled the codon batch: {} jobs "
+                            "stopped\n",
+                            cancelled);
+
+  system.run_until_drained(60.0 * 86400.0);
+  std::cout << "\n=== after the trace drains ===\n"
+            << core::job_status_report(system)
+            << core::batch_status_report(portal);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Partitioned multi-gene analysis — the AToL-style workload the paper says
+// GARLI was being adapted for: several character blocks (here a fast
+// nuclear gene, a slow chloroplast-like gene, and a protein) share one tree
+// but keep their own substitution models and rate multipliers.
+#include <iostream>
+
+#include "phylo/partition.hpp"
+#include "phylo/simulate.hpp"
+#include "util/fmt.hpp"
+
+int main() {
+  using namespace lattice;
+
+  // Simulate three genes on one 9-taxon history with different tempos.
+  util::Rng rng(77);
+  phylo::ModelSpec nuc;
+  nuc.nuc_model = phylo::NucModel::kHKY85;
+  nuc.kappa = 3.0;
+  const phylo::Tree truth = phylo::Tree::random(9, rng, 0.08);
+  std::vector<std::string> names;
+  for (int i = 0; i < 9; ++i) names.push_back("t" + std::to_string(i));
+
+  auto scaled_tree = [&](double factor) {
+    phylo::Tree tree = truth;
+    for (std::size_t i = 0; i < tree.n_nodes(); ++i) {
+      if (static_cast<int>(i) != tree.root()) {
+        tree.set_branch_length(
+            static_cast<int>(i),
+            tree.branch_length(static_cast<int>(i)) * factor);
+      }
+    }
+    return tree;
+  };
+
+  const phylo::SubstitutionModel nuc_model(nuc);
+  phylo::ModelSpec aa;
+  aa.data_type = phylo::DataType::kAminoAcid;
+  const phylo::SubstitutionModel aa_model(aa);
+
+  const auto fast_gene = phylo::simulate_alignment(
+      scaled_tree(2.5), nuc_model, 500, rng, names);
+  const auto slow_gene = phylo::simulate_alignment(
+      scaled_tree(0.5), nuc_model, 500, rng, names);
+  const auto protein = phylo::simulate_alignment(
+      scaled_tree(1.0), aa_model, 200, rng, names);
+
+  phylo::PartitionedDataset data(
+      {{"fast-nuclear", fast_gene, nuc, 1.0},
+       {"slow-chloroplast", slow_gene, nuc, 1.0},
+       {"protein", protein, aa, 1.0}});
+  std::cout << util::format(
+      "partitioned dataset: {} blocks, {} taxa, {} total sites\n",
+      data.n_partitions(), data.n_taxa(), data.n_sites());
+
+  phylo::PartitionedLikelihoodEngine engine(data);
+  phylo::Tree tree = truth;  // start from the true topology; optimize the rest
+  const double before = engine.log_likelihood(tree);
+  const double after = phylo::optimize_partitioned(engine, data, tree, 2);
+  std::cout << util::format(
+      "joint lnL: {:.2f} -> {:.2f} after optimizing branch lengths, "
+      "per-block rates and model parameters\n",
+      before, after);
+
+  std::cout << "\nper-partition estimates (truth: 2.5x / 0.5x / 1.0x):\n";
+  for (std::size_t p = 0; p < data.n_partitions(); ++p) {
+    const auto& block = data.block(p);
+    std::string padded = block.name;
+    padded.resize(18, ' ');
+    std::cout << "  " << padded
+              << util::format(" rate={:.2f}  model={}  kappa={:.2f}\n",
+                              block.rate, block.model.name(),
+                              block.model.kappa);
+  }
+  return 0;
+}

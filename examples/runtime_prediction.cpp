@@ -1,0 +1,96 @@
+// Runtime prediction scenario (paper §VI): train a random forest on past
+// GARLI jobs, inspect what drives runtime (Figure 2's variable
+// importance), and quote a priori estimates + BOINC deadlines for new
+// submissions — including the continuous-update loop as fresh runtimes
+// arrive from the reference cluster.
+#include <algorithm>
+#include <iostream>
+
+#include "core/cost_model.hpp"
+#include "core/deadline.hpp"
+#include "core/estimator.hpp"
+#include "util/fmt.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lattice;
+
+  // 1. Train on the project's job history.
+  const core::GarliCostModel cost_model;
+  util::Rng rng(7);
+  const auto corpus = core::generate_corpus(150, cost_model, rng);
+  core::RuntimeEstimator::Config config;
+  config.forest.n_trees = 1000;
+  config.retrain_every = 25;
+  core::RuntimeEstimator estimator(config);
+  estimator.train(corpus);
+  std::cout << util::format(
+      "trained on {} jobs; OOB variance explained: {:.1f}%\n",
+      corpus.size(), estimator.variance_explained() * 100.0);
+
+  // 2. What drives GARLI runtime?
+  util::Rng imp_rng(3);
+  auto importance = estimator.importance(imp_rng);
+  std::sort(importance.begin(), importance.end(),
+            [](const rf::ImportanceEntry& a, const rf::ImportanceEntry& b) {
+              return a.inc_mse_pct > b.inc_mse_pct;
+            });
+  util::Table table({"predictor", "%IncMSE"});
+  table.set_precision(1);
+  for (const auto& entry : importance) {
+    table.add_row({entry.feature, entry.inc_mse_pct});
+  }
+  std::cout << "\nvariable importance (cf. paper Figure 2):\n";
+  table.print(std::cout);
+
+  // 3. Quote estimates for three upcoming submissions.
+  struct Submission {
+    const char* description;
+    core::GarliFeatures features;
+  };
+  core::GarliFeatures small;
+  small.num_taxa = 30;
+  small.num_patterns = 250;
+  small.rate_het_model = 0;
+  core::GarliFeatures medium;
+  medium.num_taxa = 90;
+  medium.num_patterns = 700;
+  medium.rate_het_model = 1;
+  medium.subst_model_params = 5;  // GTR
+  core::GarliFeatures large;
+  large.num_taxa = 140;
+  large.num_patterns = 1100;
+  large.data_type = 2;  // codon
+  large.rate_het_model = 2;
+  large.subst_model_params = 2;
+
+  core::DeadlinePolicy deadlines;
+  std::cout << "\na priori quotes for incoming jobs:\n";
+  util::Table quotes({"job", "predicted", "actual (hidden)",
+                      "BOINC deadline d"});
+  quotes.set_precision(1);
+  for (const auto& [description, features] :
+       {Submission{"30-taxon HKY", small},
+        Submission{"90-taxon GTR+G", medium},
+        Submission{"140-taxon codon+I+G", large}}) {
+    const double predicted = *estimator.predict(features);
+    const double actual = cost_model.expected_runtime(features);
+    quotes.add_row({std::string(description),
+                    util::format("{:.1f} h", predicted / 3600.0),
+                    util::format("{:.1f} h", actual / 3600.0),
+                    deadlines.deadline_seconds(predicted) / 86400.0});
+  }
+  quotes.print(std::cout);
+
+  // 4. The §VI.E loop: fork-off reference runs stream observations back in
+  //    and the model keeps improving.
+  std::cout << "\nstreaming 100 fresh observations (continuous update)...\n";
+  for (int i = 0; i < 100; ++i) {
+    const core::GarliFeatures f = core::random_features(rng);
+    estimator.observe(f, cost_model.sample_runtime(f, rng));
+  }
+  std::cout << util::format(
+      "corpus now {} jobs; OOB variance explained: {:.1f}%\n",
+      estimator.corpus_size(), estimator.variance_explained() * 100.0);
+  return 0;
+}

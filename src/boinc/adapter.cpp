@@ -1,0 +1,31 @@
+#include "boinc/adapter.hpp"
+
+#include "util/fmt.hpp"
+
+namespace lattice::boinc {
+
+std::string BoincAdapter::translate(const grid::GridJob& job) const {
+  std::string out = "<workunit>\n";
+  out += util::format("  <name>{}-{}</name>\n", job.application, job.id);
+  out += util::format("  <app_name>{}</app_name>\n", job.application);
+  if (job.estimated_reference_runtime) {
+    // rsc_fpops_est feeds client-side completion estimates; the reference
+    // machine is defined as 1 GFLOP/s for this conversion.
+    out += util::format("  <rsc_fpops_est>{:.0f}e9</rsc_fpops_est>\n",
+                        *job.estimated_reference_runtime);
+  }
+  out += util::format("  <min_quorum>{}</min_quorum>\n",
+                      server_.config().min_quorum);
+  out += util::format("  <target_nresults>{}</target_nresults>\n",
+                      server_.config().target_nresults);
+  out += "</workunit>\n";
+  return out;
+}
+
+void BoincAdapter::submit_with_deadline(grid::GridJob& job,
+                                        double delay_bound_seconds) {
+  server_.set_delay_bound(job.id, delay_bound_seconds);
+  server_.submit(job);
+}
+
+}  // namespace lattice::boinc

@@ -1,0 +1,31 @@
+// The BOINC scheduler adapter — the component the paper's group "wrote
+// completely from scratch": it turns a grid-level RSL job into a BOINC
+// workunit submission, carrying the estimate-derived report deadline into
+// the workunit template.
+#pragma once
+
+#include "boinc/server.hpp"
+#include "grid/adapter.hpp"
+
+namespace lattice::boinc {
+
+class BoincAdapter final : public grid::SchedulerAdapter {
+ public:
+  explicit BoincAdapter(BoincServer& server)
+      : grid::SchedulerAdapter(server), server_(server) {}
+
+  /// Workunit template (the XML-ish <workunit> block a real adapter emits
+  /// for create_work).
+  std::string translate(const grid::GridJob& job) const override;
+
+  /// Submit with an explicit per-result report deadline (seconds). This is
+  /// the integration point for the runtime-estimate deadline policy.
+  void submit_with_deadline(grid::GridJob& job, double delay_bound_seconds);
+
+  BoincServer& server() { return server_; }
+
+ private:
+  BoincServer& server_;
+};
+
+}  // namespace lattice::boinc

@@ -1,0 +1,127 @@
+#include "boinc/host.hpp"
+
+#include <cassert>
+
+#include "boinc/server.hpp"
+#include "util/log.hpp"
+
+namespace lattice::boinc {
+
+VolunteerHost::VolunteerHost(sim::Simulation& sim, BoincServer& server,
+                             std::uint64_t id, HostParams params,
+                             util::Rng rng)
+    : sim_(sim), server_(server), id_(id), params_(params), rng_(rng) {}
+
+VolunteerHost::~VolunteerHost() = default;
+
+void VolunteerHost::start(bool initially_online) {
+  // Permanent departure clock runs regardless of the on/off cycle.
+  const double lifetime =
+      rng_.exponential(params_.mean_lifetime_days * 86400.0);
+  sim_.after(lifetime, [this] { depart(); });
+  if (initially_online) {
+    go_online();
+  } else {
+    transition_ = sim_.after(
+        rng_.exponential(params_.mean_off_hours * 3600.0),
+        [this] { go_online(); });
+  }
+}
+
+void VolunteerHost::go_online() {
+  if (departed_) return;
+  online_ = true;
+  transition_ = sim_.after(rng_.exponential(params_.mean_on_hours * 3600.0),
+                           [this] { go_offline(); });
+  if (task_) {
+    resume_task();
+  } else {
+    request_work();
+  }
+}
+
+void VolunteerHost::go_offline() {
+  if (departed_) return;
+  if (task_) pause_task();
+  online_ = false;
+  sim_.cancel(poll_);
+  transition_ = sim_.after(rng_.exponential(params_.mean_off_hours * 3600.0),
+                           [this] { go_online(); });
+}
+
+void VolunteerHost::depart() {
+  if (departed_) return;
+  departed_ = true;
+  if (task_) {
+    if (online_) pause_task();
+    server_.notify_departure(task_->result_id);
+    task_.reset();
+  }
+  online_ = false;
+  sim_.cancel(transition_);
+  sim_.cancel(poll_);
+  sim_.cancel(completion_);
+}
+
+void VolunteerHost::request_work() {
+  if (!online() || task_) return;
+  if (!server_.request_work(*this)) {
+    // Nothing available: register for a poke and poll on backoff.
+    server_.register_idle(*this);
+    poll_ = sim_.after(params_.request_backoff_hours * 3600.0,
+                       [this] { request_work(); });
+  }
+}
+
+void VolunteerHost::assign(std::uint64_t result_id, double reference_work) {
+  assert(online() && !task_);
+  sim_.cancel(poll_);
+  task_ = Task{result_id, reference_work, 0.0};
+  resume_task();
+}
+
+void VolunteerHost::resume_task() {
+  assert(task_ && online());
+  compute_started_ = sim_.now();
+  const double wall = task_->remaining_work / params_.speed;
+  completion_ = sim_.after(wall, [this] { complete_task(); });
+}
+
+void VolunteerHost::pause_task() {
+  assert(task_);
+  // Checkpointing: progress to date is preserved across downtime.
+  const double elapsed = sim_.now() - compute_started_;
+  task_->remaining_work -= elapsed * params_.speed;
+  task_->cpu_spent += elapsed;
+  sim_.cancel(completion_);
+}
+
+void VolunteerHost::complete_task() {
+  assert(task_ && online());
+  const double elapsed = sim_.now() - compute_started_;
+  task_->cpu_spent += elapsed;
+  const std::uint64_t result_id = task_->result_id;
+  const double cpu = task_->cpu_spent;
+  const bool flawed = rng_.bernoulli(params_.error_probability);
+  task_.reset();
+  // A flawed host perturbs the output fingerprint; the validator's quorum
+  // comparison is what catches it.
+  const std::uint64_t hash = flawed ? 0xbad0000 + id_ : 0;
+  server_.report_result(result_id, cpu, hash);
+  request_work();
+}
+
+void VolunteerHost::abort_task(std::uint64_t result_id) {
+  if (!task_ || task_->result_id != result_id) return;
+  if (online_) {
+    // Account the partial progress of the in-flight slice as well.
+    const double elapsed = sim_.now() - compute_started_;
+    task_->cpu_spent += elapsed;
+    sim_.cancel(completion_);
+  }
+  server_.note_discarded_cpu(task_->cpu_spent);
+  task_.reset();
+  if (online()) request_work();
+}
+
+}  // namespace lattice::boinc

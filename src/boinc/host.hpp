@@ -1,0 +1,83 @@
+// Volunteer host model: heterogeneous speeds (lognormal, the classic BOINC
+// host distribution shape), on/off availability churn, permanent departure,
+// checkpoint-aware computation (the paper's team built a special GARLI with
+// checkpointing so progress survives host downtime), and a small
+// probability of returning a wrong result (exercises quorum validation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace lattice::boinc {
+
+class BoincServer;
+
+struct HostParams {
+  double speed = 1.0;            // relative to the reference machine
+  double mean_on_hours = 8.0;    // powered-on, attached stretch
+  double mean_off_hours = 16.0;  // powered-off stretch
+  double mean_lifetime_days = 90.0;  // until permanent departure
+  double error_probability = 0.0;    // wrong-result chance per task
+  double request_backoff_hours = 1.0;  // idle poll interval when no work
+};
+
+class VolunteerHost {
+ public:
+  VolunteerHost(sim::Simulation& sim, BoincServer& server,
+                std::uint64_t id, HostParams params, util::Rng rng);
+  ~VolunteerHost();
+  VolunteerHost(const VolunteerHost&) = delete;
+  VolunteerHost& operator=(const VolunteerHost&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  double speed() const { return params_.speed; }
+  bool online() const { return online_ && !departed_; }
+  bool departed() const { return departed_; }
+  bool computing() const { return task_.has_value(); }
+
+  /// Begin life: schedules the first availability transition and, if
+  /// online, the first work request.
+  void start(bool initially_online);
+
+  /// Server pushes a task (result instance) to this host. Preconditions:
+  /// online and idle.
+  void assign(std::uint64_t result_id, double reference_work);
+
+  /// Server-side abort (workunit cancelled/validated elsewhere).
+  void abort_task(std::uint64_t result_id);
+
+ private:
+  struct Task {
+    std::uint64_t result_id;
+    double remaining_work;  // reference seconds
+    double cpu_spent = 0.0;
+  };
+
+  void go_online();
+  void go_offline();
+  void depart();
+  void resume_task();
+  void pause_task();
+  void complete_task();
+  void request_work();
+
+  sim::Simulation& sim_;
+  BoincServer& server_;
+  std::uint64_t id_;
+  HostParams params_;
+  util::Rng rng_;
+
+  bool online_ = false;
+  bool departed_ = false;
+  std::optional<Task> task_;
+  sim::SimTime compute_started_ = 0.0;
+  sim::EventHandle completion_;
+  sim::EventHandle transition_;
+  sim::EventHandle poll_;
+};
+
+}  // namespace lattice::boinc

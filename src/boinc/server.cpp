@@ -1,0 +1,451 @@
+#include "boinc/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace lattice::boinc {
+
+std::string_view result_state_name(ResultState state) {
+  switch (state) {
+    case ResultState::kUnsent: return "unsent";
+    case ResultState::kInProgress: return "in_progress";
+    case ResultState::kSuccess: return "success";
+    case ResultState::kTimedOut: return "timed_out";
+    case ResultState::kAborted: return "aborted";
+    case ResultState::kError: return "error";
+  }
+  return "?";
+}
+
+BoincServer::BoincServer(sim::Simulation& sim, std::string name,
+                         BoincPoolConfig config)
+    : grid::LocalResource(sim, std::move(name)),
+      config_(config),
+      rng_(config.seed) {
+  assert(config_.hosts > 0);
+  const double on_fraction =
+      config_.mean_on_hours / (config_.mean_on_hours + config_.mean_off_hours);
+  for (std::size_t h = 0; h < config_.hosts; ++h) {
+    HostParams params;
+    const double sigma = config_.speed_sigma;
+    params.speed =
+        config_.mean_speed * rng_.lognormal(-0.5 * sigma * sigma, sigma);
+    params.mean_on_hours = config_.mean_on_hours;
+    params.mean_off_hours = config_.mean_off_hours;
+    params.mean_lifetime_days = config_.mean_lifetime_days;
+    params.error_probability = rng_.bernoulli(config_.flaky_host_fraction)
+                                   ? config_.flaky_error_probability
+                                   : config_.host_error_probability;
+    auto host = std::make_unique<VolunteerHost>(sim_, *this, h + 1, params,
+                                                rng_.split());
+    host->start(rng_.bernoulli(on_fraction));
+    hosts_.push_back(std::move(host));
+  }
+  transitioner_ = std::make_unique<sim::PeriodicTask>(
+      sim_, sim_.now() + config_.transitioner_period,
+      config_.transitioner_period, [this] { transition(); });
+}
+
+BoincServer::~BoincServer() = default;
+
+std::size_t BoincServer::online_hosts() const {
+  std::size_t n = 0;
+  for (const auto& host : hosts_) {
+    if (host->online()) ++n;
+  }
+  return n;
+}
+
+grid::ResourceInfo BoincServer::info() const {
+  grid::ResourceInfo info;
+  info.name = name();
+  info.kind = grid::ResourceKind::kBoincPool;
+  info.total_slots = 0;
+  info.free_slots = 0;
+  for (const auto& host : hosts_) {
+    if (host->departed()) continue;
+    ++info.total_slots;
+    if (host->online() && !host->computing()) ++info.free_slots;
+  }
+  info.queued_jobs = unsent_.size();
+  info.node_memory_gb = 2.0;
+  info.platforms = {config_.platform};
+  info.mpi_capable = false;
+  info.stable = false;
+  return info;
+}
+
+void BoincServer::submit(grid::GridJob& job) {
+  job.state = grid::JobState::kQueued;
+  job.resource = name();
+
+  Workunit wu;
+  wu.id = next_workunit_id_++;
+  wu.grid_job = &job;
+  wu.reference_work = job.true_reference_runtime;
+  wu.created = sim_.now();
+  wu.target_nresults = config_.target_nresults;
+  wu.min_quorum = config_.min_quorum;
+  wu.max_total_results = config_.max_total_results;
+  const auto override_it = delay_bound_overrides_.find(job.id);
+  if (override_it != delay_bound_overrides_.end()) {
+    wu.delay_bound = override_it->second;
+    delay_bound_overrides_.erase(override_it);
+  } else {
+    wu.delay_bound = config_.default_delay_bound;
+  }
+
+  auto [it, inserted] = workunits_.emplace(wu.id, std::move(wu));
+  assert(inserted);
+  for (int i = 0; i < it->second.target_nresults; ++i) {
+    issue_result(it->second);
+  }
+  try_dispatch();
+}
+
+void BoincServer::set_delay_bound(std::uint64_t grid_job_id, double seconds) {
+  delay_bound_overrides_[grid_job_id] = seconds;
+}
+
+void BoincServer::issue_result(Workunit& wu) {
+  if (static_cast<int>(wu.results.size()) >= wu.max_total_results) return;
+  Result result;
+  result.id = next_result_id_++;
+  result.workunit_id = wu.id;
+  wu.results.push_back(result);
+  result_to_workunit_[result.id] = wu.id;
+  unsent_.push_back(result.id);
+}
+
+void BoincServer::register_idle(VolunteerHost& host) {
+  if (std::find(idle_hosts_.begin(), idle_hosts_.end(), &host) ==
+      idle_hosts_.end()) {
+    idle_hosts_.push_back(&host);
+  }
+}
+
+void BoincServer::try_dispatch() {
+  while (!unsent_.empty() && !idle_hosts_.empty()) {
+    VolunteerHost* host = idle_hosts_.back();
+    idle_hosts_.pop_back();
+    if (!host->online() || host->computing()) continue;
+    if (!request_work(*host)) break;
+  }
+}
+
+bool BoincServer::request_work(VolunteerHost& host) {
+  for (std::size_t scan = 0; scan < unsent_.size();) {
+    const std::uint64_t result_id = unsent_[scan];
+    Result* result = find_result(result_id);
+    if (result == nullptr || result->state != ResultState::kUnsent) {
+      unsent_.erase(unsent_.begin() +
+                    static_cast<std::ptrdiff_t>(scan));
+      continue;  // stale entry (workunit finished meanwhile)
+    }
+    Workunit* wu = workunit_of(result->workunit_id);
+    if (wu == nullptr || wu->state != WorkunitState::kActive) {
+      unsent_.erase(unsent_.begin() +
+                    static_cast<std::ptrdiff_t>(scan));
+      continue;
+    }
+    // BOINC's "one result per user per workunit" rule: replicas of the
+    // same workunit must land on distinct hosts, or a single flawed host
+    // could satisfy the quorum with two copies of the same wrong answer.
+    bool host_has_sibling = false;
+    for (const Result& sibling : wu->results) {
+      if (sibling.host_id == host.id() &&
+          sibling.state != ResultState::kUnsent) {
+        host_has_sibling = true;
+        break;
+      }
+    }
+    if (host_has_sibling) {
+      ++scan;
+      continue;
+    }
+    unsent_.erase(unsent_.begin() + static_cast<std::ptrdiff_t>(scan));
+    result->state = ResultState::kInProgress;
+    result->host_id = host.id();
+    result->sent_time = sim_.now();
+    result->deadline = sim_.now() + wu->delay_bound;
+    if (wu->grid_job != nullptr &&
+        wu->grid_job->state == grid::JobState::kQueued) {
+      wu->grid_job->state = grid::JobState::kRunning;
+      wu->grid_job->start_time = sim_.now();
+      wu->grid_job->attempts += 1;
+    }
+    // The per-result overhead and data staging are wall-clock on the host,
+    // so they enter the work ledger scaled by host speed.
+    double staging = 0.0;
+    if (wu->grid_job != nullptr) {
+      staging = (wu->grid_job->input_mb + wu->grid_job->output_mb) /
+                config_.host_mb_per_second;
+    }
+    host.assign(result->id,
+                wu->reference_work +
+                    (config_.result_overhead_seconds + staging) *
+                        host.speed());
+    return true;
+  }
+  return false;
+}
+
+Result* BoincServer::find_result(std::uint64_t result_id) {
+  const auto wu_it = result_to_workunit_.find(result_id);
+  if (wu_it == result_to_workunit_.end()) return nullptr;
+  Workunit* wu = workunit_of(wu_it->second);
+  if (wu == nullptr) return nullptr;
+  for (Result& r : wu->results) {
+    if (r.id == result_id) return &r;
+  }
+  return nullptr;
+}
+
+Workunit* BoincServer::workunit_of(std::uint64_t workunit_id) {
+  const auto it = workunits_.find(workunit_id);
+  return it == workunits_.end() ? nullptr : &it->second;
+}
+
+void BoincServer::report_result(std::uint64_t result_id, double cpu_seconds,
+                                std::uint64_t output_hash) {
+  Result* result = find_result(result_id);
+  if (result == nullptr) return;
+  total_cpu_ += cpu_seconds;
+  Workunit* wu = workunit_of(result->workunit_id);
+  assert(wu != nullptr);
+  if (wu->state != WorkunitState::kActive) {
+    // Straggler for an already-decided workunit: wasted duplication.
+    result->state = ResultState::kAborted;
+    wasted_duplicate_ += cpu_seconds;
+    return;
+  }
+  result->state = ResultState::kSuccess;
+  result->received_time = sim_.now();
+  result->cpu_seconds = cpu_seconds;
+  result->output_hash = output_hash;
+  validate(*wu);
+}
+
+void BoincServer::report_error(std::uint64_t result_id, double cpu_seconds) {
+  Result* result = find_result(result_id);
+  if (result == nullptr) return;
+  total_cpu_ += cpu_seconds;
+  result->state = ResultState::kError;
+  Workunit* wu = workunit_of(result->workunit_id);
+  if (wu != nullptr && wu->state == WorkunitState::kActive) {
+    ++reissued_;
+    issue_result(*wu);
+    try_dispatch();
+    if (wu->outstanding() == 0) {
+      finish_workunit(*wu, false, "too many errors");
+    }
+  }
+}
+
+void BoincServer::notify_departure(std::uint64_t result_id) {
+  // The host will never report; the transitioner handles the reissue when
+  // the deadline passes (exactly the paper's motivation for accurate
+  // deadlines — a departed host otherwise stalls the batch).
+  Result* result = find_result(result_id);
+  if (result != nullptr) {
+    util::log_debug("boinc", "host departed holding result {}", result_id);
+  }
+}
+
+void BoincServer::transition() {
+  for (auto& [id, wu] : workunits_) {
+    if (wu.state != WorkunitState::kActive) continue;
+    bool reissue_needed = false;
+    for (Result& result : wu.results) {
+      if (result.state == ResultState::kInProgress &&
+          sim_.now() > result.deadline) {
+        result.state = ResultState::kTimedOut;
+        ++timeouts_;
+        // Tell the holder (if it still exists) to drop the task.
+        for (auto& host : hosts_) {
+          if (host->id() == result.host_id) {
+            host->abort_task(result.id);
+            break;
+          }
+        }
+        reissue_needed = true;
+      }
+    }
+    if (reissue_needed && wu.outstanding() < wu.min_quorum) {
+      ++reissued_;
+      issue_result(wu);
+      if (static_cast<int>(wu.results.size()) >= wu.max_total_results &&
+          wu.outstanding() == 0) {
+        finish_workunit(wu, false, "result cap exhausted");
+      }
+    }
+  }
+  try_dispatch();
+}
+
+int BoincServer::host_valid_streak(std::uint64_t host_id) const {
+  const auto it = valid_streak_.find(host_id);
+  return it == valid_streak_.end() ? 0 : it->second;
+}
+
+bool BoincServer::host_trusted(std::uint64_t host_id) const {
+  return host_valid_streak(host_id) >= config_.trust_threshold;
+}
+
+void BoincServer::validate(Workunit& wu) {
+  // Majority vote over output fingerprints among successful results; the
+  // workunit validates when some fingerprint reaches the quorum. (Quorum 1
+  // means any single return is trusted, the paper project's setting.)
+  std::map<std::uint64_t, int> votes;
+  for (const Result& result : wu.results) {
+    if (result.state == ResultState::kSuccess) ++votes[result.output_hash];
+  }
+  int best = 0;
+  for (const auto& [hash, count] : votes) best = std::max(best, count);
+
+  // Adaptive replication: a lone quorum-1 result from an unproven host
+  // needs one agreeing replica before it validates.
+  int required = wu.min_quorum;
+  if (config_.adaptive_replication && wu.min_quorum == 1) {
+    bool any_trusted_success = false;
+    for (const Result& result : wu.results) {
+      if (result.state == ResultState::kSuccess &&
+          host_trusted(result.host_id)) {
+        any_trusted_success = true;
+        break;
+      }
+    }
+    if (!any_trusted_success) required = 2;
+  }
+
+  if (best >= required) {
+    finish_workunit(wu, true, "validated");
+    return;
+  }
+  // Not decidable yet (too few returns, or a split vote). If nothing is in
+  // flight, issue another instance — or give up at the result cap.
+  if (wu.outstanding() == 0) {
+    if (static_cast<int>(wu.results.size()) < wu.max_total_results) {
+      ++reissued_;
+      issue_result(wu);
+      try_dispatch();
+    } else {
+      finish_workunit(wu, false, "result cap exhausted");
+    }
+  }
+}
+
+double BoincServer::host_credit(std::uint64_t host_id) const {
+  const auto it = credit_.find(host_id);
+  return it == credit_.end() ? 0.0 : it->second;
+}
+
+double BoincServer::total_credit() const {
+  double total = 0.0;
+  for (const auto& [host, credit] : credit_) total += credit;
+  return total;
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+BoincServer::credit_leaderboard(std::size_t top_n) const {
+  std::vector<std::pair<std::uint64_t, double>> board(credit_.begin(),
+                                                      credit_.end());
+  std::sort(board.begin(), board.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (board.size() > top_n) board.resize(top_n);
+  return board;
+}
+
+void BoincServer::finish_workunit(Workunit& wu, bool success,
+                                  const std::string& why) {
+  wu.state = success ? WorkunitState::kValidated : WorkunitState::kError;
+  wu.validated_time = sim_.now();
+  if (success) {
+    // Grant credit to hosts whose result carried the canonical output
+    // fingerprint (the validator's majority hash).
+    std::map<std::uint64_t, int> votes;
+    for (const Result& result : wu.results) {
+      if (result.state == ResultState::kSuccess) ++votes[result.output_hash];
+    }
+    std::uint64_t canonical = 0;
+    int best = 0;
+    for (const auto& [hash, count] : votes) {
+      if (count > best) {
+        best = count;
+        canonical = hash;
+      }
+    }
+    if (canonical != 0) ++corrupted_;
+    for (const Result& result : wu.results) {
+      if (result.state != ResultState::kSuccess) continue;
+      if (result.output_hash == canonical) {
+        // Cobblestone-ish: reference CPU-seconds of validated work.
+        credit_[result.host_id] += wu.reference_work / 100.0;
+        ++valid_streak_[result.host_id];
+      } else {
+        // A disagreeing return breaks the host's trust streak.
+        valid_streak_[result.host_id] = 0;
+      }
+    }
+  }
+  // Abort outstanding instances (server-side cancel on next contact,
+  // modeled as immediate).
+  for (Result& result : wu.results) {
+    if (result.state == ResultState::kInProgress) {
+      for (auto& host : hosts_) {
+        if (host->id() == result.host_id) {
+          host->abort_task(result.id);
+          break;
+        }
+      }
+      result.state = ResultState::kAborted;
+    } else if (result.state == ResultState::kUnsent) {
+      result.state = ResultState::kAborted;
+    }
+  }
+  if (wu.grid_job == nullptr) return;
+  grid::GridJob& job = *wu.grid_job;
+  double cpu = 0.0;
+  for (const Result& result : wu.results) cpu += result.cpu_seconds;
+  grid::JobOutcome outcome;
+  outcome.completed = success;
+  outcome.cpu_seconds = cpu;
+  outcome.reason = why;
+  if (success) {
+    job.state = grid::JobState::kCompleted;
+    job.finish_time = sim_.now();
+  } else {
+    job.state = grid::JobState::kFailed;
+    job.wasted_cpu_seconds += cpu;
+  }
+  notify(job, outcome);
+}
+
+void BoincServer::cancel(std::uint64_t job_id) {
+  for (auto& [id, wu] : workunits_) {
+    if (wu.grid_job == nullptr || wu.grid_job->id != job_id) continue;
+    if (wu.state != WorkunitState::kActive) return;
+    grid::GridJob& job = *wu.grid_job;
+    wu.state = WorkunitState::kCancelled;
+    for (Result& result : wu.results) {
+      if (result.state == ResultState::kInProgress) {
+        for (auto& host : hosts_) {
+          if (host->id() == result.host_id) {
+            host->abort_task(result.id);
+            break;
+          }
+        }
+        result.state = ResultState::kAborted;
+      } else if (result.state == ResultState::kUnsent) {
+        result.state = ResultState::kAborted;
+      }
+    }
+    job.state = grid::JobState::kCancelled;
+    notify(job, grid::JobOutcome{false, 0.0, "cancelled"});
+    return;
+  }
+}
+
+}  // namespace lattice::boinc

@@ -1,0 +1,161 @@
+// The BOINC server complex, implemented as a grid::LocalResource so the
+// meta-scheduler treats the volunteer pool like any other resource. Models
+// the daemons of a real BOINC project:
+//   feeder/scheduler RPC — hands unsent results to requesting hosts;
+//   transitioner        — times out overdue results and issues replacements
+//                          ("periodically reissue work if results are not
+//                          received in a timely manner");
+//   validator           — forms a quorum of agreeing results;
+//   assimilator         — reports the canonical result to the grid level.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "boinc/host.hpp"
+#include "boinc/workunit.hpp"
+#include "grid/resource.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace lattice::boinc {
+
+struct BoincPoolConfig {
+  std::size_t hosts = 500;
+  double mean_speed = 1.0;
+  double speed_sigma = 0.6;
+  double mean_on_hours = 8.0;
+  double mean_off_hours = 16.0;
+  double mean_lifetime_days = 90.0;
+  /// Baseline per-task error probability of a normal host.
+  double host_error_probability = 0.01;
+  /// BOINC's threat model is systematic, per-host unreliability (bad RAM,
+  /// overclocking, tampering): this fraction of hosts errs at
+  /// `flaky_error_probability` instead of the baseline.
+  double flaky_host_fraction = 0.0;
+  double flaky_error_probability = 0.5;
+  /// Default per-result report deadline when a workunit does not carry one
+  /// (the manual per-batch value the paper wants to replace with
+  /// estimate-derived deadlines).
+  double default_delay_bound = 14.0 * 86400.0;
+  int target_nresults = 1;
+  int min_quorum = 1;
+  int max_total_results = 8;
+  /// Adaptive replication (BOINC's reliable-host mechanism): with quorum 1,
+  /// results from hosts that have not yet produced `trust_threshold`
+  /// consecutive valid results are cross-checked against one extra replica
+  /// before validation; results from trusted hosts validate immediately.
+  bool adaptive_replication = false;
+  int trust_threshold = 10;
+  /// Transitioner poll period.
+  double transitioner_period = 600.0;
+  /// Fixed wall-clock cost per result on the host (input download, upload,
+  /// scheduler RPC round trips) — what replicate bundling amortizes.
+  double result_overhead_seconds = 120.0;
+  /// Volunteer last-mile bandwidth for staging job data.
+  double host_mb_per_second = 0.5;
+  grid::PlatformSpec platform{};
+  std::uint64_t seed = 1;
+};
+
+class BoincServer final : public grid::LocalResource {
+ public:
+  BoincServer(sim::Simulation& sim, std::string name, BoincPoolConfig config);
+  ~BoincServer() override;
+
+  // grid::LocalResource interface -------------------------------------
+  grid::ResourceInfo info() const override;
+  void submit(grid::GridJob& job) override;
+  void cancel(std::uint64_t job_id) override;
+
+  /// Per-job deadline override used by the grid level's deadline policy:
+  /// applies to the next submit() of this grid job id.
+  void set_delay_bound(std::uint64_t grid_job_id, double seconds);
+
+  // Host-facing RPC ----------------------------------------------------
+  /// A host asks for work. Returns true and assigns a task when one is
+  /// available and suitable.
+  bool request_work(VolunteerHost& host);
+  /// A host reports a finished task.
+  void report_result(std::uint64_t result_id, double cpu_seconds,
+                     std::uint64_t output_hash);
+  /// A host reports a failed task.
+  void report_error(std::uint64_t result_id, double cpu_seconds);
+  /// A host departed permanently while holding this task.
+  void notify_departure(std::uint64_t result_id);
+  /// An idle online host signs on (server pokes it when work arrives).
+  void register_idle(VolunteerHost& host);
+
+  // Introspection for tests/benches ------------------------------------
+  const std::map<std::uint64_t, Workunit>& workunits() const {
+    return workunits_;
+  }
+  std::size_t online_hosts() const;
+  std::size_t attached_hosts() const { return hosts_.size(); }
+  std::uint64_t reissued_results() const { return reissued_; }
+  std::uint64_t timed_out_results() const { return timeouts_; }
+  /// Workunits validated with a flawed canonical result (a host error that
+  /// slipped past the redundancy policy). Zero output hash marks the
+  /// correct computation in this model.
+  std::uint64_t corrupted_validations() const { return corrupted_; }
+  double wasted_duplicate_cpu_seconds() const { return wasted_duplicate_; }
+  /// CPU-seconds thrown away when hosts abort tasks (deadline timeouts,
+  /// workunit cancellation) — checkpointed progress that never reports.
+  double discarded_cpu_seconds() const { return discarded_cpu_; }
+  double total_cpu_seconds() const { return total_cpu_; }
+  /// Called by hosts when a task is dropped with partial progress.
+  void note_discarded_cpu(double cpu_seconds) {
+    discarded_cpu_ += cpu_seconds;
+  }
+  const BoincPoolConfig& config() const { return config_; }
+
+  /// Credit granted to a host (cobblestone-style: normalized CPU-seconds
+  /// of *validated* work — results whose output matched the canonical
+  /// fingerprint; flawed or wasted results earn nothing).
+  double host_credit(std::uint64_t host_id) const;
+  double total_credit() const;
+  /// (host_id, credit) pairs sorted by credit, highest first — the
+  /// public leaderboard every BOINC project runs.
+  std::vector<std::pair<std::uint64_t, double>> credit_leaderboard(
+      std::size_t top_n = 10) const;
+  /// Consecutive valid results delivered by a host (adaptive replication's
+  /// trust metric).
+  int host_valid_streak(std::uint64_t host_id) const;
+  bool host_trusted(std::uint64_t host_id) const;
+
+ private:
+  friend class VolunteerHost;
+
+  void transition();
+  Result* find_result(std::uint64_t result_id);
+  Workunit* workunit_of(std::uint64_t workunit_id);
+  void issue_result(Workunit& wu);
+  void try_dispatch();
+  void validate(Workunit& wu);
+  void finish_workunit(Workunit& wu, bool success, const std::string& why);
+
+  BoincPoolConfig config_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<VolunteerHost>> hosts_;
+  std::map<std::uint64_t, Workunit> workunits_;
+  std::map<std::uint64_t, std::uint64_t> result_to_workunit_;
+  std::deque<std::uint64_t> unsent_;       // result ids awaiting dispatch
+  std::vector<VolunteerHost*> idle_hosts_;  // online, no task
+  std::map<std::uint64_t, double> delay_bound_overrides_;
+  std::unique_ptr<sim::PeriodicTask> transitioner_;
+
+  std::uint64_t next_workunit_id_ = 1;
+  std::uint64_t next_result_id_ = 1;
+  std::uint64_t reissued_ = 0;
+  std::uint64_t timeouts_ = 0;
+  double wasted_duplicate_ = 0.0;
+  double discarded_cpu_ = 0.0;
+  double total_cpu_ = 0.0;
+  std::map<std::uint64_t, double> credit_;
+  std::map<std::uint64_t, int> valid_streak_;
+  std::uint64_t corrupted_ = 0;
+};
+
+}  // namespace lattice::boinc

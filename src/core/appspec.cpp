@@ -1,0 +1,455 @@
+#include "core/appspec.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace lattice::core {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal XML reader covering the dialect appspecs use: nested elements
+// with attributes and text content; no namespaces, CDATA, or processing
+// instructions. Comments (<!-- -->) are skipped.
+
+struct XmlNode {
+  std::string tag;
+  std::map<std::string, std::string> attributes;
+  std::string text;
+  std::vector<XmlNode> children;
+};
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : text_(text) {}
+
+  XmlNode parse() {
+    skip_prolog();
+    XmlNode root = parse_element();
+    skip_space();
+    if (pos_ < text_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error(
+        util::format("xml: {} at offset {}", message, pos_));
+  }
+
+  void skip_space() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (text_.substr(pos_).starts_with("<!--")) {
+        const std::size_t end = text_.find("-->", pos_);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      return;
+    }
+  }
+
+  void skip_prolog() {
+    skip_space();
+    if (text_.substr(pos_).starts_with("<?")) {
+      const std::size_t end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated declaration");
+      pos_ = end + 2;
+    }
+  }
+
+  std::string parse_name() {
+    std::string name;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+          ch == '-' || ch == ':') {
+        name += ch;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (name.empty()) fail("expected a name");
+    return name;
+  }
+
+  std::string parse_attribute_value() {
+    if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+      fail("expected a quoted attribute value");
+    }
+    const char quote = text_[pos_++];
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      value += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) fail("unterminated attribute value");
+    ++pos_;
+    return value;
+  }
+
+  XmlNode parse_element() {
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != '<') fail("expected '<'");
+    ++pos_;
+    XmlNode node;
+    node.tag = parse_name();
+    for (;;) {
+      skip_space();
+      if (pos_ >= text_.size()) fail("unterminated element");
+      if (text_[pos_] == '/') {
+        ++pos_;
+        if (pos_ >= text_.size() || text_[pos_] != '>') fail("expected '>'");
+        ++pos_;
+        return node;  // self-closing
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      const std::string name = parse_name();
+      skip_space();
+      if (pos_ >= text_.size() || text_[pos_] != '=') fail("expected '='");
+      ++pos_;
+      skip_space();
+      node.attributes[name] = parse_attribute_value();
+    }
+    // Content: text and child elements until the closing tag.
+    for (;;) {
+      skip_space();
+      if (pos_ >= text_.size()) fail("unterminated element content");
+      if (text_[pos_] == '<') {
+        if (text_.substr(pos_).starts_with("</")) {
+          pos_ += 2;
+          const std::string closing = parse_name();
+          if (closing != node.tag) {
+            fail(util::format("mismatched closing tag '{}' for '{}'",
+                              closing, node.tag));
+          }
+          skip_space();
+          if (pos_ >= text_.size() || text_[pos_] != '>') fail("expected '>'");
+          ++pos_;
+          return node;
+        }
+        node.children.push_back(parse_element());
+      } else {
+        while (pos_ < text_.size() && text_[pos_] != '<') {
+          node.text += text_[pos_++];
+        }
+        node.text = util::trim(node.text);
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+ParamKind parse_kind(const std::string& kind) {
+  if (kind == "string") return ParamKind::kString;
+  if (kind == "int") return ParamKind::kInt;
+  if (kind == "real") return ParamKind::kReal;
+  if (kind == "choice") return ParamKind::kChoice;
+  if (kind == "flag") return ParamKind::kFlag;
+  if (kind == "infile") return ParamKind::kInputFile;
+  throw std::runtime_error(
+      util::format("appspec: unknown parameter kind '{}'", kind));
+}
+
+std::string_view kind_name(ParamKind kind) {
+  switch (kind) {
+    case ParamKind::kString: return "string";
+    case ParamKind::kInt: return "int";
+    case ParamKind::kReal: return "real";
+    case ParamKind::kChoice: return "choice";
+    case ParamKind::kFlag: return "flag";
+    case ParamKind::kInputFile: return "infile";
+  }
+  return "?";
+}
+
+bool parse_number(const std::string& text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    return util::trim(std::string_view(text).substr(used)).empty();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+AppDescription AppDescription::parse_xml(std::string_view xml) {
+  const XmlNode root = XmlParser(xml).parse();
+  if (root.tag != "application") {
+    throw std::runtime_error("appspec: root element must be <application>");
+  }
+  AppDescription app;
+  const auto app_name = root.attributes.find("name");
+  if (app_name == root.attributes.end() || app_name->second.empty()) {
+    throw std::runtime_error("appspec: <application> needs a name");
+  }
+  app.name = app_name->second;
+  if (const auto it = root.attributes.find("version");
+      it != root.attributes.end()) {
+    app.version = it->second;
+  }
+
+  for (const XmlNode& child : root.children) {
+    if (child.tag != "param") {
+      throw std::runtime_error(
+          util::format("appspec: unexpected element <{}>", child.tag));
+    }
+    AppParameter param;
+    const auto name = child.attributes.find("name");
+    if (name == child.attributes.end() || name->second.empty()) {
+      throw std::runtime_error("appspec: <param> needs a name");
+    }
+    param.name = name->second;
+    if (app.find(param.name) != nullptr) {
+      throw std::runtime_error(
+          util::format("appspec: duplicate parameter '{}'", param.name));
+    }
+    auto attr = [&](const char* key) -> std::optional<std::string> {
+      const auto it = child.attributes.find(key);
+      if (it == child.attributes.end()) return std::nullopt;
+      return it->second;
+    };
+    param.kind = parse_kind(attr("kind").value_or("string"));
+    param.label = attr("label").value_or(param.name);
+    param.help = attr("help").value_or("");
+    param.required = attr("required").value_or("false") == "true";
+    param.default_value = attr("default").value_or("");
+    param.config_key = attr("config").value_or("");
+    if (auto lo = attr("min")) {
+      double value = 0.0;
+      if (!parse_number(*lo, value)) {
+        throw std::runtime_error(
+            util::format("appspec: '{}' has a bad min", param.name));
+      }
+      param.min = value;
+    }
+    if (auto hi = attr("max")) {
+      double value = 0.0;
+      if (!parse_number(*hi, value)) {
+        throw std::runtime_error(
+            util::format("appspec: '{}' has a bad max", param.name));
+      }
+      param.max = value;
+    }
+    for (const XmlNode& grand : child.children) {
+      if (grand.tag != "choice") {
+        throw std::runtime_error(
+            util::format("appspec: unexpected element <{}> in param",
+                         grand.tag));
+      }
+      param.choices.push_back(grand.text);
+    }
+    if (param.kind == ParamKind::kChoice && param.choices.empty()) {
+      throw std::runtime_error(util::format(
+          "appspec: choice parameter '{}' has no <choice> items",
+          param.name));
+    }
+    if (param.kind != ParamKind::kChoice && !param.choices.empty()) {
+      throw std::runtime_error(util::format(
+          "appspec: non-choice parameter '{}' lists choices", param.name));
+    }
+    app.parameters.push_back(std::move(param));
+  }
+  return app;
+}
+
+const AppParameter* AppDescription::find(const std::string& name) const {
+  for (const AppParameter& param : parameters) {
+    if (param.name == name) return &param;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> AppDescription::validate(
+    const std::map<std::string, std::string>& values) const {
+  std::vector<std::string> problems;
+  for (const auto& [key, value] : values) {
+    if (find(key) == nullptr) {
+      problems.push_back(util::format("unknown parameter '{}'", key));
+    }
+  }
+  for (const AppParameter& param : parameters) {
+    const auto it = values.find(param.name);
+    const bool provided = it != values.end() && !it->second.empty();
+    if (!provided) {
+      if (param.required && param.default_value.empty()) {
+        problems.push_back(
+            util::format("'{}' is required", param.name));
+      }
+      continue;
+    }
+    const std::string& value = it->second;
+    switch (param.kind) {
+      case ParamKind::kInt:
+      case ParamKind::kReal: {
+        double number = 0.0;
+        if (!parse_number(value, number)) {
+          problems.push_back(util::format(
+              "'{}' must be a number (got '{}')", param.name, value));
+          break;
+        }
+        if (param.kind == ParamKind::kInt &&
+            number != static_cast<double>(static_cast<long long>(number))) {
+          problems.push_back(util::format(
+              "'{}' must be an integer (got '{}')", param.name, value));
+          break;
+        }
+        if (param.min && number < *param.min) {
+          problems.push_back(util::format("'{}' must be >= {:.6g}",
+                                          param.name, *param.min));
+        }
+        if (param.max && number > *param.max) {
+          problems.push_back(util::format("'{}' must be <= {:.6g}",
+                                          param.name, *param.max));
+        }
+        break;
+      }
+      case ParamKind::kChoice: {
+        bool found = false;
+        for (const std::string& choice : param.choices) {
+          if (choice == value) found = true;
+        }
+        if (!found) {
+          problems.push_back(util::format(
+              "'{}' must be one of the listed choices (got '{}')",
+              param.name, value));
+        }
+        break;
+      }
+      case ParamKind::kFlag: {
+        if (value != "true" && value != "false" && value != "0" &&
+            value != "1") {
+          problems.push_back(util::format(
+              "'{}' must be a boolean (got '{}')", param.name, value));
+        }
+        break;
+      }
+      case ParamKind::kString:
+      case ParamKind::kInputFile:
+        break;
+    }
+  }
+  return problems;
+}
+
+std::string AppDescription::render_form() const {
+  std::ostringstream out;
+  out << "Form: " << name;
+  if (!version.empty()) out << " (version " << version << ")";
+  out << "\n";
+  for (const AppParameter& param : parameters) {
+    out << "  [" << kind_name(param.kind) << "] " << param.label << " ("
+        << param.name << ")";
+    if (param.required) out << " *required*";
+    if (!param.default_value.empty()) {
+      out << " default=" << param.default_value;
+    }
+    if (param.min || param.max) {
+      out << " range=[" << (param.min ? util::format("{:.6g}", *param.min)
+                                      : std::string("-inf"))
+          << ", "
+          << (param.max ? util::format("{:.6g}", *param.max)
+                        : std::string("inf"))
+          << "]";
+    }
+    if (!param.choices.empty()) {
+      out << " choices={";
+      for (std::size_t i = 0; i < param.choices.size(); ++i) {
+        out << (i ? "," : "") << param.choices[i];
+      }
+      out << "}";
+    }
+    if (!param.help.empty()) out << " -- " << param.help;
+    out << "\n";
+  }
+  return out.str();
+}
+
+util::IniFile AppDescription::to_config(
+    const std::map<std::string, std::string>& values) const {
+  const auto problems = validate(values);
+  if (!problems.empty()) {
+    throw std::invalid_argument(
+        util::format("appspec: invalid submission: {}", problems.front()));
+  }
+  util::IniFile ini;
+  for (const AppParameter& param : parameters) {
+    const auto it = values.find(param.name);
+    std::string value = it != values.end() && !it->second.empty()
+                            ? it->second
+                            : param.default_value;
+    if (value.empty()) continue;
+    std::string section = "general";
+    std::string key = param.name;
+    if (!param.config_key.empty()) {
+      const std::size_t dot = param.config_key.find('.');
+      if (dot != std::string::npos) {
+        section = param.config_key.substr(0, dot);
+        key = param.config_key.substr(dot + 1);
+      } else {
+        key = param.config_key;
+      }
+    }
+    ini.set(section, key, std::move(value));
+  }
+  return ini;
+}
+
+const AppDescription& garli_app_description() {
+  static const AppDescription app = AppDescription::parse_xml(R"xml(
+<application name="garli" version="2.0">
+  <param name="datatype" kind="choice" required="true"
+         label="Data type" config="general.datatype">
+    <choice>nucleotide</choice>
+    <choice>aminoacid</choice>
+    <choice>codon</choice>
+  </param>
+  <param name="ratematrix" kind="choice" default="hky85"
+         label="Substitution model" config="model.ratematrix">
+    <choice>jc69</choice>
+    <choice>k80</choice>
+    <choice>hky85</choice>
+    <choice>gtr</choice>
+  </param>
+  <param name="ratehetmodel" kind="choice" default="none"
+         label="Rate heterogeneity" config="model.ratehetmodel">
+    <choice>none</choice>
+    <choice>gamma</choice>
+    <choice>gamma+invariant</choice>
+  </param>
+  <param name="numratecats" kind="int" default="4" min="2" max="16"
+         label="Gamma rate categories" config="model.numratecats"/>
+  <param name="searchreps" kind="int" default="1" min="1" max="2000"
+         label="Search replicates" config="general.searchreps"
+         help="each replicate runs as an independent grid job"/>
+  <param name="genthreshfortopoterm" kind="int" default="200" min="1"
+         max="1000000" label="Termination threshold (generations)"
+         config="general.genthreshfortopoterm"/>
+  <param name="bootstrapreps" kind="int" default="0" min="0" max="2000"
+         label="Bootstrap replicates" config="general.bootstrapreps"/>
+  <param name="streefname" kind="infile" label="Starting tree (Newick)"
+         config="general.streefname"/>
+  <param name="sequencefile" kind="infile" required="true"
+         label="Sequence data (FASTA/PHYLIP)"/>
+  <param name="email" kind="string" required="true"
+         label="Notification email"/>
+</application>
+)xml");
+  return app;
+}
+
+}  // namespace lattice::core

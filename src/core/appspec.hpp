@@ -1,0 +1,79 @@
+// Grid application descriptions (paper §III): "we developed software that
+// takes an XML description of grid application arguments and options and
+// automatically generates a Drupal web interface for that application" —
+// the descendant of the group's Grid Services Base Library (GSBL).
+//
+// An AppDescription is parsed from a small XML dialect, renders a form
+// schema (the stand-in for the generated Drupal form), validates a user
+// submission against parameter types/ranges/choices, and maps validated
+// values onto the INI job configuration shipped to compute nodes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/ini.hpp"
+
+namespace lattice::core {
+
+enum class ParamKind { kString, kInt, kReal, kChoice, kFlag, kInputFile };
+
+struct AppParameter {
+  std::string name;
+  ParamKind kind = ParamKind::kString;
+  std::string label;          // human-readable form label
+  std::string help;           // form help text
+  bool required = false;
+  std::string default_value;  // empty = none
+  std::optional<double> min;  // numeric kinds
+  std::optional<double> max;
+  std::vector<std::string> choices;  // kChoice
+  /// INI destination as "section.key"; empty = general.<name>.
+  std::string config_key;
+};
+
+struct AppDescription {
+  std::string name;
+  std::string version;
+  std::vector<AppParameter> parameters;
+
+  /// Parse the XML dialect:
+  ///   <application name="garli" version="2.0">
+  ///     <param name="datatype" kind="choice" required="true"
+  ///            label="Data type" config="general.datatype">
+  ///       <choice>nucleotide</choice><choice>aminoacid</choice>
+  ///     </param>
+  ///     <param name="searchreps" kind="int" min="1" max="2000"
+  ///            default="1"/>
+  ///   </application>
+  /// Throws std::runtime_error with position info on malformed XML,
+  /// unknown kinds, or inconsistent attributes (e.g. choice without
+  /// choices).
+  static AppDescription parse_xml(std::string_view xml);
+
+  const AppParameter* find(const std::string& name) const;
+
+  /// Validate a user submission; unknown keys, missing required values,
+  /// unparsable numbers, range and choice violations are reported.
+  std::vector<std::string> validate(
+      const std::map<std::string, std::string>& values) const;
+
+  /// Render the generated form as text — one line per field with type,
+  /// requiredness, constraints, and default (the Drupal form's skeleton).
+  std::string render_form() const;
+
+  /// Map a *valid* submission (plus defaults for omitted parameters) onto
+  /// an INI job configuration. Throws std::invalid_argument if validate()
+  /// would fail.
+  util::IniFile to_config(
+      const std::map<std::string, std::string>& values) const;
+};
+
+/// The GARLI application description used by the portal (the web form in
+/// the paper's Figure 1).
+const AppDescription& garli_app_description();
+
+}  // namespace lattice::core

@@ -1,0 +1,34 @@
+// BOINC workunit deadline policy (paper §VI.A): "we can programmatically
+// specify reasonable workunit deadlines" from the runtime estimate, replacing
+// the manual per-batch values. The deadline must cover the job's wall time
+// on a typical (slower, intermittently available) volunteer host plus
+// slack for downtime; too tight causes spurious reissues of work that
+// would have arrived, too loose lets departed hosts stall the batch.
+#pragma once
+
+#include <algorithm>
+
+namespace lattice::core {
+
+struct DeadlinePolicy {
+  /// Slack multiplier applied to the estimated wall time.
+  double slack = 4.0;
+  /// Conservative speed assumed for the host that gets the task.
+  double typical_host_speed = 0.5;
+  /// Fraction of wall-clock time a typical host is on and computing.
+  double typical_availability = 0.33;
+  /// Deadlines never drop below this (client scheduling needs headroom).
+  double min_deadline_seconds = 6.0 * 3600.0;
+  double max_deadline_seconds = 30.0 * 86400.0;
+
+  /// Report deadline (seconds from send) for a job with the given
+  /// estimated reference runtime.
+  double deadline_seconds(double estimated_reference_runtime) const {
+    const double wall = estimated_reference_runtime /
+                        (typical_host_speed * typical_availability);
+    return std::clamp(slack * wall, min_deadline_seconds,
+                      max_deadline_seconds);
+  }
+};
+
+}  // namespace lattice::core

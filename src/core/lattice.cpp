@@ -1,0 +1,294 @@
+#include "core/lattice.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace lattice::core {
+
+LatticeSystem::LatticeSystem(LatticeConfig config)
+    : config_(config),
+      sim_(),
+      mds_(sim_, config.mds_ttl),
+      speeds_(600.0),
+      estimator_(),
+      scheduler_(mds_, speeds_, config.scheduler),
+      rng_(config.seed) {
+  pump_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.scheduler_period, config_.scheduler_period,
+      [this] { pump(); });
+}
+
+LatticeSystem::~LatticeSystem() = default;
+
+void LatticeSystem::wire_resource(
+    grid::LocalResource& resource,
+    std::unique_ptr<grid::SchedulerAdapter> adapter) {
+  names_.push_back(resource.name());
+  resource.set_completion_callback(
+      [this](grid::GridJob& job, const grid::JobOutcome& outcome) {
+        on_outcome(job, outcome);
+      });
+  mds_.attach_provider(resource, config_.mds_report_period);
+  adapters_[resource.name()] = std::move(adapter);
+}
+
+grid::BatchQueueResource& LatticeSystem::add_cluster(
+    const std::string& name, grid::BatchQueueResource::Config config) {
+  auto resource =
+      std::make_unique<grid::BatchQueueResource>(sim_, name, config);
+  grid::BatchQueueResource& ref = *resource;
+  resources_[name] = std::move(resource);
+  wire_resource(ref, grid::make_adapter(ref, config.kind));
+  return ref;
+}
+
+grid::CondorPool& LatticeSystem::add_condor_pool(
+    const std::string& name, grid::CondorPool::Config config) {
+  auto resource = std::make_unique<grid::CondorPool>(sim_, name, config);
+  grid::CondorPool& ref = *resource;
+  resources_[name] = std::move(resource);
+  wire_resource(ref,
+                grid::make_adapter(ref, grid::ResourceKind::kCondorPool));
+  return ref;
+}
+
+boinc::BoincServer& LatticeSystem::add_boinc_pool(
+    const std::string& name, boinc::BoincPoolConfig config) {
+  auto resource = std::make_unique<boinc::BoincServer>(sim_, name, config);
+  boinc::BoincServer& ref = *resource;
+  resources_[name] = std::move(resource);
+  auto adapter = std::make_unique<boinc::BoincAdapter>(ref);
+  boinc_adapters_[name] = adapter.get();
+  wire_resource(ref, std::move(adapter));
+  return ref;
+}
+
+grid::LocalResource* LatticeSystem::resource(const std::string& name) {
+  const auto it = resources_.find(name);
+  return it == resources_.end() ? nullptr : it->second.get();
+}
+
+grid::SchedulerAdapter* LatticeSystem::adapter(const std::string& name) {
+  const auto it = adapters_.find(name);
+  return it == adapters_.end() ? nullptr : it->second.get();
+}
+
+void LatticeSystem::calibrate_speeds(double reference_job_seconds,
+                                     double measurement_noise_sigma) {
+  speeds_ = SpeedCalibrator(reference_job_seconds);
+  for (const auto& [name, resource] : resources_) {
+    std::vector<double> runtimes;
+    auto noisy = [&](double true_speed) {
+      const double wall = reference_job_seconds / true_speed;
+      return wall * rng_.lognormal(
+                        -0.5 * measurement_noise_sigma *
+                            measurement_noise_sigma,
+                        measurement_noise_sigma);
+    };
+    if (auto* cluster =
+            dynamic_cast<grid::BatchQueueResource*>(resource.get())) {
+      // A short reference job on a handful of (identical) nodes.
+      for (int i = 0; i < 4; ++i) {
+        runtimes.push_back(noisy(cluster->config().node_speed));
+      }
+    } else if (auto* pool =
+                   dynamic_cast<grid::CondorPool*>(resource.get())) {
+      // "run a short GARLI job on each unique individual machine ... and
+      // average the runtimes".
+      for (double speed : pool->machine_speeds()) {
+        runtimes.push_back(noisy(speed));
+      }
+    } else if (auto* boinc_pool =
+                   dynamic_cast<boinc::BoincServer*>(resource.get())) {
+      // Volunteer hosts: the reference job's measured *turnaround* on a
+      // volunteer PC includes the host's downtime, so the benchmark
+      // naturally yields an availability-discounted throughput speed —
+      // which is what expected-completion-time ranking needs.
+      const auto& config = boinc_pool->config();
+      const double availability =
+          config.mean_on_hours /
+          (config.mean_on_hours + config.mean_off_hours);
+      for (int i = 0; i < 32; ++i) {
+        const double sigma = config.speed_sigma;
+        const double speed = config.mean_speed * availability *
+                             rng_.lognormal(-0.5 * sigma * sigma, sigma);
+        runtimes.push_back(noisy(speed));
+      }
+    }
+    if (!runtimes.empty()) {
+      speeds_.calibrate(name, runtimes);
+      mds_.set_speed(name, speeds_.speed_or_default(name));
+    }
+  }
+}
+
+std::uint64_t LatticeSystem::submit_garli_job(
+    const GarliFeatures& features, grid::JobRequirements requirements,
+    std::uint64_t batch_id, JobData data) {
+  return submit_job_with_runtime(features,
+                                 cost_model_.sample_runtime(features, rng_),
+                                 std::move(requirements), batch_id, data);
+}
+
+std::uint64_t LatticeSystem::submit_job_with_runtime(
+    const GarliFeatures& features, double true_reference_runtime,
+    grid::JobRequirements requirements, std::uint64_t batch_id,
+    JobData data) {
+  auto job = std::make_unique<grid::GridJob>();
+  job->id = next_job_id_++;
+  job->batch_id = batch_id;
+  job->requirements = std::move(requirements);
+  job->true_reference_runtime = true_reference_runtime;
+  job->input_mb = data.input_mb;
+  job->output_mb = data.output_mb;
+  job->submit_time = sim_.now();
+  if (auto estimate = estimator_.predict(features)) {
+    job->estimated_reference_runtime = estimate;
+  }
+  const std::uint64_t id = job->id;
+  job_features_[id] = features;
+  jobs_[id] = std::move(job);
+  pending_.push_back(id);
+  ++metrics_.submitted;
+  ++outstanding_;
+  return id;
+}
+
+const grid::GridJob* LatticeSystem::job(std::uint64_t id) const {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+bool LatticeSystem::cancel_job(std::uint64_t id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  grid::GridJob& job = *it->second;
+  switch (job.state) {
+    case grid::JobState::kCompleted:
+    case grid::JobState::kFailed:
+    case grid::JobState::kCancelled:
+      return false;
+    case grid::JobState::kPending: {
+      const auto pending_it =
+          std::find(pending_.begin(), pending_.end(), id);
+      if (pending_it != pending_.end()) pending_.erase(pending_it);
+      job.state = grid::JobState::kCancelled;
+      --outstanding_;
+      if (terminal_hook_) terminal_hook_(job, false);
+      return true;
+    }
+    case grid::JobState::kQueued:
+    case grid::JobState::kRunning: {
+      grid::LocalResource* where = resource(job.resource);
+      if (where == nullptr) return false;
+      // The resource fires the completion callback with "cancelled", which
+      // routes through on_outcome for bookkeeping.
+      where->cancel(id);
+      return job.state == grid::JobState::kCancelled;
+    }
+  }
+  return false;
+}
+
+void LatticeSystem::pump() {
+  std::size_t deferred = 0;
+  const std::size_t to_place = pending_.size();
+  for (std::size_t i = 0; i < to_place; ++i) {
+    const std::uint64_t id = pending_.front();
+    pending_.pop_front();
+    grid::GridJob& job = *jobs_.at(id);
+    const auto choice = scheduler_.choose(job);
+    if (!choice) {
+      pending_.push_back(id);
+      ++deferred;
+      continue;
+    }
+    dispatch(job, *choice);
+  }
+  if (deferred > 0) {
+    util::log_debug("lattice", "{} jobs deferred (no eligible resource)",
+                    deferred);
+  }
+}
+
+void LatticeSystem::dispatch(grid::GridJob& job,
+                             const std::string& resource_name) {
+  // Refresh the target's MDS entry after handing it work: submission is
+  // synchronous, so the directory sees the extra backlog immediately and
+  // one scheduling wave does not herd every job onto the same resource.
+  struct Refresher {
+    LatticeSystem* system;
+    const std::string& name;
+    ~Refresher() {
+      system->mds_.report(system->resources_.at(name)->info());
+    }
+  } refresher{this, resource_name};
+
+  const auto boinc_it = boinc_adapters_.find(resource_name);
+  if (boinc_it != boinc_adapters_.end()) {
+    // Estimate-derived report deadline (paper §VI.A). Without an estimate
+    // fall back to the pool's manual default by submitting plainly.
+    if (job.estimated_reference_runtime) {
+      const double deadline = config_.deadline.deadline_seconds(
+          *job.estimated_reference_runtime);
+      boinc_it->second->submit_with_deadline(job, deadline);
+    } else {
+      boinc_it->second->submit(job);
+    }
+    return;
+  }
+  adapters_.at(resource_name)->submit(job);
+}
+
+void LatticeSystem::on_outcome(grid::GridJob& job,
+                               const grid::JobOutcome& outcome) {
+  if (outcome.completed) {
+    metrics_.useful_cpu_seconds += outcome.cpu_seconds;
+    ++metrics_.completed;
+    metrics_.total_turnaround_seconds += sim_.now() - job.submit_time;
+    metrics_.last_completion = sim_.now();
+    --outstanding_;
+
+    // §VI.E: feed the observation back into the model. The measured
+    // reference runtime is the attempt's CPU time scaled by the calibrated
+    // resource speed.
+    const auto features_it = job_features_.find(job.id);
+    if (features_it != job_features_.end()) {
+      const double speed = speeds_.speed_or_default(job.resource);
+      estimator_.observe(features_it->second, outcome.cpu_seconds * speed);
+    }
+    if (terminal_hook_) terminal_hook_(job, true);
+    return;
+  }
+
+  metrics_.wasted_cpu_seconds += outcome.cpu_seconds;
+  if (job.state == grid::JobState::kCancelled) {
+    --outstanding_;
+    if (terminal_hook_) terminal_hook_(job, false);
+    return;
+  }
+  ++metrics_.failed_attempts;
+  if (job.attempts >= config_.max_attempts) {
+    ++metrics_.abandoned;
+    --outstanding_;
+    util::log_warn("lattice", "job {} abandoned after {} attempts", job.id,
+                   job.attempts);
+    if (terminal_hook_) terminal_hook_(job, false);
+    return;
+  }
+  // Back to the grid-level queue for rescheduling.
+  job.state = grid::JobState::kPending;
+  pending_.push_back(job.id);
+}
+
+void LatticeSystem::run(sim::SimTime until) { sim_.run(until); }
+
+void LatticeSystem::run_until_drained(sim::SimTime horizon) {
+  while (outstanding_ > 0 && sim_.now() < horizon && !sim_.empty()) {
+    sim_.run(std::min(horizon, sim_.now() + 3600.0));
+  }
+}
+
+}  // namespace lattice::core

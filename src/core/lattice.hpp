@@ -1,0 +1,173 @@
+// LatticeSystem: the whole grid wired together — the simulation clock, the
+// MDS directory with per-resource provider loops, the local resources and
+// their scheduler adapters, speed calibration, the RF runtime estimator
+// with its online-update loop, the deadline policy for BOINC work, and the
+// meta-scheduler pump that drains the grid-level queue.
+//
+// This is the object the examples and benchmark harnesses instantiate: add
+// resources, submit GARLI work (featurized jobs whose true runtimes come
+// from the cost model), run the clock, read the metrics.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "boinc/adapter.hpp"
+#include "boinc/server.hpp"
+#include "core/cost_model.hpp"
+#include "core/deadline.hpp"
+#include "core/estimator.hpp"
+#include "core/metascheduler.hpp"
+#include "core/speed.hpp"
+#include "grid/adapter.hpp"
+#include "grid/mds.hpp"
+#include "grid/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace lattice::core {
+
+struct LatticeConfig {
+  /// Meta-scheduler pump period (seconds).
+  double scheduler_period = 60.0;
+  /// MDS provider report period and entry TTL.
+  double mds_report_period = 120.0;
+  double mds_ttl = 300.0;
+  SchedulerPolicy scheduler;
+  DeadlinePolicy deadline;
+  /// Give up on a job after this many failed attempts.
+  int max_attempts = 12;
+  std::uint64_t seed = 1;
+};
+
+struct LatticeMetrics {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t abandoned = 0;     // exceeded max_attempts
+  std::uint64_t failed_attempts = 0;  // preemptions/timeouts/errors
+  double wasted_cpu_seconds = 0.0;
+  double useful_cpu_seconds = 0.0;
+  double total_turnaround_seconds = 0.0;  // completed jobs only
+  sim::SimTime last_completion = 0.0;
+
+  double mean_turnaround() const {
+    return completed ? total_turnaround_seconds /
+                           static_cast<double>(completed)
+                     : 0.0;
+  }
+};
+
+/// Per-attempt staged data sizes for a submitted job.
+struct JobData {
+  double input_mb = 0.0;
+  double output_mb = 0.0;
+};
+
+class LatticeSystem {
+ public:
+  explicit LatticeSystem(LatticeConfig config = {});
+  ~LatticeSystem();
+  LatticeSystem(const LatticeSystem&) = delete;
+  LatticeSystem& operator=(const LatticeSystem&) = delete;
+
+  sim::Simulation& simulation() { return sim_; }
+  grid::MdsDirectory& mds() { return mds_; }
+  SpeedCalibrator& speeds() { return speeds_; }
+  RuntimeEstimator& estimator() { return estimator_; }
+  MetaScheduler& scheduler() { return scheduler_; }
+  const GarliCostModel& cost_model() const { return cost_model_; }
+  const LatticeConfig& config() const { return config_; }
+  LatticeMetrics& metrics() { return metrics_; }
+
+  // Resource building (paper §IV) -------------------------------------
+  grid::BatchQueueResource& add_cluster(
+      const std::string& name, grid::BatchQueueResource::Config config);
+  grid::CondorPool& add_condor_pool(const std::string& name,
+                                    grid::CondorPool::Config config);
+  boinc::BoincServer& add_boinc_pool(const std::string& name,
+                                     boinc::BoincPoolConfig config);
+
+  const std::vector<std::string>& resource_names() const { return names_; }
+  grid::LocalResource* resource(const std::string& name);
+  grid::SchedulerAdapter* adapter(const std::string& name);
+
+  /// Benchmark every resource with a short reference job and record its
+  /// speed (paper §V.A). Cluster speeds are exact (homogeneous nodes);
+  /// pool speeds average per-machine benchmark runs with measurement
+  /// noise.
+  void calibrate_speeds(double reference_job_seconds = 600.0,
+                        double measurement_noise_sigma = 0.05);
+
+  // Workload ------------------------------------------------------------
+  /// Submit a featurized GARLI job. The true runtime is sampled from the
+  /// cost model (hidden from scheduling); the estimate comes from the
+  /// estimator when trained. Returns the grid job id.
+  std::uint64_t submit_garli_job(const GarliFeatures& features,
+                                 grid::JobRequirements requirements = {},
+                                 std::uint64_t batch_id = 0,
+                                 JobData data = {});
+
+  /// Submit with an explicit true runtime (for controlled experiments).
+  std::uint64_t submit_job_with_runtime(const GarliFeatures& features,
+                                        double true_reference_runtime,
+                                        grid::JobRequirements requirements = {},
+                                        std::uint64_t batch_id = 0,
+                                        JobData data = {});
+
+  const grid::GridJob* job(std::uint64_t id) const;
+  std::size_t pending_jobs() const { return pending_.size(); }
+
+  /// Cancel a job wherever it is — still pending at the grid level, queued,
+  /// or running on a resource (the command-line utilities of §III).
+  /// Returns false when the job is unknown or already terminal.
+  bool cancel_job(std::uint64_t id);
+
+  /// Hook invoked whenever a job reaches a terminal state (completed or
+  /// abandoned). The portal uses this for batch bookkeeping.
+  void set_job_terminal_hook(
+      std::function<void(const grid::GridJob&, bool completed)> hook) {
+    terminal_hook_ = std::move(hook);
+  }
+
+  /// Run the simulation until the given horizon or until idle.
+  void run(sim::SimTime until = sim::Simulation::kForever);
+  /// Run until all submitted jobs are terminal (or the horizon passes).
+  void run_until_drained(sim::SimTime horizon);
+
+ private:
+  void wire_resource(grid::LocalResource& resource,
+                     std::unique_ptr<grid::SchedulerAdapter> adapter);
+  void pump();
+  void on_outcome(grid::GridJob& job, const grid::JobOutcome& outcome);
+  void dispatch(grid::GridJob& job, const std::string& resource_name);
+
+  LatticeConfig config_;
+  sim::Simulation sim_;
+  grid::MdsDirectory mds_;
+  SpeedCalibrator speeds_;
+  GarliCostModel cost_model_;
+  RuntimeEstimator estimator_;
+  MetaScheduler scheduler_;
+  util::Rng rng_;
+
+  std::vector<std::string> names_;
+  std::map<std::string, std::unique_ptr<grid::LocalResource>> resources_;
+  std::map<std::string, std::unique_ptr<grid::SchedulerAdapter>> adapters_;
+  std::map<std::string, boinc::BoincAdapter*> boinc_adapters_;
+
+  std::map<std::uint64_t, std::unique_ptr<grid::GridJob>> jobs_;
+  std::map<std::uint64_t, GarliFeatures> job_features_;
+  std::deque<std::uint64_t> pending_;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t outstanding_ = 0;  // submitted minus terminal
+
+  std::unique_ptr<sim::PeriodicTask> pump_task_;
+  std::function<void(const grid::GridJob&, bool)> terminal_hook_;
+  LatticeMetrics metrics_;
+};
+
+}  // namespace lattice::core

@@ -1,0 +1,122 @@
+#include "core/metascheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lattice::core {
+
+std::string_view scheduling_mode_name(SchedulingMode mode) {
+  switch (mode) {
+    case SchedulingMode::kRoundRobin: return "round-robin";
+    case SchedulingMode::kLoadOnly: return "load-only";
+    case SchedulingMode::kEstimateAware: return "estimate-aware";
+    case SchedulingMode::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+MetaScheduler::MetaScheduler(const grid::MdsDirectory& mds,
+                             const SpeedCalibrator& speeds,
+                             SchedulerPolicy policy)
+    : mds_(mds), speeds_(speeds), policy_(policy) {}
+
+bool MetaScheduler::matches(const grid::GridJob& job,
+                            const grid::ResourceInfo& info) {
+  const grid::JobRequirements& req = job.requirements;
+  if (!req.platforms.empty()) {
+    bool platform_ok = false;
+    for (const auto& wanted : req.platforms) {
+      for (const auto& offered : info.platforms) {
+        if (wanted == offered) {
+          platform_ok = true;
+          break;
+        }
+      }
+    }
+    if (!platform_ok) return false;
+  }
+  if (req.min_memory_gb > info.node_memory_gb) return false;
+  if (req.needs_mpi && !info.mpi_capable) return false;
+  for (const auto& dependency : req.software) {
+    if (std::find(info.software.begin(), info.software.end(), dependency) ==
+        info.software.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::string> MetaScheduler::choose(const grid::GridJob& job) {
+  // Step 1+2: reporting resources that pass matchmaking.
+  std::vector<grid::MdsEntry> eligible;
+  for (const grid::MdsEntry& entry : mds_.online()) {
+    if (matches(job, entry.info)) eligible.push_back(entry);
+  }
+  if (eligible.empty()) return std::nullopt;
+
+  if (policy_.mode == SchedulingMode::kRoundRobin) {
+    const grid::MdsEntry& pick =
+        eligible[round_robin_next_++ % eligible.size()];
+    return pick.info.name;
+  }
+
+  // The runtime estimate this mode is allowed to use (reference seconds).
+  std::optional<double> estimate;
+  if (policy_.mode == SchedulingMode::kOracle) {
+    estimate = job.true_reference_runtime;
+  } else if (policy_.mode == SchedulingMode::kEstimateAware) {
+    estimate = job.estimated_reference_runtime;
+  }
+
+  // Step 3: stability filter, using the estimate scaled by each
+  // candidate's speed.
+  if (estimate) {
+    std::vector<grid::MdsEntry> stable_ok;
+    for (const grid::MdsEntry& entry : eligible) {
+      const double wall_hours =
+          *estimate / speeds_.speed_or_default(entry.info.name) / 3600.0;
+      if (entry.info.stable || wall_hours <= policy_.stability_cutoff_hours) {
+        stable_ok.push_back(entry);
+      }
+    }
+    if (!stable_ok.empty()) {
+      eligible = std::move(stable_ok);
+    }
+    // If nothing passes (only unstable resources online and the job is
+    // long), fall through with the original list: placing somewhere beats
+    // starving, matching the paper's best-effort behavior.
+  }
+
+  // Step 4: rank by expected completion time.
+  const grid::MdsEntry* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const grid::MdsEntry& entry : eligible) {
+    const double slots = std::max<double>(entry.info.total_slots, 1.0);
+    const double busy =
+        static_cast<double>(entry.info.total_slots - entry.info.free_slots);
+    const double backlog =
+        (static_cast<double>(entry.info.queued_jobs) + busy) / slots;
+    double score;
+    if (policy_.mode == SchedulingMode::kLoadOnly || !estimate) {
+      // Paper's naive variant: spread by load alone.
+      score = backlog - 1e-3 * static_cast<double>(entry.info.free_slots);
+    } else {
+      const double speed = speeds_.speed_or_default(entry.info.name);
+      const double wall = *estimate / speed;
+      score = wall * (1.0 + policy_.load_weight * backlog);
+      if (entry.info.free_slots == 0) {
+        // Must wait for a slot; penalize by the mean wall time of what is
+        // ahead in line (approximated by this job's own wall time).
+        score += wall * (static_cast<double>(entry.info.queued_jobs) + 1.0) /
+                 slots;
+      }
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = &entry;
+    }
+  }
+  return best->info.name;
+}
+
+}  // namespace lattice::core

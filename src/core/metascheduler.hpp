@@ -1,0 +1,72 @@
+// The grid-level scheduler (paper §V): works exclusively from the MDS
+// directory's aggregated view.
+//
+//   1. Offline filter — resources whose reports stopped arriving get no
+//      new jobs.
+//   2. Matchmaking filter — platform list, minimum memory, MPI capability,
+//      software dependencies.
+//   3. Stability filter — jobs whose speed-scaled runtime estimate exceeds
+//      the cutoff (paper: n = 10 hours) are barred from unstable
+//      (desktop/volunteer) resources.
+//   4. Rank — expected completion time: the estimate scaled by calibrated
+//      resource speed, inflated by current load so work spreads instead of
+//      backing up on the fastest resource.
+//
+// Alternative modes reproduce the baselines the benchmarks compare
+// against: round-robin spreading and load-only ranking, plus an oracle
+// that ranks with the true runtime (the ceiling for estimate quality).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/speed.hpp"
+#include "grid/job.hpp"
+#include "grid/mds.hpp"
+
+namespace lattice::core {
+
+enum class SchedulingMode {
+  kRoundRobin,     // naive spreading, ignores speed and stability
+  kLoadOnly,       // emptiest eligible resource
+  kEstimateAware,  // the paper's algorithm (RF estimates)
+  kOracle,         // the paper's algorithm fed true runtimes
+};
+
+std::string_view scheduling_mode_name(SchedulingMode mode);
+
+struct SchedulerPolicy {
+  SchedulingMode mode = SchedulingMode::kEstimateAware;
+  /// Stability cutoff n (hours of *estimated wall time on the candidate
+  /// resource*) above which unstable resources are excluded.
+  double stability_cutoff_hours = 10.0;
+  /// Load inflation: expected time is multiplied by (1 + load_weight *
+  /// backlog_per_slot).
+  double load_weight = 1.0;
+};
+
+class MetaScheduler {
+ public:
+  MetaScheduler(const grid::MdsDirectory& mds, const SpeedCalibrator& speeds,
+                SchedulerPolicy policy = {});
+
+  /// Pick a resource for the job, or nullopt when nothing eligible is
+  /// online. Uses job.estimated_reference_runtime in kEstimateAware mode
+  /// and job.true_reference_runtime in kOracle mode.
+  std::optional<std::string> choose(const grid::GridJob& job);
+
+  const SchedulerPolicy& policy() const { return policy_; }
+  void set_policy(const SchedulerPolicy& policy) { policy_ = policy; }
+
+  /// Matchmaking predicate, exposed for tests.
+  static bool matches(const grid::GridJob& job,
+                      const grid::ResourceInfo& info);
+
+ private:
+  const grid::MdsDirectory& mds_;
+  const SpeedCalibrator& speeds_;
+  SchedulerPolicy policy_;
+  std::size_t round_robin_next_ = 0;
+};
+
+}  // namespace lattice::core

@@ -1,0 +1,175 @@
+#include "core/portal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/fmt.hpp"
+
+namespace lattice::core {
+
+Portal::Portal(LatticeSystem& system, PortalConfig config)
+    : system_(system), config_(config) {
+  system_.set_job_terminal_hook(
+      [this](const grid::GridJob& job, bool completed) {
+        on_job_terminal(job, completed);
+      });
+}
+
+PortalOutcome Portal::submit(const std::string& user_email,
+                             bool registered_user,
+                             const phylo::GarliJob& job,
+                             std::size_t replicates, std::size_t num_taxa,
+                             std::size_t num_patterns,
+                             const phylo::Alignment* alignment) {
+  PortalOutcome outcome;
+
+  // Validation pass (paper: "the system uses a special GARLI validation
+  // mode to ensure there are no problems ... before any jobs are
+  // scheduled").
+  if (user_email.empty()) {
+    outcome.problems.push_back("an email address is required");
+  }
+  if (replicates == 0) {
+    outcome.problems.push_back("at least one replicate is required");
+  }
+  if (replicates > config_.max_replicates) {
+    outcome.problems.push_back(util::format(
+        "{} replicates exceeds the limit of {}", replicates,
+        config_.max_replicates));
+  }
+  if (alignment != nullptr) {
+    const phylo::GarliValidation v =
+        phylo::validate_garli_job(job, *alignment);
+    for (const std::string& problem : v.problems) {
+      outcome.problems.push_back(problem);
+    }
+  } else if (auto problem = job.model.validate()) {
+    outcome.problems.push_back(*problem);
+  }
+  if (!outcome.problems.empty()) return outcome;
+
+  if (alignment != nullptr) {
+    num_taxa = alignment->n_taxa();
+    num_patterns =
+        phylo::PatternizedAlignment(*alignment).n_patterns();
+  }
+
+  GarliFeatures features = features_from_job(job, num_taxa, num_patterns);
+  features.search_reps = 1;  // featurize a single replicate first
+
+  // Replicate bundling (§VI.A): very short replicates are grouped so that
+  // per-job scheduling overhead does not dominate.
+  std::size_t bundle = 1;
+  const auto per_replicate = system_.estimator().predict(features);
+  if (per_replicate && *per_replicate < config_.bundle_threshold_seconds) {
+    bundle = static_cast<std::size_t>(
+        std::ceil(config_.bundle_target_seconds / std::max(*per_replicate, 1.0)));
+    bundle = std::clamp<std::size_t>(bundle, 1, config_.max_bundle);
+    bundle = std::min(bundle, replicates);
+  }
+
+  BatchRecord record;
+  record.id = next_batch_id_++;
+  record.user_email = user_email;
+  record.registered_user = registered_user;
+  record.replicates = replicates;
+  record.submitted = system_.simulation().now();
+
+  grid::JobRequirements requirements;
+  requirements.min_memory_gb =
+      std::max(0.25, static_cast<double>(num_taxa) *
+                         static_cast<double>(num_patterns) * 8.0 * 12.0 /
+                         1e9);  // partials footprint heuristic
+  // Data staged per attempt: the alignment in, trees/logs out.
+  const double input_mb = std::max(
+      0.1, static_cast<double>(num_taxa) *
+               static_cast<double>(num_patterns) * 4.0 / 1e6);
+  const double output_mb = 0.5;
+
+  std::size_t remaining = replicates;
+  double eta_total = 0.0;
+  bool have_eta = per_replicate.has_value();
+  while (remaining > 0) {
+    const std::size_t this_bundle = std::min(bundle, remaining);
+    remaining -= this_bundle;
+    GarliFeatures bundled = features;
+    bundled.search_reps = static_cast<double>(this_bundle);
+    const std::uint64_t job_id = system_.submit_garli_job(
+        bundled, requirements, record.id,
+        JobData{input_mb, output_mb});
+    record.job_ids.push_back(job_id);
+    if (have_eta) {
+      eta_total = std::max(
+          eta_total, *per_replicate * static_cast<double>(this_bundle));
+    }
+  }
+  record.grid_jobs = record.job_ids.size();
+  if (have_eta) record.eta_seconds = eta_total;
+
+  record.notifications.push_back(Notification{
+      record.submitted, "submitted",
+      util::format("batch {}: {} replicates as {} grid jobs (bundle {})",
+                   record.id, replicates, record.grid_jobs, bundle)});
+
+  outcome.accepted = true;
+  outcome.batch_id = record.id;
+  outcome.grid_jobs = record.grid_jobs;
+  outcome.bundle_size = bundle;
+  outcome.eta_seconds = record.eta_seconds;
+  batches_[record.id] = std::move(record);
+  return outcome;
+}
+
+const BatchRecord* Portal::batch(std::uint64_t id) const {
+  const auto it = batches_.find(id);
+  return it == batches_.end() ? nullptr : &it->second;
+}
+
+std::size_t Portal::cancel_batch(std::uint64_t id) {
+  const auto it = batches_.find(id);
+  if (it == batches_.end() || it->second.done) return 0;
+  std::size_t cancelled = 0;
+  for (const std::uint64_t job_id : it->second.job_ids) {
+    if (system_.cancel_job(job_id)) ++cancelled;
+  }
+  if (cancelled > 0) {
+    it->second.notifications.push_back(Notification{
+        system_.simulation().now(), "cancelled",
+        util::format("batch {}: {} jobs cancelled by user", id, cancelled)});
+  }
+  return cancelled;
+}
+
+void Portal::on_job_terminal(const grid::GridJob& job, bool completed) {
+  const auto it = batches_.find(job.batch_id);
+  if (it == batches_.end()) return;
+  BatchRecord& record = it->second;
+  if (completed) {
+    ++record.completed_jobs;
+  } else {
+    ++record.failed_jobs;
+    record.notifications.push_back(Notification{
+        system_.simulation().now(), "job-failed",
+        util::format("batch {}: grid job {} failed permanently", record.id,
+                     job.id)});
+  }
+  if (record.completed_jobs + record.failed_jobs < record.grid_jobs) return;
+
+  // Post-processing: collate results into the downloadable bundle.
+  record.done = true;
+  record.finished = system_.simulation().now();
+  for (const std::uint64_t job_id : record.job_ids) {
+    const grid::GridJob* member = system_.job(job_id);
+    if (member == nullptr) continue;
+    record.result_manifest.push_back(util::format(
+        "job-{}.{}", member->id,
+        member->state == grid::JobState::kCompleted ? "best_tree.tre"
+                                                    : "FAILED"));
+  }
+  record.notifications.push_back(Notification{
+      record.finished, "completed",
+      util::format("batch {}: results ready ({} of {} jobs succeeded)",
+                   record.id, record.completed_jobs, record.grid_jobs)});
+}
+
+}  // namespace lattice::core

@@ -1,0 +1,98 @@
+// The GARLI science-portal pipeline (paper §III), as a library API: guest
+// or registered submission, the pre-scheduling validation pass, the
+// ≤2000-replicate cap, a priori runtime estimation for user ETAs,
+// replicate bundling for very short jobs (§VI.A: "ratchet up the number of
+// search replicates each individual GARLI job will perform"), batch
+// splitting into grid jobs, email-style notifications, and result
+// collation ("a single zip file") when the batch completes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/lattice.hpp"
+#include "phylo/garli.hpp"
+
+namespace lattice::core {
+
+struct PortalConfig {
+  std::size_t max_replicates = 2000;
+  /// Replicates whose estimated runtime is below this are "very short"
+  /// and get bundled.
+  double bundle_threshold_seconds = 600.0;
+  /// Bundle size targets this much work per grid job.
+  double bundle_target_seconds = 3600.0;
+  std::size_t max_bundle = 100;
+};
+
+struct Notification {
+  sim::SimTime time = 0.0;
+  std::string kind;  // "submitted", "rejected", "job-failed", "completed"
+  std::string message;
+};
+
+struct BatchRecord {
+  std::uint64_t id = 0;
+  std::string user_email;
+  bool registered_user = false;
+  std::size_t replicates = 0;
+  std::size_t grid_jobs = 0;
+  std::size_t completed_jobs = 0;
+  std::size_t failed_jobs = 0;
+  std::optional<double> eta_seconds;  // quoted to the user at submission
+  std::vector<std::uint64_t> job_ids;
+  std::vector<Notification> notifications;
+  sim::SimTime submitted = 0.0;
+  sim::SimTime finished = 0.0;
+  bool done = false;
+
+  /// The "single zip file": per-job result listing, available when done.
+  std::vector<std::string> result_manifest;
+};
+
+struct PortalOutcome {
+  bool accepted = false;
+  std::vector<std::string> problems;
+  std::uint64_t batch_id = 0;
+  std::size_t grid_jobs = 0;
+  std::size_t bundle_size = 1;
+  std::optional<double> eta_seconds;
+};
+
+class Portal {
+ public:
+  Portal(LatticeSystem& system, PortalConfig config = {});
+
+  /// Submit a batch of `replicates` identical GARLI searches. When an
+  /// alignment is supplied the job is validated against it (the portal's
+  /// GARLI validation mode); otherwise the caller provides the dataset's
+  /// dimensions for featurization.
+  PortalOutcome submit(const std::string& user_email, bool registered_user,
+                       const phylo::GarliJob& job, std::size_t replicates,
+                       std::size_t num_taxa, std::size_t num_patterns,
+                       const phylo::Alignment* alignment = nullptr);
+
+  const BatchRecord* batch(std::uint64_t id) const;
+  const std::map<std::uint64_t, BatchRecord>& batches() const {
+    return batches_;
+  }
+
+  /// Cancel every non-terminal job of a batch ("cancel jobs that were no
+  /// longer needed"). Returns the number of jobs cancelled; 0 for unknown
+  /// or finished batches.
+  std::size_t cancel_batch(std::uint64_t id);
+
+  const PortalConfig& config() const { return config_; }
+
+ private:
+  void on_job_terminal(const grid::GridJob& job, bool completed);
+
+  LatticeSystem& system_;
+  PortalConfig config_;
+  std::map<std::uint64_t, BatchRecord> batches_;
+  std::uint64_t next_batch_id_ = 1;
+};
+
+}  // namespace lattice::core

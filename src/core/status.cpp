@@ -1,0 +1,63 @@
+#include "core/status.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/fmt.hpp"
+#include "util/table.hpp"
+
+namespace lattice::core {
+
+std::string resource_status_report(LatticeSystem& system) {
+  util::Table table({"resource", "kind", "slots", "queued", "speed",
+                     "class", "mds"});
+  table.set_precision(2);
+  for (const std::string& name : system.resource_names()) {
+    grid::LocalResource* resource = system.resource(name);
+    const grid::ResourceInfo info = resource->info();
+    table.add_row(
+        {name, std::string(grid::resource_kind_name(info.kind)),
+         util::format("{}/{}", info.free_slots, info.total_slots),
+         static_cast<long long>(info.queued_jobs),
+         system.speeds().speed_or_default(name),
+         std::string(info.stable ? "stable" : "unstable"),
+         std::string(system.mds().is_online(name) ? "online" : "OFFLINE")});
+  }
+  std::ostringstream out;
+  table.print(out);
+  return out.str();
+}
+
+std::string job_status_report(const LatticeSystem& system) {
+  const LatticeMetrics& m =
+      const_cast<LatticeSystem&>(system).metrics();
+  std::ostringstream out;
+  out << util::format(
+      "jobs: {} submitted, {} completed, {} abandoned, {} pending\n",
+      m.submitted, m.completed, m.abandoned, system.pending_jobs());
+  out << util::format(
+      "attempts failed: {}; CPU: {:.1f}h useful, {:.1f}h wasted\n",
+      m.failed_attempts, m.useful_cpu_seconds / 3600.0,
+      m.wasted_cpu_seconds / 3600.0);
+  if (m.completed > 0) {
+    out << util::format("mean turnaround: {:.1f}h\n",
+                        m.mean_turnaround() / 3600.0);
+  }
+  return out.str();
+}
+
+std::string batch_status_report(const Portal& portal) {
+  std::ostringstream out;
+  for (const auto& [id, record] : portal.batches()) {
+    out << util::format(
+        "batch {} ({}): {}/{} jobs done, {} failed{}{}\n", id,
+        record.user_email, record.completed_jobs, record.grid_jobs,
+        record.failed_jobs, record.done ? " [COMPLETE]" : "",
+        record.eta_seconds
+            ? util::format(" eta={:.1f}h", *record.eta_seconds / 3600.0)
+            : std::string{});
+  }
+  return out.str();
+}
+
+}  // namespace lattice::core

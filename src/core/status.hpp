@@ -1,0 +1,23 @@
+// Grid status reporting — the "query the status of jobs in the system"
+// utility of §III and the operator's condor_status-style view of the MDS
+// directory.
+#pragma once
+
+#include <string>
+
+#include "core/lattice.hpp"
+#include "core/portal.hpp"
+
+namespace lattice::core {
+
+/// Resource table: name, kind, slots (free/total), queued jobs, calibrated
+/// speed, stability class, online/offline.
+std::string resource_status_report(LatticeSystem& system);
+
+/// Job counts by state plus headline metrics.
+std::string job_status_report(const LatticeSystem& system);
+
+/// One user-facing batch status line per batch.
+std::string batch_status_report(const Portal& portal);
+
+}  // namespace lattice::core

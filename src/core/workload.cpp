@@ -1,0 +1,114 @@
+#include "core/workload.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace lattice::core {
+
+std::vector<WorkloadEntry> generate_diurnal_workload(
+    std::size_t n_jobs, const DiurnalConfig& config,
+    const GarliCostModel& model, util::Rng& rng) {
+  if (config.amplitude < 0.0 || config.amplitude >= 1.0) {
+    throw std::invalid_argument("workload: amplitude must be in [0, 1)");
+  }
+  std::vector<WorkloadEntry> workload;
+  workload.reserve(n_jobs);
+  // Thinning for the non-homogeneous Poisson process with
+  //   rate(t) = base * (1 + amplitude * cos(2*pi*(hour(t) - peak)/24)).
+  const double base_rate = config.mean_jobs_per_day / 86400.0;
+  const double max_rate = base_rate * (1.0 + config.amplitude);
+  double t = 0.0;
+  while (workload.size() < n_jobs) {
+    t += rng.exponential(1.0 / max_rate);
+    const double hour = std::fmod(t / 3600.0, 24.0);
+    const double rate =
+        base_rate *
+        (1.0 + config.amplitude *
+                   std::cos(2.0 * std::numbers::pi *
+                            (hour - config.peak_hour) / 24.0));
+    if (rng.uniform() * max_rate > rate) continue;  // thinned out
+    WorkloadEntry entry;
+    entry.arrival_seconds = t;
+    do {
+      entry.features = random_features(rng);
+    } while (model.expected_runtime(entry.features) >
+             config.max_expected_hours * 3600.0);
+    entry.true_reference_runtime =
+        model.sample_runtime(entry.features, rng);
+    workload.push_back(entry);
+  }
+  return workload;
+}
+
+std::string workload_to_csv(const std::vector<WorkloadEntry>& workload) {
+  std::ostringstream out;
+  out << "arrival_seconds,num_taxa,num_patterns,data_type,rate_het_model,"
+         "num_rate_categories,subst_model_params,search_reps,genthresh,"
+         "has_starting_tree,true_reference_runtime\n";
+  out.precision(17);
+  for (const WorkloadEntry& entry : workload) {
+    const GarliFeatures& f = entry.features;
+    out << entry.arrival_seconds << ',' << f.num_taxa << ','
+        << f.num_patterns << ',' << f.data_type << ',' << f.rate_het_model
+        << ',' << f.num_rate_categories << ',' << f.subst_model_params
+        << ',' << f.search_reps << ',' << f.genthresh << ','
+        << (f.has_starting_tree ? 1 : 0) << ','
+        << entry.true_reference_runtime << '\n';
+  }
+  return out.str();
+}
+
+std::vector<WorkloadEntry> workload_from_csv(std::string_view csv) {
+  std::istringstream in{std::string(csv)};
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("workload: empty trace");
+  }
+  if (line.find("arrival_seconds") == std::string::npos) {
+    throw std::runtime_error("workload: missing header row");
+  }
+  std::vector<WorkloadEntry> workload;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    WorkloadEntry entry;
+    GarliFeatures& f = entry.features;
+    char comma = 0;
+    int has_tree = 0;
+    if (!(row >> entry.arrival_seconds >> comma >> f.num_taxa >> comma >>
+          f.num_patterns >> comma >> f.data_type >> comma >>
+          f.rate_het_model >> comma >> f.num_rate_categories >> comma >>
+          f.subst_model_params >> comma >> f.search_reps >> comma >>
+          f.genthresh >> comma >> has_tree >> comma >>
+          entry.true_reference_runtime)) {
+      throw std::runtime_error(
+          util::format("workload: malformed row at line {}", line_number));
+    }
+    f.has_starting_tree = has_tree != 0;
+    workload.push_back(entry);
+  }
+  return workload;
+}
+
+void submit_workload(LatticeSystem& system,
+                     const std::vector<WorkloadEntry>& workload) {
+  for (const WorkloadEntry& source : workload) {
+    const WorkloadEntry entry = source;  // copy into the closure
+    system.simulation().at(entry.arrival_seconds, [&system, entry] {
+      if (entry.true_reference_runtime > 0.0) {
+        system.submit_job_with_runtime(entry.features,
+                                       entry.true_reference_runtime);
+      } else {
+        system.submit_garli_job(entry.features);
+      }
+    });
+  }
+}
+
+}  // namespace lattice::core

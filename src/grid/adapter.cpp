@@ -1,0 +1,75 @@
+#include "grid/adapter.hpp"
+
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace lattice::grid {
+
+std::string CondorAdapter::translate(const GridJob& job) const {
+  std::string out;
+  out += util::format("universe = vanilla\n");
+  out += util::format("executable = {}\n", job.application);
+  out += util::format("requirements = {}\n",
+                      condor_requirements_expression(job));
+  if (job.requirements.min_memory_gb > 0.0) {
+    out += util::format("request_memory = {:.0f}MB\n",
+                        job.requirements.min_memory_gb * 1024.0);
+  }
+  out += "queue 1\n";
+  return out;
+}
+
+std::string PbsAdapter::translate(const GridJob& job) const {
+  std::string out = "#!/bin/sh\n";
+  out += util::format("#PBS -N {}-{}\n", job.application, job.id);
+  out += "#PBS -l nodes=1:ppn=1";
+  if (job.requirements.min_memory_gb > 0.0) {
+    out += util::format(",mem={:.0f}mb",
+                        job.requirements.min_memory_gb * 1024.0);
+  }
+  out += "\n";
+  if (job.estimated_reference_runtime) {
+    // Pad the estimate so a modest underestimate does not hit walltime.
+    const double padded = *job.estimated_reference_runtime * 2.0;
+    const auto hours = static_cast<long long>(padded / 3600.0);
+    const auto minutes =
+        static_cast<long long>((padded - static_cast<double>(hours) * 3600.0) / 60.0) % 60;
+    out += util::format("#PBS -l walltime={}:{:2d}:00\n", hours, minutes);
+  }
+  out += util::format("{}\n", job.application);
+  return out;
+}
+
+std::string SgeAdapter::translate(const GridJob& job) const {
+  std::string out = "#!/bin/sh\n";
+  out += util::format("#$ -N {}-{}\n", job.application, job.id);
+  out += "#$ -cwd\n";
+  if (job.requirements.min_memory_gb > 0.0) {
+    out += util::format("#$ -l mem_free={:.1f}G\n",
+                        job.requirements.min_memory_gb);
+  }
+  if (job.requirements.needs_mpi) {
+    out += "#$ -pe mpi 1\n";
+  }
+  out += util::format("{}\n", job.application);
+  return out;
+}
+
+std::unique_ptr<SchedulerAdapter> make_adapter(LocalResource& resource,
+                                               ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCondorPool:
+      return std::make_unique<CondorAdapter>(resource);
+    case ResourceKind::kPbsCluster:
+      return std::make_unique<PbsAdapter>(resource);
+    case ResourceKind::kSgeCluster:
+      return std::make_unique<SgeAdapter>(resource);
+    case ResourceKind::kBoincPool:
+      throw std::invalid_argument(
+          "make_adapter: BOINC adapters come from boinc::BoincAdapter");
+  }
+  throw std::invalid_argument("make_adapter: unknown resource kind");
+}
+
+}  // namespace lattice::grid

@@ -1,0 +1,72 @@
+// A working subset of Condor's ClassAd expression language — the
+// matchmaking mechanism the paper's customized Condor adapter feeds with
+// its generated `requirements = (OpSys == "LINUX" && Arch == "X86_64")`
+// strings. Machine ads are attribute maps; requirement expressions
+// evaluate against them.
+//
+// Grammar (precedence low to high):
+//   expr   := or
+//   or     := and ( '||' and )*
+//   and    := cmp ( '&&' cmp )*
+//   cmp    := sum ( ('=='|'!='|'<'|'<='|'>'|'>=') sum )?
+//   sum    := term ( ('+'|'-') term )*
+//   term   := factor ( ('*'|'/') factor )*
+//   factor := NUMBER | STRING | TRUE | FALSE | IDENT | '!' factor
+//           | '(' expr ')'
+//
+// Values are boolean, number, string, or UNDEFINED (referencing a missing
+// attribute). Comparisons with UNDEFINED yield UNDEFINED; '&&'/'||' use
+// Condor's three-valued logic (UNDEFINED && false == false). A job matches
+// a machine when its requirements evaluate to true (UNDEFINED does not
+// match).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "grid/job.hpp"
+
+namespace lattice::grid {
+
+/// A ClassAd value. Monostate is UNDEFINED.
+using AdValue = std::variant<std::monostate, bool, double, std::string>;
+
+/// An attribute map (a machine or job ad).
+using ClassAd = std::map<std::string, AdValue>;
+
+/// A parsed requirements expression.
+class AdExpression {
+ public:
+  /// Parse; throws std::runtime_error with position info on bad syntax.
+  static AdExpression parse(std::string_view text);
+  AdExpression(AdExpression&&) noexcept;
+  AdExpression& operator=(AdExpression&&) noexcept;
+  ~AdExpression();
+
+  /// Evaluate against an ad.
+  AdValue evaluate(const ClassAd& ad) const;
+
+  /// True iff evaluate() yields boolean true (UNDEFINED/number/string do
+  /// not match, as in Condor's matchmaker).
+  bool matches(const ClassAd& ad) const;
+
+  const std::string& source() const { return source_; }
+
+  /// Parse-tree node; public only so the out-of-line parser can build it.
+  struct Node;
+
+ private:
+  AdExpression();
+  std::unique_ptr<Node> root_;
+  std::string source_;
+};
+
+/// The ClassAd requirements expression the Condor adapter generates for a
+/// job ("TRUE" when the job is unconstrained). Shared by the adapter's
+/// submit-file rendering and the pool's machine-level matchmaking.
+std::string condor_requirements_expression(const GridJob& job);
+
+}  // namespace lattice::grid

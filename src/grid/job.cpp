@@ -1,0 +1,59 @@
+#include "grid/job.hpp"
+
+namespace lattice::grid {
+
+std::string platform_name(const PlatformSpec& platform) {
+  std::string os;
+  switch (platform.os) {
+    case OsType::kLinux: os = "linux"; break;
+    case OsType::kWindows: os = "windows"; break;
+    case OsType::kMacOS: os = "macos"; break;
+  }
+  switch (platform.arch) {
+    case Arch::kX86: return os + "-x86";
+    case Arch::kX86_64: return os + "-x86_64";
+    case Arch::kPowerPC: return os + "-ppc";
+  }
+  return os;
+}
+
+std::optional<PlatformSpec> parse_platform(const std::string& name) {
+  const std::size_t dash = name.find('-');
+  if (dash == std::string::npos) return std::nullopt;
+  const std::string os = name.substr(0, dash);
+  const std::string arch = name.substr(dash + 1);
+  PlatformSpec spec;
+  if (os == "linux") {
+    spec.os = OsType::kLinux;
+  } else if (os == "windows") {
+    spec.os = OsType::kWindows;
+  } else if (os == "macos") {
+    spec.os = OsType::kMacOS;
+  } else {
+    return std::nullopt;
+  }
+  if (arch == "x86") {
+    spec.arch = Arch::kX86;
+  } else if (arch == "x86_64") {
+    spec.arch = Arch::kX86_64;
+  } else if (arch == "ppc") {
+    spec.arch = Arch::kPowerPC;
+  } else {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::string_view job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kPending: return "pending";
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace lattice::grid

@@ -1,0 +1,80 @@
+// Grid-level job representation: what The Lattice Project's meta-scheduler
+// moves between resources. A job carries matchmaking requirements (platform,
+// memory, MPI, software dependencies), its true compute demand in
+// reference-machine seconds (hidden from the scheduler — the simulation's
+// ground truth), and the a priori runtime estimate the scheduler is allowed
+// to see.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace lattice::grid {
+
+enum class OsType : std::uint8_t { kLinux, kWindows, kMacOS };
+enum class Arch : std::uint8_t { kX86, kX86_64, kPowerPC };
+
+struct PlatformSpec {
+  OsType os = OsType::kLinux;
+  Arch arch = Arch::kX86_64;
+
+  bool operator==(const PlatformSpec&) const = default;
+};
+
+std::string platform_name(const PlatformSpec& platform);
+std::optional<PlatformSpec> parse_platform(const std::string& name);
+
+struct JobRequirements {
+  /// Platforms the application binary is compiled for; empty means any.
+  std::vector<PlatformSpec> platforms;
+  double min_memory_gb = 0.0;
+  bool needs_mpi = false;
+  /// Software dependencies that must be present on the resource ("java").
+  std::vector<std::string> software;
+};
+
+enum class JobState : std::uint8_t {
+  kPending,    // at the grid level, not yet placed
+  kQueued,     // accepted by a local resource, waiting for a slot
+  kRunning,
+  kCompleted,
+  kFailed,     // interrupted/preempted/lost; may be rescheduled
+  kCancelled,
+};
+
+std::string_view job_state_name(JobState state);
+
+struct GridJob {
+  std::uint64_t id = 0;
+  std::string application = "garli";
+  /// Identifier of the portal submission this job belongs to (0 = none).
+  std::uint64_t batch_id = 0;
+  JobRequirements requirements;
+
+  /// True compute demand in seconds on the speed-1.0 reference machine.
+  /// Only the execution simulation reads this.
+  double true_reference_runtime = 0.0;
+  /// Data staged to/from the execute machine per attempt (sequence data,
+  /// checkpoints, result trees). Transfer time = size / resource
+  /// bandwidth, on top of the fixed per-attempt overhead.
+  double input_mb = 0.0;
+  double output_mb = 0.0;
+  /// The a priori estimate the scheduler sees (reference seconds);
+  /// nullopt when no estimator is configured.
+  std::optional<double> estimated_reference_runtime;
+
+  JobState state = JobState::kPending;
+  std::string resource;  // where it is (or last was) placed
+  sim::SimTime submit_time = 0.0;
+  sim::SimTime start_time = 0.0;
+  sim::SimTime finish_time = 0.0;
+  int attempts = 0;
+  /// CPU-seconds burned by attempts that did not complete.
+  double wasted_cpu_seconds = 0.0;
+};
+
+}  // namespace lattice::grid

@@ -1,0 +1,53 @@
+#include "grid/mds.hpp"
+
+namespace lattice::grid {
+
+MdsDirectory::MdsDirectory(sim::Simulation& sim, double ttl)
+    : sim_(sim), ttl_(ttl) {}
+
+void MdsDirectory::report(const ResourceInfo& info) {
+  auto [it, inserted] = entries_.try_emplace(info.name);
+  it->second.info = info;
+  it->second.last_report = sim_.now();
+}
+
+void MdsDirectory::set_speed(const std::string& resource, double speed) {
+  const auto it = entries_.find(resource);
+  if (it != entries_.end()) it->second.speed = speed;
+}
+
+std::vector<MdsEntry> MdsDirectory::online() const {
+  std::vector<MdsEntry> out;
+  for (const auto& [name, entry] : entries_) {
+    if (sim_.now() - entry.last_report <= ttl_) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<MdsEntry> MdsDirectory::all() const {
+  std::vector<MdsEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+std::optional<MdsEntry> MdsDirectory::find(
+    const std::string& resource) const {
+  const auto it = entries_.find(resource);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MdsDirectory::is_online(const std::string& resource) const {
+  const auto it = entries_.find(resource);
+  return it != entries_.end() && sim_.now() - it->second.last_report <= ttl_;
+}
+
+void MdsDirectory::attach_provider(LocalResource& resource, double period) {
+  report(resource.info());
+  providers_.push_back(std::make_unique<sim::PeriodicTask>(
+      sim_, sim_.now() + period, period,
+      [this, &resource] { report(resource.info()); }));
+}
+
+}  // namespace lattice::grid

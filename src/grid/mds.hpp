@@ -1,0 +1,57 @@
+// Monitoring and Discovery Service — the Globus MDS role in the paper:
+// scheduler providers on each resource periodically push ResourceInfo
+// snapshots into a central directory; entries are valid for a short
+// lifetime, and a resource whose reports stop arriving is marked offline so
+// "no new jobs are scheduled there".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace lattice::grid {
+
+struct MdsEntry {
+  ResourceInfo info;
+  sim::SimTime last_report = 0.0;
+  /// Calibrated speed relative to the reference machine (set by the
+  /// grid-level speed calibration; 1.0 until calibrated).
+  double speed = 1.0;
+};
+
+class MdsDirectory {
+ public:
+  /// `ttl`: seconds a report stays valid ("typically on the order of
+  /// minutes" in the paper).
+  explicit MdsDirectory(sim::Simulation& sim, double ttl = 300.0);
+
+  void report(const ResourceInfo& info);
+  void set_speed(const std::string& resource, double speed);
+
+  /// Entries whose last report is within the TTL (the resources the
+  /// scheduler may consider).
+  std::vector<MdsEntry> online() const;
+  /// All entries, including stale ones (for monitoring displays).
+  std::vector<MdsEntry> all() const;
+  std::optional<MdsEntry> find(const std::string& resource) const;
+  bool is_online(const std::string& resource) const;
+
+  double ttl() const { return ttl_; }
+
+  /// Attach a periodic scheduler provider that polls `resource.info()`
+  /// every `period` seconds (plus an initial report now).
+  void attach_provider(LocalResource& resource, double period);
+
+ private:
+  sim::Simulation& sim_;
+  double ttl_;
+  std::map<std::string, MdsEntry> entries_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> providers_;
+};
+
+}  // namespace lattice::grid

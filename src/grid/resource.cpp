@@ -1,0 +1,325 @@
+#include "grid/resource.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace lattice::grid {
+
+std::string_view resource_kind_name(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kPbsCluster: return "pbs";
+    case ResourceKind::kSgeCluster: return "sge";
+    case ResourceKind::kCondorPool: return "condor";
+    case ResourceKind::kBoincPool: return "boinc";
+  }
+  return "?";
+}
+
+LocalResource::LocalResource(sim::Simulation& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+void LocalResource::notify(GridJob& job, const JobOutcome& outcome) {
+  if (callback_) callback_(job, outcome);
+}
+
+// ---------------------------------------------------------------------------
+// BatchQueueResource
+
+BatchQueueResource::BatchQueueResource(sim::Simulation& sim, std::string name,
+                                       Config config)
+    : LocalResource(sim, std::move(name)), config_(config) {
+  assert(config_.nodes > 0 && config_.cores_per_node > 0);
+  assert(config_.node_speed > 0.0);
+}
+
+ResourceInfo BatchQueueResource::info() const {
+  ResourceInfo info;
+  info.name = name();
+  info.kind = config_.kind;
+  info.total_slots = config_.nodes * config_.cores_per_node;
+  info.free_slots = info.total_slots - running_.size();
+  info.queued_jobs = queue_.size();
+  info.node_memory_gb = config_.node_memory_gb;
+  info.platforms = {config_.platform};
+  info.mpi_capable = config_.mpi_capable;
+  info.software = config_.software;
+  info.stable = true;
+  return info;
+}
+
+void BatchQueueResource::submit(GridJob& job) {
+  job.state = JobState::kQueued;
+  job.resource = name();
+  queue_.push_back(&job);
+  try_start();
+}
+
+void BatchQueueResource::try_start() {
+  const std::size_t slots = config_.nodes * config_.cores_per_node;
+  while (!queue_.empty() && running_.size() < slots) {
+    GridJob* job = queue_.front();
+    queue_.pop_front();
+    job->state = JobState::kRunning;
+    job->start_time = sim_.now();
+    job->attempts += 1;
+
+    const double staging =
+        (job->input_mb + job->output_mb) / config_.stage_mb_per_second;
+    const double wall = config_.job_overhead_seconds + staging +
+                        job->true_reference_runtime / config_.node_speed;
+    const bool walltime_killed =
+        config_.max_walltime > 0.0 && wall > config_.max_walltime;
+    const double duration =
+        walltime_killed ? config_.max_walltime : wall;
+    const std::uint64_t id = job->id;
+    Running entry{job, {}, sim_.now()};
+    entry.completion = sim_.after(
+        duration, [this, id, walltime_killed] { finish(id, walltime_killed); });
+    running_.push_back(entry);
+  }
+}
+
+void BatchQueueResource::finish(std::uint64_t job_id, bool walltime_killed) {
+  const auto it =
+      std::find_if(running_.begin(), running_.end(),
+                   [&](const Running& r) { return r.job->id == job_id; });
+  if (it == running_.end()) return;
+  GridJob& job = *it->job;
+  const double cpu = sim_.now() - it->started;
+  running_.erase(it);
+
+  JobOutcome outcome;
+  outcome.cpu_seconds = cpu;
+  if (walltime_killed) {
+    job.state = JobState::kFailed;
+    job.wasted_cpu_seconds += cpu;
+    outcome.completed = false;
+    outcome.reason = "walltime";
+  } else {
+    job.state = JobState::kCompleted;
+    job.finish_time = sim_.now();
+    outcome.completed = true;
+    outcome.reason = "completed";
+  }
+  try_start();
+  notify(job, outcome);
+}
+
+void BatchQueueResource::cancel(std::uint64_t job_id) {
+  const auto queued =
+      std::find_if(queue_.begin(), queue_.end(),
+                   [&](const GridJob* j) { return j->id == job_id; });
+  if (queued != queue_.end()) {
+    GridJob& job = **queued;
+    queue_.erase(queued);
+    job.state = JobState::kCancelled;
+    notify(job, JobOutcome{false, 0.0, "cancelled"});
+    return;
+  }
+  const auto it =
+      std::find_if(running_.begin(), running_.end(),
+                   [&](const Running& r) { return r.job->id == job_id; });
+  if (it == running_.end()) return;
+  GridJob& job = *it->job;
+  const double cpu = sim_.now() - it->started;
+  sim_.cancel(it->completion);
+  running_.erase(it);
+  job.state = JobState::kCancelled;
+  job.wasted_cpu_seconds += cpu;
+  try_start();
+  notify(job, JobOutcome{false, cpu, "cancelled"});
+}
+
+// ---------------------------------------------------------------------------
+// CondorPool
+
+CondorPool::CondorPool(sim::Simulation& sim, std::string name, Config config)
+    : LocalResource(sim, std::move(name)),
+      config_(config),
+      rng_(config.seed) {
+  assert(config_.machines > 0);
+  machines_.resize(config_.machines);
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    // Lognormal heterogeneity with the configured mean.
+    const double sigma = config_.speed_sigma;
+    machines_[m].speed = config_.mean_speed *
+                         rng_.lognormal(-0.5 * sigma * sigma, sigma);
+    machines_[m].memory_gb =
+        config_.memory_sigma > 0.0
+            ? config_.machine_memory_gb *
+                  rng_.lognormal(-0.5 * config_.memory_sigma *
+                                     config_.memory_sigma,
+                                 config_.memory_sigma)
+            : config_.machine_memory_gb;
+    // Start a fraction of machines owner-busy so the pool does not begin
+    // artificially empty.
+    const double busy_fraction =
+        config_.mean_busy_hours /
+        (config_.mean_busy_hours + config_.mean_idle_hours);
+    machines_[m].owner_busy = rng_.bernoulli(busy_fraction);
+    schedule_owner_cycle(m);
+  }
+}
+
+std::vector<double> CondorPool::machine_speeds() const {
+  std::vector<double> speeds;
+  speeds.reserve(machines_.size());
+  for (const Machine& machine : machines_) speeds.push_back(machine.speed);
+  return speeds;
+}
+
+void CondorPool::schedule_owner_cycle(std::size_t machine) {
+  Machine& m = machines_[machine];
+  const double hours =
+      m.owner_busy ? config_.mean_busy_hours : config_.mean_idle_hours;
+  const double duration = rng_.exponential(hours * 3600.0);
+  sim_.after(duration, [this, machine] {
+    if (machines_[machine].owner_busy) {
+      owner_leaves(machine);
+    } else {
+      owner_arrives(machine);
+    }
+    schedule_owner_cycle(machine);
+  });
+}
+
+void CondorPool::owner_arrives(std::size_t machine) {
+  Machine& m = machines_[machine];
+  m.owner_busy = true;
+  if (m.job == nullptr) return;
+  // Vanilla-universe preemption: the job's progress on this machine is
+  // lost and the grid level must reschedule.
+  GridJob& job = *m.job;
+  const double cpu = sim_.now() - m.job_started;
+  sim_.cancel(m.completion);
+  m.job = nullptr;
+  job.state = JobState::kFailed;
+  job.wasted_cpu_seconds += cpu;
+  util::log_debug("condor", "{}: preempted job {} after {:.0f}s", name(),
+                  job.id, cpu);
+  notify(job, JobOutcome{false, cpu, "preempted"});
+}
+
+void CondorPool::owner_leaves(std::size_t machine) {
+  machines_[machine].owner_busy = false;
+  try_start();
+}
+
+ResourceInfo CondorPool::info() const {
+  ResourceInfo info;
+  info.name = name();
+  info.kind = ResourceKind::kCondorPool;
+  info.total_slots = machines_.size();
+  std::size_t free = 0;
+  for (const Machine& m : machines_) {
+    if (!m.owner_busy && m.job == nullptr) ++free;
+  }
+  info.free_slots = free;
+  info.queued_jobs = queue_.size();
+  info.node_memory_gb = config_.machine_memory_gb;
+  info.platforms = {config_.platform};
+  info.mpi_capable = false;
+  info.software = config_.software;
+  info.stable = false;
+  return info;
+}
+
+void CondorPool::submit(GridJob& job) {
+  job.state = JobState::kQueued;
+  job.resource = name();
+  queue_.push_back(&job);
+  try_start();
+}
+
+grid::ClassAd CondorPool::machine_ad(std::size_t machine) const {
+  const Machine& m = machines_[machine];
+  ClassAd ad;
+  switch (config_.platform.os) {
+    case OsType::kLinux: ad["OpSys"] = std::string("LINUX"); break;
+    case OsType::kWindows: ad["OpSys"] = std::string("WINDOWS"); break;
+    case OsType::kMacOS: ad["OpSys"] = std::string("OSX"); break;
+  }
+  switch (config_.platform.arch) {
+    case Arch::kX86: ad["Arch"] = std::string("INTEL"); break;
+    case Arch::kX86_64: ad["Arch"] = std::string("X86_64"); break;
+    case Arch::kPowerPC: ad["Arch"] = std::string("PPC"); break;
+  }
+  ad["Memory"] = m.memory_gb * 1024.0;  // MB, as Condor advertises
+  ad["KFlops"] = m.speed * 1e6;
+  return ad;
+}
+
+void CondorPool::try_start() {
+  // Condor-style matchmaking: each queued job (FIFO priority) is matched
+  // against the idle machines' ClassAds using the job's requirements
+  // expression; a job with no eligible idle machine does not block the
+  // jobs behind it.
+  for (std::size_t q = 0; q < queue_.size();) {
+    GridJob* job = queue_[q];
+    const AdExpression requirements =
+        AdExpression::parse(condor_requirements_expression(*job));
+    bool placed = false;
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      Machine& machine = machines_[m];
+      if (machine.owner_busy || machine.job != nullptr) continue;
+      if (!requirements.matches(machine_ad(m))) continue;
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(q));
+      machine.job = job;
+      machine.job_started = sim_.now();
+      job->state = JobState::kRunning;
+      job->start_time = sim_.now();
+      job->attempts += 1;
+      const double duration =
+          config_.job_overhead_seconds +
+          (job->input_mb + job->output_mb) / config_.stage_mb_per_second +
+          job->true_reference_runtime / machine.speed;
+      machine.completion =
+          sim_.after(duration, [this, m] { complete(m); });
+      placed = true;
+      break;
+    }
+    if (!placed) ++q;
+  }
+}
+
+void CondorPool::complete(std::size_t machine) {
+  Machine& m = machines_[machine];
+  if (m.job == nullptr) return;
+  GridJob& job = *m.job;
+  const double cpu = sim_.now() - m.job_started;
+  m.job = nullptr;
+  job.state = JobState::kCompleted;
+  job.finish_time = sim_.now();
+  try_start();
+  notify(job, JobOutcome{true, cpu, "completed"});
+}
+
+void CondorPool::cancel(std::uint64_t job_id) {
+  const auto queued =
+      std::find_if(queue_.begin(), queue_.end(),
+                   [&](const GridJob* j) { return j->id == job_id; });
+  if (queued != queue_.end()) {
+    GridJob& job = **queued;
+    queue_.erase(queued);
+    job.state = JobState::kCancelled;
+    notify(job, JobOutcome{false, 0.0, "cancelled"});
+    return;
+  }
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    Machine& machine = machines_[m];
+    if (machine.job == nullptr || machine.job->id != job_id) continue;
+    GridJob& job = *machine.job;
+    const double cpu = sim_.now() - machine.job_started;
+    sim_.cancel(machine.completion);
+    machine.job = nullptr;
+    job.state = JobState::kCancelled;
+    job.wasted_cpu_seconds += cpu;
+    try_start();
+    notify(job, JobOutcome{false, cpu, "cancelled"});
+    return;
+  }
+}
+
+}  // namespace lattice::grid

@@ -1,0 +1,36 @@
+// A working subset of the Globus Resource Specification Language — the
+// "generic job description" the paper's scheduler adapters translate into
+// resource-specific submit files. Grammar:
+//
+//   rsl        := '&' relation*
+//   relation   := '(' attribute op value ')'
+//   op         := '=' | '>='
+//   value      := bare-word | '"' quoted string '"'
+//
+// Recognized attributes: executable, application, count, memory (GB, via
+// >=), platform (repeatable), mpi (yes/no), software (repeatable),
+// runtime_estimate (reference seconds).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "grid/job.hpp"
+
+namespace lattice::grid {
+
+struct RslDocument {
+  std::string executable;
+  JobRequirements requirements;
+  std::size_t count = 1;
+  double runtime_estimate = 0.0;  // 0 = absent
+};
+
+/// Parse RSL text. Throws std::runtime_error with position info on
+/// malformed input or unknown attributes.
+RslDocument parse_rsl(std::string_view text);
+
+/// Generate RSL for a grid job (inverse of parse for the supported subset).
+std::string to_rsl(const GridJob& job);
+
+}  // namespace lattice::grid

@@ -1,0 +1,389 @@
+#include "phylo/alignment.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace lattice::phylo {
+
+Alignment::Alignment(DataType type, std::size_t n_sites)
+    : type_(type), n_sites_(n_sites) {}
+
+void Alignment::add_taxon(std::string name, std::vector<State> sequence) {
+  if (sequence.size() != n_sites_) {
+    throw std::invalid_argument(util::format(
+        "alignment: taxon '{}' has {} sites, expected {}", name,
+        sequence.size(), n_sites_));
+  }
+  if (taxon_index(name) >= 0) {
+    throw std::invalid_argument(
+        util::format("alignment: duplicate taxon '{}'", name));
+  }
+  const std::size_t states = state_count(type_);
+  for (State s : sequence) {
+    if (s != kMissing && (s < 0 || static_cast<std::size_t>(s) >= states)) {
+      throw std::invalid_argument(util::format(
+          "alignment: taxon '{}' has out-of-range state {}", name, s));
+    }
+  }
+  names_.push_back(std::move(name));
+  sequences_.push_back(std::move(sequence));
+}
+
+std::ptrdiff_t Alignment::taxon_index(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+std::vector<State> encode_sequence(std::string_view raw, DataType type) {
+  std::vector<State> out;
+  if (type == DataType::kCodon) {
+    if (raw.size() % 3 != 0) {
+      throw std::runtime_error(util::format(
+          "codon data length {} is not divisible by three", raw.size()));
+    }
+    out.reserve(raw.size() / 3);
+    for (std::size_t i = 0; i + 2 < raw.size(); i += 3) {
+      out.push_back(encode_codon(raw[i], raw[i + 1], raw[i + 2]));
+    }
+    return out;
+  }
+  out.reserve(raw.size());
+  for (char ch : raw) {
+    out.push_back(type == DataType::kNucleotide ? encode_nucleotide(ch)
+                                                : encode_amino_acid(ch));
+  }
+  return out;
+}
+
+namespace {
+
+Alignment from_named_sequences(
+    std::vector<std::pair<std::string, std::string>>& entries,
+    DataType type, std::string_view format_name) {
+  if (entries.empty()) {
+    throw std::runtime_error(
+        util::format("{}: no sequences found", format_name));
+  }
+  std::vector<std::vector<State>> encoded;
+  encoded.reserve(entries.size());
+  for (auto& [name, raw] : entries) {
+    encoded.push_back(encode_sequence(raw, type));
+  }
+  const std::size_t sites = encoded.front().size();
+  for (std::size_t i = 1; i < encoded.size(); ++i) {
+    if (encoded[i].size() != sites) {
+      throw std::runtime_error(util::format(
+          "{}: taxon '{}' has {} sites but '{}' has {}", format_name,
+          entries[i].first, encoded[i].size(), entries[0].first, sites));
+    }
+  }
+  if (sites == 0) {
+    throw std::runtime_error(
+        util::format("{}: sequences are empty", format_name));
+  }
+  Alignment alignment(type, sites);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    alignment.add_taxon(std::move(entries[i].first), std::move(encoded[i]));
+  }
+  return alignment;
+}
+
+}  // namespace
+
+Alignment Alignment::parse_fasta(std::string_view text, DataType type) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  while (std::getline(stream, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      std::string name = line.substr(1);
+      // Name is the first whitespace-delimited token, FASTA convention.
+      const std::size_t space = name.find_first_of(" \t");
+      if (space != std::string::npos) name.resize(space);
+      if (name.empty()) {
+        throw std::runtime_error("fasta: empty sequence name");
+      }
+      entries.emplace_back(std::move(name), std::string{});
+    } else {
+      if (entries.empty()) {
+        throw std::runtime_error("fasta: sequence data before first header");
+      }
+      for (char ch : line) {
+        if (!std::isspace(static_cast<unsigned char>(ch))) {
+          entries.back().second += ch;
+        }
+      }
+    }
+  }
+  return from_named_sequences(entries, type, "fasta");
+}
+
+Alignment Alignment::parse_phylip(std::string_view text, DataType type) {
+  std::istringstream stream{std::string(text)};
+  std::size_t n_taxa = 0;
+  std::size_t n_chars = 0;
+  if (!(stream >> n_taxa >> n_chars)) {
+    throw std::runtime_error("phylip: missing taxa/site counts");
+  }
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (std::size_t i = 0; i < n_taxa; ++i) {
+    std::string name;
+    if (!(stream >> name)) {
+      throw std::runtime_error(
+          util::format("phylip: expected {} taxa, found {}", n_taxa, i));
+    }
+    std::string sequence;
+    std::string chunk;
+    while (sequence.size() < n_chars && stream >> chunk) {
+      sequence += chunk;
+    }
+    if (sequence.size() != n_chars) {
+      throw std::runtime_error(util::format(
+          "phylip: taxon '{}' has {} characters, expected {}", name,
+          sequence.size(), n_chars));
+    }
+    entries.emplace_back(std::move(name), std::move(sequence));
+  }
+  return from_named_sequences(entries, type, "phylip");
+}
+
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Alignment Alignment::parse_nexus(std::string_view text,
+                                 std::optional<DataType> type_override) {
+  std::istringstream stream{std::string(text)};
+  std::string token;
+  if (!(stream >> token) || to_lower(token) != "#nexus") {
+    throw std::runtime_error("nexus: missing #NEXUS header");
+  }
+
+  std::size_t n_taxa = 0;
+  std::size_t n_chars = 0;
+  DataType type = DataType::kNucleotide;
+  bool have_type = false;
+
+  // Scan for a DATA or CHARACTERS block.
+  std::string line;
+  std::getline(stream, line);  // rest of header line
+  bool in_block = false;
+  bool in_matrix = false;
+  std::vector<std::pair<std::string, std::string>> entries;
+  auto entry_for = [&](const std::string& name) -> std::string& {
+    for (auto& [n, seq] : entries) {
+      if (n == name) return seq;
+    }
+    entries.emplace_back(name, std::string{});
+    return entries.back().second;
+  };
+
+  while (std::getline(stream, line)) {
+    // Strip [comments] (single-line scope is enough for data blocks).
+    for (;;) {
+      const std::size_t open = line.find('[');
+      if (open == std::string::npos) break;
+      const std::size_t close = line.find(']', open);
+      if (close == std::string::npos) {
+        line.erase(open);
+        break;
+      }
+      line.erase(open, close - open + 1);
+    }
+    const std::string lower = to_lower(line);
+    if (!in_block) {
+      const std::size_t begin_pos = lower.find("begin");
+      if (begin_pos != std::string::npos &&
+          (lower.find("data") != std::string::npos ||
+           lower.find("characters") != std::string::npos)) {
+        in_block = true;
+      }
+      continue;
+    }
+    if (!in_matrix) {
+      if (lower.find("dimensions") != std::string::npos) {
+        const std::size_t ntax_pos = lower.find("ntax");
+        if (ntax_pos != std::string::npos) {
+          n_taxa = static_cast<std::size_t>(
+              std::atoll(line.c_str() + lower.find('=', ntax_pos) + 1));
+        }
+        const std::size_t nchar_pos = lower.find("nchar");
+        if (nchar_pos != std::string::npos) {
+          n_chars = static_cast<std::size_t>(
+              std::atoll(line.c_str() + lower.find('=', nchar_pos) + 1));
+        }
+      } else if (lower.find("format") != std::string::npos) {
+        const std::size_t dt = lower.find("datatype");
+        if (dt != std::string::npos) {
+          std::string value;
+          for (std::size_t i = lower.find('=', dt) + 1;
+               i < lower.size() &&
+               (std::isalnum(static_cast<unsigned char>(lower[i])));
+               ++i) {
+            value += lower[i];
+          }
+          if (value == "dna" || value == "rna" || value == "nucleotide") {
+            type = DataType::kNucleotide;
+            have_type = true;
+          } else if (value == "protein") {
+            type = DataType::kAminoAcid;
+            have_type = true;
+          } else {
+            throw std::runtime_error(
+                util::format("nexus: unsupported datatype '{}'", value));
+          }
+        }
+      } else if (lower.find("matrix") != std::string::npos) {
+        in_matrix = true;
+      } else if (lower.find("end;") != std::string::npos) {
+        throw std::runtime_error("nexus: block ended before MATRIX");
+      }
+      continue;
+    }
+    // Inside the matrix: "name sequence" rows; ';' terminates. Interleaved
+    // files repeat taxon names across blocks.
+    std::istringstream row(line);
+    std::string name;
+    if (!(row >> name)) continue;  // blank line between interleave blocks
+    bool matrix_done = false;
+    if (name == ";") {
+      matrix_done = true;
+    } else {
+      std::string& sequence = entry_for(name);
+      std::string chunk;
+      while (row >> chunk) {
+        if (chunk == ";") {
+          matrix_done = true;
+          break;
+        }
+        for (char ch : chunk) {
+          if (ch == ';') {
+            matrix_done = true;
+          } else {
+            sequence += ch;
+          }
+        }
+      }
+    }
+    if (matrix_done) break;
+  }
+  if (!in_matrix) {
+    throw std::runtime_error("nexus: no DATA/CHARACTERS matrix found");
+  }
+  if (n_taxa != 0 && entries.size() != n_taxa) {
+    throw std::runtime_error(
+        util::format("nexus: NTAX={} but matrix has {} taxa", n_taxa,
+                     entries.size()));
+  }
+  for (const auto& [name, seq] : entries) {
+    if (n_chars != 0 && seq.size() != n_chars) {
+      throw std::runtime_error(util::format(
+          "nexus: taxon '{}' has {} characters, NCHAR={}", name, seq.size(),
+          n_chars));
+    }
+  }
+  if (type_override) {
+    type = *type_override;
+  } else if (!have_type) {
+    type = DataType::kNucleotide;  // NEXUS default
+  }
+  return from_named_sequences(entries, type, "nexus");
+}
+
+std::string Alignment::to_fasta() const {
+  std::ostringstream out;
+  for (std::size_t t = 0; t < n_taxa(); ++t) {
+    out << '>' << names_[t] << '\n';
+    std::string line;
+    for (State s : sequences_[t]) {
+      switch (type_) {
+        case DataType::kNucleotide: line += decode_nucleotide(s); break;
+        case DataType::kAminoAcid: line += decode_amino_acid(s); break;
+        case DataType::kCodon: line += decode_codon(s); break;
+      }
+      if (line.size() >= 70) {
+        out << line << '\n';
+        line.clear();
+      }
+    }
+    if (!line.empty()) out << line << '\n';
+  }
+  return out.str();
+}
+
+Alignment Alignment::bootstrap_resample(util::Rng& rng) const {
+  Alignment out(type_, n_sites_);
+  std::vector<std::size_t> picks(n_sites_);
+  for (auto& pick : picks) {
+    pick = static_cast<std::size_t>(rng.below(n_sites_));
+  }
+  for (std::size_t t = 0; t < n_taxa(); ++t) {
+    std::vector<State> sequence(n_sites_);
+    for (std::size_t s = 0; s < n_sites_; ++s) {
+      sequence[s] = sequences_[t][picks[s]];
+    }
+    out.add_taxon(names_[t], std::move(sequence));
+  }
+  return out;
+}
+
+double Alignment::missing_fraction() const {
+  if (n_taxa() == 0 || n_sites_ == 0) return 0.0;
+  std::size_t missing = 0;
+  for (const auto& sequence : sequences_) {
+    for (State s : sequence) {
+      if (s == kMissing) ++missing;
+    }
+  }
+  return static_cast<double>(missing) /
+         static_cast<double>(n_taxa() * n_sites_);
+}
+
+PatternizedAlignment::PatternizedAlignment(const Alignment& alignment)
+    : type_(alignment.data_type()),
+      n_taxa_(alignment.n_taxa()),
+      n_sites_(alignment.n_sites()) {
+  if (n_taxa_ == 0) {
+    throw std::invalid_argument("patternize: alignment has no taxa");
+  }
+  for (std::size_t t = 0; t < n_taxa_; ++t) {
+    names_.push_back(alignment.taxon_name(t));
+  }
+  // Map each column (as a state tuple) to a pattern slot.
+  std::map<std::vector<State>, std::size_t> seen;
+  std::vector<State> column(n_taxa_);
+  for (std::size_t site = 0; site < n_sites_; ++site) {
+    for (std::size_t t = 0; t < n_taxa_; ++t) {
+      column[t] = alignment.state(t, site);
+    }
+    auto [it, inserted] = seen.try_emplace(column, weights_.size());
+    if (inserted) {
+      patterns_.insert(patterns_.end(), column.begin(), column.end());
+      weights_.push_back(1.0);
+    } else {
+      weights_[it->second] += 1.0;
+    }
+  }
+}
+
+}  // namespace lattice::phylo

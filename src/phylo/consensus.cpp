@@ -1,0 +1,234 @@
+#include "phylo/consensus.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace lattice::phylo {
+
+namespace {
+
+std::size_t popcount(const Bipartition& bits) {
+  std::size_t total = 0;
+  for (std::uint64_t word : bits) {
+    total += static_cast<std::size_t>(__builtin_popcountll(word));
+  }
+  return total;
+}
+
+bool is_subset(const Bipartition& inner, const Bipartition& outer) {
+  for (std::size_t w = 0; w < inner.size(); ++w) {
+    if ((inner[w] & ~outer[w]) != 0) return false;
+  }
+  return true;
+}
+
+bool test_bit(const Bipartition& bits, std::size_t index) {
+  return (bits[index / 64] >> (index % 64)) & 1;
+}
+
+/// Canonical non-trivial bipartitions keyed by the internal non-root node
+/// that induces them.
+std::map<int, Bipartition> node_bipartitions(const Tree& tree) {
+  const std::size_t n = tree.n_leaves();
+  const std::size_t words = (n + 63) / 64;
+  std::vector<Bipartition> below(tree.n_nodes(), Bipartition(words, 0));
+  for (const int index : tree.postorder()) {
+    auto& mask = below[static_cast<std::size_t>(index)];
+    if (tree.is_leaf(index)) {
+      mask[static_cast<std::size_t>(index) / 64] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(index) % 64);
+      continue;
+    }
+    const auto& node = tree.node(index);
+    for (std::size_t w = 0; w < words; ++w) {
+      mask[w] = below[static_cast<std::size_t>(node.left)][w] |
+                below[static_cast<std::size_t>(node.right)][w];
+    }
+  }
+  std::map<int, Bipartition> out;
+  for (std::size_t i = tree.n_leaves(); i < tree.n_nodes(); ++i) {
+    if (static_cast<int>(i) == tree.root()) continue;
+    Bipartition mask = below[i];
+    if (mask[0] & 1) {  // canonical side excludes leaf 0
+      for (std::size_t w = 0; w < words; ++w) mask[w] = ~mask[w];
+      const std::size_t tail = n % 64;
+      if (tail != 0) mask[words - 1] &= (std::uint64_t{1} << tail) - 1;
+    }
+    const std::size_t size = popcount(mask);
+    if (size <= 1 || size >= n - 1) continue;
+    out.emplace(static_cast<int>(i), std::move(mask));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Bipartition> tree_bipartitions(const Tree& tree) {
+  std::vector<Bipartition> out;
+  for (auto& [node, bipartition] : node_bipartitions(tree)) {
+    out.push_back(bipartition);
+  }
+  // Children of the root induce the same split twice; dedupe.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::map<Bipartition, std::size_t> bipartition_counts(
+    std::span<const Tree> trees) {
+  std::map<Bipartition, std::size_t> counts;
+  for (const Tree& tree : trees) {
+    for (const Bipartition& split : tree_bipartitions(tree)) {
+      ++counts[split];
+    }
+  }
+  return counts;
+}
+
+ConsensusResult majority_rule_consensus(std::span<const Tree> trees,
+                                        double threshold) {
+  if (trees.empty()) {
+    throw std::invalid_argument("consensus: no input trees");
+  }
+  if (threshold < 0.5) {
+    throw std::invalid_argument(
+        "consensus: threshold below 0.5 can admit incompatible splits");
+  }
+  const std::size_t n = trees.front().n_leaves();
+  for (const Tree& tree : trees) {
+    if (tree.n_leaves() != n) {
+      throw std::invalid_argument("consensus: differing leaf sets");
+    }
+  }
+  if (n < 2) {
+    throw std::invalid_argument("consensus: need at least two leaves");
+  }
+
+  const auto counts = bipartition_counts(trees);
+  const double cutoff = threshold * static_cast<double>(trees.size());
+  std::vector<std::pair<Bipartition, std::size_t>> accepted;
+  for (const auto& [split, count] : counts) {
+    if (static_cast<double>(count) > cutoff) {
+      accepted.emplace_back(split, count);
+    }
+  }
+  // Nesting construction: larger clusters first; each cluster's parent is
+  // the smallest accepted cluster strictly containing it (majority-rule
+  // splits are pairwise compatible, so containment is well defined).
+  std::sort(accepted.begin(), accepted.end(),
+            [](const auto& a, const auto& b) {
+              return popcount(a.first) > popcount(b.first);
+            });
+
+  struct Cluster {
+    Bipartition bits;
+    std::size_t count = 0;
+    std::vector<std::string> children;  // newick fragments
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(accepted.size() + 1);
+  // Implicit top cluster: all leaves except leaf 0.
+  const std::size_t words = (n + 63) / 64;
+  Cluster top;
+  top.bits.assign(words, ~std::uint64_t{0});
+  const std::size_t tail = n % 64;
+  if (tail != 0) top.bits[words - 1] = (std::uint64_t{1} << tail) - 1;
+  top.bits[0] &= ~std::uint64_t{1};
+  top.count = trees.size();
+  clusters.push_back(std::move(top));
+  for (auto& [bits, count] : accepted) {
+    clusters.push_back(Cluster{std::move(bits), count, {}});
+  }
+
+  auto parent_of = [&](std::size_t child) {
+    // Smallest strictly-containing cluster; clusters are sorted by size
+    // descending from index 0 (top). Scan backwards.
+    for (std::size_t i = child; i-- > 0;) {
+      if (is_subset(clusters[child].bits, clusters[i].bits) &&
+          clusters[i].bits != clusters[child].bits) {
+        return i;
+      }
+    }
+    return std::size_t{0};
+  };
+
+  // Assign each leaf (except 0) to the smallest cluster containing it.
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    names.push_back(util::format("t{}", i));
+  }
+  for (std::size_t leaf = 1; leaf < n; ++leaf) {
+    std::size_t best = 0;
+    std::size_t best_size = n + 1;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      if (!test_bit(clusters[c].bits, leaf)) continue;
+      const std::size_t size = popcount(clusters[c].bits);
+      if (size < best_size) {
+        best_size = size;
+        best = c;
+      }
+    }
+    clusters[best].children.push_back(names[leaf]);
+  }
+  // Fold child clusters into parents, smallest first (reverse order works
+  // because the list is sorted by size descending).
+  for (std::size_t c = clusters.size(); c-- > 1;) {
+    std::string fragment = "(";
+    for (std::size_t i = 0; i < clusters[c].children.size(); ++i) {
+      fragment += (i ? "," : "") + clusters[c].children[i];
+    }
+    fragment += ")";
+    clusters[parent_of(c)].children.push_back(std::move(fragment));
+  }
+  std::string newick = "(" + names[0];
+  for (const std::string& child : clusters[0].children) {
+    newick += "," + child;
+  }
+  newick += ");";
+
+  ConsensusResult result{Tree::parse_newick(newick, names), {}};
+  // Attach support for the accepted splits (zero-length connector nodes
+  // introduced by binarization are deliberately absent from the map).
+  const auto result_splits = node_bipartitions(result.tree);
+  for (const auto& [node, split] : result_splits) {
+    const auto it = counts.find(split);
+    if (it == counts.end()) continue;
+    if (static_cast<double>(it->second) <= cutoff) continue;
+    result.support[node] = static_cast<double>(it->second) /
+                           static_cast<double>(trees.size());
+  }
+  // Leaf branch lengths: mean across inputs (a courtesy, as tools do).
+  for (std::size_t leaf = 0; leaf < n; ++leaf) {
+    double total = 0.0;
+    for (const Tree& tree : trees) {
+      total += tree.branch_length(static_cast<int>(leaf));
+    }
+    result.tree.set_branch_length(
+        static_cast<int>(leaf), total / static_cast<double>(trees.size()));
+  }
+  return result;
+}
+
+std::map<int, double> bootstrap_support(const Tree& reference,
+                                        std::span<const Tree> replicates) {
+  if (replicates.empty()) {
+    throw std::invalid_argument("bootstrap_support: no replicates");
+  }
+  const auto counts = bipartition_counts(replicates);
+  std::map<int, double> support;
+  for (const auto& [node, split] : node_bipartitions(reference)) {
+    const auto it = counts.find(split);
+    support[node] = it == counts.end()
+                        ? 0.0
+                        : static_cast<double>(it->second) /
+                              static_cast<double>(replicates.size());
+  }
+  return support;
+}
+
+}  // namespace lattice::phylo

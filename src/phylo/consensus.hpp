@@ -1,0 +1,50 @@
+// Consensus trees and bootstrap support — the post-processing the portal
+// runs before packaging results ("the system automatically runs some
+// post-processing on the results"): a majority-rule consensus of the
+// bootstrap-replicate trees, and per-branch support values mapped onto the
+// best ML tree (Felsenstein 1985).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "phylo/tree.hpp"
+
+namespace lattice::phylo {
+
+/// A bipartition of the leaf set, in canonical form (the side that does
+/// not contain leaf 0), as packed 64-bit words.
+using Bipartition = std::vector<std::uint64_t>;
+
+/// All non-trivial bipartitions of a tree (unrooted view).
+std::vector<Bipartition> tree_bipartitions(const Tree& tree);
+
+/// Count how often each non-trivial bipartition occurs across trees.
+/// All trees must share the same leaf count.
+std::map<Bipartition, std::size_t> bipartition_counts(
+    std::span<const Tree> trees);
+
+struct ConsensusResult {
+  Tree tree;
+  /// For each internal non-root node of `tree` (by node index): the
+  /// fraction of input trees containing that node's bipartition.
+  std::map<int, double> support;
+};
+
+/// Majority-rule consensus: every bipartition present in more than
+/// `threshold` (default 0.5) of the input trees, resolved greedily into a
+/// tree (compatible by the majority-rule property for threshold >= 0.5).
+/// Branch lengths are left at zero except leaf branches (mean across
+/// inputs). Throws std::invalid_argument on an empty input or mismatched
+/// leaf sets.
+ConsensusResult majority_rule_consensus(std::span<const Tree> trees,
+                                        double threshold = 0.5);
+
+/// Bootstrap support for each internal non-root node of `reference`: the
+/// fraction of `replicates` containing the same bipartition.
+std::map<int, double> bootstrap_support(const Tree& reference,
+                                        std::span<const Tree> replicates);
+
+}  // namespace lattice::phylo

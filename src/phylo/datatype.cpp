@@ -1,0 +1,159 @@
+#include "phylo/datatype.hpp"
+
+#include <cassert>
+#include <cctype>
+
+namespace lattice::phylo {
+
+namespace {
+constexpr std::string_view kAminoAcids = "ACDEFGHIKLMNPQRSTVWY";
+constexpr std::string_view kNucleotides = "ACGT";
+
+// Standard genetic code, indexed by codon = n1*16 + n2*4 + n3 with
+// A=0 C=1 G=2 T=3. '*' marks stop codons.
+constexpr std::string_view kStandardCode =
+    "KNKNTTTTRSRSIIMIQHQHPPPPRRRRLLLLEDEDAAAAGGGGVVVV*Y*YSSSS*CWCLFLF";
+}  // namespace
+
+std::size_t state_count(DataType type) {
+  switch (type) {
+    case DataType::kNucleotide: return 4;
+    case DataType::kAminoAcid: return 20;
+    case DataType::kCodon: return GeneticCode::standard().codon_nucs.size();
+  }
+  return 0;
+}
+
+std::string_view data_type_name(DataType type) {
+  switch (type) {
+    case DataType::kNucleotide: return "nucleotide";
+    case DataType::kAminoAcid: return "aminoacid";
+    case DataType::kCodon: return "codon";
+  }
+  return "?";
+}
+
+std::optional<DataType> parse_data_type(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char ch : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  if (lower == "nucleotide" || lower == "dna" || lower == "rna") {
+    return DataType::kNucleotide;
+  }
+  if (lower == "aminoacid" || lower == "protein" || lower == "aa") {
+    return DataType::kAminoAcid;
+  }
+  if (lower == "codon" || lower == "codon-aminoacid") {
+    return DataType::kCodon;
+  }
+  return std::nullopt;
+}
+
+State encode_nucleotide(char symbol) {
+  switch (std::toupper(static_cast<unsigned char>(symbol))) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'G': return 2;
+    case 'T':
+    case 'U': return 3;
+    default: return kMissing;  // gaps and IUPAC ambiguity codes
+  }
+}
+
+char decode_nucleotide(State state) {
+  if (state < 0 || state >= 4) return '-';
+  return kNucleotides[static_cast<std::size_t>(state)];
+}
+
+State encode_amino_acid(char symbol) {
+  const char upper =
+      static_cast<char>(std::toupper(static_cast<unsigned char>(symbol)));
+  const std::size_t pos = kAminoAcids.find(upper);
+  return pos == std::string_view::npos ? kMissing
+                                       : static_cast<State>(pos);
+}
+
+char decode_amino_acid(State state) {
+  if (state < 0 || state >= 20) return '-';
+  return kAminoAcids[static_cast<std::size_t>(state)];
+}
+
+const GeneticCode& GeneticCode::standard() {
+  static const GeneticCode code = [] {
+    GeneticCode c{};
+    State next = 0;
+    for (std::size_t packed = 0; packed < 64; ++packed) {
+      if (kStandardCode[packed] == '*') {
+        c.codon_state[packed] = kMissing;
+        continue;
+      }
+      c.codon_state[packed] = next;
+      c.codon_nucs[static_cast<std::size_t>(next)] =
+          static_cast<std::uint8_t>(packed);
+      c.codon_aa[static_cast<std::size_t>(next)] =
+          encode_amino_acid(kStandardCode[packed]);
+      ++next;
+    }
+    assert(next == 61);
+    return c;
+  }();
+  return code;
+}
+
+State encode_codon(char n1, char n2, char n3) {
+  const State a = encode_nucleotide(n1);
+  const State b = encode_nucleotide(n2);
+  const State c = encode_nucleotide(n3);
+  if (a == kMissing || b == kMissing || c == kMissing) return kMissing;
+  const std::size_t packed = static_cast<std::size_t>(a) * 16 +
+                             static_cast<std::size_t>(b) * 4 +
+                             static_cast<std::size_t>(c);
+  return GeneticCode::standard().codon_state[packed];
+}
+
+std::string decode_codon(State state) {
+  if (state < 0 || state >= 61) return "---";
+  const std::uint8_t packed =
+      GeneticCode::standard().codon_nucs[static_cast<std::size_t>(state)];
+  std::string out(3, '-');
+  out[0] = decode_nucleotide(static_cast<State>(packed >> 4));
+  out[1] = decode_nucleotide(static_cast<State>((packed >> 2) & 3));
+  out[2] = decode_nucleotide(static_cast<State>(packed & 3));
+  return out;
+}
+
+int codon_differences(State a, State b) {
+  const auto& code = GeneticCode::standard();
+  const std::uint8_t pa = code.codon_nucs[static_cast<std::size_t>(a)];
+  const std::uint8_t pb = code.codon_nucs[static_cast<std::size_t>(b)];
+  int diffs = 0;
+  if ((pa >> 4) != (pb >> 4)) ++diffs;
+  if (((pa >> 2) & 3) != ((pb >> 2) & 3)) ++diffs;
+  if ((pa & 3) != (pb & 3)) ++diffs;
+  return diffs;
+}
+
+bool codon_single_diff_is_transition(State a, State b) {
+  const auto& code = GeneticCode::standard();
+  const std::uint8_t pa = code.codon_nucs[static_cast<std::size_t>(a)];
+  const std::uint8_t pb = code.codon_nucs[static_cast<std::size_t>(b)];
+  for (int shift = 4; shift >= 0; shift -= 2) {
+    const int na = (pa >> shift) & 3;
+    const int nb = (pb >> shift) & 3;
+    if (na == nb) continue;
+    // A=0 G=2 purines; C=1 T=3 pyrimidines: transition iff same parity.
+    return (na & 1) == (nb & 1);
+  }
+  assert(false && "codons are identical");
+  return false;
+}
+
+bool codon_synonymous(State a, State b) {
+  const auto& code = GeneticCode::standard();
+  return code.codon_aa[static_cast<std::size_t>(a)] ==
+         code.codon_aa[static_cast<std::size_t>(b)];
+}
+
+}  // namespace lattice::phylo

@@ -1,0 +1,62 @@
+// Character-state alphabets for the three GARLI data types the paper's
+// runtime model distinguishes: nucleotide (4 states), amino acid (20
+// states), and codon (61 non-stop codons under the standard genetic code).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lattice::phylo {
+
+enum class DataType : std::uint8_t { kNucleotide = 0, kAminoAcid = 1, kCodon = 2 };
+
+/// State index type; kMissing marks gaps/ambiguity (treated as total
+/// uncertainty in the likelihood).
+using State = std::int16_t;
+inline constexpr State kMissing = -1;
+
+std::size_t state_count(DataType type);
+std::string_view data_type_name(DataType type);
+std::optional<DataType> parse_data_type(std::string_view name);
+
+/// Nucleotide character -> state (A=0 C=1 G=2 T/U=3); ambiguity codes and
+/// gaps map to kMissing.
+State encode_nucleotide(char symbol);
+char decode_nucleotide(State state);
+
+/// Amino-acid character -> state (alphabetical over ACDEFGHIKLMNPQRSTVWY).
+State encode_amino_acid(char symbol);
+char decode_amino_acid(State state);
+
+/// The standard genetic code. Codon states index the 61 sense codons in
+/// lexicographic (A,C,G,T) order of their three nucleotides.
+struct GeneticCode {
+  /// codon_state[i] for i in [0,64): sense-codon index or kMissing (stop).
+  std::array<State, 64> codon_state;
+  /// For each sense codon: its packed 6-bit nucleotide triple (n1*16+n2*4+n3).
+  std::array<std::uint8_t, 61> codon_nucs;
+  /// Amino acid state encoded by each sense codon.
+  std::array<State, 61> codon_aa;
+
+  static const GeneticCode& standard();
+};
+
+/// Encode a nucleotide triplet as a codon state; kMissing if any position is
+/// ambiguous or the triplet is a stop codon.
+State encode_codon(char n1, char n2, char n3);
+std::string decode_codon(State state);
+
+/// Number of nucleotide positions at which two sense codons differ.
+int codon_differences(State a, State b);
+
+/// True if the single differing position of a/b is a transition (A<->G or
+/// C<->T). Precondition: codon_differences(a, b) == 1.
+bool codon_single_diff_is_transition(State a, State b);
+
+/// True if two sense codons translate to the same amino acid.
+bool codon_synonymous(State a, State b);
+
+}  // namespace lattice::phylo

@@ -1,0 +1,166 @@
+#include "phylo/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace lattice::phylo {
+
+std::vector<double> distance_matrix(const Alignment& alignment,
+                                    DistanceCorrection correction,
+                                    double max_distance) {
+  const std::size_t n = alignment.n_taxa();
+  const auto k = static_cast<double>(state_count(alignment.data_type()));
+  std::vector<double> d(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::size_t comparable = 0;
+      std::size_t different = 0;
+      for (std::size_t site = 0; site < alignment.n_sites(); ++site) {
+        const State a = alignment.state(i, site);
+        const State b = alignment.state(j, site);
+        if (a == kMissing || b == kMissing) continue;
+        ++comparable;
+        if (a != b) ++different;
+      }
+      double distance = max_distance;
+      if (comparable > 0) {
+        const double p = static_cast<double>(different) /
+                         static_cast<double>(comparable);
+        if (correction == DistanceCorrection::kPDistance) {
+          distance = p;
+        } else {
+          // Jukes-Cantor generalized to k states.
+          const double argument = 1.0 - k * p / (k - 1.0);
+          distance = argument > 0.0
+                         ? -(k - 1.0) / k * std::log(argument)
+                         : max_distance;
+        }
+      }
+      distance = std::min(distance, max_distance);
+      d[i * n + j] = distance;
+      d[j * n + i] = distance;
+    }
+  }
+  return d;
+}
+
+Tree neighbor_joining(const std::vector<double>& distances,
+                      std::size_t n_taxa) {
+  if (n_taxa < 3) {
+    throw std::invalid_argument("nj: need at least three taxa");
+  }
+  if (distances.size() != n_taxa * n_taxa) {
+    throw std::invalid_argument("nj: matrix size mismatch");
+  }
+  for (std::size_t i = 0; i < n_taxa; ++i) {
+    if (distances[i * n_taxa + i] != 0.0) {
+      throw std::invalid_argument("nj: non-zero diagonal");
+    }
+    for (std::size_t j = 0; j < n_taxa; ++j) {
+      if (std::abs(distances[i * n_taxa + j] - distances[j * n_taxa + i]) >
+          1e-9) {
+        throw std::invalid_argument("nj: matrix is not symmetric");
+      }
+    }
+  }
+
+  // Active cluster bookkeeping: newick fragment + working distance rows.
+  struct Cluster {
+    std::string fragment;
+  };
+  std::vector<Cluster> clusters(n_taxa);
+  std::vector<std::vector<double>> d(n_taxa,
+                                     std::vector<double>(n_taxa, 0.0));
+  for (std::size_t i = 0; i < n_taxa; ++i) {
+    clusters[i].fragment = util::format("t{}", i);
+    for (std::size_t j = 0; j < n_taxa; ++j) {
+      d[i][j] = distances[i * n_taxa + j];
+    }
+  }
+  std::vector<std::size_t> active(n_taxa);
+  for (std::size_t i = 0; i < n_taxa; ++i) active[i] = i;
+
+  auto fmt_len = [](double length) {
+    return util::format("{:.9g}", std::max(length, 0.0));
+  };
+
+  while (active.size() > 3) {
+    const auto m = static_cast<double>(active.size());
+    // Row sums over active clusters.
+    std::vector<double> r(active.size(), 0.0);
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      for (std::size_t b = 0; b < active.size(); ++b) {
+        r[a] += d[active[a]][active[b]];
+      }
+    }
+    // Minimize Q(a, b) = (m - 2) d_ab - r_a - r_b.
+    std::size_t best_a = 0;
+    std::size_t best_b = 1;
+    double best_q = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      for (std::size_t b = a + 1; b < active.size(); ++b) {
+        const double q =
+            (m - 2.0) * d[active[a]][active[b]] - r[a] - r[b];
+        if (q < best_q) {
+          best_q = q;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    const std::size_t i = active[best_a];
+    const std::size_t j = active[best_b];
+    const double dij = d[i][j];
+    const double li =
+        0.5 * dij + (r[best_a] - r[best_b]) / (2.0 * (m - 2.0));
+    const double lj = dij - li;
+
+    // Merge i and j into a new cluster stored in i's slot.
+    Cluster merged;
+    merged.fragment = "(" + clusters[i].fragment + ":" + fmt_len(li) + "," +
+                      clusters[j].fragment + ":" + fmt_len(lj) + ")";
+    for (const std::size_t k_index : active) {
+      if (k_index == i || k_index == j) continue;
+      const double dik = d[i][k_index];
+      const double djk = d[j][k_index];
+      const double dnew = 0.5 * (dik + djk - dij);
+      d[i][k_index] = dnew;
+      d[k_index][i] = dnew;
+    }
+    clusters[i] = std::move(merged);
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(best_b));
+  }
+
+  // Final three-way join: branch lengths from the three pairwise
+  // distances (la = (dab + dac - dbc)/2, etc.).
+  const std::size_t a = active[0];
+  const std::size_t b = active[1];
+  const std::size_t c = active[2];
+  const double la = 0.5 * (d[a][b] + d[a][c] - d[b][c]);
+  const double lb = 0.5 * (d[a][b] + d[b][c] - d[a][c]);
+  const double lc = 0.5 * (d[a][c] + d[b][c] - d[a][b]);
+  std::ostringstream newick;
+  newick << "(" << clusters[a].fragment << ":" << fmt_len(la) << ","
+         << clusters[b].fragment << ":" << fmt_len(lb) << ","
+         << clusters[c].fragment << ":" << fmt_len(lc) << ");";
+
+  std::vector<std::string> names;
+  names.reserve(n_taxa);
+  for (std::size_t t = 0; t < n_taxa; ++t) {
+    names.push_back(util::format("t{}", t));
+  }
+  return Tree::parse_newick(newick.str(), names);
+}
+
+Tree neighbor_joining_tree(const Alignment& alignment,
+                           DistanceCorrection correction) {
+  return neighbor_joining(distance_matrix(alignment, correction),
+                          alignment.n_taxa());
+}
+
+}  // namespace lattice::phylo

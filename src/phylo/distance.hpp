@@ -1,0 +1,40 @@
+// Distance methods: pairwise sequence distances and neighbor joining
+// (Saitou & Nei 1987) — the fast classical baseline a likelihood search is
+// judged against, and a third starting-tree option next to random and
+// stepwise-addition-parsimony.
+#pragma once
+
+#include <vector>
+
+#include "phylo/alignment.hpp"
+#include "phylo/tree.hpp"
+
+namespace lattice::phylo {
+
+enum class DistanceCorrection {
+  kPDistance,     // raw proportion of differing sites
+  kJukesCantor,   // d = -(k-1)/k * ln(1 - k*p/(k-1)) for k states
+};
+
+/// Pairwise distance matrix (n_taxa x n_taxa, row-major, zero diagonal).
+/// Sites where either sequence is missing are skipped pairwise; a pair
+/// with no comparable sites, or with p beyond the correction's domain,
+/// saturates to `max_distance`.
+std::vector<double> distance_matrix(
+    const Alignment& alignment,
+    DistanceCorrection correction = DistanceCorrection::kJukesCantor,
+    double max_distance = 5.0);
+
+/// Neighbor joining on a symmetric distance matrix. Returns a binary tree
+/// over n leaves (the unrooted NJ tree, rooted at the final join) with NJ
+/// branch lengths clamped at >= 0. Throws std::invalid_argument for n < 3
+/// or a malformed matrix.
+Tree neighbor_joining(const std::vector<double>& distances,
+                      std::size_t n_taxa);
+
+/// Convenience: distances + NJ in one call.
+Tree neighbor_joining_tree(
+    const Alignment& alignment,
+    DistanceCorrection correction = DistanceCorrection::kJukesCantor);
+
+}  // namespace lattice::phylo

@@ -1,0 +1,192 @@
+#include "phylo/likelihood.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lattice::phylo {
+
+namespace {
+// Rescale when the largest partial falls below this; keeps products of many
+// small branch probabilities out of the denormal range.
+constexpr double kScaleThreshold = 1e-100;
+}  // namespace
+
+LikelihoodEngine::LikelihoodEngine(const PatternizedAlignment& data)
+    : data_(&data) {}
+
+void LikelihoodEngine::enable_matrix_cache(std::size_t capacity) {
+  cache_enabled_ = true;
+  cache_capacity_ = capacity;
+}
+
+void LikelihoodEngine::disable_matrix_cache() {
+  cache_enabled_ = false;
+  matrix_cache_.clear();
+}
+
+const double* LikelihoodEngine::transition(const SubstitutionModel& model,
+                                           double branch_length,
+                                           double rate) {
+  if (!cache_enabled_) {
+    model.transition_matrix(branch_length, rate, p_matrix_);
+    return p_matrix_.data();
+  }
+  MatrixKey key{model.serial(), std::bit_cast<std::uint64_t>(branch_length),
+                std::bit_cast<std::uint64_t>(rate)};
+  const auto it = matrix_cache_.find(key);
+  if (it != matrix_cache_.end()) {
+    ++cache_hits_;
+    return it->second.data();
+  }
+  ++cache_misses_;
+  if (matrix_cache_.size() >= cache_capacity_) matrix_cache_.clear();
+  std::vector<double> matrix(model.n_states() * model.n_states());
+  model.transition_matrix(branch_length, rate, matrix);
+  return matrix_cache_.emplace(key, std::move(matrix))
+      .first->second.data();
+}
+
+void LikelihoodEngine::compute_partials(const Tree& tree,
+                                        const SubstitutionModel& model,
+                                        std::size_t category) {
+  const std::size_t n_states = model.n_states();
+  const std::size_t n_patterns = data_->n_patterns();
+  const double rate = model.categories()[category].rate;
+
+  std::fill(scale_log_.begin(), scale_log_.end(), 0.0);
+
+  for (const int index : tree.postorder()) {
+    if (tree.is_leaf(index)) continue;
+    std::vector<double>& partial = partials_[static_cast<std::size_t>(index)];
+    std::fill(partial.begin(), partial.end(), 1.0);
+
+    for (const int child :
+         {tree.node(index).left, tree.node(index).right}) {
+      const double* p =
+          transition(model, tree.branch_length(child), rate);
+      if (tree.is_leaf(child)) {
+        // Leaf contribution: column of P for the observed state, or all
+        // ones for missing data.
+        for (std::size_t pat = 0; pat < n_patterns; ++pat) {
+          const State s =
+              data_->state(static_cast<std::size_t>(child), pat);
+          if (s == kMissing) continue;  // multiply by 1
+          double* row = partial.data() + pat * n_states;
+          const double* p_col = p + static_cast<std::size_t>(s);
+          for (std::size_t x = 0; x < n_states; ++x) {
+            row[x] *= p_col[x * n_states];
+          }
+        }
+      } else {
+        const std::vector<double>& child_partial =
+            partials_[static_cast<std::size_t>(child)];
+        for (std::size_t pat = 0; pat < n_patterns; ++pat) {
+          const double* cp = child_partial.data() + pat * n_states;
+          double* row = partial.data() + pat * n_states;
+          for (std::size_t x = 0; x < n_states; ++x) {
+            const double* p_row = p + x * n_states;
+            double total = 0.0;
+            for (std::size_t y = 0; y < n_states; ++y) {
+              total += p_row[y] * cp[y];
+            }
+            child_factor_[x] = total;
+          }
+          for (std::size_t x = 0; x < n_states; ++x) {
+            row[x] *= child_factor_[x];
+          }
+        }
+      }
+    }
+
+    // Per-pattern rescaling.
+    for (std::size_t pat = 0; pat < n_patterns; ++pat) {
+      double* row = partial.data() + pat * n_states;
+      double max_value = 0.0;
+      for (std::size_t x = 0; x < n_states; ++x) {
+        max_value = std::max(max_value, row[x]);
+      }
+      if (max_value > 0.0 && max_value < kScaleThreshold) {
+        const double inv = 1.0 / max_value;
+        for (std::size_t x = 0; x < n_states; ++x) row[x] *= inv;
+        scale_log_[pat] += std::log(max_value);
+      }
+    }
+  }
+}
+
+double LikelihoodEngine::log_likelihood(const Tree& tree,
+                                        const SubstitutionModel& model) {
+  if (tree.n_leaves() != data_->n_taxa()) {
+    throw std::invalid_argument("likelihood: tree/alignment taxon mismatch");
+  }
+  if (model.data_type() != data_->data_type()) {
+    throw std::invalid_argument("likelihood: model/alignment type mismatch");
+  }
+  ++evaluations_;
+
+  const std::size_t n_states = model.n_states();
+  const std::size_t n_patterns = data_->n_patterns();
+  const auto categories = model.categories();
+
+  // (Re)size workspace.
+  partials_.resize(tree.n_nodes());
+  for (const int index : tree.postorder()) {
+    if (!tree.is_leaf(index)) {
+      partials_[static_cast<std::size_t>(index)].resize(n_patterns * n_states);
+    }
+  }
+  scale_log_.resize(n_patterns);
+  p_matrix_.resize(n_states * n_states);
+  child_factor_.resize(n_states);
+  category_log_lik_.assign(
+      categories.size(),
+      std::vector<double>(n_patterns,
+                          -std::numeric_limits<double>::infinity()));
+
+  const auto freqs = model.frequencies();
+  const std::vector<double>& root_partial =
+      partials_[static_cast<std::size_t>(tree.root())];
+
+  for (std::size_t cat = 0; cat < categories.size(); ++cat) {
+    compute_partials(tree, model, cat);
+    for (std::size_t pat = 0; pat < n_patterns; ++pat) {
+      const double* row = root_partial.data() + pat * n_states;
+      double site = 0.0;
+      for (std::size_t x = 0; x < n_states; ++x) {
+        site += freqs[x] * row[x];
+      }
+      category_log_lik_[cat][pat] =
+          site > 0.0 ? std::log(site) + scale_log_[pat]
+                     : -std::numeric_limits<double>::infinity();
+    }
+  }
+
+  // Mix categories per pattern in log space (log-sum-exp).
+  double total = 0.0;
+  for (std::size_t pat = 0; pat < n_patterns; ++pat) {
+    double max_term = -std::numeric_limits<double>::infinity();
+    for (std::size_t cat = 0; cat < categories.size(); ++cat) {
+      if (categories[cat].weight <= 0.0) continue;
+      const double term =
+          std::log(categories[cat].weight) + category_log_lik_[cat][pat];
+      max_term = std::max(max_term, term);
+    }
+    if (!std::isfinite(max_term)) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    double mix = 0.0;
+    for (std::size_t cat = 0; cat < categories.size(); ++cat) {
+      if (categories[cat].weight <= 0.0) continue;
+      mix += std::exp(std::log(categories[cat].weight) +
+                      category_log_lik_[cat][pat] - max_term);
+    }
+    total += data_->weight(pat) * (max_term + std::log(mix));
+  }
+  return total;
+}
+
+}  // namespace lattice::phylo

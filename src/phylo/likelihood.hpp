@@ -1,0 +1,89 @@
+// Felsenstein pruning over pattern-compressed data with per-pattern
+// rescaling — the likelihood kernel at the heart of GARLI (and of BEAGLE,
+// the GPU library the paper's group built; here it is a portable CPU
+// implementation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "phylo/alignment.hpp"
+#include "phylo/model.hpp"
+#include "phylo/tree.hpp"
+
+namespace lattice::phylo {
+
+/// Evaluates log-likelihoods of trees for one alignment. The engine owns
+/// the conditional-likelihood workspace so repeated evaluations (the GA's
+/// hot loop) allocate nothing; the model is passed per call because the GA
+/// mutates model parameters alongside topology.
+class LikelihoodEngine {
+ public:
+  explicit LikelihoodEngine(const PatternizedAlignment& data);
+
+  const PatternizedAlignment& data() const { return *data_; }
+
+  /// Full-tree log-likelihood under `model`. Requirements: the tree's leaf
+  /// count equals the alignment's taxon count and the model's data type
+  /// matches the alignment.
+  double log_likelihood(const Tree& tree, const SubstitutionModel& model);
+
+  /// Number of log_likelihood calls served (used by runtime calibration).
+  std::uint64_t evaluations() const { return evaluations_; }
+
+  /// Enable the BEAGLE-style transition-matrix cache: P(t) matrices are
+  /// memoized by (model instance, branch length, rate). In a GA step only
+  /// one or two branch lengths change, so nearly every matrix is reused —
+  /// the dominant cost for codon models, where each P(t) is a dense
+  /// 61x61x61 reconstruction. `capacity` bounds the entry count; the cache
+  /// is emptied wholesale when full (matrices are cheap to rebuild).
+  void enable_matrix_cache(std::size_t capacity = 4096);
+  void disable_matrix_cache();
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  void compute_partials(const Tree& tree, const SubstitutionModel& model,
+                        std::size_t category);
+  /// Returns the transition matrix for (branch_length, rate), through the
+  /// cache when enabled.
+  const double* transition(const SubstitutionModel& model,
+                           double branch_length, double rate);
+
+  struct MatrixKey {
+    std::uint64_t model_serial;
+    std::uint64_t length_bits;
+    std::uint64_t rate_bits;
+    bool operator==(const MatrixKey&) const = default;
+  };
+  struct MatrixKeyHash {
+    std::size_t operator()(const MatrixKey& key) const {
+      std::uint64_t h = key.model_serial * 0x9e3779b97f4a7c15ULL;
+      h ^= key.length_bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= key.rate_bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  const PatternizedAlignment* data_;
+  std::uint64_t evaluations_ = 0;
+  bool cache_enabled_ = false;
+  std::size_t cache_capacity_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::unordered_map<MatrixKey, std::vector<double>, MatrixKeyHash>
+      matrix_cache_;
+
+  // Workspace, sized on first use: partials_[node] is patterns x states for
+  // the current category; scale_log_ is per pattern for the current
+  // category; category_log_likelihood_[cat][pattern] collects root sums.
+  std::vector<std::vector<double>> partials_;
+  std::vector<double> scale_log_;
+  std::vector<std::vector<double>> category_log_lik_;
+  std::vector<double> p_matrix_;        // per-branch transition matrix
+  std::vector<double> child_factor_;    // per-state accumulation buffer
+};
+
+}  // namespace lattice::phylo

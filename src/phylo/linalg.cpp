@@ -1,0 +1,100 @@
+#include "phylo/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lattice::phylo {
+
+SymmetricEigen symmetric_eigen(std::span<const double> matrix,
+                               std::size_t n) {
+  if (matrix.size() != n * n) {
+    throw std::invalid_argument("symmetric_eigen: size mismatch");
+  }
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a[i * n + j] = 0.5 * (matrix[i * n + j] + matrix[j * n + i]);
+    }
+  }
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  // Cyclic Jacobi sweeps until off-diagonal mass is negligible.
+  constexpr int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        off += a[i * n + j] * a[i * n + j];
+      }
+    }
+    if (off < 1e-24) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a[x * n + x] < a[y * n + y];
+  });
+
+  SymmetricEigen out;
+  out.values.resize(n);
+  out.vectors.resize(n * n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.values[k] = a[order[k] * n + order[k]];
+    for (std::size_t i = 0; i < n; ++i) {
+      out.vectors[i * n + k] = v[i * n + order[k]];
+    }
+  }
+  return out;
+}
+
+void matmul(std::span<const double> a, std::span<const double> b,
+            std::span<double> out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out[i * n + j] = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a[i * n + k];
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        out[i * n + j] += aik * b[k * n + j];
+      }
+    }
+  }
+}
+
+}  // namespace lattice::phylo

@@ -1,0 +1,26 @@
+// Dense symmetric eigendecomposition (cyclic Jacobi) sized for substitution
+// rate matrices: 4x4 nucleotide, 20x20 amino acid, 61x61 codon. Row-major
+// square matrices in flat vectors.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lattice::phylo {
+
+struct SymmetricEigen {
+  std::vector<double> values;   // eigenvalues, ascending
+  std::vector<double> vectors;  // row-major; column k is the k-th eigenvector
+};
+
+/// Eigendecomposition of a symmetric matrix (row-major, n*n). The input is
+/// symmetrized as (A + A^T)/2 to absorb round-off. Throws
+/// std::invalid_argument on a size mismatch.
+SymmetricEigen symmetric_eigen(std::span<const double> matrix, std::size_t n);
+
+/// out = a * b for row-major n*n matrices (aliasing with out is not allowed).
+void matmul(std::span<const double> a, std::span<const double> b,
+            std::span<double> out, std::size_t n);
+
+}  // namespace lattice::phylo

@@ -1,0 +1,125 @@
+#include "phylo/model_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "phylo/likelihood.hpp"
+#include "phylo/optimize.hpp"
+
+namespace lattice::phylo {
+
+namespace {
+
+std::size_t count_free_parameters(const ModelSpec& spec,
+                                  bool counted_branch_lengths,
+                                  std::size_t n_taxa) {
+  std::size_t k = spec.free_rate_parameters();
+  // Estimated equilibrium frequencies (HKY/GTR and codon F1x4): 3 free.
+  if (spec.data_type == DataType::kNucleotide &&
+      (spec.nuc_model == NucModel::kHKY85 ||
+       spec.nuc_model == NucModel::kGTR)) {
+    k += 3;
+  }
+  if (spec.data_type == DataType::kCodon) k += 3;
+  if (spec.rate_het != RateHet::kNone) k += 1;  // alpha
+  if (spec.rate_het == RateHet::kGammaInvariant) k += 1;  // pinv
+  if (counted_branch_lengths) k += 2 * n_taxa - 3;
+  return k;
+}
+
+}  // namespace
+
+std::vector<ModelSpec> standard_nucleotide_candidates() {
+  std::vector<ModelSpec> out;
+  for (const NucModel base :
+       {NucModel::kJC69, NucModel::kK80, NucModel::kHKY85, NucModel::kGTR}) {
+    for (const bool gamma : {false, true}) {
+      ModelSpec spec;
+      spec.nuc_model = base;
+      spec.rate_het = gamma ? RateHet::kGamma : RateHet::kNone;
+      spec.n_rate_categories = 4;
+      out.push_back(spec);
+    }
+  }
+  ModelSpec full;
+  full.nuc_model = NucModel::kGTR;
+  full.rate_het = RateHet::kGammaInvariant;
+  full.n_rate_categories = 4;
+  out.push_back(full);
+  return out;
+}
+
+double chi_square_sf(double x, int dof) {
+  if (dof <= 0) throw std::invalid_argument("chi_square_sf: dof must be > 0");
+  if (x <= 0.0) return 1.0;
+  return 1.0 - regularized_gamma_p(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+double likelihood_ratio_test(const ModelFit& nested,
+                             const ModelFit& general) {
+  if (general.free_parameters <= nested.free_parameters) {
+    throw std::invalid_argument(
+        "lrt: the general model must have more free parameters");
+  }
+  const double statistic =
+      2.0 * (general.log_likelihood - nested.log_likelihood);
+  // Numerical optimization can leave the general model a sliver below the
+  // nested optimum (e.g. +G approaching equal rates only as alpha -> inf);
+  // clamp those to 0. A substantive deficit indicates a misuse.
+  if (statistic < -1.0) {
+    throw std::invalid_argument(
+        "lrt: the general model fits worse than the nested model");
+  }
+  const int dof = static_cast<int>(general.free_parameters -
+                                   nested.free_parameters);
+  return chi_square_sf(std::max(statistic, 0.0), dof);
+}
+
+std::vector<ModelFit> compare_models(const Alignment& alignment,
+                                     const Tree& tree,
+                                     std::span<const ModelSpec> candidates,
+                                     const ModelSelectionOptions& options) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("model selection: no candidates");
+  }
+  const PatternizedAlignment patterns(alignment);
+  LikelihoodEngine engine(patterns);
+  engine.enable_matrix_cache();
+  const auto n = static_cast<double>(alignment.n_sites());
+
+  std::vector<ModelFit> fits;
+  fits.reserve(candidates.size());
+  for (const ModelSpec& candidate : candidates) {
+    if (candidate.data_type != alignment.data_type()) {
+      throw std::invalid_argument(
+          "model selection: candidate data type mismatches alignment");
+    }
+    ModelFit fit;
+    fit.spec = candidate;
+    Tree working = tree;
+    fit.log_likelihood = optimize_model_parameters(
+        engine, working, fit.spec, options.optimization_passes);
+    if (options.optimize_branch_lengths) {
+      const SubstitutionModel model(fit.spec);
+      fit.log_likelihood = optimize_branch_lengths(
+          engine, working, model, options.optimization_passes);
+    }
+    fit.free_parameters = count_free_parameters(
+        fit.spec, options.optimize_branch_lengths, alignment.n_taxa());
+    const auto k = static_cast<double>(fit.free_parameters);
+    fit.aic = 2.0 * k - 2.0 * fit.log_likelihood;
+    fit.aicc = n - k - 1.0 > 0.0
+                   ? fit.aic + 2.0 * k * (k + 1.0) / (n - k - 1.0)
+                   : std::numeric_limits<double>::infinity();
+    fit.bic = k * std::log(n) - 2.0 * fit.log_likelihood;
+    fits.push_back(std::move(fit));
+  }
+  std::sort(fits.begin(), fits.end(), [](const ModelFit& a, const ModelFit& b) {
+    return a.aic < b.aic;
+  });
+  return fits;
+}
+
+}  // namespace lattice::phylo

@@ -1,0 +1,58 @@
+// Model selection by information criteria — the step a systematist runs
+// before submitting to the portal (jModelTest-style): fit each candidate
+// substitution model on a fixed topology, count free parameters, rank by
+// AIC/AICc/BIC. The web form's model choices (Figure 1) are exactly the
+// candidate set here.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "phylo/alignment.hpp"
+#include "phylo/model.hpp"
+#include "phylo/tree.hpp"
+
+namespace lattice::phylo {
+
+struct ModelFit {
+  ModelSpec spec;
+  double log_likelihood = 0.0;
+  /// Free parameters: substitution-rate parameters + rate-heterogeneity
+  /// parameters (+ branch lengths when they were optimized per model).
+  std::size_t free_parameters = 0;
+  double aic = 0.0;
+  double aicc = 0.0;
+  double bic = 0.0;
+};
+
+struct ModelSelectionOptions {
+  /// Re-optimize branch lengths under each candidate (slower, fairer).
+  bool optimize_branch_lengths = false;
+  int optimization_passes = 1;
+};
+
+/// Fit every candidate on `tree` and return results sorted by AIC
+/// (best first). Sample size for AICc/BIC is the alignment's site count.
+/// Throws std::invalid_argument when a candidate's data type mismatches
+/// the alignment or the candidate list is empty.
+std::vector<ModelFit> compare_models(const Alignment& alignment,
+                                     const Tree& tree,
+                                     std::span<const ModelSpec> candidates,
+                                     const ModelSelectionOptions& options = {});
+
+/// The standard nucleotide candidate ladder: JC69, K80, HKY85, GTR, each
+/// with and without +G (and the top model also with +I+G).
+std::vector<ModelSpec> standard_nucleotide_candidates();
+
+/// Chi-square survival function P(X > x) with `dof` degrees of freedom
+/// (via the regularized incomplete gamma function).
+double chi_square_sf(double x, int dof);
+
+/// Likelihood-ratio test of a nested model against a more general one:
+/// statistic 2*(lnL_general - lnL_nested), dof = parameter-count
+/// difference. Returns the p-value; throws std::invalid_argument when the
+/// models are not nested by parameter count or the general model fits
+/// worse than numerically allowed.
+double likelihood_ratio_test(const ModelFit& nested, const ModelFit& general);
+
+}  // namespace lattice::phylo

@@ -1,0 +1,166 @@
+#include "phylo/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace lattice::phylo {
+
+BrentResult brent_minimize(const std::function<double(double)>& f, double lo,
+                           double hi, double tol, int max_iter) {
+  // Brent's method without derivatives (Numerical Recipes formulation).
+  constexpr double kGolden = 0.3819660112501051;
+  double a = std::min(lo, hi);
+  double b = std::max(lo, hi);
+  double x = a + kGolden * (b - a);
+  double w = x;
+  double v = x;
+  double fx = f(x);
+  double fw = fx;
+  double fv = fx;
+  double d = 0.0;
+  double e = 0.0;
+
+  BrentResult result;
+  int iter = 0;
+  for (; iter < max_iter; ++iter) {
+    const double mid = 0.5 * (a + b);
+    const double tol1 = tol * std::abs(x) + 1e-12;
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - mid) <= tol2 - 0.5 * (b - a)) break;
+    bool use_golden = true;
+    if (std::abs(e) > tol1) {
+      // Attempt parabolic interpolation through x, v, w.
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double e_prev = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * e_prev) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u_try = x + d;
+        if (u_try - a < tol2 || b - u_try < tol2) {
+          d = mid > x ? tol1 : -tol1;
+        }
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x >= mid ? a : b) - x;
+      d = kGolden * e;
+    }
+    const double u =
+        std::abs(d) >= tol1 ? x + d : x + (d > 0.0 ? tol1 : -tol1);
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u >= x) {
+        a = x;
+      } else {
+        b = x;
+      }
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) {
+        a = u;
+      } else {
+        b = u;
+      }
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  result.x = x;
+  result.fx = fx;
+  result.iterations = iter;
+  return result;
+}
+
+double optimize_branch_lengths(LikelihoodEngine& engine, Tree& tree,
+                               const SubstitutionModel& model, int passes,
+                               double min_length, double max_length) {
+  double best = engine.log_likelihood(tree, model);
+  for (int pass = 0; pass < passes; ++pass) {
+    for (std::size_t i = 0; i < tree.n_nodes(); ++i) {
+      const int index = static_cast<int>(i);
+      if (index == tree.root()) continue;
+      // Optimize in log-length space: branch effects are multiplicative.
+      const auto objective = [&](double log_len) {
+        tree.set_branch_length(index, std::exp(log_len));
+        return -engine.log_likelihood(tree, model);
+      };
+      const BrentResult r = brent_minimize(
+          objective, std::log(min_length), std::log(max_length), 1e-4, 40);
+      tree.set_branch_length(index, std::exp(r.x));
+      best = -r.fx;
+    }
+  }
+  return best;
+}
+
+double optimize_model_parameters(LikelihoodEngine& engine, const Tree& tree,
+                                 ModelSpec& spec, int passes) {
+  struct Param {
+    double* value;
+    double lo;
+    double hi;
+    bool log_scale;
+  };
+  std::vector<Param> params;
+  const bool has_kappa =
+      (spec.data_type == DataType::kNucleotide &&
+       (spec.nuc_model == NucModel::kK80 ||
+        spec.nuc_model == NucModel::kHKY85)) ||
+      (spec.data_type == DataType::kAminoAcid &&
+       spec.aa_model == AaModel::kChemClass) ||
+      spec.data_type == DataType::kCodon;
+  if (has_kappa) params.push_back({&spec.kappa, 0.1, 100.0, true});
+  if (spec.data_type == DataType::kCodon) {
+    params.push_back({&spec.omega, 0.001, 10.0, true});
+  }
+  if (spec.rate_het != RateHet::kNone) {
+    params.push_back({&spec.gamma_alpha, 0.02, 100.0, true});
+  }
+  if (spec.rate_het == RateHet::kGammaInvariant) {
+    params.push_back({&spec.proportion_invariant, 0.0, 0.95, false});
+  }
+
+  double best = -std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const Param& param : params) {
+      const auto objective = [&](double raw) {
+        *param.value = param.log_scale ? std::exp(raw) : raw;
+        const SubstitutionModel model(spec);
+        return -engine.log_likelihood(tree, model);
+      };
+      const double lo = param.log_scale ? std::log(param.lo) : param.lo;
+      const double hi = param.log_scale ? std::log(param.hi) : param.hi;
+      const BrentResult r = brent_minimize(objective, lo, hi, 1e-4, 40);
+      *param.value = param.log_scale ? std::exp(r.x) : r.x;
+      best = -r.fx;
+    }
+  }
+  if (params.empty()) {
+    const SubstitutionModel model(spec);
+    best = engine.log_likelihood(tree, model);
+  }
+  return best;
+}
+
+}  // namespace lattice::phylo

@@ -1,0 +1,38 @@
+// One-dimensional optimization (Brent's method) and the phylogenetic
+// parameter-optimization passes built on it: branch lengths and scalar model
+// parameters (kappa, alpha, proportion invariant, omega).
+#pragma once
+
+#include <functional>
+
+#include "phylo/likelihood.hpp"
+#include "phylo/model.hpp"
+#include "phylo/tree.hpp"
+
+namespace lattice::phylo {
+
+struct BrentResult {
+  double x = 0.0;
+  double fx = 0.0;
+  int iterations = 0;
+};
+
+/// Minimize a unimodal function on [lo, hi] with Brent's parabolic/golden
+/// method. `tol` is the absolute x tolerance.
+BrentResult brent_minimize(const std::function<double(double)>& f, double lo,
+                           double hi, double tol = 1e-6, int max_iter = 100);
+
+/// Coordinate-ascent branch-length optimization: `passes` sweeps of Brent
+/// over every branch. Returns the final log-likelihood.
+double optimize_branch_lengths(LikelihoodEngine& engine, Tree& tree,
+                               const SubstitutionModel& model,
+                               int passes = 2, double min_length = 1e-8,
+                               double max_length = 10.0);
+
+/// Optimize the scalar model parameters present in `spec` (kappa / alpha /
+/// pinv / omega as applicable) by coordinate ascent, updating `spec` in
+/// place. Returns the final log-likelihood.
+double optimize_model_parameters(LikelihoodEngine& engine, const Tree& tree,
+                                 ModelSpec& spec, int passes = 1);
+
+}  // namespace lattice::phylo

@@ -1,0 +1,274 @@
+#include "phylo/parsimony.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lattice::phylo {
+
+namespace {
+
+using StateSet = std::uint64_t;
+
+StateSet leaf_set(State state, std::size_t n_states) {
+  if (state == kMissing) {
+    return n_states >= 64 ? ~StateSet{0}
+                          : (StateSet{1} << n_states) - 1;
+  }
+  return StateSet{1} << static_cast<std::size_t>(state);
+}
+
+}  // namespace
+
+double parsimony_score(const Tree& tree, const PatternizedAlignment& data) {
+  const std::size_t n_states = state_count(data.data_type());
+  if (n_states > 64) {
+    throw std::invalid_argument("parsimony: more than 64 states");
+  }
+  if (tree.n_leaves() != data.n_taxa()) {
+    throw std::invalid_argument("parsimony: tree/alignment taxon mismatch");
+  }
+  const std::size_t n_patterns = data.n_patterns();
+  std::vector<StateSet> sets(tree.n_nodes());
+  double score = 0.0;
+  for (std::size_t pat = 0; pat < n_patterns; ++pat) {
+    double changes = 0.0;
+    for (const int index : tree.postorder()) {
+      if (tree.is_leaf(index)) {
+        sets[static_cast<std::size_t>(index)] = leaf_set(
+            data.state(static_cast<std::size_t>(index), pat), n_states);
+        continue;
+      }
+      const StateSet left =
+          sets[static_cast<std::size_t>(tree.node(index).left)];
+      const StateSet right =
+          sets[static_cast<std::size_t>(tree.node(index).right)];
+      const StateSet intersection = left & right;
+      if (intersection != 0) {
+        sets[static_cast<std::size_t>(index)] = intersection;
+      } else {
+        sets[static_cast<std::size_t>(index)] = left | right;
+        changes += 1.0;
+      }
+    }
+    score += changes * data.weight(pat);
+  }
+  return score;
+}
+
+std::size_t parsimony_informative_patterns(
+    const PatternizedAlignment& data) {
+  const std::size_t n_states = state_count(data.data_type());
+  std::size_t informative = 0;
+  std::vector<std::size_t> counts(n_states);
+  for (std::size_t pat = 0; pat < data.n_patterns(); ++pat) {
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t taxon = 0; taxon < data.n_taxa(); ++taxon) {
+      const State s = data.state(taxon, pat);
+      if (s != kMissing) ++counts[static_cast<std::size_t>(s)];
+    }
+    std::size_t multi = 0;
+    for (std::size_t s = 0; s < n_states; ++s) {
+      if (counts[s] >= 2) ++multi;
+    }
+    if (multi >= 2) ++informative;
+  }
+  return informative;
+}
+
+namespace {
+
+/// Lightweight mutable rooted-binary tree over a growing taxon subset,
+/// used only during stepwise addition.
+struct Builder {
+  struct Node {
+    int parent = -1;
+    int left = -1;
+    int right = -1;
+    int taxon = -1;  // >= 0 for leaves
+  };
+  std::vector<Node> nodes;
+  int root = -1;
+
+  int add_leaf(int taxon) {
+    nodes.push_back(Node{-1, -1, -1, taxon});
+    return static_cast<int>(nodes.size()) - 1;
+  }
+  int add_internal() {
+    nodes.push_back(Node{});
+    return static_cast<int>(nodes.size()) - 1;
+  }
+
+  /// Insert `leaf` on the edge above `below`, creating a new internal
+  /// node. `below` must not be the root.
+  void insert_on_edge(int leaf, int below) {
+    const int parent = nodes[static_cast<std::size_t>(below)].parent;
+    const int mid = add_internal();
+    Node& m = nodes[static_cast<std::size_t>(mid)];
+    m.parent = parent;
+    m.left = below;
+    m.right = leaf;
+    Node& p = nodes[static_cast<std::size_t>(parent)];
+    if (p.left == below) {
+      p.left = mid;
+    } else {
+      p.right = mid;
+    }
+    nodes[static_cast<std::size_t>(below)].parent = mid;
+    nodes[static_cast<std::size_t>(leaf)].parent = mid;
+  }
+
+  void remove_insertion(int leaf, int below) {
+    // Undo insert_on_edge: splice the mid node back out.
+    const int mid = nodes[static_cast<std::size_t>(leaf)].parent;
+    const int parent = nodes[static_cast<std::size_t>(mid)].parent;
+    Node& p = nodes[static_cast<std::size_t>(parent)];
+    if (p.left == mid) {
+      p.left = below;
+    } else {
+      p.right = below;
+    }
+    nodes[static_cast<std::size_t>(below)].parent = parent;
+    nodes[static_cast<std::size_t>(leaf)].parent = -1;
+    nodes.pop_back();  // mid was the most recent node
+  }
+
+  double fitch(const PatternizedAlignment& data) const {
+    const std::size_t n_states = state_count(data.data_type());
+    // Iterative postorder over the subset tree.
+    std::vector<StateSet> sets(nodes.size());
+    std::vector<int> order;
+    order.reserve(nodes.size());
+    std::vector<std::pair<int, bool>> stack{{root, false}};
+    while (!stack.empty()) {
+      auto [index, expanded] = stack.back();
+      stack.pop_back();
+      const Node& node = nodes[static_cast<std::size_t>(index)];
+      if (expanded || node.taxon >= 0) {
+        order.push_back(index);
+        continue;
+      }
+      stack.emplace_back(index, true);
+      stack.emplace_back(node.right, false);
+      stack.emplace_back(node.left, false);
+    }
+    double score = 0.0;
+    for (std::size_t pat = 0; pat < data.n_patterns(); ++pat) {
+      double changes = 0.0;
+      for (const int index : order) {
+        const Node& node = nodes[static_cast<std::size_t>(index)];
+        if (node.taxon >= 0) {
+          sets[static_cast<std::size_t>(index)] = leaf_set(
+              data.state(static_cast<std::size_t>(node.taxon), pat),
+              n_states);
+          continue;
+        }
+        const StateSet left = sets[static_cast<std::size_t>(node.left)];
+        const StateSet right = sets[static_cast<std::size_t>(node.right)];
+        const StateSet intersection = left & right;
+        if (intersection != 0) {
+          sets[static_cast<std::size_t>(index)] = intersection;
+        } else {
+          sets[static_cast<std::size_t>(index)] = left | right;
+          changes += 1.0;
+        }
+      }
+      score += changes * data.weight(pat);
+    }
+    return score;
+  }
+
+  std::string to_newick(const std::vector<std::string>& names) const {
+    std::ostringstream out;
+    auto emit = [&](auto&& self, int index) -> void {
+      const Node& node = nodes[static_cast<std::size_t>(index)];
+      if (node.taxon >= 0) {
+        out << names[static_cast<std::size_t>(node.taxon)];
+        return;
+      }
+      out << '(';
+      self(self, node.left);
+      out << ',';
+      self(self, node.right);
+      out << ')';
+    };
+    emit(emit, root);
+    out << ';';
+    return out.str();
+  }
+};
+
+}  // namespace
+
+Tree stepwise_addition_tree(const PatternizedAlignment& data,
+                            util::Rng& rng,
+                            double initial_branch_length) {
+  const std::size_t n = data.n_taxa();
+  if (n < 2) {
+    throw std::invalid_argument("stepwise: need at least two taxa");
+  }
+  if (state_count(data.data_type()) > 64) {
+    throw std::invalid_argument("stepwise: more than 64 states");
+  }
+
+  std::vector<int> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  rng.shuffle(order);
+
+  Builder builder;
+  const int first = builder.add_leaf(order[0]);
+  if (n == 2) {
+    const int second = builder.add_leaf(order[1]);
+    const int root = builder.add_internal();
+    builder.nodes[static_cast<std::size_t>(root)].left = first;
+    builder.nodes[static_cast<std::size_t>(root)].right = second;
+    builder.nodes[static_cast<std::size_t>(first)].parent = root;
+    builder.nodes[static_cast<std::size_t>(second)].parent = root;
+    builder.root = root;
+  } else {
+    const int second = builder.add_leaf(order[1]);
+    const int root = builder.add_internal();
+    builder.nodes[static_cast<std::size_t>(root)].left = first;
+    builder.nodes[static_cast<std::size_t>(root)].right = second;
+    builder.nodes[static_cast<std::size_t>(first)].parent = root;
+    builder.nodes[static_cast<std::size_t>(second)].parent = root;
+    builder.root = root;
+
+    for (std::size_t next = 2; next < n; ++next) {
+      const int leaf = builder.add_leaf(order[next]);
+      // Try every edge (every non-root node); keep the best placement.
+      double best_score = 0.0;
+      int best_edge = -1;
+      const std::size_t candidates = builder.nodes.size() - 1;  // pre-leaf
+      for (std::size_t c = 0; c < candidates; ++c) {
+        const int below = static_cast<int>(c);
+        if (below == builder.root || below == leaf) continue;
+        builder.insert_on_edge(leaf, below);
+        const double score = builder.fitch(data);
+        builder.remove_insertion(leaf, below);
+        if (best_edge < 0 || score < best_score) {
+          best_score = score;
+          best_edge = below;
+        }
+      }
+      assert(best_edge >= 0);
+      builder.insert_on_edge(leaf, best_edge);
+    }
+  }
+
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    names.push_back("t" + std::to_string(i));
+  }
+  Tree tree = Tree::parse_newick(builder.to_newick(names), names);
+  for (std::size_t i = 0; i < tree.n_nodes(); ++i) {
+    if (static_cast<int>(i) != tree.root()) {
+      tree.set_branch_length(static_cast<int>(i), initial_branch_length);
+    }
+  }
+  return tree;
+}
+
+}  // namespace lattice::phylo

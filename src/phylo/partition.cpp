@@ -1,0 +1,185 @@
+#include "phylo/partition.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace lattice::phylo {
+
+PartitionedDataset::PartitionedDataset(std::vector<PartitionBlock> blocks)
+    : blocks_(std::move(blocks)) {
+  if (blocks_.empty()) {
+    throw std::invalid_argument("partition: need at least one block");
+  }
+  const Alignment& first = blocks_.front().alignment;
+  for (const PartitionBlock& block : blocks_) {
+    if (block.alignment.n_taxa() != first.n_taxa()) {
+      throw std::invalid_argument(util::format(
+          "partition: block '{}' has {} taxa, expected {}", block.name,
+          block.alignment.n_taxa(), first.n_taxa()));
+    }
+    for (std::size_t t = 0; t < first.n_taxa(); ++t) {
+      if (block.alignment.taxon_name(t) != first.taxon_name(t)) {
+        throw std::invalid_argument(util::format(
+            "partition: block '{}' taxon order differs at '{}'",
+            block.name, first.taxon_name(t)));
+      }
+    }
+    if (block.model.data_type != block.alignment.data_type()) {
+      throw std::invalid_argument(util::format(
+          "partition: block '{}' model/data type mismatch", block.name));
+    }
+    if (block.rate <= 0.0) {
+      throw std::invalid_argument(util::format(
+          "partition: block '{}' has non-positive rate", block.name));
+    }
+    if (auto problem = block.model.validate()) {
+      throw std::invalid_argument(util::format(
+          "partition: block '{}': {}", block.name, *problem));
+    }
+  }
+  normalize_rates();
+}
+
+std::size_t PartitionedDataset::n_taxa() const {
+  return blocks_.front().alignment.n_taxa();
+}
+
+std::size_t PartitionedDataset::n_sites() const {
+  std::size_t total = 0;
+  for (const PartitionBlock& block : blocks_) {
+    total += block.alignment.n_sites();
+  }
+  return total;
+}
+
+void PartitionedDataset::normalize_rates() {
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (const PartitionBlock& block : blocks_) {
+    const auto sites = static_cast<double>(block.alignment.n_sites());
+    weighted += block.rate * sites;
+    weight += sites;
+  }
+  const double mean = weighted / weight;
+  for (PartitionBlock& block : blocks_) block.rate /= mean;
+}
+
+PartitionedLikelihoodEngine::PartitionedLikelihoodEngine(
+    const PartitionedDataset& data)
+    : data_(&data) {
+  for (std::size_t p = 0; p < data.n_partitions(); ++p) {
+    patterns_.emplace_back(data.block(p).alignment);
+  }
+  for (std::size_t p = 0; p < data.n_partitions(); ++p) {
+    engines_.push_back(std::make_unique<LikelihoodEngine>(patterns_[p]));
+    engines_.back()->enable_matrix_cache();
+    models_.push_back(
+        std::make_unique<SubstitutionModel>(data.block(p).model));
+  }
+}
+
+void PartitionedLikelihoodEngine::refresh_model(std::size_t partition) {
+  models_.at(partition) = std::make_unique<SubstitutionModel>(
+      data_->block(partition).model);
+}
+
+double PartitionedLikelihoodEngine::log_likelihood(const Tree& tree) {
+  double total = 0.0;
+  for (std::size_t p = 0; p < engines_.size(); ++p) {
+    const double rate = data_->block(p).rate;
+    if (rate == 1.0) {
+      total += engines_[p]->log_likelihood(tree, *models_[p]);
+      continue;
+    }
+    Tree scaled = tree;
+    for (std::size_t i = 0; i < scaled.n_nodes(); ++i) {
+      if (static_cast<int>(i) != scaled.root()) {
+        scaled.set_branch_length(
+            static_cast<int>(i),
+            scaled.branch_length(static_cast<int>(i)) * rate);
+      }
+    }
+    total += engines_[p]->log_likelihood(scaled, *models_[p]);
+  }
+  return total;
+}
+
+double optimize_partitioned(PartitionedLikelihoodEngine& engine,
+                            PartitionedDataset& data, Tree& tree,
+                            int passes) {
+  double best = engine.log_likelihood(tree);
+  for (int pass = 0; pass < passes; ++pass) {
+    // Shared branch lengths against the summed likelihood.
+    for (std::size_t i = 0; i < tree.n_nodes(); ++i) {
+      const int index = static_cast<int>(i);
+      if (index == tree.root()) continue;
+      const auto objective = [&](double log_len) {
+        tree.set_branch_length(index, std::exp(log_len));
+        return -engine.log_likelihood(tree);
+      };
+      const BrentResult r = brent_minimize(
+          objective, std::log(1e-8), std::log(10.0), 1e-4, 30);
+      tree.set_branch_length(index, std::exp(r.x));
+      best = -r.fx;
+    }
+    // Per-partition rate multipliers (then re-normalize jointly).
+    if (data.n_partitions() > 1) {
+      for (std::size_t p = 0; p < data.n_partitions(); ++p) {
+        const auto objective = [&](double log_rate) {
+          data.block(p).rate = std::exp(log_rate);
+          return -engine.log_likelihood(tree);
+        };
+        const BrentResult r =
+            brent_minimize(objective, std::log(0.05), std::log(20.0), 1e-4,
+                           30);
+        data.block(p).rate = std::exp(r.x);
+        best = -r.fx;
+      }
+      data.normalize_rates();
+      best = engine.log_likelihood(tree);
+    }
+    // Per-partition scalar model parameters: reuse the single-partition
+    // optimizer shape, but against the partition's own likelihood only
+    // (partitions are conditionally independent given tree and rates).
+    for (std::size_t p = 0; p < data.n_partitions(); ++p) {
+      ModelSpec& spec = data.block(p).model;
+      struct Param {
+        double* value;
+        double lo;
+        double hi;
+      };
+      std::vector<Param> params;
+      const bool has_kappa =
+          (spec.data_type == DataType::kNucleotide &&
+           (spec.nuc_model == NucModel::kK80 ||
+            spec.nuc_model == NucModel::kHKY85)) ||
+          (spec.data_type == DataType::kAminoAcid &&
+           spec.aa_model == AaModel::kChemClass) ||
+          spec.data_type == DataType::kCodon;
+      if (has_kappa) params.push_back({&spec.kappa, 0.1, 100.0});
+      if (spec.data_type == DataType::kCodon) {
+        params.push_back({&spec.omega, 0.001, 10.0});
+      }
+      if (spec.rate_het != RateHet::kNone) {
+        params.push_back({&spec.gamma_alpha, 0.02, 100.0});
+      }
+      for (const Param& param : params) {
+        const auto objective = [&](double raw) {
+          *param.value = std::exp(raw);
+          engine.refresh_model(p);
+          return -engine.log_likelihood(tree);
+        };
+        const BrentResult r = brent_minimize(
+            objective, std::log(param.lo), std::log(param.hi), 1e-4, 30);
+        *param.value = std::exp(r.x);
+        engine.refresh_model(p);
+        best = -r.fx;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace lattice::phylo

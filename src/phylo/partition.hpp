@@ -1,0 +1,81 @@
+// Partitioned analyses — the paper notes GARLI "is being adapted to
+// accommodate novel analysis features of AToL projects by allowing more
+// data types, partitioned models, efficient analysis of incomplete data
+// sets". A partitioned dataset assigns each character block (e.g. gene, or
+// codon position) its own substitution model while all partitions share
+// the tree topology and branch lengths; the log-likelihood is the sum of
+// per-partition log-likelihoods, each scaled by a free per-partition rate
+// multiplier (the standard proportional-branch-lengths linkage).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "phylo/alignment.hpp"
+#include "phylo/likelihood.hpp"
+#include "phylo/model.hpp"
+#include "phylo/optimize.hpp"
+#include "phylo/tree.hpp"
+
+namespace lattice::phylo {
+
+struct PartitionBlock {
+  std::string name;
+  Alignment alignment;
+  ModelSpec model;
+  /// Relative rate of this partition (branch lengths are multiplied by
+  /// it); the engine keeps the weighted mean across partitions at 1.
+  double rate = 1.0;
+};
+
+/// Validated bundle of partitions over a shared taxon set. Blocks must
+/// list identical taxa in identical order.
+class PartitionedDataset {
+ public:
+  explicit PartitionedDataset(std::vector<PartitionBlock> blocks);
+
+  std::size_t n_partitions() const { return blocks_.size(); }
+  std::size_t n_taxa() const;
+  /// Total characters across partitions.
+  std::size_t n_sites() const;
+  const PartitionBlock& block(std::size_t index) const {
+    return blocks_.at(index);
+  }
+  PartitionBlock& block(std::size_t index) { return blocks_.at(index); }
+
+  /// Rescale partition rates so their site-weighted mean is exactly 1
+  /// (keeps branch lengths identifiable).
+  void normalize_rates();
+
+ private:
+  std::vector<PartitionBlock> blocks_;
+};
+
+/// Partition-aware likelihood: per-partition engines over shared topology.
+class PartitionedLikelihoodEngine {
+ public:
+  explicit PartitionedLikelihoodEngine(const PartitionedDataset& data);
+
+  /// Sum over partitions of lnL(tree scaled by block rate, block model).
+  double log_likelihood(const Tree& tree);
+
+  /// Rebuild a partition's compiled model after its spec changed.
+  void refresh_model(std::size_t partition);
+
+  const PartitionedDataset& data() const { return *data_; }
+
+ private:
+  const PartitionedDataset* data_;
+  std::vector<PatternizedAlignment> patterns_;
+  std::vector<std::unique_ptr<LikelihoodEngine>> engines_;
+  std::vector<std::unique_ptr<SubstitutionModel>> models_;
+};
+
+/// Coordinate ascent over shared branch lengths, per-partition model
+/// parameters, and per-partition rates. Returns the final log-likelihood.
+double optimize_partitioned(PartitionedLikelihoodEngine& engine,
+                            PartitionedDataset& data, Tree& tree,
+                            int passes = 2);
+
+}  // namespace lattice::phylo

@@ -1,0 +1,44 @@
+#include "phylo/render.hpp"
+
+#include <sstream>
+
+#include "util/fmt.hpp"
+
+namespace lattice::phylo {
+
+std::string render_ascii(const Tree& tree,
+                         const std::vector<std::string>& names,
+                         const RenderOptions& options) {
+  // Simple recursive layout: children above/below their parent junction.
+  // For readability at these sizes (grids of <=100 taxa), an indentation
+  // style is used instead of full box drawing.
+  std::ostringstream out;
+  auto walk = [&](auto&& self, int node, std::string indent,
+                  bool last) -> void {
+    out << indent << (node == tree.root() ? "" : (last ? "`-- " : "|-- "));
+    if (tree.is_leaf(node)) {
+      out << names.at(static_cast<std::size_t>(node));
+    } else {
+      out << "+";
+      if (const auto it = options.node_labels.find(node);
+          it != options.node_labels.end()) {
+        out << " " << it->second;
+      }
+    }
+    if (options.show_branch_lengths && node != tree.root()) {
+      out << util::format("  ({:.4g})", tree.branch_length(node));
+    }
+    out << "\n";
+    if (!tree.is_leaf(node)) {
+      const std::string next =
+          indent +
+          (node == tree.root() ? "" : (last ? "    " : "|   "));
+      self(self, tree.node(node).left, next, false);
+      self(self, tree.node(node).right, next, true);
+    }
+  };
+  walk(walk, tree.root(), "", true);
+  return out.str();
+}
+
+}  // namespace lattice::phylo

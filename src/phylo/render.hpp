@@ -1,0 +1,32 @@
+// ASCII tree rendering — the terminal view of a phylogeny, with optional
+// per-node annotations (bootstrap support, branch lengths). Used by the
+// examples and handy in test failure output.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "phylo/tree.hpp"
+
+namespace lattice::phylo {
+
+struct RenderOptions {
+  bool show_branch_lengths = false;
+  /// Annotation printed at internal nodes (e.g. bootstrap support in
+  /// percent), keyed by node index.
+  std::map<int, std::string> node_labels;
+};
+
+/// Multi-line ASCII rendering of the tree:
+///
+///   +-- A
+/// --+
+///   |  +-- B
+///   +--+
+///      +-- C
+std::string render_ascii(const Tree& tree,
+                         const std::vector<std::string>& names,
+                         const RenderOptions& options = {});
+
+}  // namespace lattice::phylo

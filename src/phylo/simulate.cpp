@@ -1,0 +1,101 @@
+#include "phylo/simulate.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace lattice::phylo {
+
+Alignment simulate_alignment(const Tree& tree, const SubstitutionModel& model,
+                             std::size_t n_sites, util::Rng& rng,
+                             std::vector<std::string> names) {
+  const std::size_t n_states = model.n_states();
+  const std::size_t n_leaves = tree.n_leaves();
+  if (names.empty()) {
+    for (std::size_t i = 0; i < n_leaves; ++i) {
+      names.push_back(util::format("t{}", i));
+    }
+  }
+  if (names.size() != n_leaves) {
+    throw std::invalid_argument("simulate: name count != leaf count");
+  }
+
+  const auto categories = model.categories();
+  std::vector<double> category_weights;
+  category_weights.reserve(categories.size());
+  for (const auto& cat : categories) category_weights.push_back(cat.weight);
+
+  // Preorder node list (parents before children).
+  std::vector<int> preorder(tree.postorder().rbegin(),
+                            tree.postorder().rend());
+
+  std::vector<std::vector<State>> sequences(
+      n_leaves, std::vector<State>(n_sites, kMissing));
+  std::vector<State> node_state(tree.n_nodes());
+  const auto freqs = model.frequencies();
+
+  // Assign each site a rate category up front, then simulate category by
+  // category so per-branch transition matrices are computed once per
+  // category rather than once per site.
+  std::vector<std::size_t> site_category(n_sites);
+  for (auto& cat : site_category) cat = rng.weighted_index(category_weights);
+
+  std::vector<std::vector<double>> branch_p(tree.n_nodes());
+  for (std::size_t cat = 0; cat < categories.size(); ++cat) {
+    bool any = false;
+    for (std::size_t site = 0; site < n_sites; ++site) {
+      if (site_category[site] == cat) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    const double rate = categories[cat].rate;
+    for (const int index : preorder) {
+      if (index == tree.root()) continue;
+      auto& p = branch_p[static_cast<std::size_t>(index)];
+      p.resize(n_states * n_states);
+      model.transition_matrix(tree.branch_length(index), rate, p);
+    }
+    for (std::size_t site = 0; site < n_sites; ++site) {
+      if (site_category[site] != cat) continue;
+      for (const int index : preorder) {
+        if (index == tree.root()) {
+          node_state[static_cast<std::size_t>(index)] =
+              static_cast<State>(rng.weighted_index(freqs));
+        } else {
+          const int parent = tree.node(index).parent;
+          const auto from = static_cast<std::size_t>(
+              node_state[static_cast<std::size_t>(parent)]);
+          const auto& p = branch_p[static_cast<std::size_t>(index)];
+          const std::span<const double> row{p.data() + from * n_states,
+                                            n_states};
+          node_state[static_cast<std::size_t>(index)] =
+              static_cast<State>(rng.weighted_index(row));
+        }
+        if (tree.is_leaf(index)) {
+          sequences[static_cast<std::size_t>(index)][site] =
+              node_state[static_cast<std::size_t>(index)];
+        }
+      }
+    }
+  }
+
+  Alignment alignment(model.data_type(), n_sites);
+  for (std::size_t i = 0; i < n_leaves; ++i) {
+    alignment.add_taxon(names[i], std::move(sequences[i]));
+  }
+  return alignment;
+}
+
+SimulatedDataset simulate_dataset(std::size_t n_taxa, std::size_t n_sites,
+                                  const ModelSpec& spec, util::Rng& rng,
+                                  double mean_branch_length) {
+  Tree tree = Tree::random(n_taxa, rng, mean_branch_length);
+  const SubstitutionModel model(spec);
+  Alignment alignment = simulate_alignment(tree, model, n_sites, rng);
+  return SimulatedDataset{std::move(tree), std::move(alignment)};
+}
+
+}  // namespace lattice::phylo

@@ -1,0 +1,33 @@
+// Sequence simulation along a tree under a substitution model — the
+// generator for test fixtures and benchmark datasets (the paper's workloads
+// are real user alignments we do not have; simulated alignments with chosen
+// taxon counts, lengths, and models exercise identical code paths).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "phylo/alignment.hpp"
+#include "phylo/model.hpp"
+#include "phylo/tree.hpp"
+#include "util/rng.hpp"
+
+namespace lattice::phylo {
+
+/// Simulate an alignment of `n_sites` characters (codon sites for codon
+/// models) on `tree` under `model`, including its rate heterogeneity.
+/// Taxon names default to "t0".."tN-1" when `names` is empty.
+Alignment simulate_alignment(const Tree& tree, const SubstitutionModel& model,
+                             std::size_t n_sites, util::Rng& rng,
+                             std::vector<std::string> names = {});
+
+/// Convenience: random tree + simulated alignment in one call.
+struct SimulatedDataset {
+  Tree tree;
+  Alignment alignment;
+};
+SimulatedDataset simulate_dataset(std::size_t n_taxa, std::size_t n_sites,
+                                  const ModelSpec& spec, util::Rng& rng,
+                                  double mean_branch_length = 0.1);
+
+}  // namespace lattice::phylo

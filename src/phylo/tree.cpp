@@ -1,0 +1,520 @@
+#include "phylo/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace lattice::phylo {
+
+Tree Tree::random(std::size_t n_leaves, util::Rng& rng,
+                  double mean_branch_length) {
+  if (n_leaves < 2) {
+    throw std::invalid_argument("tree: need at least two leaves");
+  }
+  Tree tree;
+  tree.n_leaves_ = n_leaves;
+  tree.nodes_.resize(n_leaves);
+
+  std::vector<int> order(n_leaves);
+  for (std::size_t i = 0; i < n_leaves; ++i) order[i] = static_cast<int>(i);
+  rng.shuffle(order);
+
+  auto draw_len = [&] { return rng.exponential(mean_branch_length); };
+
+  // Join the first two leaves under the root.
+  tree.nodes_.push_back(Node{});
+  const int first_root = static_cast<int>(tree.nodes_.size()) - 1;
+  tree.root_ = first_root;
+  tree.mutable_node(first_root).left = order[0];
+  tree.mutable_node(first_root).right = order[1];
+  tree.mutable_node(order[0]).parent = first_root;
+  tree.mutable_node(order[0]).length = draw_len();
+  tree.mutable_node(order[1]).parent = first_root;
+  tree.mutable_node(order[1]).length = draw_len();
+
+  // Nodes already wired into the tree whose edge to the parent can host an
+  // attachment (everything but the root).
+  std::vector<int> attachable{order[0], order[1]};
+
+  for (std::size_t i = 2; i < n_leaves; ++i) {
+    const int leaf = order[i];
+    // Attach on a uniformly random existing edge.
+    const int below =
+        attachable[static_cast<std::size_t>(rng.below(attachable.size()))];
+    const int parent = tree.node(below).parent;
+    tree.nodes_.push_back(Node{});
+    const int mid = static_cast<int>(tree.nodes_.size()) - 1;
+    tree.relink_child(parent, below, mid);
+    Node& m = tree.mutable_node(mid);
+    m.parent = parent;
+    m.length = tree.node(below).length * 0.5;
+    m.left = below;
+    m.right = leaf;
+    tree.mutable_node(below).parent = mid;
+    tree.mutable_node(below).length *= 0.5;
+    tree.mutable_node(leaf).parent = mid;
+    tree.mutable_node(leaf).length = draw_len();
+    attachable.push_back(leaf);
+    attachable.push_back(mid);
+  }
+  tree.rebuild_postorder();
+  assert(tree.check_valid());
+  return tree;
+}
+
+void Tree::set_branch_length(int index, double length) {
+  if (length < 0.0) {
+    throw std::invalid_argument("tree: negative branch length");
+  }
+  mutable_node(index).length = length;
+}
+
+void Tree::relink_child(int parent_index, int old_child, int new_child) {
+  Node& parent = mutable_node(parent_index);
+  if (parent.left == old_child) {
+    parent.left = new_child;
+  } else {
+    assert(parent.right == old_child);
+    parent.right = new_child;
+  }
+}
+
+void Tree::rebuild_postorder() {
+  postorder_.clear();
+  postorder_.reserve(nodes_.size());
+  // Iterative postorder with an explicit stack.
+  std::vector<std::pair<int, bool>> stack{{root_, false}};
+  while (!stack.empty()) {
+    auto [index, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded || is_leaf(index)) {
+      postorder_.push_back(index);
+      continue;
+    }
+    stack.emplace_back(index, true);
+    stack.emplace_back(node(index).right, false);
+    stack.emplace_back(node(index).left, false);
+  }
+}
+
+std::vector<int> Tree::internal_edge_nodes() const {
+  // A node qualifies when the edge above it is internal in the *unrooted*
+  // sense. The root is a fake degree-2 node, so for a child of the root the
+  // real edge runs to its sibling, which must itself be internal.
+  std::vector<int> out;
+  for (std::size_t i = n_leaves_; i < nodes_.size(); ++i) {
+    const int index = static_cast<int>(i);
+    if (index == root_) continue;
+    const int parent = nodes_[i].parent;
+    if (parent != root_) {
+      out.push_back(index);
+      continue;
+    }
+    const int sibling = node(parent).left == index ? node(parent).right
+                                                   : node(parent).left;
+    if (!is_leaf(sibling)) out.push_back(index);
+  }
+  return out;
+}
+
+void Tree::nni(int internal_node, int variant) {
+  assert(!is_leaf(internal_node) && internal_node != root_);
+  const int parent = node(internal_node).parent;
+  const int sibling = node(parent).left == internal_node
+                          ? node(parent).right
+                          : node(parent).left;
+  const int child = variant == 0 ? node(internal_node).left
+                                 : node(internal_node).right;
+  if (parent != root_) {
+    // Swap `child` (below internal_node) with `sibling` (below parent).
+    relink_child(parent, sibling, child);
+    relink_child(internal_node, child, sibling);
+    mutable_node(child).parent = parent;
+    mutable_node(sibling).parent = internal_node;
+  } else {
+    // Root edge: the unrooted edge connects internal_node and its sibling;
+    // swapping with the sibling itself would leave the unrooted topology
+    // unchanged. Swap with a child of the sibling instead.
+    assert(!is_leaf(sibling) && "root-edge NNI needs an internal sibling");
+    const int cousin = node(sibling).left;
+    relink_child(sibling, cousin, child);
+    relink_child(internal_node, child, cousin);
+    mutable_node(child).parent = sibling;
+    mutable_node(cousin).parent = internal_node;
+  }
+  rebuild_postorder();
+  assert(check_valid());
+}
+
+bool Tree::spr(int prune_node, int graft_node) {
+  if (prune_node == root_ || graft_node == root_) return false;
+  const int parent = node(prune_node).parent;
+  if (parent == root_) return false;  // detaching would orphan the root
+  if (graft_node == parent || graft_node == prune_node) return false;
+  const int sibling = node(parent).left == prune_node ? node(parent).right
+                                                      : node(parent).left;
+  if (graft_node == sibling) return false;  // no-op regraft
+
+  // Reject graft targets inside the pruned subtree.
+  for (int walk = graft_node; walk != kNoNode; walk = node(walk).parent) {
+    if (walk == prune_node) return false;
+  }
+
+  // Detach: splice `sibling` into the grandparent, absorbing parent's edge.
+  const int grandparent = node(parent).parent;
+  relink_child(grandparent, parent, sibling);
+  mutable_node(sibling).parent = grandparent;
+  mutable_node(sibling).length += node(parent).length;
+
+  // Reinsert `parent` on the edge above graft_node.
+  const int graft_parent = node(graft_node).parent;
+  relink_child(graft_parent, graft_node, parent);
+  Node& p = mutable_node(parent);
+  p.parent = graft_parent;
+  p.left = graft_node;
+  p.right = prune_node;
+  const double split = node(graft_node).length * 0.5;
+  p.length = split;
+  mutable_node(graft_node).parent = parent;
+  mutable_node(graft_node).length = split;
+  mutable_node(prune_node).parent = parent;
+
+  rebuild_postorder();
+  assert(check_valid());
+  return true;
+}
+
+double Tree::tree_length() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (static_cast<int>(i) != root_) total += nodes_[i].length;
+  }
+  return total;
+}
+
+bool Tree::check_valid() const {
+  if (root_ == kNoNode || nodes_.size() != 2 * n_leaves_ - 1) return false;
+  if (node(root_).parent != kNoNode) return false;
+  std::size_t reached = 0;
+  std::vector<int> stack{root_};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    const int index = stack.back();
+    stack.pop_back();
+    if (index < 0 || index >= static_cast<int>(nodes_.size())) return false;
+    if (seen[static_cast<std::size_t>(index)]) return false;  // cycle
+    seen[static_cast<std::size_t>(index)] = true;
+    ++reached;
+    const Node& n = node(index);
+    if (is_leaf(index)) {
+      if (n.left != kNoNode || n.right != kNoNode) return false;
+    } else {
+      if (n.left == kNoNode || n.right == kNoNode) return false;
+      if (node(n.left).parent != index || node(n.right).parent != index) {
+        return false;
+      }
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  return reached == nodes_.size();
+}
+
+namespace {
+
+struct NewickNode {
+  std::string label;
+  double length = 0.0;
+  bool has_length = false;
+  std::vector<NewickNode> children;
+};
+
+class NewickParser {
+ public:
+  explicit NewickParser(std::string_view text) : text_(text) {}
+
+  NewickNode parse() {
+    NewickNode root = parse_subtree();
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != ';') {
+      fail("expected ';'");
+    }
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error(
+        util::format("newick: {} at position {}", message, pos_));
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  NewickNode parse_subtree() {
+    skip_space();
+    NewickNode node;
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;
+      node.children.push_back(parse_subtree());
+      skip_space();
+      while (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        node.children.push_back(parse_subtree());
+        skip_space();
+      }
+      if (pos_ >= text_.size() || text_[pos_] != ')') fail("expected ')'");
+      ++pos_;
+    }
+    node.label = parse_label();
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == ':') {
+      ++pos_;
+      node.length = parse_number();
+      node.has_length = true;
+    }
+    if (node.children.empty() && node.label.empty()) {
+      fail("leaf without a label");
+    }
+    return node;
+  }
+
+  std::string parse_label() {
+    skip_space();
+    std::string label;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (ch == ',' || ch == ')' || ch == '(' || ch == ':' || ch == ';' ||
+          std::isspace(static_cast<unsigned char>(ch))) {
+        break;
+      }
+      label += ch;
+      ++pos_;
+    }
+    return label;
+  }
+
+  double parse_number() {
+    skip_space();
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(std::string(text_.substr(pos_)), &used);
+    } catch (const std::exception&) {
+      fail("expected a branch length");
+    }
+    pos_ += used;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Tree Tree::parse_newick(std::string_view newick,
+                        const std::vector<std::string>& names) {
+  NewickParser parser(newick);
+  NewickNode parsed = parser.parse();
+
+  Tree tree;
+  tree.n_leaves_ = names.size();
+  tree.nodes_.resize(names.size());
+  std::vector<bool> used(names.size(), false);
+
+  // Recursive conversion; multifurcations are binarized by left-folding
+  // children with zero-length connector edges.
+  auto convert = [&](auto&& self, const NewickNode& in) -> int {
+    if (in.children.empty()) {
+      int leaf = kNoNode;
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == in.label) {
+          leaf = static_cast<int>(i);
+          break;
+        }
+      }
+      if (leaf == kNoNode) {
+        throw std::runtime_error(
+            util::format("newick: unknown taxon '{}'", in.label));
+      }
+      if (used[static_cast<std::size_t>(leaf)]) {
+        throw std::runtime_error(
+            util::format("newick: duplicate taxon '{}'", in.label));
+      }
+      used[static_cast<std::size_t>(leaf)] = true;
+      tree.mutable_node(leaf).length = in.has_length ? in.length : 0.0;
+      return leaf;
+    }
+    if (in.children.size() == 1) {
+      // Degree-two node: absorb it, summing lengths.
+      const int child = self(self, in.children.front());
+      tree.mutable_node(child).length +=
+          in.has_length ? in.length : 0.0;
+      return child;
+    }
+    int acc = self(self, in.children.front());
+    for (std::size_t i = 1; i < in.children.size(); ++i) {
+      const int next = self(self, in.children[i]);
+      tree.nodes_.push_back(Node{});
+      const int join = static_cast<int>(tree.nodes_.size()) - 1;
+      tree.mutable_node(join).left = acc;
+      tree.mutable_node(join).right = next;
+      tree.mutable_node(acc).parent = join;
+      tree.mutable_node(next).parent = join;
+      // Connector edges between folded multifurcation levels are zero.
+      tree.mutable_node(join).length = 0.0;
+      acc = join;
+    }
+    tree.mutable_node(acc).length = in.has_length ? in.length : 0.0;
+    return acc;
+  };
+
+  tree.root_ = convert(convert, parsed);
+  tree.mutable_node(tree.root_).parent = kNoNode;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!used[i]) {
+      throw std::runtime_error(
+          util::format("newick: taxon '{}' missing from tree", names[i]));
+    }
+  }
+  if (tree.nodes_.size() != 2 * tree.n_leaves_ - 1) {
+    throw std::runtime_error("newick: tree is not fully resolved after "
+                             "binarization");
+  }
+  tree.rebuild_postorder();
+  if (!tree.check_valid()) {
+    throw std::runtime_error("newick: parsed tree failed validation");
+  }
+  return tree;
+}
+
+std::string Tree::to_newick(const std::vector<std::string>& names,
+                            int precision) const {
+  std::ostringstream out;
+  auto emit = [&](auto&& self, int index) -> void {
+    const Node& n = node(index);
+    if (is_leaf(index)) {
+      out << names.at(static_cast<std::size_t>(index));
+    } else {
+      out << '(';
+      self(self, n.left);
+      out << ',';
+      self(self, n.right);
+      out << ')';
+    }
+    if (index != root_) {
+      out << ':' << util::format("{:." + std::to_string(precision) + "g}",
+                                 n.length);
+    }
+  };
+  emit(emit, root_);
+  out << ';';
+  return out.str();
+}
+
+std::string Tree::serialize_structure() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << n_leaves_ << ' ' << root_;
+  for (const Node& n : nodes_) {
+    out << ' ' << n.parent << ':' << n.left << ':' << n.right << ':'
+        << n.length;
+  }
+  return out.str();
+}
+
+Tree Tree::deserialize_structure(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  Tree tree;
+  if (!(in >> tree.n_leaves_ >> tree.root_)) {
+    throw std::runtime_error("tree: bad structure header");
+  }
+  if (tree.n_leaves_ < 2 || tree.n_leaves_ > 1'000'000) {
+    throw std::runtime_error("tree: implausible leaf count");
+  }
+  tree.nodes_.resize(2 * tree.n_leaves_ - 1);
+  for (Node& n : tree.nodes_) {
+    char c1 = 0;
+    char c2 = 0;
+    char c3 = 0;
+    if (!(in >> n.parent >> c1 >> n.left >> c2 >> n.right >> c3 >>
+          n.length) ||
+        c1 != ':' || c2 != ':' || c3 != ':') {
+      throw std::runtime_error("tree: bad structure node");
+    }
+  }
+  tree.rebuild_postorder();
+  if (!tree.check_valid()) {
+    throw std::runtime_error("tree: structure failed validation");
+  }
+  return tree;
+}
+
+std::vector<std::vector<std::uint64_t>> Tree::bipartitions() const {
+  const std::size_t words = (n_leaves_ + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> below(
+      nodes_.size(), std::vector<std::uint64_t>(words, 0));
+  for (const int index : postorder_) {
+    if (is_leaf(index)) {
+      below[static_cast<std::size_t>(index)]
+           [static_cast<std::size_t>(index) / 64] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(index) % 64);
+      continue;
+    }
+    const Node& n = node(index);
+    for (std::size_t w = 0; w < words; ++w) {
+      below[static_cast<std::size_t>(index)][w] =
+          below[static_cast<std::size_t>(n.left)][w] |
+          below[static_cast<std::size_t>(n.right)][w];
+    }
+  }
+  // Collect canonical non-trivial bipartitions from internal non-root
+  // nodes. Canonical form: the side not containing leaf 0.
+  std::vector<std::vector<std::uint64_t>> out;
+  for (std::size_t i = n_leaves_; i < nodes_.size(); ++i) {
+    if (static_cast<int>(i) == root_) continue;
+    std::vector<std::uint64_t> mask = below[i];
+    if (mask[0] & 1) {
+      for (std::size_t w = 0; w < words; ++w) mask[w] = ~mask[w];
+      // Clear padding bits in the last word.
+      const std::size_t tail = n_leaves_ % 64;
+      if (tail != 0) mask[words - 1] &= (std::uint64_t{1} << tail) - 1;
+    }
+    // Skip trivial splits (single leaf or all-but-one).
+    std::size_t bits = 0;
+    for (std::uint64_t w : mask) bits += static_cast<std::size_t>(__builtin_popcountll(w));
+    if (bits <= 1 || bits >= n_leaves_ - 1) continue;
+    out.push_back(std::move(mask));
+  }
+  return out;
+}
+
+std::size_t Tree::robinson_foulds(const Tree& a, const Tree& b) {
+  if (a.n_leaves() != b.n_leaves()) {
+    throw std::invalid_argument("robinson_foulds: differing leaf sets");
+  }
+  auto to_set = [](std::vector<std::vector<std::uint64_t>> parts) {
+    return std::set<std::vector<std::uint64_t>>(
+        std::make_move_iterator(parts.begin()),
+        std::make_move_iterator(parts.end()));
+  };
+  const auto sa = to_set(a.bipartitions());
+  const auto sb = to_set(b.bipartitions());
+  std::size_t shared = 0;
+  for (const auto& part : sa) {
+    if (sb.contains(part)) ++shared;
+  }
+  return (sa.size() - shared) + (sb.size() - shared);
+}
+
+}  // namespace lattice::phylo

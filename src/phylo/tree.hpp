@@ -1,0 +1,108 @@
+// Rooted-binary phylogenetic tree with branch lengths. Under the reversible
+// models used here the likelihood is invariant to root placement
+// (Felsenstein's pulley principle), so a rooted representation of an
+// unrooted topology is used throughout, as GARLI does internally.
+//
+// Leaves are nodes [0, n_leaves); internal nodes follow. The tree owns its
+// topology as index-linked nodes in a vector, so copies are plain value
+// copies — the genetic algorithm clones individuals freely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lattice::phylo {
+
+inline constexpr int kNoNode = -1;
+
+class Tree {
+ public:
+  struct Node {
+    int parent = kNoNode;
+    int left = kNoNode;   // kNoNode for leaves
+    int right = kNoNode;  // kNoNode for leaves
+    double length = 0.0;  // branch to parent (unused at the root)
+  };
+
+  /// Build a uniformly random topology by sequential random attachment,
+  /// with branch lengths drawn Exponential(mean_branch_length).
+  static Tree random(std::size_t n_leaves, util::Rng& rng,
+                     double mean_branch_length = 0.1);
+
+  /// Parse a Newick string; leaf labels must be indices into `names` (the
+  /// taxon order of the alignment). A trifurcating (unrooted-style) root is
+  /// converted to a binary root with a zero-length edge. Throws
+  /// std::runtime_error on malformed input or unknown/missing/duplicate
+  /// labels.
+  static Tree parse_newick(std::string_view newick,
+                           const std::vector<std::string>& names);
+
+  std::string to_newick(const std::vector<std::string>& names,
+                        int precision = 6) const;
+
+  std::size_t n_leaves() const { return n_leaves_; }
+  std::size_t n_nodes() const { return nodes_.size(); }
+  int root() const { return root_; }
+
+  const Node& node(int index) const { return nodes_[static_cast<std::size_t>(index)]; }
+  bool is_leaf(int index) const { return index < static_cast<int>(n_leaves_); }
+
+  double branch_length(int index) const { return node(index).length; }
+  void set_branch_length(int index, double length);
+
+  /// Nodes in postorder (children before parents, root last).
+  const std::vector<int>& postorder() const { return postorder_; }
+
+  /// Internal (non-root, non-leaf) nodes — the candidates for NNI edges.
+  std::vector<int> internal_edge_nodes() const;
+
+  /// Nearest-neighbour interchange across the edge above `internal_node`:
+  /// swaps one child of the node with its sibling. `variant` selects which
+  /// child (0 or 1). Precondition: internal_node is internal and non-root.
+  void nni(int internal_node, int variant);
+
+  /// Subtree prune and regraft: detach the subtree rooted at `prune_node`
+  /// (non-root, with a non-root parent) and reinsert it on the branch above
+  /// `graft_node`. Returns false (tree unchanged) when the move is
+  /// degenerate: graft_node inside the pruned subtree, equal to its parent
+  /// or sibling, or the root.
+  bool spr(int prune_node, int graft_node);
+
+  /// Total branch length.
+  double tree_length() const;
+
+  /// Robinson–Foulds symmetric-difference distance between two trees over
+  /// the same leaf set, computed on unrooted bipartitions.
+  static std::size_t robinson_foulds(const Tree& a, const Tree& b);
+
+  /// Structural invariants (parent/child consistency, node count, single
+  /// root, all leaves reachable). Cheap enough to assert in tests after
+  /// every topology move.
+  bool check_valid() const;
+
+  /// Exact structural serialization (preserves node indices, unlike
+  /// Newick), used by GA checkpoints so a restored search replays the same
+  /// RNG-indexed mutations. One line: "n_leaves root p:l:r:len ...".
+  std::string serialize_structure() const;
+  /// Inverse of serialize_structure. Throws std::runtime_error on
+  /// malformed or structurally invalid input.
+  static Tree deserialize_structure(std::string_view text);
+
+ private:
+  void rebuild_postorder();
+  Node& mutable_node(int index) { return nodes_[static_cast<std::size_t>(index)]; }
+  /// Replace `old_child` of `parent_index` with `new_child`.
+  void relink_child(int parent_index, int old_child, int new_child);
+  std::vector<std::vector<std::uint64_t>> bipartitions() const;
+
+  std::vector<Node> nodes_;
+  std::vector<int> postorder_;
+  std::size_t n_leaves_ = 0;
+  int root_ = kNoNode;
+};
+
+}  // namespace lattice::phylo

@@ -1,0 +1,250 @@
+#include "rf/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lattice::rf {
+
+namespace {
+
+/// Sum and count accumulator for SSE-decrease split scoring. The decrease
+/// in residual sum of squares from splitting a node into (L, R) is
+///   sum_L^2/n_L + sum_R^2/n_R - sum^2/n,
+/// so only sums and counts are needed, not squared terms.
+struct SumCount {
+  double sum = 0.0;
+  double count = 0.0;
+
+  double score() const { return count > 0 ? sum * sum / count : 0.0; }
+};
+
+}  // namespace
+
+void RegressionTree::fit(const Dataset& data,
+                         std::span<const std::size_t> rows,
+                         const TreeParams& params, util::Rng& rng,
+                         std::vector<double>* purity_gain) {
+  nodes_.clear();
+  assert(!rows.empty());
+  std::vector<std::size_t> work(rows.begin(), rows.end());
+  build(data, work, 0, work.size(), params, 0, rng, purity_gain);
+}
+
+std::size_t RegressionTree::build(const Dataset& data,
+                                  std::vector<std::size_t>& rows,
+                                  std::size_t begin, std::size_t end,
+                                  const TreeParams& params, std::size_t depth,
+                                  util::Rng& rng,
+                                  std::vector<double>* purity_gain) {
+  const std::size_t n = end - begin;
+  const std::size_t index = nodes_.size();
+  nodes_.emplace_back();
+
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += data.target(rows[i]);
+  const double node_mean = sum / static_cast<double>(n);
+  nodes_[index].value = node_mean;
+
+  const bool depth_capped =
+      params.max_depth != 0 && depth >= params.max_depth;
+  if (n < 2 * params.min_leaf || depth_capped) return index;
+
+  // Sample mtry candidate features without replacement.
+  const std::size_t p = data.n_features();
+  std::size_t mtry = params.mtry == 0 ? std::max<std::size_t>(1, p / 3)
+                                      : std::min(params.mtry, p);
+  std::vector<std::size_t> candidates(p);
+  std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  for (std::size_t i = 0; i < mtry; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.below(p - i));
+    std::swap(candidates[i], candidates[j]);
+  }
+  candidates.resize(mtry);
+
+  const Split split = best_split(
+      data, std::span(rows).subspan(begin, n), candidates, params);
+  if (!split.found) return index;
+
+  if (purity_gain != nullptr) {
+    (*purity_gain)[split.feature] += split.sse_decrease;
+  }
+
+  Node& node = nodes_[index];
+  node.feature = static_cast<std::uint32_t>(split.feature);
+  node.categorical = split.categorical;
+  node.threshold = split.threshold;
+  node.level_mask = split.level_mask;
+
+  // Partition rows in place around the split.
+  const auto middle = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t r) {
+        return goes_left(nodes_[index], data.value(r, split.feature));
+      });
+  const auto mid =
+      static_cast<std::size_t>(middle - rows.begin());
+  assert(mid > begin && mid < end);
+
+  const std::size_t left =
+      build(data, rows, begin, mid, params, depth + 1, rng, purity_gain);
+  const std::size_t right =
+      build(data, rows, mid, end, params, depth + 1, rng, purity_gain);
+  nodes_[index].left = static_cast<std::uint32_t>(left);
+  nodes_[index].right = static_cast<std::uint32_t>(right);
+  return index;
+}
+
+RegressionTree::Split RegressionTree::best_split(
+    const Dataset& data, std::span<const std::size_t> rows,
+    std::span<const std::size_t> features, const TreeParams& params) const {
+  Split best;
+  const std::size_t n = rows.size();
+
+  double total_sum = 0.0;
+  for (std::size_t r : rows) total_sum += data.target(r);
+  const double base_score = total_sum * total_sum / static_cast<double>(n);
+
+  // Reused scratch across candidate features.
+  std::vector<std::pair<double, double>> pairs;  // (value, target)
+  pairs.reserve(n);
+
+  for (const std::size_t f : features) {
+    const FeatureSpec& spec = data.feature(f);
+    if (spec.kind == FeatureKind::kNumeric) {
+      pairs.clear();
+      for (std::size_t r : rows) {
+        pairs.emplace_back(data.value(r, f), data.target(r));
+      }
+      std::sort(pairs.begin(), pairs.end());
+      SumCount left;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        left.sum += pairs[i].second;
+        left.count += 1.0;
+        if (pairs[i].first == pairs[i + 1].first) continue;  // tied values
+        const std::size_t n_left = i + 1;
+        const std::size_t n_right = n - n_left;
+        if (n_left < params.min_leaf || n_right < params.min_leaf) continue;
+        SumCount right{total_sum - left.sum,
+                       static_cast<double>(n_right)};
+        const double gain = left.score() + right.score() - base_score;
+        if (gain > best.sse_decrease) {
+          best.found = true;
+          best.feature = f;
+          best.categorical = false;
+          // Midpoint threshold generalizes better than either endpoint.
+          best.threshold = 0.5 * (pairs[i].first + pairs[i + 1].first);
+          best.level_mask = 0;
+          best.sse_decrease = gain;
+        }
+      }
+    } else {
+      // Order levels by mean response, then scan prefix partitions; for
+      // squared-error regression this finds the optimal subset split.
+      const std::size_t k = spec.levels.size();
+      std::vector<SumCount> per_level(k);
+      for (std::size_t r : rows) {
+        const auto level = static_cast<std::size_t>(data.value(r, f));
+        per_level[level].sum += data.target(r);
+        per_level[level].count += 1.0;
+      }
+      std::vector<std::size_t> order;
+      for (std::size_t level = 0; level < k; ++level) {
+        if (per_level[level].count > 0) order.push_back(level);
+      }
+      if (order.size() < 2) continue;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return per_level[a].sum / per_level[a].count <
+                         per_level[b].sum / per_level[b].count;
+                });
+      SumCount left;
+      std::uint64_t mask = 0;
+      for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        left.sum += per_level[order[i]].sum;
+        left.count += per_level[order[i]].count;
+        mask |= std::uint64_t{1} << order[i];
+        const auto n_left = static_cast<std::size_t>(left.count);
+        const std::size_t n_right = n - n_left;
+        if (n_left < params.min_leaf || n_right < params.min_leaf) continue;
+        SumCount right{total_sum - left.sum, static_cast<double>(n_right)};
+        const double gain = left.score() + right.score() - base_score;
+        if (gain > best.sse_decrease) {
+          best.found = true;
+          best.feature = f;
+          best.categorical = true;
+          best.threshold = 0.0;
+          best.level_mask = mask;
+          best.sse_decrease = gain;
+        }
+      }
+    }
+  }
+  // Guard against zero-gain splits on constant responses.
+  if (best.found && best.sse_decrease <= 1e-12) best.found = false;
+  return best;
+}
+
+bool RegressionTree::goes_left(const Node& node, double value) const {
+  if (node.categorical) {
+    const auto level = static_cast<std::size_t>(value);
+    return (node.level_mask >> level) & 1;
+  }
+  return value <= node.threshold;
+}
+
+double RegressionTree::predict(std::span<const double> features) const {
+  assert(!nodes_.empty());
+  std::size_t index = 0;
+  for (;;) {
+    const Node& node = nodes_[index];
+    if (node.left == 0) return node.value;
+    index = goes_left(node, features[node.feature]) ? node.left : node.right;
+  }
+}
+
+double RegressionTree::predict_row(const Dataset& data, std::size_t row,
+                                   std::size_t override_feature,
+                                   double override_value) const {
+  assert(!nodes_.empty());
+  std::size_t index = 0;
+  for (;;) {
+    const Node& node = nodes_[index];
+    if (node.left == 0) return node.value;
+    const double value = node.feature == override_feature
+                             ? override_value
+                             : data.value(row, node.feature);
+    index = goes_left(node, value) ? node.left : node.right;
+  }
+}
+
+std::size_t RegressionTree::leaf_count() const {
+  std::size_t count = 0;
+  for (const Node& node : nodes_) {
+    if (node.left == 0) ++count;
+  }
+  return count;
+}
+
+std::size_t RegressionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the implicit tree structure.
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& node = nodes_[index];
+    if (node.left != 0) {
+      stack.emplace_back(node.left, depth + 1);
+      stack.emplace_back(node.right, depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace lattice::rf

@@ -1,0 +1,92 @@
+// CART regression tree, the constituent model of a random forest
+// (Breiman et al. 1984; Breiman 2001). Splits minimize residual sum of
+// squares. Numeric features split on a threshold; categorical features split
+// on a subset of levels, found optimally for regression by ordering levels
+// by their mean response (Fisher 1958).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "rf/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace lattice::rf {
+
+struct TreeParams {
+  /// Features sampled (without replacement) at each node; 0 means
+  /// max(1, n_features / 3), the regression default in randomForest.
+  std::size_t mtry = 0;
+  /// Minimum observations in a leaf (randomForest regression default: 5).
+  std::size_t min_leaf = 5;
+  /// Maximum tree depth; 0 means unlimited.
+  std::size_t max_depth = 0;
+};
+
+class RegressionTree {
+ public:
+  /// Fit to the given rows of `data` (duplicates allowed: the forest passes
+  /// a bootstrap sample). `purity_gain`, if non-null, accumulates each
+  /// split's SSE decrease into the entry of the split feature (the
+  /// IncNodePurity importance measure).
+  void fit(const Dataset& data, std::span<const std::size_t> rows,
+           const TreeParams& params, util::Rng& rng,
+           std::vector<double>* purity_gain = nullptr);
+
+  /// Predict one observation given as a dense feature vector.
+  double predict(std::span<const double> features) const;
+
+  /// Predict a stored dataset row, optionally overriding one feature value
+  /// (used by permutation importance to avoid materializing rows).
+  double predict_row(const Dataset& data, std::size_t row,
+                     std::size_t override_feature = kNoOverride,
+                     double override_value = 0.0) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  std::size_t depth() const;
+  bool empty() const { return nodes_.empty(); }
+
+  static constexpr std::size_t kNoOverride =
+      std::numeric_limits<std::size_t>::max();
+
+ private:
+  struct Node {
+    // Leaf iff left == 0 (node 0 is the root, never a child).
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    std::uint32_t feature = 0;
+    bool categorical = false;
+    /// Numeric: x <= threshold goes left. Categorical: level bit set in
+    /// `level_mask` goes left (threshold unused).
+    double threshold = 0.0;
+    std::uint64_t level_mask = 0;
+    double value = 0.0;  // leaf prediction (mean response)
+  };
+
+  struct Split {
+    bool found = false;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::uint64_t level_mask = 0;
+    bool categorical = false;
+    double sse_decrease = 0.0;
+  };
+
+  Split best_split(const Dataset& data, std::span<const std::size_t> rows,
+                   std::span<const std::size_t> features,
+                   const TreeParams& params) const;
+
+  std::size_t build(const Dataset& data, std::vector<std::size_t>& rows,
+                    std::size_t begin, std::size_t end,
+                    const TreeParams& params, std::size_t depth,
+                    util::Rng& rng, std::vector<double>* purity_gain);
+
+  bool goes_left(const Node& node, double value) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace lattice::rf

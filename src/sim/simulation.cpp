@@ -1,0 +1,77 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace lattice::sim {
+
+EventHandle Simulation::at(SimTime when, std::function<void()> fn) {
+  assert(fn);
+  when = std::max(when, now_);
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return EventHandle{id};
+}
+
+EventHandle Simulation::after(SimTime delay, std::function<void()> fn) {
+  return at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+bool Simulation::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  // Erase from the pending set; the queue entry becomes a tombstone that is
+  // skipped when it surfaces.
+  return pending_ids_.erase(handle.id_) > 0;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (pending_ids_.erase(event.id) == 0) continue;  // cancelled
+    now_ = event.when;
+    ++fired_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulation::run(SimTime until) {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    // Skip tombstones so the horizon check sees the next live event.
+    if (!pending_ids_.contains(queue_.top().id)) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > until) break;
+    if (step()) ++count;
+  }
+  return count;
+}
+
+PeriodicTask::PeriodicTask(Simulation& sim, SimTime start, SimTime period,
+                           std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  assert(period_ > 0.0);
+  arm(start);
+}
+
+void PeriodicTask::arm(SimTime when) {
+  next_ = sim_.at(when, [this] {
+    if (!running_) return;
+    fn_();
+    if (running_) arm(sim_.now() + period_);
+  });
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(next_);
+}
+
+}  // namespace lattice::sim

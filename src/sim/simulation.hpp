@@ -1,0 +1,114 @@
+// Deterministic discrete-event simulation kernel. All grid machinery —
+// local resource managers, the MDS information service, the BOINC server and
+// its volunteer hosts, and the meta-scheduler — runs as event handlers on
+// one Simulation instance, so an entire multi-institution grid run is a
+// single-threaded, fully reproducible computation.
+//
+// Time is a double in seconds from simulation start. Events at equal times
+// fire in scheduling order (a monotone sequence number breaks ties), which
+// keeps runs reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace lattice::sim {
+
+using SimTime = double;
+
+/// Handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule fn at absolute time `when` (>= now). Events in the past are
+  /// clamped to now.
+  EventHandle at(SimTime when, std::function<void()> fn);
+
+  /// Schedule fn `delay` seconds from now (negative clamps to 0).
+  EventHandle after(SimTime delay, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if it already fired, was
+  /// cancelled, or the handle is empty. The event's closure is dropped
+  /// lazily when it reaches the head of the queue.
+  bool cancel(EventHandle handle);
+
+  /// Run until the event queue drains or now() would exceed `until`
+  /// (default: run to exhaustion). Returns the number of events fired.
+  std::uint64_t run(SimTime until = kForever);
+
+  /// Fire at most one event. Returns false when the queue is empty.
+  bool step();
+
+  bool empty() const { return pending_ids_.empty(); }
+  std::uint64_t events_fired() const { return fired_; }
+  std::size_t pending() const { return pending_ids_.size(); }
+
+  static constexpr SimTime kForever = 1e300;
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_ids_;  // scheduled, not yet fired
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t fired_ = 0;
+};
+
+/// Repeating event helper: calls fn every `period` seconds starting at
+/// `start` until stop() or the owning Simulation drains. Used for the MDS
+/// reporting loops and BOINC daemon polling loops.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulation& sim, SimTime start, SimTime period,
+               std::function<void()> fn);
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  bool running() const { return running_; }
+
+ private:
+  void arm(SimTime when);
+
+  Simulation& sim_;
+  SimTime period_;
+  std::function<void()> fn_;
+  EventHandle next_;
+  bool running_ = true;
+};
+
+}  // namespace lattice::sim

@@ -1,0 +1,162 @@
+// Minimal type-safe "{}" formatting, a std::format stand-in for toolchains
+// whose libstdc++ predates <format> (GCC 12). Supports the subset this
+// codebase uses:
+//   {}        default rendering
+//   {:.Nf}    fixed floating point with N digits
+//   {:.Ne}    scientific with N digits
+//   {:.Ng}    general with N significant digits
+//   {:Nd}     integer padded to width N with spaces (right aligned)
+//   {{ and }} literal braces
+// Mismatched argument counts throw std::runtime_error (format strings here
+// are all compile-time literals exercised by tests, so this is a programmer
+// error, not an input error).
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace lattice::util {
+
+namespace fmt_detail {
+
+inline void append_spec_double(std::string& out, std::string_view spec,
+                               double value) {
+  char conv = 'g';
+  int precision = 6;
+  if (!spec.empty()) {
+    std::string_view body = spec;
+    if (body.front() == '.') {
+      body.remove_prefix(1);
+      precision = 0;
+      while (!body.empty() && body.front() >= '0' && body.front() <= '9') {
+        precision = precision * 10 + (body.front() - '0');
+        body.remove_prefix(1);
+      }
+    }
+    if (!body.empty() &&
+        (body.front() == 'f' || body.front() == 'e' || body.front() == 'g')) {
+      conv = body.front();
+      body.remove_prefix(1);
+    }
+    if (!body.empty()) {
+      throw std::runtime_error("fmt: unsupported float spec");
+    }
+  }
+  char pattern[8] = {'%', '.', '*', conv, '\0'};
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, pattern, precision, value);
+  out += buffer;
+}
+
+template <typename T>
+void append_value(std::string& out, std::string_view spec, const T& value) {
+  if constexpr (std::is_same_v<T, bool>) {
+    out += value ? "true" : "false";
+  } else if constexpr (std::is_floating_point_v<T>) {
+    append_spec_double(out, spec, static_cast<double>(value));
+  } else if constexpr (std::is_integral_v<T>) {
+    std::string digits = std::to_string(value);
+    // Optional width: "{:8d}" pads with spaces on the left.
+    if (!spec.empty()) {
+      std::string_view body = spec;
+      std::size_t width = 0;
+      while (!body.empty() && body.front() >= '0' && body.front() <= '9') {
+        width = width * 10 + static_cast<std::size_t>(body.front() - '0');
+        body.remove_prefix(1);
+      }
+      if (!body.empty() && body.front() == 'd') body.remove_prefix(1);
+      if (!body.empty()) throw std::runtime_error("fmt: unsupported int spec");
+      if (digits.size() < width) {
+        digits.insert(0, width - digits.size(), ' ');
+      }
+    }
+    out += digits;
+  } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+    out += std::string_view(value);
+  } else if constexpr (std::is_enum_v<T>) {
+    out += std::to_string(static_cast<long long>(value));
+  } else {
+    static_assert(!sizeof(T*), "fmt: unformattable type");
+  }
+}
+
+inline void format_step(std::string& out, std::string_view& fmt) {
+  // Copy text up to the next placeholder; called once more than the number
+  // of arguments to flush the tail.
+  while (!fmt.empty()) {
+    const char ch = fmt.front();
+    if (ch == '{') {
+      if (fmt.size() >= 2 && fmt[1] == '{') {
+        out += '{';
+        fmt.remove_prefix(2);
+        continue;
+      }
+      return;  // a real placeholder: caller consumes it
+    }
+    if (ch == '}') {
+      if (fmt.size() >= 2 && fmt[1] == '}') {
+        out += '}';
+        fmt.remove_prefix(2);
+        continue;
+      }
+      throw std::runtime_error("fmt: stray '}'");
+    }
+    out += ch;
+    fmt.remove_prefix(1);
+  }
+}
+
+inline std::string_view take_spec(std::string_view& fmt) {
+  // fmt starts at '{'. Returns the spec between ':' and '}' (may be empty)
+  // and advances past the closing brace.
+  fmt.remove_prefix(1);
+  std::string_view spec;
+  if (!fmt.empty() && fmt.front() == ':') {
+    fmt.remove_prefix(1);
+    const std::size_t close = fmt.find('}');
+    if (close == std::string_view::npos) {
+      throw std::runtime_error("fmt: unterminated placeholder");
+    }
+    spec = fmt.substr(0, close);
+    fmt.remove_prefix(close);
+  }
+  if (fmt.empty() || fmt.front() != '}') {
+    throw std::runtime_error("fmt: unterminated placeholder");
+  }
+  fmt.remove_prefix(1);
+  return spec;
+}
+
+inline void format_rest(std::string& out, std::string_view fmt) {
+  format_step(out, fmt);
+  if (!fmt.empty()) {
+    throw std::runtime_error("fmt: more placeholders than arguments");
+  }
+}
+
+template <typename First, typename... Rest>
+void format_rest(std::string& out, std::string_view fmt, const First& first,
+                 const Rest&... rest) {
+  format_step(out, fmt);
+  if (fmt.empty()) {
+    throw std::runtime_error("fmt: more arguments than placeholders");
+  }
+  const std::string_view spec = take_spec(fmt);
+  append_value(out, spec, first);
+  format_rest(out, fmt, rest...);
+}
+
+}  // namespace fmt_detail
+
+template <typename... Args>
+std::string format(std::string_view fmt, const Args&... args) {
+  std::string out;
+  out.reserve(fmt.size() + 16 * sizeof...(args));
+  fmt_detail::format_rest(out, fmt, args...);
+  return out;
+}
+
+}  // namespace lattice::util

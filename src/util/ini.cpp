@@ -1,0 +1,180 @@
+#include "util/ini.hpp"
+
+#include <cctype>
+#include "util/fmt.hpp"
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lattice::util {
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+IniFile IniFile::parse(std::string_view text) {
+  IniFile file;
+  std::string current_section;
+  bool in_section = false;
+  std::size_t line_number = 0;
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  while (std::getline(stream, raw)) {
+    ++line_number;
+    std::string line = trim(raw);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        throw std::runtime_error(
+            format("ini: line {}: unterminated section header",
+                        line_number));
+      }
+      current_section = trim(std::string_view(line).substr(1, line.size() - 2));
+      in_section = true;
+      if (file.find_section(current_section) == nullptr) {
+        file.sections_.emplace_back(current_section, Section{});
+      }
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error(
+          format("ini: line {}: expected 'key = value'", line_number));
+    }
+    if (!in_section) {
+      throw std::runtime_error(
+          format("ini: line {}: key outside any [section]",
+                      line_number));
+    }
+    std::string key = trim(std::string_view(line).substr(0, eq));
+    std::string value = trim(std::string_view(line).substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error(
+          format("ini: line {}: empty key", line_number));
+    }
+    file.set(current_section, key, std::move(value));
+  }
+  return file;
+}
+
+IniFile::Section* IniFile::find_section(const std::string& name) {
+  for (auto& [section_name, section] : sections_) {
+    if (section_name == name) return &section;
+  }
+  return nullptr;
+}
+
+const IniFile::Section* IniFile::find_section(const std::string& name) const {
+  for (const auto& [section_name, section] : sections_) {
+    if (section_name == name) return &section;
+  }
+  return nullptr;
+}
+
+bool IniFile::has_section(const std::string& section) const {
+  return find_section(section) != nullptr;
+}
+
+bool IniFile::has_key(const std::string& section,
+                      const std::string& key) const {
+  return get(section, key).has_value();
+}
+
+std::optional<std::string> IniFile::get(const std::string& section,
+                                        const std::string& key) const {
+  const Section* s = find_section(section);
+  if (s == nullptr) return std::nullopt;
+  for (const auto& [k, v] : s->pairs) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string IniFile::get_or(const std::string& section, const std::string& key,
+                            std::string fallback) const {
+  auto value = get(section, key);
+  return value ? *value : std::move(fallback);
+}
+
+double IniFile::get_double(const std::string& section, const std::string& key,
+                           double fallback) const {
+  auto value = get(section, key);
+  if (!value) return fallback;
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(*value, &used);
+    if (trim(std::string_view(*value).substr(used)).empty()) return parsed;
+  } catch (const std::exception&) {
+  }
+  throw std::runtime_error(format(
+      "ini: [{}] {} = '{}' is not a number", section, key, *value));
+}
+
+long long IniFile::get_int(const std::string& section, const std::string& key,
+                           long long fallback) const {
+  auto value = get(section, key);
+  if (!value) return fallback;
+  try {
+    std::size_t used = 0;
+    const long long parsed = std::stoll(*value, &used);
+    if (trim(std::string_view(*value).substr(used)).empty()) return parsed;
+  } catch (const std::exception&) {
+  }
+  throw std::runtime_error(format(
+      "ini: [{}] {} = '{}' is not an integer", section, key, *value));
+}
+
+bool IniFile::get_bool(const std::string& section, const std::string& key,
+                       bool fallback) const {
+  auto value = get(section, key);
+  if (!value) return fallback;
+  std::string v = *value;
+  for (char& ch : v) ch = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(ch)));
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::runtime_error(format(
+      "ini: [{}] {} = '{}' is not a boolean", section, key, *value));
+}
+
+void IniFile::set(const std::string& section, const std::string& key,
+                  std::string value) {
+  Section* s = find_section(section);
+  if (s == nullptr) {
+    sections_.emplace_back(section, Section{});
+    s = &sections_.back().second;
+  }
+  for (auto& [k, v] : s->pairs) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  s->pairs.emplace_back(key, std::move(value));
+}
+
+std::string IniFile::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [name, section] : sections_) {
+    if (!first) out << '\n';
+    first = false;
+    out << '[' << name << "]\n";
+    for (const auto& [k, v] : section.pairs) {
+      out << k << " = " << v << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace lattice::util

@@ -1,0 +1,59 @@
+// GARLI-style configuration parsing. GARLI reads an INI-like "garli.conf"
+// with [sections], key = value pairs, # / ; comments. The portal's
+// validation mode and the phylo engine's job specs both round-trip through
+// this format, mirroring how the real system shipped a garli.conf to every
+// compute node.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lattice::util {
+
+class IniFile {
+ public:
+  /// Parse from text. Throws std::runtime_error with a line number on
+  /// malformed input (a key=value line outside any section, or a line that
+  /// is neither a section header, a pair, a comment, nor blank).
+  static IniFile parse(std::string_view text);
+
+  bool has_section(const std::string& section) const;
+  bool has_key(const std::string& section, const std::string& key) const;
+
+  std::optional<std::string> get(const std::string& section,
+                                 const std::string& key) const;
+  std::string get_or(const std::string& section, const std::string& key,
+                     std::string fallback) const;
+  /// Typed getters; throw std::runtime_error on a present-but-unparsable
+  /// value, return fallback when absent.
+  double get_double(const std::string& section, const std::string& key,
+                    double fallback) const;
+  long long get_int(const std::string& section, const std::string& key,
+                    long long fallback) const;
+  bool get_bool(const std::string& section, const std::string& key,
+                bool fallback) const;
+
+  void set(const std::string& section, const std::string& key,
+           std::string value);
+
+  /// Serialize back to INI text (sections and keys in insertion order).
+  std::string to_string() const;
+
+ private:
+  struct Section {
+    std::vector<std::pair<std::string, std::string>> pairs;
+  };
+  // Insertion-ordered storage so round-trips are stable.
+  std::vector<std::pair<std::string, Section>> sections_;
+
+  Section* find_section(const std::string& name);
+  const Section* find_section(const std::string& name) const;
+};
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(std::string_view text);
+
+}  // namespace lattice::util

@@ -1,0 +1,46 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace lattice::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<std::ostream*> g_stream{nullptr};
+std::mutex g_write_mutex;
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void set_log_stream(std::ostream* stream) {
+  g_stream.store(stream, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_write(LogLevel level, std::string_view component,
+               const std::string& message) {
+  std::ostream* out = g_stream.load(std::memory_order_relaxed);
+  if (out == nullptr) out = &std::clog;
+  std::scoped_lock lock(g_write_mutex);
+  (*out) << '[' << level_name(level) << "] " << component << ": " << message
+         << '\n';
+}
+}  // namespace detail
+
+}  // namespace lattice::util

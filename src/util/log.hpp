@@ -1,0 +1,55 @@
+// Minimal leveled logger. Grid components log through this so that tests can
+// silence output and examples can raise verbosity.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "util/fmt.hpp"
+
+namespace lattice::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Redirect log output (defaults to std::clog). Pass nullptr to restore.
+void set_log_stream(std::ostream* stream);
+
+namespace detail {
+void log_write(LogLevel level, std::string_view component,
+               const std::string& message);
+}
+
+template <typename... Args>
+void log(LogLevel level, std::string_view component, std::string_view fmt,
+         const Args&... args) {
+  if (level < log_level()) return;
+  detail::log_write(level, component, format(fmt, args...));
+}
+
+template <typename... Args>
+void log_debug(std::string_view component, std::string_view fmt,
+               const Args&... args) {
+  log(LogLevel::kDebug, component, fmt, args...);
+}
+template <typename... Args>
+void log_info(std::string_view component, std::string_view fmt,
+              const Args&... args) {
+  log(LogLevel::kInfo, component, fmt, args...);
+}
+template <typename... Args>
+void log_warn(std::string_view component, std::string_view fmt,
+              const Args&... args) {
+  log(LogLevel::kWarn, component, fmt, args...);
+}
+template <typename... Args>
+void log_error(std::string_view component, std::string_view fmt,
+               const Args&... args) {
+  log(LogLevel::kError, component, fmt, args...);
+}
+
+}  // namespace lattice::util

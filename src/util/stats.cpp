@@ -1,0 +1,176 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace lattice::util {
+
+double sum(std::span<const double> xs) {
+  // Kahan summation: benchmark harnesses aggregate millions of runtimes.
+  double total = 0.0;
+  double comp = 0.0;
+  for (double x : xs) {
+    const double y = x - comp;
+    const double t = total + y;
+    comp = (t - total) - y;
+    total = t;
+  }
+  return total;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted) {
+  assert(observed.size() == predicted.size());
+  if (observed.empty()) return 0.0;
+  const double m = mean(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - m) * (observed[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mean_squared_error(std::span<const double> observed,
+                          std::span<const double> predicted) {
+  assert(observed.size() == predicted.size());
+  if (observed.empty()) return 0.0;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+  }
+  return ss / static_cast<double>(observed.size());
+}
+
+double mean_absolute_error(std::span<const double> observed,
+                           std::span<const double> predicted) {
+  assert(observed.size() == predicted.size());
+  if (observed.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    total += std::abs(observed[i] - predicted[i]);
+  }
+  return total / static_cast<double>(observed.size());
+}
+
+double mean_absolute_percentage_error(std::span<const double> observed,
+                                      std::span<const double> predicted) {
+  assert(observed.size() == predicted.size());
+  constexpr double kEps = 1e-12;
+  double total = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (std::abs(observed[i]) <= kEps) continue;
+    total += std::abs((observed[i] - predicted[i]) / observed[i]);
+    ++n;
+  }
+  return n ? total / static_cast<double>(n) : 0.0;
+}
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(
+      frac * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  return bin_low(bin + 1);
+}
+
+}  // namespace lattice::util

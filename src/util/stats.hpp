@@ -1,0 +1,78 @@
+// Descriptive statistics used throughout the scheduler, the random-forest
+// library and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lattice::util {
+
+double mean(std::span<const double> xs);
+/// Sample variance (n-1 denominator); 0 for fewer than two values.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double sum(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. xs need not be sorted.
+double quantile(std::span<const double> xs, double q);
+double median(std::span<const double> xs);
+
+/// Pearson correlation; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Coefficient of determination of predictions vs. observations:
+/// 1 - SS_res / SS_tot. Can be negative for predictions worse than the mean.
+double r_squared(std::span<const double> observed,
+                 std::span<const double> predicted);
+
+double mean_squared_error(std::span<const double> observed,
+                          std::span<const double> predicted);
+double mean_absolute_error(std::span<const double> observed,
+                           std::span<const double> predicted);
+/// Mean absolute percentage error over observations with |observed| > eps.
+double mean_absolute_percentage_error(std::span<const double> observed,
+                                      std::span<const double> predicted);
+
+/// Welford online accumulator for streaming mean/variance.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1); 0 for fewer than two values.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace lattice::util

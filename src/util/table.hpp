@@ -1,0 +1,42 @@
+// Column-aligned ASCII tables and CSV output. Every benchmark binary in
+// bench/ reports its figures through this so the paper-vs-measured rows are
+// uniform and machine-readable.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lattice::util {
+
+/// A table cell: text, integer, or floating point (with per-column
+/// precision applied at render time).
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Decimal places used to render double cells (default 3).
+  Table& set_precision(int digits);
+
+  void add_row(std::vector<Cell> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with padded columns and a header rule.
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+  /// Render as RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  std::string to_csv() const;
+
+ private:
+  std::string render_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace lattice::util

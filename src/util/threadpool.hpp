@@ -1,0 +1,60 @@
+// Fixed-size worker pool with a parallel_for helper. Used for embarrassingly
+// parallel work inside a single process: training the trees of a random
+// forest and evaluating independent likelihood replicates. The simulation
+// kernel itself is single-threaded and deterministic; parallelism lives only
+// in these leaf computations.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lattice::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves with its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Run body(i) for i in [0, n), blocking until all complete. Work is
+  /// divided into contiguous chunks, one per worker, so body should be
+  /// roughly uniform in cost per index.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace lattice::util

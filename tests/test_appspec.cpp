@@ -1,0 +1,175 @@
+// Tests for the application-description subsystem (paper §III): XML app
+// specs, generated form schemas, submission validation, and mapping onto
+// job configuration — plus the built-in GARLI description end to end.
+#include <gtest/gtest.h>
+
+#include "core/appspec.hpp"
+#include "phylo/garli.hpp"
+
+namespace lattice::core {
+namespace {
+
+constexpr const char* kTinySpec = R"xml(
+<?xml version="1.0"?>
+<!-- demo application -->
+<application name="demo" version="1.1">
+  <param name="mode" kind="choice" required="true" label="Mode">
+    <choice>fast</choice>
+    <choice>thorough</choice>
+  </param>
+  <param name="iterations" kind="int" min="1" max="100" default="10"
+         config="search.iterations"/>
+  <param name="tolerance" kind="real" min="0" max="1" default="0.01"/>
+  <param name="verbose" kind="flag" default="false"/>
+  <param name="input" kind="infile" required="true" label="Input file"/>
+  <param name="comment" kind="string"/>
+</application>
+)xml";
+
+TEST(AppSpec, ParsesStructure) {
+  const AppDescription app = AppDescription::parse_xml(kTinySpec);
+  EXPECT_EQ(app.name, "demo");
+  EXPECT_EQ(app.version, "1.1");
+  ASSERT_EQ(app.parameters.size(), 6u);
+  const AppParameter* mode = app.find("mode");
+  ASSERT_NE(mode, nullptr);
+  EXPECT_EQ(mode->kind, ParamKind::kChoice);
+  EXPECT_TRUE(mode->required);
+  EXPECT_EQ(mode->choices.size(), 2u);
+  const AppParameter* iterations = app.find("iterations");
+  ASSERT_NE(iterations, nullptr);
+  EXPECT_EQ(iterations->config_key, "search.iterations");
+  ASSERT_TRUE(iterations->min.has_value());
+  EXPECT_DOUBLE_EQ(*iterations->min, 1.0);
+}
+
+TEST(AppSpec, ParseErrors) {
+  EXPECT_THROW(AppDescription::parse_xml("<bogus/>"), std::runtime_error);
+  EXPECT_THROW(AppDescription::parse_xml("<application/>"),
+               std::runtime_error);
+  EXPECT_THROW(AppDescription::parse_xml(
+                   "<application name=\"x\"><param/></application>"),
+               std::runtime_error);
+  EXPECT_THROW(
+      AppDescription::parse_xml(
+          "<application name=\"x\">"
+          "<param name=\"p\" kind=\"warp\"/></application>"),
+      std::runtime_error);
+  // choice without choices
+  EXPECT_THROW(
+      AppDescription::parse_xml(
+          "<application name=\"x\">"
+          "<param name=\"p\" kind=\"choice\"/></application>"),
+      std::runtime_error);
+  // duplicate parameter
+  EXPECT_THROW(
+      AppDescription::parse_xml(
+          "<application name=\"x\">"
+          "<param name=\"p\"/><param name=\"p\"/></application>"),
+      std::runtime_error);
+  // malformed XML
+  EXPECT_THROW(AppDescription::parse_xml("<application name=\"x\">"),
+               std::runtime_error);
+  EXPECT_THROW(AppDescription::parse_xml(
+                   "<application name=\"x\"></wrong>"),
+               std::runtime_error);
+}
+
+TEST(AppSpec, ValidationAcceptsGoodSubmission) {
+  const AppDescription app = AppDescription::parse_xml(kTinySpec);
+  const auto problems = app.validate({{"mode", "fast"},
+                                      {"iterations", "50"},
+                                      {"input", "data.fasta"}});
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(AppSpec, ValidationCatchesEverything) {
+  const AppDescription app = AppDescription::parse_xml(kTinySpec);
+  // Missing required, unknown key, out-of-range int, non-integer, bad
+  // choice, bad flag.
+  auto problems = app.validate({});
+  EXPECT_EQ(problems.size(), 2u);  // mode and input are required
+
+  problems = app.validate({{"mode", "fast"},
+                           {"input", "x"},
+                           {"nonsense", "1"}});
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("unknown"), std::string::npos);
+
+  problems = app.validate({{"mode", "slow"}, {"input", "x"}});
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("choices"), std::string::npos);
+
+  problems = app.validate(
+      {{"mode", "fast"}, {"input", "x"}, {"iterations", "500"}});
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("<="), std::string::npos);
+
+  problems = app.validate(
+      {{"mode", "fast"}, {"input", "x"}, {"iterations", "2.5"}});
+  ASSERT_EQ(problems.size(), 1u);
+
+  problems = app.validate(
+      {{"mode", "fast"}, {"input", "x"}, {"verbose", "maybe"}});
+  ASSERT_EQ(problems.size(), 1u);
+
+  problems = app.validate(
+      {{"mode", "fast"}, {"input", "x"}, {"tolerance", "abc"}});
+  ASSERT_EQ(problems.size(), 1u);
+}
+
+TEST(AppSpec, RenderFormMentionsEveryParameter) {
+  const AppDescription app = AppDescription::parse_xml(kTinySpec);
+  const std::string form = app.render_form();
+  for (const AppParameter& param : app.parameters) {
+    EXPECT_NE(form.find(param.name), std::string::npos) << param.name;
+  }
+  EXPECT_NE(form.find("*required*"), std::string::npos);
+  EXPECT_NE(form.find("choices={fast,thorough}"), std::string::npos);
+}
+
+TEST(AppSpec, ToConfigAppliesDefaultsAndMappings) {
+  const AppDescription app = AppDescription::parse_xml(kTinySpec);
+  const util::IniFile ini = app.to_config(
+      {{"mode", "thorough"}, {"input", "data.fasta"}});
+  EXPECT_EQ(ini.get_or("general", "mode", ""), "thorough");
+  // Default routed through the custom section.key mapping.
+  EXPECT_EQ(ini.get_int("search", "iterations", 0), 10);
+  EXPECT_DOUBLE_EQ(ini.get_double("general", "tolerance", 0.0), 0.01);
+}
+
+TEST(AppSpec, ToConfigRejectsInvalid) {
+  const AppDescription app = AppDescription::parse_xml(kTinySpec);
+  EXPECT_THROW(app.to_config({{"mode", "warp"}}), std::invalid_argument);
+}
+
+TEST(AppSpec, GarliDescriptionRoundTripsToRunnableJob) {
+  const AppDescription& app = garli_app_description();
+  // The Figure-1 form submission, as the portal would collect it.
+  const std::map<std::string, std::string> form_values{
+      {"datatype", "nucleotide"}, {"ratematrix", "gtr"},
+      {"ratehetmodel", "gamma"},  {"numratecats", "4"},
+      {"searchreps", "3"},        {"genthreshfortopoterm", "300"},
+      {"sequencefile", "upload.fasta"},
+      {"email", "user@example.org"}};
+  const auto problems = app.validate(form_values);
+  ASSERT_TRUE(problems.empty()) << problems.front();
+  const util::IniFile ini = app.to_config(form_values);
+  const phylo::GarliJob job = phylo::GarliJob::from_config(ini.to_string());
+  EXPECT_EQ(job.model.nuc_model, phylo::NucModel::kGTR);
+  EXPECT_EQ(job.model.rate_het, phylo::RateHet::kGamma);
+  EXPECT_EQ(job.search_replicates, 3u);
+  EXPECT_EQ(job.genthresh, 300u);
+}
+
+TEST(AppSpec, GarliDescriptionEnforcesPortalLimits) {
+  const AppDescription& app = garli_app_description();
+  const auto problems = app.validate({{"datatype", "nucleotide"},
+                                      {"searchreps", "5000"},
+                                      {"sequencefile", "x"},
+                                      {"email", "a@b.c"}});
+  ASSERT_EQ(problems.size(), 1u);  // searchreps over the 2000 cap
+}
+
+}  // namespace
+}  // namespace lattice::core

@@ -1,0 +1,410 @@
+// Tests for the desktop-grid substrate: workunit/result lifecycle, host
+// churn with checkpoint-preserving downtime, deadline timeout + reissue by
+// the transitioner, quorum validation with flawed hosts, wasted-duplicate
+// accounting, and the BOINC scheduler adapter.
+#include <gtest/gtest.h>
+
+#include "boinc/adapter.hpp"
+#include "boinc/server.hpp"
+#include "sim/simulation.hpp"
+
+namespace lattice::boinc {
+namespace {
+
+grid::GridJob make_job(std::uint64_t id, double runtime) {
+  grid::GridJob job;
+  job.id = id;
+  job.true_reference_runtime = runtime;
+  return job;
+}
+
+BoincPoolConfig reliable_pool(std::size_t hosts) {
+  BoincPoolConfig config;
+  config.hosts = hosts;
+  config.mean_on_hours = 10000.0;  // effectively always on
+  config.mean_off_hours = 0.001;
+  config.mean_lifetime_days = 1e6;
+  config.host_error_probability = 0.0;
+  config.seed = 42;
+  return config;
+}
+
+TEST(Boinc, CompletesWorkOnReliableHosts) {
+  sim::Simulation sim;
+  BoincServer server(sim, "boinc", reliable_pool(20));
+  int completed = 0;
+  server.set_completion_callback(
+      [&](grid::GridJob& job, const grid::JobOutcome& outcome) {
+        EXPECT_TRUE(outcome.completed);
+        EXPECT_EQ(job.state, grid::JobState::kCompleted);
+        ++completed;
+      });
+  std::vector<grid::GridJob> jobs;
+  jobs.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back(make_job(static_cast<std::uint64_t>(i + 1), 3600.0));
+  }
+  for (auto& job : jobs) server.submit(job);
+  sim.run(30.0 * 86400.0);
+  EXPECT_EQ(completed, 10);
+  EXPECT_GT(server.total_cpu_seconds(), 0.0);
+}
+
+TEST(Boinc, ChurnDelaysButCheckpointingPreservesProgress) {
+  sim::Simulation sim;
+  BoincPoolConfig config;
+  config.hosts = 5;
+  config.mean_on_hours = 2.0;
+  config.mean_off_hours = 6.0;
+  config.mean_lifetime_days = 1e6;
+  config.host_error_probability = 0.0;
+  config.default_delay_bound = 60.0 * 86400.0;
+  config.seed = 9;
+  BoincServer server(sim, "boinc", config);
+  int completed = 0;
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome& outcome) {
+        if (outcome.completed) ++completed;
+      });
+  // 8h of reference work against 2h mean uptime stretches: only possible
+  // because progress survives downtime.
+  std::vector<grid::GridJob> jobs;
+  jobs.reserve(5);
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(make_job(static_cast<std::uint64_t>(i + 1), 8.0 * 3600.0));
+  }
+  for (auto& job : jobs) server.submit(job);
+  sim.run(120.0 * 86400.0);
+  EXPECT_EQ(completed, 5);
+}
+
+TEST(Boinc, DepartedHostTriggersDeadlineReissue) {
+  sim::Simulation sim;
+  BoincPoolConfig config;
+  config.hosts = 3;
+  config.mean_on_hours = 10000.0;
+  config.mean_off_hours = 0.001;
+  config.mean_lifetime_days = 0.05;  // hosts die after ~1.2h
+  config.host_error_probability = 0.0;
+  config.default_delay_bound = 6.0 * 3600.0;
+  config.transitioner_period = 600.0;
+  config.seed = 17;
+  BoincServer server(sim, "boinc", config);
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome&) {});
+  auto job = make_job(1, 4.0 * 3600.0);
+  server.submit(job);
+  sim.run(10.0 * 86400.0);
+  // All hosts depart quickly; the transitioner must have timed out and
+  // reissued at least once before the pool went extinct.
+  EXPECT_GE(server.timed_out_results() + server.reissued_results(), 1u);
+}
+
+TEST(Boinc, TightDeadlineCausesTimeouts) {
+  sim::Simulation sim;
+  BoincPoolConfig config;
+  config.hosts = 10;
+  config.mean_on_hours = 2.0;
+  config.mean_off_hours = 10.0;
+  config.mean_lifetime_days = 1e6;
+  config.host_error_probability = 0.0;
+  // Deadline far too tight for 4h of work on intermittent hosts.
+  config.default_delay_bound = 2.0 * 3600.0;
+  config.seed = 23;
+  BoincServer server(sim, "boinc", config);
+  int completed = 0;
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome& outcome) {
+        if (outcome.completed) ++completed;
+      });
+  std::vector<grid::GridJob> jobs;
+  jobs.reserve(5);
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(make_job(static_cast<std::uint64_t>(i + 1), 4.0 * 3600.0));
+  }
+  for (auto& job : jobs) server.submit(job);
+  sim.run(60.0 * 86400.0);
+  EXPECT_GT(server.timed_out_results(), 0u);
+}
+
+TEST(Boinc, QuorumTwoCatchesFlawedHosts) {
+  sim::Simulation sim;
+  BoincPoolConfig config = reliable_pool(30);
+  config.host_error_probability = 0.3;
+  config.min_quorum = 2;
+  config.target_nresults = 2;
+  config.max_total_results = 12;
+  config.seed = 31;
+  BoincServer server(sim, "boinc", config);
+  int completed = 0;
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome& outcome) {
+        if (outcome.completed) ++completed;
+      });
+  std::vector<grid::GridJob> jobs;
+  jobs.reserve(6);
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(make_job(static_cast<std::uint64_t>(i + 1), 1800.0));
+  }
+  for (auto& job : jobs) server.submit(job);
+  sim.run(60.0 * 86400.0);
+  EXPECT_EQ(completed, 6);
+  // Each workunit needed >= 2 agreeing results.
+  for (const auto& [id, wu] : server.workunits()) {
+    EXPECT_EQ(wu.state, WorkunitState::kValidated);
+    EXPECT_GE(wu.successes(), 2);
+  }
+}
+
+TEST(Boinc, RedundancyProducesWastedDuplicates) {
+  sim::Simulation sim;
+  BoincPoolConfig config = reliable_pool(30);
+  config.target_nresults = 3;  // send 3 copies, quorum 1
+  config.min_quorum = 1;
+  config.seed = 37;
+  BoincServer server(sim, "boinc", config);
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome&) {});
+  std::vector<grid::GridJob> jobs;
+  jobs.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(make_job(static_cast<std::uint64_t>(i + 1), 3600.0));
+  }
+  for (auto& job : jobs) server.submit(job);
+  sim.run(30.0 * 86400.0);
+  // Copies of already-validated workunits are wasted: either they ran to
+  // completion after validation (wasted duplicates) or the server aborted
+  // them mid-flight (discarded checkpointed progress). Either way, the
+  // total CPU burned exceeds the useful single-result work.
+  EXPECT_GT(server.wasted_duplicate_cpu_seconds() +
+                server.discarded_cpu_seconds() + server.total_cpu_seconds(),
+            4.0 * 3600.0);
+  EXPECT_GT(server.wasted_duplicate_cpu_seconds() +
+                server.discarded_cpu_seconds(),
+            0.0);
+}
+
+TEST(Boinc, CancelAbortsOutstandingWork) {
+  sim::Simulation sim;
+  BoincServer server(sim, "boinc", reliable_pool(5));
+  bool cancelled = false;
+  server.set_completion_callback(
+      [&](grid::GridJob& job, const grid::JobOutcome& outcome) {
+        cancelled = !outcome.completed &&
+                    job.state == grid::JobState::kCancelled;
+      });
+  auto job = make_job(1, 100000.0);
+  server.submit(job);
+  sim.after(3600.0, [&] { server.cancel(1); });
+  sim.run(2.0 * 86400.0);
+  EXPECT_TRUE(cancelled);
+}
+
+TEST(Boinc, PerJobDeadlineOverride) {
+  sim::Simulation sim;
+  BoincServer server(sim, "boinc", reliable_pool(5));
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome&) {});
+  server.set_delay_bound(1, 12345.0);
+  auto job = make_job(1, 600.0);
+  server.submit(job);
+  const auto& workunits = server.workunits();
+  ASSERT_EQ(workunits.size(), 1u);
+  EXPECT_DOUBLE_EQ(workunits.begin()->second.delay_bound, 12345.0);
+  auto other = make_job(2, 600.0);
+  server.submit(other);
+  EXPECT_DOUBLE_EQ(server.workunits().rbegin()->second.delay_bound,
+                   server.config().default_delay_bound);
+  sim.run(86400.0);
+}
+
+TEST(Boinc, InfoAdvertisesUnstablePool) {
+  sim::Simulation sim;
+  BoincServer server(sim, "boinc", reliable_pool(25));
+  const grid::ResourceInfo info = server.info();
+  EXPECT_EQ(info.kind, grid::ResourceKind::kBoincPool);
+  EXPECT_EQ(info.total_slots, 25u);
+  EXPECT_FALSE(info.stable);
+  EXPECT_FALSE(info.mpi_capable);
+}
+
+TEST(Boinc, AdapterWorkunitTemplate) {
+  sim::Simulation sim;
+  BoincServer server(sim, "boinc", reliable_pool(5));
+  BoincAdapter adapter(server);
+  grid::GridJob job = make_job(9, 100.0);
+  job.estimated_reference_runtime = 5000.0;
+  const std::string tmpl = adapter.translate(job);
+  EXPECT_NE(tmpl.find("<name>garli-9</name>"), std::string::npos);
+  EXPECT_NE(tmpl.find("<rsc_fpops_est>5000e9</rsc_fpops_est>"),
+            std::string::npos);
+  EXPECT_NE(tmpl.find("<min_quorum>1</min_quorum>"), std::string::npos);
+}
+
+TEST(Boinc, AdapterSubmitWithDeadline) {
+  sim::Simulation sim;
+  BoincServer server(sim, "boinc", reliable_pool(5));
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome&) {});
+  BoincAdapter adapter(server);
+  auto job = make_job(1, 600.0);
+  adapter.submit_with_deadline(job, 9999.0);
+  ASSERT_EQ(server.workunits().size(), 1u);
+  EXPECT_DOUBLE_EQ(server.workunits().begin()->second.delay_bound, 9999.0);
+  sim.run(86400.0);
+}
+
+TEST(Boinc, CreditGrantedForValidatedWork) {
+  sim::Simulation sim;
+  BoincServer server(sim, "boinc", reliable_pool(10));
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome&) {});
+  std::vector<grid::GridJob> jobs;
+  jobs.reserve(5);
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(make_job(static_cast<std::uint64_t>(i + 1), 3600.0));
+  }
+  for (auto& job : jobs) server.submit(job);
+  sim.run(10.0 * 86400.0);
+  // 5 workunits of 3600 reference seconds -> 5 * 36 cobblestones total.
+  EXPECT_NEAR(server.total_credit(), 5.0 * 36.0, 1e-9);
+  const auto board = server.credit_leaderboard();
+  ASSERT_FALSE(board.empty());
+  EXPECT_GT(board.front().second, 0.0);
+  for (std::size_t i = 1; i < board.size(); ++i) {
+    EXPECT_GE(board[i - 1].second, board[i].second);
+  }
+  EXPECT_DOUBLE_EQ(server.host_credit(999999), 0.0);
+}
+
+TEST(Boinc, FlawedResultsEarnNoCredit) {
+  sim::Simulation sim;
+  BoincPoolConfig config = reliable_pool(20);
+  config.host_error_probability = 0.5;
+  config.min_quorum = 2;
+  config.target_nresults = 2;
+  config.max_total_results = 20;
+  config.seed = 77;
+  BoincServer server(sim, "boinc", config);
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome&) {});
+  auto job = make_job(1, 1800.0);
+  server.submit(job);
+  sim.run(30.0 * 86400.0);
+  ASSERT_EQ(job.state, grid::JobState::kCompleted);
+  // Credit went only to the agreeing (correct) results: exactly the
+  // canonical-vote count times the per-result credit.
+  const auto& wu = server.workunits().begin()->second;
+  int canonical_count = 0;
+  for (const auto& result : wu.results) {
+    if (result.state == ResultState::kSuccess && result.output_hash == 0) {
+      ++canonical_count;
+    }
+  }
+  EXPECT_NEAR(server.total_credit(),
+              canonical_count * 1800.0 / 100.0, 1e-9);
+}
+
+TEST(Boinc, AdaptiveReplicationCrossChecksUnprovenHosts) {
+  sim::Simulation sim;
+  BoincPoolConfig config = reliable_pool(20);
+  config.adaptive_replication = true;
+  config.trust_threshold = 3;
+  config.min_quorum = 1;
+  config.target_nresults = 1;
+  config.max_total_results = 8;
+  config.seed = 91;
+  BoincServer server(sim, "boinc", config);
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome&) {});
+  std::vector<grid::GridJob> jobs(4);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = i + 1;
+    jobs[i].true_reference_runtime = 600.0;
+    server.submit(jobs[i]);
+  }
+  sim.run(10.0 * 86400.0);
+  // Every workunit validated, but each needed >= 2 agreeing results while
+  // all hosts were unproven.
+  for (const auto& [id, wu] : server.workunits()) {
+    EXPECT_EQ(wu.state, WorkunitState::kValidated);
+    EXPECT_GE(wu.successes(), 2);
+  }
+}
+
+TEST(Boinc, TrustedHostsSkipTheCrossCheck) {
+  sim::Simulation sim;
+  BoincPoolConfig config = reliable_pool(2);  // tiny pool gains trust fast
+  config.adaptive_replication = true;
+  config.trust_threshold = 2;
+  config.seed = 93;
+  BoincServer server(sim, "boinc", config);
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome&) {});
+  // Submit sequentially so trust accrues between submissions (concurrent
+  // submissions all report before any host is proven, so all would be
+  // cross-checked).
+  std::vector<grid::GridJob> jobs(8);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = i + 1;
+    jobs[i].true_reference_runtime = 600.0;
+    sim.at(static_cast<double>(i) * 86400.0,
+           [&server, &jobs, i] { server.submit(jobs[i]); });
+  }
+  sim.run(30.0 * 86400.0);
+  // Both hosts end up trusted...
+  EXPECT_TRUE(server.host_trusted(1));
+  EXPECT_TRUE(server.host_trusted(2));
+  // ...early workunits were cross-checked, late ones validate singly.
+  const auto& first = server.workunits().begin()->second;
+  const auto& last = server.workunits().rbegin()->second;
+  EXPECT_EQ(first.state, WorkunitState::kValidated);
+  EXPECT_GE(first.successes(), 2);
+  EXPECT_EQ(last.state, WorkunitState::kValidated);
+  EXPECT_EQ(last.successes(), 1);
+}
+
+TEST(Boinc, DisagreementResetsTrustStreak) {
+  sim::Simulation sim;
+  BoincPoolConfig config = reliable_pool(10);
+  config.host_error_probability = 0.4;
+  config.min_quorum = 2;
+  config.target_nresults = 2;
+  config.max_total_results = 16;
+  config.seed = 97;
+  BoincServer server(sim, "boinc", config);
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome&) {});
+  std::vector<grid::GridJob> jobs(10);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = i + 1;
+    jobs[i].true_reference_runtime = 600.0;
+    server.submit(jobs[i]);
+  }
+  sim.run(30.0 * 86400.0);
+  // With a 40% error rate some host must have had its streak reset; the
+  // streaks can never exceed the number of validated workunits.
+  for (std::uint64_t host = 1; host <= 10; ++host) {
+    EXPECT_LE(server.host_valid_streak(host), 10);
+  }
+  EXPECT_EQ(server.host_valid_streak(424242), 0);
+}
+
+TEST(Boinc, OnlineHostCountTracksChurn) {
+  sim::Simulation sim;
+  BoincPoolConfig config;
+  config.hosts = 200;
+  config.mean_on_hours = 8.0;
+  config.mean_off_hours = 16.0;
+  config.mean_lifetime_days = 1e6;
+  config.seed = 41;
+  BoincServer server(sim, "boinc", config);
+  sim.run(86400.0);
+  const double online = static_cast<double>(server.online_hosts());
+  // Expect roughly the availability fraction (8/24) of 200 hosts.
+  EXPECT_GT(online, 30.0);
+  EXPECT_LT(online, 110.0);
+}
+
+}  // namespace
+}  // namespace lattice::boinc

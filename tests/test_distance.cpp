@@ -1,0 +1,136 @@
+// Tests for distance methods (pairwise distances, neighbor joining) and
+// the ASCII tree renderer.
+#include <gtest/gtest.h>
+
+#include "phylo/distance.hpp"
+#include "phylo/render.hpp"
+#include "phylo/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace lattice::phylo {
+namespace {
+
+TEST(Distance, PDistanceHandComputed) {
+  Alignment alignment(DataType::kNucleotide, 4);
+  alignment.add_taxon("A", {0, 1, 2, 3});
+  alignment.add_taxon("B", {0, 1, 2, 0});  // 1 of 4 differs
+  alignment.add_taxon("C", {3, 2, 1, 0});  // all differ from A
+  const auto d =
+      distance_matrix(alignment, DistanceCorrection::kPDistance);
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 1], 0.25);
+  EXPECT_DOUBLE_EQ(d[1 * 3 + 0], 0.25);
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 2], 1.0);
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 0], 0.0);
+}
+
+TEST(Distance, MissingSitesSkippedPairwise) {
+  Alignment alignment(DataType::kNucleotide, 4);
+  alignment.add_taxon("A", {0, 1, kMissing, 3});
+  alignment.add_taxon("B", {0, 2, 2, kMissing});
+  // Comparable sites: 0 and 1; one differs -> p = 0.5.
+  const auto d =
+      distance_matrix(alignment, DistanceCorrection::kPDistance);
+  EXPECT_DOUBLE_EQ(d[1], 0.5);
+}
+
+TEST(Distance, JukesCantorSaturates) {
+  Alignment alignment(DataType::kNucleotide, 4);
+  alignment.add_taxon("A", {0, 0, 0, 0});
+  alignment.add_taxon("B", {1, 1, 1, 1});  // p = 1 > 3/4: saturated
+  const auto d = distance_matrix(alignment,
+                                 DistanceCorrection::kJukesCantor, 5.0);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+}
+
+TEST(Distance, JukesCantorExceedsPDistance) {
+  util::Rng rng(1);
+  const auto dataset = simulate_dataset(6, 500, ModelSpec{}, rng, 0.15);
+  const auto p =
+      distance_matrix(dataset.alignment, DistanceCorrection::kPDistance);
+  const auto jc =
+      distance_matrix(dataset.alignment, DistanceCorrection::kJukesCantor);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GE(jc[i], p[i]);  // the correction expands distances
+  }
+}
+
+TEST(NeighborJoining, RecoversAdditiveTreeExactly) {
+  // A 4-taxon additive matrix built from a known tree:
+  //   ((A:1,B:2):1,(C:3,D:4));  with the internal edge of length 1.
+  // d(A,B)=3, d(A,C)=5, d(A,D)=6, d(B,C)=6, d(B,D)=7, d(C,D)=7.
+  const std::vector<double> d{0, 3, 5, 6,  //
+                              3, 0, 6, 7,  //
+                              5, 6, 0, 7,  //
+                              6, 7, 7, 0};
+  const Tree tree = neighbor_joining(d, 4);
+  EXPECT_TRUE(tree.check_valid());
+  std::vector<std::string> names{"t0", "t1", "t2", "t3"};
+  const Tree truth = Tree::parse_newick(
+      "((t0:1,t1:2):0.5,(t2:3,t3:4):0.5);", names);
+  EXPECT_EQ(Tree::robinson_foulds(tree, truth), 0u);
+  // Total tree length is preserved for an additive matrix (= 11).
+  EXPECT_NEAR(tree.tree_length(), 11.0, 1e-9);
+}
+
+TEST(NeighborJoining, Validation) {
+  EXPECT_THROW(neighbor_joining({0, 1, 1, 0}, 2), std::invalid_argument);
+  EXPECT_THROW(neighbor_joining(std::vector<double>(8, 0.0), 3),
+               std::invalid_argument);
+  // Asymmetric.
+  std::vector<double> bad{0, 1, 2, 9, 0, 3, 2, 3, 0};
+  EXPECT_THROW(neighbor_joining(bad, 3), std::invalid_argument);
+  // Non-zero diagonal.
+  std::vector<double> diag{1, 1, 2, 1, 0, 3, 2, 3, 0};
+  EXPECT_THROW(neighbor_joining(diag, 3), std::invalid_argument);
+}
+
+TEST(NeighborJoining, NearTruthOnSimulatedData) {
+  util::Rng rng(2);
+  const auto dataset = simulate_dataset(12, 2000, ModelSpec{}, rng, 0.08);
+  const Tree nj = neighbor_joining_tree(dataset.alignment);
+  EXPECT_TRUE(nj.check_valid());
+  // Long clean alignment: NJ recovers most of the topology; random trees
+  // average near the RF maximum of 2*(12-3) = 18.
+  EXPECT_LE(Tree::robinson_foulds(nj, dataset.tree), 6u);
+}
+
+TEST(NeighborJoining, ThreeTaxaBaseCase) {
+  const std::vector<double> d{0, 2, 3, 2, 0, 3, 3, 3, 0};
+  const Tree tree = neighbor_joining(d, 3);
+  EXPECT_TRUE(tree.check_valid());
+  EXPECT_EQ(tree.n_leaves(), 3u);
+  EXPECT_NEAR(tree.tree_length(), 4.0, 1e-9);  // (2+3+3)/2
+}
+
+TEST(Render, AsciiContainsAllTaxaAndStructure) {
+  std::vector<std::string> names{"Homo", "Pan", "Gorilla", "Pongo"};
+  const Tree tree =
+      Tree::parse_newick("((Homo:0.1,Pan:0.1):0.05,(Gorilla:0.2,Pongo:0.3):0.05);", names);
+  const std::string art = render_ascii(tree, names);
+  for (const auto& name : names) {
+    EXPECT_NE(art.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(art.find("|--"), std::string::npos);
+  EXPECT_NE(art.find("`--"), std::string::npos);
+}
+
+TEST(Render, BranchLengthsAndLabels) {
+  std::vector<std::string> names{"A", "B", "C", "D"};
+  const Tree tree =
+      Tree::parse_newick("((A:0.5,B:0.5):0.25,(C:0.125,D:0.125):0.25);",
+                         names);
+  RenderOptions options;
+  options.show_branch_lengths = true;
+  // Label the internal nodes with fake support values.
+  for (std::size_t i = tree.n_leaves(); i < tree.n_nodes(); ++i) {
+    if (static_cast<int>(i) != tree.root()) {
+      options.node_labels[static_cast<int>(i)] = "97%";
+    }
+  }
+  const std::string art = render_ascii(tree, names, options);
+  EXPECT_NE(art.find("(0.5)"), std::string::npos);
+  EXPECT_NE(art.find("97%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lattice::phylo

@@ -1,0 +1,417 @@
+// Tests for the service-grid substrate: platforms, RSL parsing, batch
+// queue and Condor pool LRM behaviour, MDS TTL/offline semantics, and
+// scheduler-adapter translation.
+#include <gtest/gtest.h>
+
+#include "grid/adapter.hpp"
+#include "grid/job.hpp"
+#include "grid/mds.hpp"
+#include "grid/resource.hpp"
+#include "grid/rsl.hpp"
+#include "sim/simulation.hpp"
+
+namespace lattice::grid {
+namespace {
+
+GridJob make_job(std::uint64_t id, double runtime) {
+  GridJob job;
+  job.id = id;
+  job.true_reference_runtime = runtime;
+  return job;
+}
+
+TEST(Platform, NameRoundTrip) {
+  for (OsType os : {OsType::kLinux, OsType::kWindows, OsType::kMacOS}) {
+    for (Arch arch : {Arch::kX86, Arch::kX86_64, Arch::kPowerPC}) {
+      const PlatformSpec spec{os, arch};
+      const auto parsed = parse_platform(platform_name(spec));
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_EQ(*parsed, spec);
+    }
+  }
+}
+
+TEST(Platform, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_platform("plan9-mips").has_value());
+  EXPECT_FALSE(parse_platform("linux").has_value());
+  EXPECT_FALSE(parse_platform("").has_value());
+}
+
+TEST(Rsl, ParsesFullDocument) {
+  const RslDocument doc = parse_rsl(
+      "&(executable=\"garli\")(platform=linux-x86_64)(platform=macos-x86)"
+      "(memory>=2.5)(mpi=yes)(software=java)(runtime_estimate=3600)");
+  EXPECT_EQ(doc.executable, "garli");
+  ASSERT_EQ(doc.requirements.platforms.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.requirements.min_memory_gb, 2.5);
+  EXPECT_TRUE(doc.requirements.needs_mpi);
+  ASSERT_EQ(doc.requirements.software.size(), 1u);
+  EXPECT_EQ(doc.requirements.software[0], "java");
+  EXPECT_DOUBLE_EQ(doc.runtime_estimate, 3600.0);
+}
+
+TEST(Rsl, WhitespaceTolerant) {
+  const RslDocument doc =
+      parse_rsl("  &  ( executable = garli )\n  ( memory >= 1 ) ");
+  EXPECT_EQ(doc.executable, "garli");
+  EXPECT_DOUBLE_EQ(doc.requirements.min_memory_gb, 1.0);
+}
+
+TEST(Rsl, Errors) {
+  EXPECT_THROW(parse_rsl("(executable=garli)"), std::runtime_error);
+  EXPECT_THROW(parse_rsl("&(bogus=1)"), std::runtime_error);
+  EXPECT_THROW(parse_rsl("&(memory=2)"), std::runtime_error);
+  EXPECT_THROW(parse_rsl("&(platform=plan9-mips)"), std::runtime_error);
+  EXPECT_THROW(parse_rsl("&(executable=garli"), std::runtime_error);
+  EXPECT_THROW(parse_rsl("&(memory>=abc)"), std::runtime_error);
+}
+
+TEST(Rsl, GenerateRoundTrip) {
+  GridJob job = make_job(7, 100.0);
+  job.requirements.platforms = {PlatformSpec{OsType::kLinux, Arch::kX86_64}};
+  job.requirements.min_memory_gb = 4.0;
+  job.requirements.needs_mpi = true;
+  job.requirements.software = {"java"};
+  job.estimated_reference_runtime = 1234.5;
+  const RslDocument doc = parse_rsl(to_rsl(job));
+  EXPECT_EQ(doc.executable, "garli");
+  EXPECT_EQ(doc.requirements.platforms.size(), 1u);
+  EXPECT_DOUBLE_EQ(doc.requirements.min_memory_gb, 4.0);
+  EXPECT_TRUE(doc.requirements.needs_mpi);
+  EXPECT_NEAR(doc.runtime_estimate, 1234.5, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// BatchQueueResource
+
+TEST(BatchQueue, RunsJobsToCompletion) {
+  sim::Simulation sim;
+  BatchQueueResource::Config config;
+  config.nodes = 1;
+  config.cores_per_node = 2;
+  config.node_speed = 2.0;
+  config.job_overhead_seconds = 0.0;
+  BatchQueueResource cluster(sim, "hpc", config);
+
+  int completed = 0;
+  cluster.set_completion_callback(
+      [&](GridJob& job, const JobOutcome& outcome) {
+        EXPECT_TRUE(outcome.completed);
+        EXPECT_EQ(job.state, JobState::kCompleted);
+        ++completed;
+      });
+
+  auto a = make_job(1, 100.0);
+  auto b = make_job(2, 200.0);
+  cluster.submit(a);
+  cluster.submit(b);
+  sim.run();
+  EXPECT_EQ(completed, 2);
+  // Speed 2.0: the 100s job takes 50s of wall time.
+  EXPECT_DOUBLE_EQ(a.finish_time, 50.0);
+  EXPECT_DOUBLE_EQ(b.finish_time, 100.0);
+}
+
+TEST(BatchQueue, QueueWaitsForFreeSlot) {
+  sim::Simulation sim;
+  BatchQueueResource::Config config;
+  config.nodes = 1;
+  config.cores_per_node = 1;
+  config.node_speed = 1.0;
+  config.job_overhead_seconds = 0.0;
+  BatchQueueResource cluster(sim, "hpc", config);
+  cluster.set_completion_callback([](GridJob&, const JobOutcome&) {});
+
+  auto a = make_job(1, 100.0);
+  auto b = make_job(2, 50.0);
+  cluster.submit(a);
+  cluster.submit(b);
+  EXPECT_EQ(cluster.info().free_slots, 0u);
+  EXPECT_EQ(cluster.info().queued_jobs, 1u);
+  sim.run();
+  EXPECT_DOUBLE_EQ(a.finish_time, 100.0);
+  EXPECT_DOUBLE_EQ(b.finish_time, 150.0);  // FIFO behind a
+}
+
+TEST(BatchQueue, DataStagingAddsTransferTime) {
+  sim::Simulation sim;
+  BatchQueueResource::Config config;
+  config.nodes = 1;
+  config.cores_per_node = 1;
+  config.node_speed = 1.0;
+  config.job_overhead_seconds = 10.0;
+  config.stage_mb_per_second = 5.0;
+  BatchQueueResource cluster(sim, "hpc", config);
+  cluster.set_completion_callback([](GridJob&, const JobOutcome&) {});
+  auto job = make_job(1, 100.0);
+  job.input_mb = 40.0;   // 8 s at 5 MB/s
+  job.output_mb = 10.0;  // 2 s
+  cluster.submit(job);
+  sim.run();
+  EXPECT_DOUBLE_EQ(job.finish_time, 100.0 + 10.0 + 8.0 + 2.0);
+}
+
+TEST(BatchQueue, WalltimeKillsLongJobs) {
+  sim::Simulation sim;
+  BatchQueueResource::Config config;
+  config.nodes = 1;
+  config.cores_per_node = 1;
+  config.max_walltime = 60.0;
+  BatchQueueResource cluster(sim, "hpc", config);
+
+  bool failed = false;
+  cluster.set_completion_callback(
+      [&](GridJob& job, const JobOutcome& outcome) {
+        failed = !outcome.completed && outcome.reason == "walltime";
+        EXPECT_EQ(job.state, JobState::kFailed);
+      });
+  auto job = make_job(1, 1000.0);
+  cluster.submit(job);
+  sim.run();
+  EXPECT_TRUE(failed);
+  EXPECT_DOUBLE_EQ(job.wasted_cpu_seconds, 60.0);
+}
+
+TEST(BatchQueue, CancelQueuedAndRunning) {
+  sim::Simulation sim;
+  BatchQueueResource::Config config;
+  config.nodes = 1;
+  config.cores_per_node = 1;
+  BatchQueueResource cluster(sim, "hpc", config);
+  std::vector<std::string> reasons;
+  cluster.set_completion_callback(
+      [&](GridJob&, const JobOutcome& outcome) {
+        reasons.push_back(outcome.reason);
+      });
+
+  auto a = make_job(1, 100.0);
+  auto b = make_job(2, 100.0);
+  cluster.submit(a);
+  cluster.submit(b);
+  cluster.cancel(2);  // queued
+  EXPECT_EQ(b.state, JobState::kCancelled);
+  sim.after(10.0, [&] { cluster.cancel(1); });  // running
+  sim.run();
+  EXPECT_EQ(a.state, JobState::kCancelled);
+  ASSERT_EQ(reasons.size(), 2u);
+  EXPECT_EQ(reasons[0], "cancelled");
+  EXPECT_EQ(reasons[1], "cancelled");
+  EXPECT_DOUBLE_EQ(a.wasted_cpu_seconds, 10.0);
+}
+
+TEST(BatchQueue, InfoReflectsConfig) {
+  sim::Simulation sim;
+  BatchQueueResource::Config config;
+  config.nodes = 4;
+  config.cores_per_node = 8;
+  config.node_memory_gb = 64.0;
+  config.mpi_capable = true;
+  config.kind = ResourceKind::kSgeCluster;
+  config.software = {"java"};
+  BatchQueueResource cluster(sim, "sge1", config);
+  const ResourceInfo info = cluster.info();
+  EXPECT_EQ(info.total_slots, 32u);
+  EXPECT_EQ(info.free_slots, 32u);
+  EXPECT_EQ(info.kind, ResourceKind::kSgeCluster);
+  EXPECT_TRUE(info.stable);
+  EXPECT_TRUE(info.mpi_capable);
+  EXPECT_DOUBLE_EQ(info.node_memory_gb, 64.0);
+}
+
+// ---------------------------------------------------------------------------
+// CondorPool
+
+TEST(Condor, CompletesShortJobs) {
+  sim::Simulation sim;
+  CondorPool::Config config;
+  config.machines = 10;
+  config.mean_idle_hours = 1000.0;  // owners effectively never return
+  config.mean_busy_hours = 0.001;
+  config.seed = 3;
+  CondorPool pool(sim, "condor", config);
+  int completed = 0;
+  pool.set_completion_callback(
+      [&](GridJob&, const JobOutcome& outcome) {
+        if (outcome.completed) ++completed;
+      });
+  std::vector<GridJob> jobs;
+  jobs.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back(make_job(static_cast<std::uint64_t>(i + 1), 600.0));
+  }
+  for (auto& job : jobs) pool.submit(job);
+  sim.run(72.0 * 3600.0);
+  EXPECT_EQ(completed, 10);
+}
+
+TEST(Condor, PreemptsWhenOwnerReturns) {
+  sim::Simulation sim;
+  CondorPool::Config config;
+  config.machines = 4;
+  config.mean_idle_hours = 0.5;  // owners come back quickly
+  config.mean_busy_hours = 0.5;
+  config.seed = 11;
+  CondorPool pool(sim, "condor", config);
+  int preemptions = 0;
+  int completions = 0;
+  pool.set_completion_callback(
+      [&](GridJob& job, const JobOutcome& outcome) {
+        if (outcome.completed) {
+          ++completions;
+        } else if (outcome.reason == "preempted") {
+          ++preemptions;
+          EXPECT_GT(job.wasted_cpu_seconds, 0.0);
+          // Requeue to keep pressure on the pool.
+          if (job.attempts < 50) pool.submit(job);
+        }
+      });
+  // Jobs of ~2h against ~30min idle windows: preemption is near certain.
+  std::vector<GridJob> jobs;
+  jobs.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(make_job(static_cast<std::uint64_t>(i + 1), 7200.0));
+  }
+  for (auto& job : jobs) pool.submit(job);
+  sim.run(400.0 * 3600.0);
+  EXPECT_GT(preemptions, 0);
+}
+
+TEST(Condor, InfoCountsIdleMachines) {
+  sim::Simulation sim;
+  CondorPool::Config config;
+  config.machines = 20;
+  config.seed = 5;
+  CondorPool pool(sim, "condor", config);
+  const ResourceInfo info = pool.info();
+  EXPECT_EQ(info.total_slots, 20u);
+  EXPECT_LE(info.free_slots, 20u);
+  EXPECT_FALSE(info.stable);
+  EXPECT_FALSE(info.mpi_capable);
+}
+
+TEST(Condor, MachineSpeedsAreHeterogeneous) {
+  sim::Simulation sim;
+  CondorPool::Config config;
+  config.machines = 100;
+  config.mean_speed = 1.0;
+  config.speed_sigma = 0.4;
+  config.seed = 7;
+  CondorPool pool(sim, "condor", config);
+  const auto speeds = pool.machine_speeds();
+  double lo = speeds[0];
+  double hi = speeds[0];
+  for (double s : speeds) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_LT(lo, 0.8);
+  EXPECT_GT(hi, 1.2);
+}
+
+// ---------------------------------------------------------------------------
+// MDS
+
+TEST(Mds, ReportsExpireAfterTtl) {
+  sim::Simulation sim;
+  MdsDirectory mds(sim, 300.0);
+  ResourceInfo info;
+  info.name = "hpc";
+  mds.report(info);
+  EXPECT_TRUE(mds.is_online("hpc"));
+  EXPECT_EQ(mds.online().size(), 1u);
+  sim.at(301.0, [] {});
+  sim.run();
+  EXPECT_FALSE(mds.is_online("hpc"));
+  EXPECT_TRUE(mds.online().empty());
+  EXPECT_EQ(mds.all().size(), 1u);  // stale entry still visible to monitors
+}
+
+TEST(Mds, ProviderKeepsResourceOnline) {
+  sim::Simulation sim;
+  MdsDirectory mds(sim, 300.0);
+  BatchQueueResource::Config config;
+  BatchQueueResource cluster(sim, "hpc", config);
+  mds.attach_provider(cluster, 120.0);
+  sim.run(3600.0);
+  EXPECT_TRUE(mds.is_online("hpc"));
+}
+
+TEST(Mds, SpeedAnnotation) {
+  sim::Simulation sim;
+  MdsDirectory mds(sim, 300.0);
+  ResourceInfo info;
+  info.name = "hpc";
+  mds.report(info);
+  mds.set_speed("hpc", 2.5);
+  const auto entry = mds.find("hpc");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_DOUBLE_EQ(entry->speed, 2.5);
+}
+
+TEST(Mds, UnknownResourceQueries) {
+  sim::Simulation sim;
+  MdsDirectory mds(sim);
+  EXPECT_FALSE(mds.find("nope").has_value());
+  EXPECT_FALSE(mds.is_online("nope"));
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+
+TEST(Adapters, CondorSubmitFile) {
+  sim::Simulation sim;
+  CondorPool::Config config;
+  CondorPool pool(sim, "condor", config);
+  CondorAdapter adapter(pool);
+  GridJob job = make_job(1, 100.0);
+  job.requirements.platforms = {PlatformSpec{OsType::kLinux, Arch::kX86_64}};
+  job.requirements.min_memory_gb = 2.0;
+  const std::string submit = adapter.translate(job);
+  EXPECT_NE(submit.find("universe = vanilla"), std::string::npos);
+  EXPECT_NE(submit.find("OpSys == \"LINUX\""), std::string::npos);
+  EXPECT_NE(submit.find("Arch == \"X86_64\""), std::string::npos);
+  EXPECT_NE(submit.find("request_memory = 2048MB"), std::string::npos);
+  EXPECT_NE(submit.find("queue 1"), std::string::npos);
+}
+
+TEST(Adapters, PbsScript) {
+  sim::Simulation sim;
+  BatchQueueResource::Config config;
+  BatchQueueResource cluster(sim, "pbs", config);
+  PbsAdapter adapter(cluster);
+  GridJob job = make_job(3, 100.0);
+  job.estimated_reference_runtime = 7200.0;
+  const std::string script = adapter.translate(job);
+  EXPECT_NE(script.find("#PBS -N garli-3"), std::string::npos);
+  EXPECT_NE(script.find("walltime="), std::string::npos);
+}
+
+TEST(Adapters, SgeScript) {
+  sim::Simulation sim;
+  BatchQueueResource::Config config;
+  config.kind = ResourceKind::kSgeCluster;
+  BatchQueueResource cluster(sim, "sge", config);
+  SgeAdapter adapter(cluster);
+  GridJob job = make_job(4, 100.0);
+  job.requirements.needs_mpi = true;
+  const std::string script = adapter.translate(job);
+  EXPECT_NE(script.find("#$ -N garli-4"), std::string::npos);
+  EXPECT_NE(script.find("-pe mpi"), std::string::npos);
+}
+
+TEST(Adapters, FactoryMatchesKind) {
+  sim::Simulation sim;
+  BatchQueueResource::Config config;
+  BatchQueueResource cluster(sim, "hpc", config);
+  auto pbs = make_adapter(cluster, ResourceKind::kPbsCluster);
+  EXPECT_NE(dynamic_cast<PbsAdapter*>(pbs.get()), nullptr);
+  auto sge = make_adapter(cluster, ResourceKind::kSgeCluster);
+  EXPECT_NE(dynamic_cast<SgeAdapter*>(sge.get()), nullptr);
+  auto condor = make_adapter(cluster, ResourceKind::kCondorPool);
+  EXPECT_NE(dynamic_cast<CondorAdapter*>(condor.get()), nullptr);
+  EXPECT_THROW(make_adapter(cluster, ResourceKind::kBoincPool),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lattice::grid

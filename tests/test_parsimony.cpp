@@ -1,0 +1,342 @@
+// Tests for Fitch parsimony, stepwise-addition starting trees, and
+// information-criterion model selection.
+#include <gtest/gtest.h>
+
+#include "phylo/garli.hpp"
+#include "phylo/likelihood.hpp"
+#include "phylo/model_select.hpp"
+#include "phylo/parsimony.hpp"
+#include "phylo/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace lattice::phylo {
+namespace {
+
+std::vector<std::string> names4{"A", "B", "C", "D"};
+
+// ---------------------------------------------------------------------------
+// Fitch parsimony
+
+TEST(Parsimony, HandComputedFourTaxa) {
+  // Site 1: A A C C -> grouping (A,B)(C,D) costs 1 change; site 2 constant.
+  Alignment alignment(DataType::kNucleotide, 2);
+  alignment.add_taxon("A", {0, 2});
+  alignment.add_taxon("B", {0, 2});
+  alignment.add_taxon("C", {1, 2});
+  alignment.add_taxon("D", {1, 2});
+  const PatternizedAlignment patterns(alignment);
+  const Tree grouped = Tree::parse_newick("((A,B),(C,D));", names4);
+  EXPECT_DOUBLE_EQ(parsimony_score(grouped, patterns), 1.0);
+  // The wrong grouping needs two changes for site 1.
+  const Tree split = Tree::parse_newick("((A,C),(B,D));", names4);
+  EXPECT_DOUBLE_EQ(parsimony_score(split, patterns), 2.0);
+}
+
+TEST(Parsimony, ConstantAlignmentScoresZero) {
+  Alignment alignment(DataType::kNucleotide, 3);
+  for (const char* name : {"A", "B", "C", "D"}) {
+    alignment.add_taxon(name, {1, 1, 1});
+  }
+  const PatternizedAlignment patterns(alignment);
+  util::Rng rng(1);
+  const Tree tree = Tree::random(4, rng);
+  EXPECT_DOUBLE_EQ(parsimony_score(tree, patterns), 0.0);
+}
+
+TEST(Parsimony, MissingDataCostsNothing) {
+  Alignment alignment(DataType::kNucleotide, 1);
+  alignment.add_taxon("A", {0});
+  alignment.add_taxon("B", {kMissing});
+  alignment.add_taxon("C", {0});
+  alignment.add_taxon("D", {kMissing});
+  const PatternizedAlignment patterns(alignment);
+  const Tree tree = Tree::parse_newick("((A,B),(C,D));", names4);
+  EXPECT_DOUBLE_EQ(parsimony_score(tree, patterns), 0.0);
+}
+
+TEST(Parsimony, WeightsRespected) {
+  // Two identical informative columns compress to one pattern of weight 2.
+  Alignment alignment(DataType::kNucleotide, 2);
+  alignment.add_taxon("A", {0, 0});
+  alignment.add_taxon("B", {0, 0});
+  alignment.add_taxon("C", {3, 3});
+  alignment.add_taxon("D", {3, 3});
+  const PatternizedAlignment patterns(alignment);
+  ASSERT_EQ(patterns.n_patterns(), 1u);
+  const Tree tree = Tree::parse_newick("((A,B),(C,D));", names4);
+  EXPECT_DOUBLE_EQ(parsimony_score(tree, patterns), 2.0);
+}
+
+TEST(Parsimony, TrueTreeScoresBetterOnCleanData) {
+  util::Rng rng(2);
+  const auto dataset = simulate_dataset(10, 500, ModelSpec{}, rng, 0.1);
+  const PatternizedAlignment patterns(dataset.alignment);
+  const double true_score = parsimony_score(dataset.tree, patterns);
+  double best_random = 1e18;
+  for (int i = 0; i < 10; ++i) {
+    best_random = std::min(
+        best_random,
+        parsimony_score(Tree::random(10, rng), patterns));
+  }
+  EXPECT_LT(true_score, best_random);
+}
+
+TEST(Parsimony, MismatchedTaxaThrow) {
+  util::Rng rng(3);
+  const auto dataset = simulate_dataset(5, 50, ModelSpec{}, rng);
+  const PatternizedAlignment patterns(dataset.alignment);
+  const Tree wrong = Tree::random(7, rng);
+  EXPECT_THROW(parsimony_score(wrong, patterns), std::invalid_argument);
+}
+
+TEST(Parsimony, InformativePatternCount) {
+  Alignment alignment(DataType::kNucleotide, 4);
+  // col0: informative (two states, twice each); col1: singleton (not);
+  // col2: constant (not); col3: informative.
+  alignment.add_taxon("A", {0, 0, 2, 1});
+  alignment.add_taxon("B", {0, 1, 2, 1});
+  alignment.add_taxon("C", {3, 0, 2, 3});
+  alignment.add_taxon("D", {3, 0, 2, 3});
+  const PatternizedAlignment patterns(alignment);
+  EXPECT_EQ(parsimony_informative_patterns(patterns), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Stepwise addition
+
+TEST(Stepwise, ProducesValidTreeOverAllTaxa) {
+  util::Rng rng(4);
+  for (std::size_t n : {2u, 4u, 8u, 15u}) {
+    const auto dataset = simulate_dataset(n, 120, ModelSpec{}, rng, 0.1);
+    const PatternizedAlignment patterns(dataset.alignment);
+    util::Rng step_rng(7);
+    const Tree tree = stepwise_addition_tree(patterns, step_rng);
+    EXPECT_EQ(tree.n_leaves(), n);
+    EXPECT_TRUE(tree.check_valid());
+  }
+}
+
+TEST(Stepwise, BeatsRandomTreesOnParsimony) {
+  util::Rng rng(5);
+  const auto dataset = simulate_dataset(12, 400, ModelSpec{}, rng, 0.12);
+  const PatternizedAlignment patterns(dataset.alignment);
+  util::Rng step_rng(9);
+  const Tree stepwise = stepwise_addition_tree(patterns, step_rng);
+  const double step_score = parsimony_score(stepwise, patterns);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_LE(step_score,
+              parsimony_score(Tree::random(12, rng), patterns));
+  }
+}
+
+TEST(Stepwise, MuchCloserToTruthThanRandomTrees) {
+  // Exponential branch lengths leave some splits nearly signal-free, so
+  // exact recovery is not expected even from clean data; the property
+  // that matters is that stepwise addition starts the GA far closer to
+  // the truth than a random topology does.
+  util::Rng rng(6);
+  const auto dataset = simulate_dataset(10, 1000, ModelSpec{}, rng, 0.1);
+  const PatternizedAlignment patterns(dataset.alignment);
+  util::Rng step_rng(3);
+  const Tree stepwise = stepwise_addition_tree(patterns, step_rng);
+  const std::size_t step_rf =
+      Tree::robinson_foulds(stepwise, dataset.tree);
+  double random_rf_total = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    random_rf_total += static_cast<double>(
+        Tree::robinson_foulds(Tree::random(10, rng), dataset.tree));
+  }
+  EXPECT_LT(static_cast<double>(step_rf), 0.8 * random_rf_total / 10.0);
+}
+
+TEST(Stepwise, AdditionOrderVariesWithSeed) {
+  util::Rng rng(7);
+  const auto dataset = simulate_dataset(12, 100, ModelSpec{}, rng, 0.4);
+  const PatternizedAlignment patterns(dataset.alignment);
+  util::Rng a(1);
+  util::Rng b(2);
+  const Tree ta = stepwise_addition_tree(patterns, a);
+  const Tree tb = stepwise_addition_tree(patterns, b);
+  // Noisy short data: different addition orders usually give different
+  // trees (not guaranteed, but with this seed pair it holds).
+  EXPECT_GT(Tree::robinson_foulds(ta, tb), 0u);
+}
+
+TEST(Stepwise, GarliJobStartTopologyConfigRoundTrip) {
+  GarliJob job;
+  EXPECT_TRUE(job.stepwise_start());  // GARLI's default
+  EXPECT_EQ(GarliJob::from_config(job.to_config()).start_topology,
+            GarliJob::StartTopology::kStepwise);
+  job.start_topology = GarliJob::StartTopology::kRandom;
+  EXPECT_EQ(GarliJob::from_config(job.to_config()).start_topology,
+            GarliJob::StartTopology::kRandom);
+  job.start_topology = GarliJob::StartTopology::kNeighborJoining;
+  EXPECT_EQ(GarliJob::from_config(job.to_config()).start_topology,
+            GarliJob::StartTopology::kNeighborJoining);
+  EXPECT_THROW(
+      GarliJob::from_config("[general]\nstarttopology = downward\n"),
+      std::runtime_error);
+}
+
+TEST(Stepwise, NjStartAlsoBeatsRandomStart) {
+  util::Rng rng(16);
+  const auto dataset = simulate_dataset(9, 600, ModelSpec{}, rng, 0.12);
+  GarliJob job;
+  job.genthresh = 10;
+  job.max_generations = 20;
+  job.seed = 5;
+  job.start_topology = GarliJob::StartTopology::kNeighborJoining;
+  const auto with_nj = run_garli_job(job, dataset.alignment);
+  job.start_topology = GarliJob::StartTopology::kRandom;
+  const auto with_random = run_garli_job(job, dataset.alignment);
+  EXPECT_GT(with_nj.replicates[0].best_log_likelihood,
+            with_random.replicates[0].best_log_likelihood);
+}
+
+TEST(Stepwise, ImprovesGaSearchStart) {
+  util::Rng rng(8);
+  const auto dataset = simulate_dataset(9, 600, ModelSpec{}, rng, 0.12);
+  GarliJob job;
+  job.genthresh = 10;  // almost no search: the start tree dominates
+  job.max_generations = 20;
+  job.seed = 5;
+  const auto with_stepwise = run_garli_job(job, dataset.alignment);
+  job.start_topology = GarliJob::StartTopology::kRandom;
+  const auto with_random = run_garli_job(job, dataset.alignment);
+  EXPECT_GT(
+      with_stepwise.replicates[0].best_log_likelihood,
+      with_random.replicates[0].best_log_likelihood);
+}
+
+// ---------------------------------------------------------------------------
+// Model selection
+
+TEST(ModelSelection, RecoversGammaWhenDataIsGamma) {
+  util::Rng rng(9);
+  ModelSpec truth;
+  truth.nuc_model = NucModel::kHKY85;
+  truth.kappa = 4.0;
+  truth.rate_het = RateHet::kGamma;
+  truth.gamma_alpha = 0.4;
+  const auto dataset = simulate_dataset(8, 1500, truth, rng, 0.12);
+
+  std::vector<ModelSpec> candidates;
+  ModelSpec flat;
+  flat.nuc_model = NucModel::kHKY85;
+  candidates.push_back(flat);
+  ModelSpec gamma = flat;
+  gamma.rate_het = RateHet::kGamma;
+  candidates.push_back(gamma);
+
+  const auto fits =
+      compare_models(dataset.alignment, dataset.tree, candidates);
+  ASSERT_EQ(fits.size(), 2u);
+  EXPECT_EQ(fits[0].spec.rate_het, RateHet::kGamma);
+  EXPECT_GT(fits[0].log_likelihood, fits[1].log_likelihood);
+  EXPECT_LT(fits[0].aic, fits[1].aic);
+}
+
+TEST(ModelSelection, PenalizesUselessParameters) {
+  // Data simulated under JC69: GTR fits no better and pays its parameter
+  // penalty under BIC.
+  util::Rng rng(10);
+  ModelSpec truth;
+  truth.nuc_model = NucModel::kJC69;
+  const auto dataset = simulate_dataset(8, 1500, truth, rng, 0.12);
+  std::vector<ModelSpec> candidates;
+  candidates.push_back(truth);
+  ModelSpec gtr;
+  gtr.nuc_model = NucModel::kGTR;
+  candidates.push_back(gtr);
+  const auto fits =
+      compare_models(dataset.alignment, dataset.tree, candidates);
+  const auto& jc = fits[0].spec.nuc_model == NucModel::kJC69 ? fits[0]
+                                                             : fits[1];
+  const auto& gtr_fit = fits[0].spec.nuc_model == NucModel::kGTR ? fits[0]
+                                                                 : fits[1];
+  EXPECT_LT(jc.bic, gtr_fit.bic);
+  EXPECT_LT(jc.free_parameters, gtr_fit.free_parameters);
+}
+
+TEST(ModelSelection, StandardLadderShape) {
+  const auto ladder = standard_nucleotide_candidates();
+  EXPECT_EQ(ladder.size(), 9u);
+  // Errors: empty candidates, mismatched data type.
+  util::Rng rng(11);
+  const auto dataset = simulate_dataset(5, 100, ModelSpec{}, rng);
+  EXPECT_THROW(compare_models(dataset.alignment, dataset.tree, {}),
+               std::invalid_argument);
+  ModelSpec aa;
+  aa.data_type = DataType::kAminoAcid;
+  std::vector<ModelSpec> bad{aa};
+  EXPECT_THROW(compare_models(dataset.alignment, dataset.tree, bad),
+               std::invalid_argument);
+}
+
+TEST(ModelSelection, ChiSquareSurvivalFunction) {
+  // Known values: P(X > 3.841 | 1 dof) ~ 0.05; P(X > 5.991 | 2 dof) ~ 0.05.
+  EXPECT_NEAR(chi_square_sf(3.841, 1), 0.05, 0.001);
+  EXPECT_NEAR(chi_square_sf(5.991, 2), 0.05, 0.001);
+  EXPECT_DOUBLE_EQ(chi_square_sf(0.0, 3), 1.0);
+  EXPECT_LT(chi_square_sf(100.0, 1), 1e-12);
+  EXPECT_THROW(chi_square_sf(1.0, 0), std::invalid_argument);
+}
+
+TEST(ModelSelection, LikelihoodRatioTestDetectsRateHeterogeneity) {
+  util::Rng rng(14);
+  ModelSpec truth;
+  truth.nuc_model = NucModel::kHKY85;
+  truth.rate_het = RateHet::kGamma;
+  truth.gamma_alpha = 0.3;
+  const auto dataset = simulate_dataset(8, 1200, truth, rng, 0.12);
+  ModelSpec flat = truth;
+  flat.rate_het = RateHet::kNone;
+  std::vector<ModelSpec> candidates{flat, truth};
+  const auto fits =
+      compare_models(dataset.alignment, dataset.tree, candidates);
+  const ModelFit& nested =
+      fits[0].spec.rate_het == RateHet::kNone ? fits[0] : fits[1];
+  const ModelFit& general =
+      fits[0].spec.rate_het == RateHet::kGamma ? fits[0] : fits[1];
+  // Strong heterogeneity in the data: decisively rejected.
+  EXPECT_LT(likelihood_ratio_test(nested, general), 1e-6);
+  // Misuse errors.
+  EXPECT_THROW(likelihood_ratio_test(general, nested),
+               std::invalid_argument);
+}
+
+TEST(ModelSelection, LrtAcceptsNullWhenDataIsSimple) {
+  util::Rng rng(15);
+  ModelSpec truth;
+  truth.nuc_model = NucModel::kHKY85;
+  truth.kappa = 3.0;
+  truth.rate_het = RateHet::kNone;
+  const auto dataset = simulate_dataset(8, 800, truth, rng, 0.12);
+  ModelSpec gamma = truth;
+  gamma.rate_het = RateHet::kGamma;
+  std::vector<ModelSpec> candidates{truth, gamma};
+  const auto fits =
+      compare_models(dataset.alignment, dataset.tree, candidates);
+  const ModelFit& nested =
+      fits[0].spec.rate_het == RateHet::kNone ? fits[0] : fits[1];
+  const ModelFit& general =
+      fits[0].spec.rate_het == RateHet::kGamma ? fits[0] : fits[1];
+  // Equal-rates data: adding gamma should not be significant at 1%.
+  EXPECT_GT(likelihood_ratio_test(nested, general), 0.01);
+}
+
+TEST(ModelSelection, AicOrderingAndValues) {
+  util::Rng rng(12);
+  const auto dataset = simulate_dataset(6, 400, ModelSpec{}, rng, 0.1);
+  std::vector<ModelSpec> candidates{ModelSpec{}};
+  const auto fits =
+      compare_models(dataset.alignment, dataset.tree, candidates);
+  const ModelFit& fit = fits[0];
+  const auto k = static_cast<double>(fit.free_parameters);
+  EXPECT_DOUBLE_EQ(fit.aic, 2.0 * k - 2.0 * fit.log_likelihood);
+  EXPECT_GT(fit.aicc, fit.aic);
+  EXPECT_GT(fit.bic, fit.aic);  // log(400) > 2
+}
+
+}  // namespace
+}  // namespace lattice::phylo

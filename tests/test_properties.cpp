@@ -1,0 +1,336 @@
+// Parameterized property sweeps: invariants that must hold across entire
+// parameter ranges — data types, gamma shapes, taxon counts, scheduling
+// modes, quorum settings — rather than at hand-picked points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boinc/server.hpp"
+#include "core/cost_model.hpp"
+#include "core/lattice.hpp"
+#include "phylo/consensus.hpp"
+#include "phylo/likelihood.hpp"
+#include "phylo/linalg.hpp"
+#include "phylo/model.hpp"
+#include "phylo/parsimony.hpp"
+#include "phylo/simulate.hpp"
+#include "phylo/tree.hpp"
+#include "util/rng.hpp"
+
+namespace lattice {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Substitution-model properties over every data type.
+
+class ModelPropertySweep
+    : public ::testing::TestWithParam<phylo::DataType> {};
+
+phylo::ModelSpec spec_for(phylo::DataType type) {
+  phylo::ModelSpec spec;
+  spec.data_type = type;
+  if (type == phylo::DataType::kNucleotide) {
+    spec.nuc_model = phylo::NucModel::kGTR;
+    spec.gtr_rates = {1.1, 2.7, 0.8, 1.3, 3.1, 1.0};
+    spec.base_frequencies = {0.32, 0.18, 0.21, 0.29};
+  }
+  return spec;
+}
+
+TEST_P(ModelPropertySweep, RowsAreStochasticAtManyTimes) {
+  const phylo::SubstitutionModel model(spec_for(GetParam()));
+  const std::size_t n = model.n_states();
+  std::vector<double> p(n * n);
+  for (const double t : {1e-6, 0.01, 0.3, 2.0, 20.0}) {
+    model.transition_matrix(t, 1.0, p);
+    for (std::size_t i = 0; i < n; ++i) {
+      double row = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_GE(p[i * n + j], 0.0);
+        row += p[i * n + j];
+      }
+      EXPECT_NEAR(row, 1.0, 1e-7);
+    }
+  }
+}
+
+TEST_P(ModelPropertySweep, DetailedBalance) {
+  const phylo::SubstitutionModel model(spec_for(GetParam()));
+  const std::size_t n = model.n_states();
+  const auto freqs = model.frequencies();
+  std::vector<double> p(n * n);
+  model.transition_matrix(0.4, 1.0, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(freqs[i] * p[i * n + j], freqs[j] * p[j * n + i], 1e-9);
+    }
+  }
+}
+
+TEST_P(ModelPropertySweep, ChapmanKolmogorovComposition) {
+  const phylo::SubstitutionModel model(spec_for(GetParam()));
+  const std::size_t n = model.n_states();
+  std::vector<double> p1(n * n);
+  std::vector<double> p2(n * n);
+  std::vector<double> p3(n * n);
+  std::vector<double> composed(n * n);
+  model.transition_matrix(0.15, 1.0, p1);
+  model.transition_matrix(0.35, 1.0, p2);
+  model.transition_matrix(0.50, 1.0, p3);
+  phylo::matmul(p1, p2, composed, n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    EXPECT_NEAR(composed[i], p3[i], 1e-8);
+  }
+}
+
+TEST_P(ModelPropertySweep, MeanRateIsOne) {
+  // -sum_i pi_i Q_ii == 1 implies d/dt P_ii at 0 integrates to one
+  // substitution per unit time: check via small-t expansion.
+  const phylo::SubstitutionModel model(spec_for(GetParam()));
+  const std::size_t n = model.n_states();
+  const auto freqs = model.frequencies();
+  std::vector<double> p(n * n);
+  const double dt = 1e-6;
+  model.transition_matrix(dt, 1.0, p);
+  double off_diagonal_rate = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    off_diagonal_rate += freqs[i] * (1.0 - p[i * n + i]);
+  }
+  EXPECT_NEAR(off_diagonal_rate / dt, 1.0, 1e-3);
+}
+
+TEST_P(ModelPropertySweep, SimulateThenScoreIsFinite) {
+  util::Rng rng(77);
+  const auto spec = spec_for(GetParam());
+  const std::size_t sites = GetParam() == phylo::DataType::kCodon ? 60 : 200;
+  const auto dataset = phylo::simulate_dataset(6, sites, spec, rng, 0.1);
+  const phylo::PatternizedAlignment patterns(dataset.alignment);
+  phylo::LikelihoodEngine engine(patterns);
+  const double lnl =
+      engine.log_likelihood(dataset.tree, phylo::SubstitutionModel(spec));
+  EXPECT_TRUE(std::isfinite(lnl));
+  EXPECT_LT(lnl, 0.0);
+  // Parsimony agrees the data is non-degenerate.
+  EXPECT_GT(phylo::parsimony_score(dataset.tree, patterns), 0.0);
+}
+
+TEST_P(ModelPropertySweep, MatrixCacheIsTransparent) {
+  util::Rng rng(88);
+  const auto spec = spec_for(GetParam());
+  const std::size_t sites = GetParam() == phylo::DataType::kCodon ? 40 : 150;
+  const auto dataset = phylo::simulate_dataset(5, sites, spec, rng, 0.1);
+  const phylo::PatternizedAlignment patterns(dataset.alignment);
+  phylo::LikelihoodEngine plain(patterns);
+  phylo::LikelihoodEngine cached(patterns);
+  cached.enable_matrix_cache();
+  const phylo::SubstitutionModel model(spec);
+  for (int i = 0; i < 3; ++i) {
+    const phylo::Tree tree = phylo::Tree::random(5, rng, 0.2);
+    EXPECT_DOUBLE_EQ(plain.log_likelihood(tree, model),
+                     cached.log_likelihood(tree, model));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDataTypes, ModelPropertySweep,
+                         ::testing::Values(phylo::DataType::kNucleotide,
+                                           phylo::DataType::kAminoAcid,
+                                           phylo::DataType::kCodon));
+
+// ---------------------------------------------------------------------------
+// Discrete-gamma properties over shape values.
+
+class GammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaSweep, RatesMeanOneIncreasingPositive) {
+  for (const std::size_t k : {2u, 4u, 6u, 10u}) {
+    const auto rates = phylo::discrete_gamma_rates(GetParam(), k);
+    double mean = 0.0;
+    double prev = -1.0;
+    for (const double r : rates) {
+      EXPECT_GT(r, 0.0);
+      EXPECT_GT(r, prev);
+      prev = r;
+      mean += r;
+    }
+    EXPECT_NEAR(mean / static_cast<double>(k), 1.0, 1e-8);
+  }
+}
+
+TEST_P(GammaSweep, SpreadShrinksWithAlpha) {
+  const auto rates = phylo::discrete_gamma_rates(GetParam(), 4);
+  const double spread = rates.back() - rates.front();
+  const auto tighter = phylo::discrete_gamma_rates(GetParam() * 4.0, 4);
+  EXPECT_LT(tighter.back() - tighter.front(), spread);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaSweep,
+                         ::testing::Values(0.05, 0.2, 0.5, 1.0, 3.0, 10.0));
+
+// ---------------------------------------------------------------------------
+// Tree invariants over sizes.
+
+class TreeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeSweep, RandomTreesValidAndSerializable) {
+  util::Rng rng(GetParam() * 13 + 1);
+  const phylo::Tree tree = phylo::Tree::random(GetParam(), rng);
+  EXPECT_TRUE(tree.check_valid());
+  const phylo::Tree restored =
+      phylo::Tree::deserialize_structure(tree.serialize_structure());
+  EXPECT_EQ(phylo::Tree::robinson_foulds(tree, restored), 0u);
+  EXPECT_NEAR(tree.tree_length(), restored.tree_length(), 1e-9);
+}
+
+TEST_P(TreeSweep, EveryNniMovesRfByTwo) {
+  util::Rng rng(GetParam() * 17 + 3);
+  const phylo::Tree tree = phylo::Tree::random(GetParam(), rng);
+  for (const int node : tree.internal_edge_nodes()) {
+    for (const int variant : {0, 1}) {
+      phylo::Tree mutated = tree;
+      mutated.nni(node, variant);
+      EXPECT_TRUE(mutated.check_valid());
+      EXPECT_EQ(phylo::Tree::robinson_foulds(tree, mutated), 2u);
+    }
+  }
+}
+
+TEST_P(TreeSweep, SprKeepsLeafSetAndValidity) {
+  util::Rng rng(GetParam() * 19 + 5);
+  phylo::Tree tree = phylo::Tree::random(GetParam(), rng);
+  int applied = 0;
+  for (int attempt = 0; attempt < 60 && applied < 10; ++attempt) {
+    const int prune = static_cast<int>(rng.below(tree.n_nodes()));
+    const int graft = static_cast<int>(rng.below(tree.n_nodes()));
+    if (tree.spr(prune, graft)) {
+      ++applied;
+      EXPECT_TRUE(tree.check_valid());
+      EXPECT_EQ(tree.n_leaves(), GetParam());
+    }
+  }
+  EXPECT_GT(applied, 0);
+}
+
+TEST_P(TreeSweep, ConsensusOfOneTreeIsItself) {
+  util::Rng rng(GetParam() * 23 + 7);
+  const phylo::Tree tree = phylo::Tree::random(GetParam(), rng);
+  const auto consensus =
+      phylo::majority_rule_consensus(std::vector<phylo::Tree>{tree});
+  EXPECT_EQ(phylo::Tree::robinson_foulds(consensus.tree, tree), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TreeSweep,
+                         ::testing::Values(4, 6, 9, 16, 33, 70));
+
+// ---------------------------------------------------------------------------
+// Grid completes the same workload under every scheduling mode.
+
+class ModeSweep : public ::testing::TestWithParam<core::SchedulingMode> {};
+
+TEST_P(ModeSweep, MixedWorkloadDrains) {
+  core::LatticeConfig config;
+  config.scheduler.mode = GetParam();
+  config.seed = 31;
+  core::LatticeSystem system(config);
+  grid::BatchQueueResource::Config cluster;
+  cluster.nodes = 8;
+  cluster.cores_per_node = 2;
+  system.add_cluster("hpc", cluster);
+  grid::CondorPool::Config condor;
+  condor.machines = 20;
+  condor.seed = 3;
+  system.add_condor_pool("condor", condor);
+  system.calibrate_speeds();
+  if (GetParam() == core::SchedulingMode::kEstimateAware) {
+    core::RuntimeEstimator::Config est;
+    est.forest.n_trees = 40;
+    est.retrain_every = 0;
+    system.estimator() = core::RuntimeEstimator(est);
+    util::Rng train_rng(5);
+    system.estimator().train(
+        core::generate_corpus(80, system.cost_model(), train_rng));
+  }
+  util::Rng rng(7);
+  for (int i = 0; i < 25; ++i) {
+    core::GarliFeatures f = core::random_features(rng);
+    // Keep inside a simulable horizon for the slowest mode.
+    f.search_reps = 1;
+    system.submit_garli_job(f);
+  }
+  system.run_until_drained(400.0 * 86400.0);
+  EXPECT_EQ(system.metrics().completed + system.metrics().abandoned, 25u);
+  EXPECT_GE(system.metrics().completed, 23u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ModeSweep,
+    ::testing::Values(core::SchedulingMode::kRoundRobin,
+                      core::SchedulingMode::kLoadOnly,
+                      core::SchedulingMode::kEstimateAware,
+                      core::SchedulingMode::kOracle));
+
+// ---------------------------------------------------------------------------
+// BOINC validates under every quorum setting.
+
+class QuorumSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuorumSweep, WorkunitsValidateAndCreditFollowsQuorum) {
+  sim::Simulation sim;
+  boinc::BoincPoolConfig config;
+  config.hosts = 40;
+  config.mean_on_hours = 10000.0;
+  config.mean_off_hours = 0.001;
+  config.mean_lifetime_days = 1e6;
+  config.host_error_probability = 0.05;
+  config.min_quorum = GetParam();
+  config.target_nresults = GetParam();
+  config.max_total_results = 16;
+  config.seed = 41;
+  boinc::BoincServer server(sim, "boinc", config);
+  int completed = 0;
+  server.set_completion_callback(
+      [&](grid::GridJob&, const grid::JobOutcome& outcome) {
+        if (outcome.completed) ++completed;
+      });
+  std::vector<grid::GridJob> jobs(8);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = i + 1;
+    jobs[i].true_reference_runtime = 1800.0;
+    server.submit(jobs[i]);
+  }
+  sim.run(60.0 * 86400.0);
+  EXPECT_EQ(completed, 8);
+  // Credit: at least quorum-many grants per workunit.
+  EXPECT_GE(server.total_credit(),
+            8.0 * GetParam() * 1800.0 / 100.0 * 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quorums, QuorumSweep, ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Cost model: monotonicity sweeps.
+
+class CostMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostMonotonicity, RuntimeGrowsAlongEveryNumericPredictor) {
+  const core::GarliCostModel model;
+  core::GarliFeatures base;
+  base.num_taxa = 50;
+  base.num_patterns = 400;
+  base.genthresh = 400;
+  base.search_reps = 2;
+  auto bumped = base;
+  switch (GetParam()) {
+    case 0: bumped.num_taxa *= 2; break;
+    case 1: bumped.num_patterns *= 2; break;
+    case 2: bumped.search_reps += 1; break;
+    case 3: bumped.genthresh *= 2; break;
+    case 4: bumped.subst_model_params += 4; break;
+  }
+  EXPECT_GT(model.expected_runtime(bumped), model.expected_runtime(base));
+}
+
+INSTANTIATE_TEST_SUITE_P(Predictors, CostMonotonicity,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace lattice

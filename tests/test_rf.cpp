@@ -1,0 +1,326 @@
+// Tests for the random-forest library: dataset validation, CART splits,
+// forest accuracy (OOB), and both importance measures. Includes the
+// parameterized sweeps that back the paper's modeling choices (mtry,
+// forest size).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "rf/dataset.hpp"
+#include "rf/forest.hpp"
+#include "rf/tree.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace lattice::rf {
+namespace {
+
+Dataset make_linear_dataset(std::size_t n, util::Rng& rng,
+                            double noise_sd = 0.0) {
+  Dataset data({{"x1", FeatureKind::kNumeric, {}},
+                {"x2", FeatureKind::kNumeric, {}}});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x1 = rng.uniform(0.0, 1.0);
+    const double x2 = rng.uniform(0.0, 1.0);
+    const double y = 3.0 * x1 + rng.normal(0.0, noise_sd);
+    data.add_row(std::vector<double>{x1, x2}, y);
+  }
+  return data;
+}
+
+/// Friedman #1 benchmark function restricted to 5 informative + noise vars.
+Dataset make_friedman(std::size_t n, std::size_t extra_noise_vars,
+                      util::Rng& rng, double noise_sd = 0.1) {
+  std::vector<FeatureSpec> specs;
+  for (std::size_t f = 0; f < 5 + extra_noise_vars; ++f) {
+    specs.push_back({"x" + std::to_string(f), FeatureKind::kNumeric, {}});
+  }
+  Dataset data(std::move(specs));
+  std::vector<double> row(5 + extra_noise_vars);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : row) v = rng.uniform(0.0, 1.0);
+    const double y = 10.0 * std::sin(std::numbers::pi * row[0] * row[1]) +
+                     20.0 * (row[2] - 0.5) * (row[2] - 0.5) + 10.0 * row[3] +
+                     5.0 * row[4] + rng.normal(0.0, noise_sd);
+    data.add_row(row, y);
+  }
+  return data;
+}
+
+TEST(Dataset, RejectsArityMismatch) {
+  Dataset data({{"a", FeatureKind::kNumeric, {}}});
+  EXPECT_THROW(data.add_row(std::vector<double>{1.0, 2.0}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Dataset, RejectsBadCategoricalLevel) {
+  Dataset data({{"c", FeatureKind::kCategorical, {"a", "b"}}});
+  EXPECT_THROW(data.add_row(std::vector<double>{2.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(data.add_row(std::vector<double>{0.5}, 0.0),
+               std::invalid_argument);
+  data.add_row(std::vector<double>{1.0}, 0.0);
+  EXPECT_EQ(data.n_rows(), 1u);
+}
+
+TEST(Dataset, RejectsTooManyLevels) {
+  std::vector<std::string> levels(65, "x");
+  EXPECT_THROW(Dataset({{"c", FeatureKind::kCategorical, levels}}),
+               std::invalid_argument);
+}
+
+TEST(Dataset, FeatureIndexLookup) {
+  Dataset data({{"a", FeatureKind::kNumeric, {}},
+                {"b", FeatureKind::kNumeric, {}}});
+  EXPECT_EQ(data.feature_index("b"), 1u);
+  EXPECT_FALSE(data.feature_index("zzz").has_value());
+}
+
+TEST(Dataset, RowMaterialization) {
+  Dataset data({{"a", FeatureKind::kNumeric, {}},
+                {"b", FeatureKind::kNumeric, {}}});
+  data.add_row(std::vector<double>{1.0, 2.0}, 3.0);
+  EXPECT_EQ(data.row(0), (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(data.target(0), 3.0);
+}
+
+TEST(RegressionTree, FitsStepFunctionExactly) {
+  // y = 1{x > 0.5}: a single split should capture it.
+  Dataset data({{"x", FeatureKind::kNumeric, {}}});
+  for (int i = 0; i < 100; ++i) {
+    const double x = i / 100.0;
+    data.add_row(std::vector<double>{x}, x > 0.5 ? 1.0 : 0.0);
+  }
+  std::vector<std::size_t> rows(100);
+  for (std::size_t i = 0; i < 100; ++i) rows[i] = i;
+  util::Rng rng(1);
+  RegressionTree tree;
+  TreeParams params;
+  params.mtry = 1;
+  tree.fit(data, rows, params, rng);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.2}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.9}), 1.0);
+}
+
+TEST(RegressionTree, MinLeafRespected) {
+  util::Rng rng(2);
+  Dataset data = make_linear_dataset(200, rng, 0.1);
+  std::vector<std::size_t> rows(200);
+  for (std::size_t i = 0; i < 200; ++i) rows[i] = i;
+  TreeParams params;
+  params.min_leaf = 50;
+  params.mtry = 2;
+  RegressionTree tree;
+  tree.fit(data, rows, params, rng);
+  EXPECT_LE(tree.leaf_count(), 4u);
+}
+
+TEST(RegressionTree, MaxDepthRespected) {
+  util::Rng rng(3);
+  Dataset data = make_linear_dataset(500, rng, 0.0);
+  std::vector<std::size_t> rows(500);
+  for (std::size_t i = 0; i < 500; ++i) rows[i] = i;
+  TreeParams params;
+  params.max_depth = 3;
+  params.min_leaf = 1;
+  params.mtry = 2;
+  RegressionTree tree;
+  tree.fit(data, rows, params, rng);
+  EXPECT_LE(tree.depth(), 4u);  // root at depth 1
+}
+
+TEST(RegressionTree, ConstantTargetIsSingleLeaf) {
+  Dataset data({{"x", FeatureKind::kNumeric, {}}});
+  for (int i = 0; i < 50; ++i) {
+    data.add_row(std::vector<double>{static_cast<double>(i)}, 7.0);
+  }
+  std::vector<std::size_t> rows(50);
+  for (std::size_t i = 0; i < 50; ++i) rows[i] = i;
+  util::Rng rng(4);
+  RegressionTree tree;
+  tree.fit(data, rows, TreeParams{}, rng);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{123.0}), 7.0);
+}
+
+TEST(RegressionTree, CategoricalSplitSeparatesLevels) {
+  Dataset data({{"c", FeatureKind::kCategorical, {"a", "b", "c", "d"}}});
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double level = static_cast<double>(i % 4);
+    // Levels a,c -> 0; b,d -> 10 (non-contiguous: needs subset split).
+    const double y = (i % 4 == 1 || i % 4 == 3) ? 10.0 : 0.0;
+    data.add_row(std::vector<double>{level}, y);
+  }
+  std::vector<std::size_t> rows(200);
+  for (std::size_t i = 0; i < 200; ++i) rows[i] = i;
+  TreeParams params;
+  params.mtry = 1;
+  RegressionTree tree;
+  tree.fit(data, rows, params, rng);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{1.0}), 10.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{3.0}), 10.0);
+}
+
+TEST(RandomForest, RejectsDegenerateInputs) {
+  Dataset tiny({{"x", FeatureKind::kNumeric, {}}});
+  tiny.add_row(std::vector<double>{1.0}, 1.0);
+  RandomForest forest;
+  EXPECT_THROW(forest.fit(tiny, ForestParams{}), std::invalid_argument);
+
+  Dataset ok = tiny;
+  ok.add_row(std::vector<double>{2.0}, 2.0);
+  ForestParams zero;
+  zero.n_trees = 0;
+  EXPECT_THROW(forest.fit(ok, zero), std::invalid_argument);
+}
+
+TEST(RandomForest, LearnsLinearSignal) {
+  util::Rng rng(7);
+  Dataset data = make_linear_dataset(400, rng, 0.05);
+  RandomForest forest;
+  ForestParams params;
+  params.n_trees = 100;
+  params.seed = 3;
+  forest.fit(data, params);
+  EXPECT_GT(forest.variance_explained(), 0.85);
+  // Predictions should track the signal on fresh points.
+  EXPECT_NEAR(forest.predict(std::vector<double>{0.5, 0.5}), 1.5, 0.35);
+  EXPECT_NEAR(forest.predict(std::vector<double>{0.9, 0.1}), 2.7, 0.45);
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  util::Rng rng(8);
+  Dataset data = make_friedman(150, 0, rng);
+  ForestParams params;
+  params.n_trees = 30;
+  params.seed = 11;
+  RandomForest a;
+  a.fit(data, params);
+  RandomForest b;
+  b.fit(data, params);
+  EXPECT_DOUBLE_EQ(a.oob_mse(), b.oob_mse());
+  EXPECT_DOUBLE_EQ(a.predict(data.row(0)), b.predict(data.row(0)));
+}
+
+TEST(RandomForest, ParallelTrainingMatchesSerial) {
+  util::Rng rng(9);
+  Dataset data = make_friedman(120, 0, rng);
+  ForestParams params;
+  params.n_trees = 16;
+  params.seed = 5;
+  RandomForest serial;
+  serial.fit(data, params);
+  util::ThreadPool pool(4);
+  RandomForest parallel;
+  parallel.fit(data, params, &pool);
+  EXPECT_DOUBLE_EQ(serial.oob_mse(), parallel.oob_mse());
+}
+
+TEST(RandomForest, OobPredictionsMostlyPresent) {
+  util::Rng rng(10);
+  Dataset data = make_friedman(100, 0, rng);
+  ForestParams params;
+  params.n_trees = 50;
+  RandomForest forest;
+  forest.fit(data, params);
+  const auto oob = forest.oob_predictions();
+  std::size_t present = 0;
+  for (double p : oob) {
+    if (!std::isnan(p)) ++present;
+  }
+  // P(in every bag of 50 trees) is astronomically small.
+  EXPECT_EQ(present, oob.size());
+}
+
+TEST(RandomForest, FriedmanAccuracy) {
+  util::Rng rng(12);
+  Dataset data = make_friedman(500, 0, rng);
+  ForestParams params;
+  params.n_trees = 200;
+  params.tree.mtry = 3;
+  RandomForest forest;
+  forest.fit(data, params);
+  EXPECT_GT(forest.variance_explained(), 0.80);
+}
+
+TEST(RandomForest, ImportanceRanksInformativeAboveNoise) {
+  util::Rng rng(13);
+  Dataset data = make_friedman(400, 3, rng);
+  ForestParams params;
+  params.n_trees = 150;
+  RandomForest forest;
+  forest.fit(data, params);
+  util::Rng imp_rng(99);
+  const auto importance = forest.importance(imp_rng);
+  ASSERT_EQ(importance.size(), 8u);
+  // x3 (coefficient 10) must beat every pure-noise feature on both
+  // measures.
+  for (std::size_t noise = 5; noise < 8; ++noise) {
+    EXPECT_GT(importance[3].inc_mse_pct, importance[noise].inc_mse_pct);
+    EXPECT_GT(importance[3].inc_node_purity,
+              importance[noise].inc_node_purity);
+  }
+  // Noise features should have near-zero permutation importance.
+  for (std::size_t noise = 5; noise < 8; ++noise) {
+    EXPECT_LT(importance[noise].inc_mse_pct, 10.0);
+  }
+}
+
+TEST(RandomForest, CategoricalFeatureSupported) {
+  util::Rng rng(14);
+  Dataset data({{"c", FeatureKind::kCategorical, {"low", "high"}},
+                {"x", FeatureKind::kNumeric, {}}});
+  for (int i = 0; i < 300; ++i) {
+    const double c = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    const double x = rng.uniform(0.0, 1.0);
+    data.add_row(std::vector<double>{c, x}, c * 5.0 + rng.normal(0.0, 0.1));
+  }
+  RandomForest forest;
+  ForestParams params;
+  params.n_trees = 60;
+  params.tree.mtry = 2;
+  forest.fit(data, params);
+  EXPECT_NEAR(forest.predict(std::vector<double>{1.0, 0.5}), 5.0, 0.5);
+  EXPECT_NEAR(forest.predict(std::vector<double>{0.0, 0.5}), 0.0, 0.5);
+}
+
+// Parameterized sweep: accuracy should be stable across a wide range of
+// mtry and improve (or plateau) with more trees — Breiman's robustness
+// claims that justify the paper's single-tuning-parameter usage.
+class ForestSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ForestSizeSweep, VarianceExplainedGrowsWithTrees) {
+  util::Rng rng(15);
+  Dataset data = make_friedman(300, 0, rng);
+  ForestParams params;
+  params.n_trees = GetParam();
+  params.seed = 2;
+  RandomForest forest;
+  forest.fit(data, params);
+  EXPECT_GT(forest.variance_explained(), GetParam() >= 100 ? 0.75 : 0.55);
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeCounts, ForestSizeSweep,
+                         ::testing::Values(10, 50, 150));
+
+class MtrySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MtrySweep, AccuracyRobustAcrossMtry) {
+  util::Rng rng(16);
+  Dataset data = make_friedman(300, 0, rng);
+  ForestParams params;
+  params.n_trees = 100;
+  params.tree.mtry = GetParam();
+  RandomForest forest;
+  forest.fit(data, params);
+  EXPECT_GT(forest.variance_explained(), 0.70);
+}
+
+INSTANTIATE_TEST_SUITE_P(MtryValues, MtrySweep, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace lattice::rf

@@ -1,0 +1,144 @@
+// Tests for workload generation and trace record/replay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/workload.hpp"
+#include "util/stats.hpp"
+
+namespace lattice::core {
+namespace {
+
+TEST(Workload, GeneratesRequestedCountWithIncreasingArrivals) {
+  GarliCostModel model;
+  util::Rng rng(1);
+  const auto workload =
+      generate_diurnal_workload(200, DiurnalConfig{}, model, rng);
+  ASSERT_EQ(workload.size(), 200u);
+  for (std::size_t i = 1; i < workload.size(); ++i) {
+    EXPECT_GT(workload[i].arrival_seconds,
+              workload[i - 1].arrival_seconds);
+  }
+  for (const auto& entry : workload) {
+    EXPECT_GT(entry.true_reference_runtime, 0.0);
+  }
+}
+
+TEST(Workload, MeanRateMatchesConfig) {
+  GarliCostModel model;
+  util::Rng rng(2);
+  DiurnalConfig config;
+  config.mean_jobs_per_day = 120.0;
+  const auto workload =
+      generate_diurnal_workload(1200, config, model, rng);
+  const double days = workload.back().arrival_seconds / 86400.0;
+  EXPECT_NEAR(1200.0 / days, 120.0, 15.0);
+}
+
+TEST(Workload, DiurnalPeakConcentratesArrivals) {
+  GarliCostModel model;
+  util::Rng rng(3);
+  DiurnalConfig config;
+  config.amplitude = 0.9;
+  config.peak_hour = 12.0;
+  const auto workload =
+      generate_diurnal_workload(3000, config, model, rng);
+  std::size_t near_peak = 0;   // 06:00-18:00
+  std::size_t off_peak = 0;    // the rest
+  for (const auto& entry : workload) {
+    const double hour = std::fmod(entry.arrival_seconds / 3600.0, 24.0);
+    if (hour >= 6.0 && hour < 18.0) {
+      ++near_peak;
+    } else {
+      ++off_peak;
+    }
+  }
+  // With amplitude 0.9 the daytime half carries most of the traffic.
+  EXPECT_GT(static_cast<double>(near_peak),
+            1.8 * static_cast<double>(off_peak));
+}
+
+TEST(Workload, AmplitudeValidation) {
+  GarliCostModel model;
+  util::Rng rng(4);
+  DiurnalConfig config;
+  config.amplitude = 1.5;
+  EXPECT_THROW(generate_diurnal_workload(10, config, model, rng),
+               std::invalid_argument);
+}
+
+TEST(Workload, RuntimeCapRespected) {
+  GarliCostModel model;
+  util::Rng rng(5);
+  DiurnalConfig config;
+  config.max_expected_hours = 10.0;
+  const auto workload =
+      generate_diurnal_workload(300, config, model, rng);
+  for (const auto& entry : workload) {
+    EXPECT_LE(model.expected_runtime(entry.features), 10.0 * 3600.0);
+  }
+}
+
+TEST(Workload, CsvRoundTripIsExact) {
+  GarliCostModel model;
+  util::Rng rng(6);
+  const auto workload =
+      generate_diurnal_workload(50, DiurnalConfig{}, model, rng);
+  const auto replayed = workload_from_csv(workload_to_csv(workload));
+  ASSERT_EQ(replayed.size(), workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_DOUBLE_EQ(replayed[i].arrival_seconds,
+                     workload[i].arrival_seconds);
+    EXPECT_DOUBLE_EQ(replayed[i].true_reference_runtime,
+                     workload[i].true_reference_runtime);
+    EXPECT_DOUBLE_EQ(replayed[i].features.num_taxa,
+                     workload[i].features.num_taxa);
+    EXPECT_EQ(replayed[i].features.data_type,
+              workload[i].features.data_type);
+    EXPECT_EQ(replayed[i].features.has_starting_tree,
+              workload[i].features.has_starting_tree);
+  }
+}
+
+TEST(Workload, CsvErrors) {
+  EXPECT_THROW(workload_from_csv(""), std::runtime_error);
+  EXPECT_THROW(workload_from_csv("wrong,header\n1,2\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      workload_from_csv(
+          "arrival_seconds,num_taxa,rest\nnot,numeric,data\n"),
+      std::runtime_error);
+}
+
+TEST(Workload, ReplayIsSchedulerComparable) {
+  // The same trace replayed against two systems yields identical total
+  // demand (fixed true runtimes), so scheduler comparisons are apples to
+  // apples.
+  GarliCostModel model;
+  util::Rng rng(7);
+  const auto workload =
+      generate_diurnal_workload(30, DiurnalConfig{}, model, rng);
+
+  auto run_system = [&](core::SchedulingMode mode) {
+    LatticeConfig config;
+    config.scheduler.mode = mode;
+    config.seed = 9;
+    LatticeSystem system(config);
+    grid::BatchQueueResource::Config cluster;
+    cluster.nodes = 16;
+    cluster.cores_per_node = 4;
+    system.add_cluster("hpc", cluster);
+    system.calibrate_speeds();
+    submit_workload(system, workload);
+    system.run(workload.back().arrival_seconds + 1.0);
+    system.run_until_drained(400.0 * 86400.0);
+    return system.metrics().useful_cpu_seconds;
+  };
+  const double a = run_system(SchedulingMode::kLoadOnly);
+  const double b = run_system(SchedulingMode::kRoundRobin);
+  // One resource, identical runtimes: identical useful CPU totals.
+  EXPECT_NEAR(a, b, 1e-6);
+}
+
+}  // namespace
+}  // namespace lattice::core
