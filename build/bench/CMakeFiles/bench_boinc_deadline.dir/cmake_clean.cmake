@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_boinc_deadline.dir/bench_boinc_deadline.cpp.o"
+  "CMakeFiles/bench_boinc_deadline.dir/bench_boinc_deadline.cpp.o.d"
+  "bench_boinc_deadline"
+  "bench_boinc_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boinc_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grid_scale.dir/bench_grid_scale.cpp.o"
+  "CMakeFiles/bench_grid_scale.dir/bench_grid_scale.cpp.o.d"
+  "bench_grid_scale"
+  "bench_grid_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grid_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_retrain.dir/bench_online_retrain.cpp.o"
+  "CMakeFiles/bench_online_retrain.dir/bench_online_retrain.cpp.o.d"
+  "bench_online_retrain"
+  "bench_online_retrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_retrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speed_calibration.dir/bench_speed_calibration.cpp.o"
+  "CMakeFiles/bench_speed_calibration.dir/bench_speed_calibration.cpp.o.d"
+  "bench_speed_calibration"
+  "bench_speed_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speed_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stability_cutoff.dir/bench_stability_cutoff.cpp.o"
+  "CMakeFiles/bench_stability_cutoff.dir/bench_stability_cutoff.cpp.o.d"
+  "bench_stability_cutoff"
+  "bench_stability_cutoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stability_cutoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

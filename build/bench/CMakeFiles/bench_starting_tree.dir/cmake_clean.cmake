@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_starting_tree.dir/bench_starting_tree.cpp.o"
+  "CMakeFiles/bench_starting_tree.dir/bench_starting_tree.cpp.o.d"
+  "bench_starting_tree"
+  "bench_starting_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_starting_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

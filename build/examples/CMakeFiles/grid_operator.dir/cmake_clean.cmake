@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_operator.dir/grid_operator.cpp.o"
+  "CMakeFiles/grid_operator.dir/grid_operator.cpp.o.d"
+  "grid_operator"
+  "grid_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phylogenetic_analysis.dir/phylogenetic_analysis.cpp.o"
+  "CMakeFiles/phylogenetic_analysis.dir/phylogenetic_analysis.cpp.o.d"
+  "phylogenetic_analysis"
+  "phylogenetic_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phylogenetic_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/volunteer_grid.cpp" "examples/CMakeFiles/volunteer_grid.dir/volunteer_grid.cpp.o" "gcc" "examples/CMakeFiles/volunteer_grid.dir/volunteer_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lattice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phylo/CMakeFiles/lattice_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/lattice_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/boinc/CMakeFiles/lattice_boinc.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/lattice_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lattice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lattice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

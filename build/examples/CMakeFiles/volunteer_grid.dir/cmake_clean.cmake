@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volunteer_grid.dir/volunteer_grid.cpp.o"
+  "CMakeFiles/volunteer_grid.dir/volunteer_grid.cpp.o.d"
+  "volunteer_grid"
+  "volunteer_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volunteer_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

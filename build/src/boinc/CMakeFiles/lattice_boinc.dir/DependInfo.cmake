@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boinc/adapter.cpp" "src/boinc/CMakeFiles/lattice_boinc.dir/adapter.cpp.o" "gcc" "src/boinc/CMakeFiles/lattice_boinc.dir/adapter.cpp.o.d"
+  "/root/repo/src/boinc/host.cpp" "src/boinc/CMakeFiles/lattice_boinc.dir/host.cpp.o" "gcc" "src/boinc/CMakeFiles/lattice_boinc.dir/host.cpp.o.d"
+  "/root/repo/src/boinc/server.cpp" "src/boinc/CMakeFiles/lattice_boinc.dir/server.cpp.o" "gcc" "src/boinc/CMakeFiles/lattice_boinc.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/lattice_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lattice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lattice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_boinc.dir/adapter.cpp.o"
+  "CMakeFiles/lattice_boinc.dir/adapter.cpp.o.d"
+  "CMakeFiles/lattice_boinc.dir/host.cpp.o"
+  "CMakeFiles/lattice_boinc.dir/host.cpp.o.d"
+  "CMakeFiles/lattice_boinc.dir/server.cpp.o"
+  "CMakeFiles/lattice_boinc.dir/server.cpp.o.d"
+  "liblattice_boinc.a"
+  "liblattice_boinc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_boinc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/appspec.cpp" "src/core/CMakeFiles/lattice_core.dir/appspec.cpp.o" "gcc" "src/core/CMakeFiles/lattice_core.dir/appspec.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/lattice_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/lattice_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/lattice_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/lattice_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/lattice.cpp" "src/core/CMakeFiles/lattice_core.dir/lattice.cpp.o" "gcc" "src/core/CMakeFiles/lattice_core.dir/lattice.cpp.o.d"
+  "/root/repo/src/core/metascheduler.cpp" "src/core/CMakeFiles/lattice_core.dir/metascheduler.cpp.o" "gcc" "src/core/CMakeFiles/lattice_core.dir/metascheduler.cpp.o.d"
+  "/root/repo/src/core/portal.cpp" "src/core/CMakeFiles/lattice_core.dir/portal.cpp.o" "gcc" "src/core/CMakeFiles/lattice_core.dir/portal.cpp.o.d"
+  "/root/repo/src/core/speed.cpp" "src/core/CMakeFiles/lattice_core.dir/speed.cpp.o" "gcc" "src/core/CMakeFiles/lattice_core.dir/speed.cpp.o.d"
+  "/root/repo/src/core/status.cpp" "src/core/CMakeFiles/lattice_core.dir/status.cpp.o" "gcc" "src/core/CMakeFiles/lattice_core.dir/status.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/lattice_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/lattice_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phylo/CMakeFiles/lattice_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/lattice_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/lattice_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/boinc/CMakeFiles/lattice_boinc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lattice_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lattice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_core.dir/appspec.cpp.o"
+  "CMakeFiles/lattice_core.dir/appspec.cpp.o.d"
+  "CMakeFiles/lattice_core.dir/cost_model.cpp.o"
+  "CMakeFiles/lattice_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/lattice_core.dir/estimator.cpp.o"
+  "CMakeFiles/lattice_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/lattice_core.dir/lattice.cpp.o"
+  "CMakeFiles/lattice_core.dir/lattice.cpp.o.d"
+  "CMakeFiles/lattice_core.dir/metascheduler.cpp.o"
+  "CMakeFiles/lattice_core.dir/metascheduler.cpp.o.d"
+  "CMakeFiles/lattice_core.dir/portal.cpp.o"
+  "CMakeFiles/lattice_core.dir/portal.cpp.o.d"
+  "CMakeFiles/lattice_core.dir/speed.cpp.o"
+  "CMakeFiles/lattice_core.dir/speed.cpp.o.d"
+  "CMakeFiles/lattice_core.dir/status.cpp.o"
+  "CMakeFiles/lattice_core.dir/status.cpp.o.d"
+  "CMakeFiles/lattice_core.dir/workload.cpp.o"
+  "CMakeFiles/lattice_core.dir/workload.cpp.o.d"
+  "liblattice_core.a"
+  "liblattice_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblattice_core.a"
+)

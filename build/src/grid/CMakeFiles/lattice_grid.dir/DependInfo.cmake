@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/adapter.cpp" "src/grid/CMakeFiles/lattice_grid.dir/adapter.cpp.o" "gcc" "src/grid/CMakeFiles/lattice_grid.dir/adapter.cpp.o.d"
+  "/root/repo/src/grid/classad.cpp" "src/grid/CMakeFiles/lattice_grid.dir/classad.cpp.o" "gcc" "src/grid/CMakeFiles/lattice_grid.dir/classad.cpp.o.d"
+  "/root/repo/src/grid/job.cpp" "src/grid/CMakeFiles/lattice_grid.dir/job.cpp.o" "gcc" "src/grid/CMakeFiles/lattice_grid.dir/job.cpp.o.d"
+  "/root/repo/src/grid/mds.cpp" "src/grid/CMakeFiles/lattice_grid.dir/mds.cpp.o" "gcc" "src/grid/CMakeFiles/lattice_grid.dir/mds.cpp.o.d"
+  "/root/repo/src/grid/resource.cpp" "src/grid/CMakeFiles/lattice_grid.dir/resource.cpp.o" "gcc" "src/grid/CMakeFiles/lattice_grid.dir/resource.cpp.o.d"
+  "/root/repo/src/grid/rsl.cpp" "src/grid/CMakeFiles/lattice_grid.dir/rsl.cpp.o" "gcc" "src/grid/CMakeFiles/lattice_grid.dir/rsl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lattice_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lattice_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_grid.dir/adapter.cpp.o"
+  "CMakeFiles/lattice_grid.dir/adapter.cpp.o.d"
+  "CMakeFiles/lattice_grid.dir/classad.cpp.o"
+  "CMakeFiles/lattice_grid.dir/classad.cpp.o.d"
+  "CMakeFiles/lattice_grid.dir/job.cpp.o"
+  "CMakeFiles/lattice_grid.dir/job.cpp.o.d"
+  "CMakeFiles/lattice_grid.dir/mds.cpp.o"
+  "CMakeFiles/lattice_grid.dir/mds.cpp.o.d"
+  "CMakeFiles/lattice_grid.dir/resource.cpp.o"
+  "CMakeFiles/lattice_grid.dir/resource.cpp.o.d"
+  "CMakeFiles/lattice_grid.dir/rsl.cpp.o"
+  "CMakeFiles/lattice_grid.dir/rsl.cpp.o.d"
+  "liblattice_grid.a"
+  "liblattice_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

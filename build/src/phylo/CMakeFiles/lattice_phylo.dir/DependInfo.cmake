@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phylo/alignment.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/alignment.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/alignment.cpp.o.d"
+  "/root/repo/src/phylo/consensus.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/consensus.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/consensus.cpp.o.d"
+  "/root/repo/src/phylo/datatype.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/datatype.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/datatype.cpp.o.d"
+  "/root/repo/src/phylo/distance.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/distance.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/distance.cpp.o.d"
+  "/root/repo/src/phylo/ga.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/ga.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/ga.cpp.o.d"
+  "/root/repo/src/phylo/garli.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/garli.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/garli.cpp.o.d"
+  "/root/repo/src/phylo/island.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/island.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/island.cpp.o.d"
+  "/root/repo/src/phylo/likelihood.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/likelihood.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/likelihood.cpp.o.d"
+  "/root/repo/src/phylo/linalg.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/linalg.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/linalg.cpp.o.d"
+  "/root/repo/src/phylo/model.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/model.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/model.cpp.o.d"
+  "/root/repo/src/phylo/model_select.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/model_select.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/model_select.cpp.o.d"
+  "/root/repo/src/phylo/optimize.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/optimize.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/optimize.cpp.o.d"
+  "/root/repo/src/phylo/parsimony.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/parsimony.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/parsimony.cpp.o.d"
+  "/root/repo/src/phylo/partition.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/partition.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/partition.cpp.o.d"
+  "/root/repo/src/phylo/render.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/render.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/render.cpp.o.d"
+  "/root/repo/src/phylo/simulate.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/simulate.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/simulate.cpp.o.d"
+  "/root/repo/src/phylo/tree.cpp" "src/phylo/CMakeFiles/lattice_phylo.dir/tree.cpp.o" "gcc" "src/phylo/CMakeFiles/lattice_phylo.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lattice_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_rf.dir/dataset.cpp.o"
+  "CMakeFiles/lattice_rf.dir/dataset.cpp.o.d"
+  "CMakeFiles/lattice_rf.dir/forest.cpp.o"
+  "CMakeFiles/lattice_rf.dir/forest.cpp.o.d"
+  "CMakeFiles/lattice_rf.dir/tree.cpp.o"
+  "CMakeFiles/lattice_rf.dir/tree.cpp.o.d"
+  "liblattice_rf.a"
+  "liblattice_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

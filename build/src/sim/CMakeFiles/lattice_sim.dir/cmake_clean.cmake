@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_sim.dir/simulation.cpp.o"
+  "CMakeFiles/lattice_sim.dir/simulation.cpp.o.d"
+  "liblattice_sim.a"
+  "liblattice_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

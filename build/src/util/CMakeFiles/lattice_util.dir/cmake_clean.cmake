@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_util.dir/ini.cpp.o"
+  "CMakeFiles/lattice_util.dir/ini.cpp.o.d"
+  "CMakeFiles/lattice_util.dir/log.cpp.o"
+  "CMakeFiles/lattice_util.dir/log.cpp.o.d"
+  "CMakeFiles/lattice_util.dir/stats.cpp.o"
+  "CMakeFiles/lattice_util.dir/stats.cpp.o.d"
+  "CMakeFiles/lattice_util.dir/table.cpp.o"
+  "CMakeFiles/lattice_util.dir/table.cpp.o.d"
+  "CMakeFiles/lattice_util.dir/threadpool.cpp.o"
+  "CMakeFiles/lattice_util.dir/threadpool.cpp.o.d"
+  "liblattice_util.a"
+  "liblattice_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_appspec.dir/test_appspec.cpp.o"
+  "CMakeFiles/test_appspec.dir/test_appspec.cpp.o.d"
+  "test_appspec"
+  "test_appspec.pdb"
+  "test_appspec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_appspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

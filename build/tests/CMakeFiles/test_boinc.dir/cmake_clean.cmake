@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boinc.dir/test_boinc.cpp.o"
+  "CMakeFiles/test_boinc.dir/test_boinc.cpp.o.d"
+  "test_boinc"
+  "test_boinc.pdb"
+  "test_boinc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boinc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

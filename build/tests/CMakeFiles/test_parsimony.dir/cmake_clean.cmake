@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parsimony.dir/test_parsimony.cpp.o"
+  "CMakeFiles/test_parsimony.dir/test_parsimony.cpp.o.d"
+  "test_parsimony"
+  "test_parsimony.pdb"
+  "test_parsimony[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parsimony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

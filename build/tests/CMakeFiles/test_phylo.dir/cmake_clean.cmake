@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phylo.dir/test_phylo.cpp.o"
+  "CMakeFiles/test_phylo.dir/test_phylo.cpp.o.d"
+  "test_phylo"
+  "test_phylo.pdb"
+  "test_phylo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

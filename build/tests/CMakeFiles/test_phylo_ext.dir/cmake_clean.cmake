@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phylo_ext.dir/test_phylo_ext.cpp.o"
+  "CMakeFiles/test_phylo_ext.dir/test_phylo_ext.cpp.o.d"
+  "test_phylo_ext"
+  "test_phylo_ext.pdb"
+  "test_phylo_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phylo_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
