@@ -90,6 +90,7 @@ int main() {
   util::Table table({"policy", "completed", "timeouts", "reissues",
                      "wasted CPU-h", "batch latency d"});
   table.set_precision(1);
+  bench::JsonReport json("boinc_deadline");
   for (const auto& [label, fixed, slack] :
        {std::tuple<std::string, double, double>{"manual 1d", 86400.0, 0.0},
         {"manual 3d", 3.0 * 86400.0, 0.0},
@@ -98,6 +99,13 @@ int main() {
         {"estimate slack=4", 0.0, 4.0},
         {"estimate slack=8", 0.0, 8.0}}) {
     const Run run = run_policy(label, fixed, slack);
+    std::string key = label;
+    for (char& ch : key) {
+      if (ch == ' ' || ch == '=') ch = '_';
+    }
+    json.set(key + "_reissues", run.reissues);
+    json.set(key + "_wasted_duplicate_h", run.wasted_duplicate_h);
+    json.set(key + "_batch_latency_d", run.batch_latency_days);
     table.add_row({run.policy, static_cast<long long>(run.completed),
                    static_cast<long long>(run.timeouts),
                    static_cast<long long>(run.reissues),
@@ -156,6 +164,13 @@ int main() {
       for (const auto& [id, wu] : server.workunits()) {
         if (wu.state == boinc::WorkunitState::kValidated) ++validated;
         results += wu.results.size();
+      }
+      if (adaptive) {
+        json.set("adaptive_results_per_wu",
+                 static_cast<double>(results) /
+                     static_cast<double>(server.workunits().size()));
+        json.set("adaptive_corrupted", static_cast<std::uint64_t>(
+                                           server.corrupted_validations()));
       }
       table2.add_row({label, static_cast<long long>(validated),
                       static_cast<long long>(server.corrupted_validations()),

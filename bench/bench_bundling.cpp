@@ -86,10 +86,14 @@ int main() {
       "per-job overhead \"substantially and negatively impacts\" short "
       "jobs; bundling replicates amortizes it");
 
+  bench::JsonReport json("bundling");
   util::Table table({"bundle", "grid jobs", "makespan h", "compute efficiency %"});
   table.set_precision(1);
   for (const std::size_t bundle : {1u, 5u, 20u, 60u, 200u}) {
     const Run run = run_with_bundle(bundle);
+    const std::string key = "bundle_" + std::to_string(bundle);
+    json.set(key + "_makespan_h", run.makespan_hours);
+    json.set(key + "_efficiency_pct", run.efficiency_pct);
     table.add_row({static_cast<long long>(bundle),
                    static_cast<long long>(run.grid_jobs), run.makespan_hours,
                    run.efficiency_pct});
@@ -110,7 +114,10 @@ int main() {
     std::cout << util::format(
         "portal chose bundle={} -> {} grid jobs (accepted: {})\n",
         outcome.bundle_size, outcome.grid_jobs, outcome.accepted);
+    json.set("auto_bundle_size",
+             static_cast<std::uint64_t>(outcome.bundle_size));
     system->run_until_drained(60.0 * 86400.0);
+    json.set("auto_makespan_h", system->metrics().last_completion / 3600.0);
     std::cout << util::format(
         "batch finished in {:.1f} h with {} of {} jobs completed\n",
         system->metrics().last_completion / 3600.0,

@@ -3,8 +3,12 @@
 // workload generation, and uniform result printing.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/cost_model.hpp"
@@ -14,6 +18,52 @@
 #include "util/table.hpp"
 
 namespace lattice::bench {
+
+/// Machine-readable benchmark results: collects key/value metrics and
+/// writes BENCH_<name>.json into the working directory on destruction, so
+/// every bench leaves a perf-trajectory artifact future PRs can diff.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { write(); }
+
+  void set(const std::string& key, double value) {
+    std::ostringstream out;
+    out.precision(12);
+    out << value;
+    entries_.emplace_back(key, out.str());
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, '"' + escape(value) + '"');
+  }
+
+  void write() const {
+    std::ofstream out("BENCH_" + name_ + ".json");
+    out << "{\n  \"bench\": \"" << escape(name_) << "\"";
+    for (const auto& [key, value] : entries_) {
+      out << ",\n  \"" << escape(key) << "\": " << value;
+    }
+    out << "\n}\n";
+  }
+
+ private:
+  static std::string escape(const std::string& text) {
+    std::string out;
+    for (const char ch : text) {
+      if (ch == '"' || ch == '\\') out += '\\';
+      out += ch;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// Print a section header so bench output reads as a report. Also mutes
 /// component logging so tables stay clean.

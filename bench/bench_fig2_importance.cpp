@@ -65,6 +65,14 @@ int main() {
   const double rate_het = find("rate_het_model");
   const double data_type = find("data_type");
   const double categories = find("num_rate_categories");
+
+  bench::JsonReport json("fig2_importance");
+  json.set("top_predictor", importance.front().feature);
+  json.set("rate_het_inc_mse_pct", rate_het);
+  json.set("data_type_inc_mse_pct", data_type);
+  json.set("num_rate_categories_inc_mse_pct", categories);
+  json.set("oob_variance_explained_pct",
+           estimator.variance_explained() * 100.0);
   std::cout << util::format(
       "shape check: rate_het ({:.1f}) > data_type ({:.1f}): {}\n", rate_het,
       data_type, rate_het > data_type ? "OK" : "MISMATCH");

@@ -25,6 +25,7 @@ int main() {
                      "median turnaround h", "p95 h", "last job h",
                      "volunteer share %"});
   table.set_precision(1);
+  bench::JsonReport json("grid_scale");
 
   for (const std::size_t hosts : {0u, 250u, 1000u, 2500u}) {
     core::LatticeConfig config;
@@ -85,6 +86,11 @@ int main() {
         }
       }
     }
+    const std::string key = "hosts_" + std::to_string(hosts);
+    json.set(key + "_completed", static_cast<std::uint64_t>(m.completed));
+    json.set(key + "_median_turnaround_h", util::median(turnaround));
+    json.set(key + "_volunteer_share_pct",
+             total_cpu > 0 ? volunteer_cpu / total_cpu * 100.0 : 0.0);
     table.add_row(
         {static_cast<long long>(hosts), static_cast<long long>(slots),
          static_cast<long long>(m.completed),

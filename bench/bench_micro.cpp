@@ -4,6 +4,10 @@
 // prediction, and a GA generation step.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
 #include "core/cost_model.hpp"
 #include "phylo/ga.hpp"
 #include "phylo/likelihood.hpp"
@@ -17,6 +21,51 @@
 namespace {
 
 using namespace lattice;
+
+// Shared fixture for the incremental-vs-full likelihood benchmarks: a
+// 32-taxon alignment with 4 gamma categories, evaluated after a
+// single-branch perturbation — the GA/Brent hot path. arg 0 selects DNA
+// (4 states), arg 1 amino acids (20 states).
+phylo::ModelSpec inc_bench_spec(std::int64_t arg) {
+  phylo::ModelSpec spec;
+  if (arg == 1) spec.data_type = phylo::DataType::kAminoAcid;
+  spec.rate_het = phylo::RateHet::kGamma;
+  spec.n_rate_categories = 4;
+  return spec;
+}
+
+void run_likelihood_perturb(benchmark::State& state, bool incremental) {
+  util::Rng rng(15);
+  const phylo::ModelSpec spec = inc_bench_spec(state.range(0));
+  const auto dataset = phylo::simulate_dataset(32, 1000, spec, rng, 0.1);
+  const phylo::PatternizedAlignment patterns(dataset.alignment);
+  phylo::LikelihoodEngine engine(patterns);
+  engine.enable_incremental(incremental);
+  engine.enable_matrix_cache();
+  const phylo::SubstitutionModel model(spec);
+  phylo::Tree tree = dataset.tree;
+  benchmark::DoNotOptimize(engine.log_likelihood(tree, model));  // warm
+  std::size_t branch = 0;
+  for (auto _ : state) {
+    const int index = static_cast<int>(branch++ % tree.n_nodes());
+    if (index != tree.root()) {
+      tree.set_branch_length(index, tree.branch_length(index) * 1.01);
+    }
+    benchmark::DoNotOptimize(engine.log_likelihood(tree, model));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(patterns.n_patterns()));
+}
+
+void BM_LikelihoodFull(benchmark::State& state) {
+  run_likelihood_perturb(state, /*incremental=*/false);
+}
+BENCHMARK(BM_LikelihoodFull)->Arg(0)->Arg(1);
+
+void BM_LikelihoodIncremental(benchmark::State& state) {
+  run_likelihood_perturb(state, /*incremental=*/true);
+}
+BENCHMARK(BM_LikelihoodIncremental)->Arg(0)->Arg(1);
 
 void BM_RngUniform(benchmark::State& state) {
   util::Rng rng(1);
@@ -165,6 +214,66 @@ void BM_CostModelSample(benchmark::State& state) {
 }
 BENCHMARK(BM_CostModelSample);
 
+// Standalone timing of the acceptance scenario (32-taxon, 4-category DNA,
+// single-branch perturbation per evaluation), written to
+// BENCH_likelihood.json so the perf trajectory is machine-readable without
+// parsing google-benchmark output.
+void emit_likelihood_json() {
+  using clock = std::chrono::steady_clock;
+  util::Rng rng(15);
+  const phylo::ModelSpec spec = inc_bench_spec(0);
+  const auto dataset = phylo::simulate_dataset(32, 1000, spec, rng, 0.1);
+  const phylo::PatternizedAlignment patterns(dataset.alignment);
+  const phylo::SubstitutionModel model(spec);
+
+  const auto time_mode = [&](bool incremental, int iters) {
+    phylo::LikelihoodEngine engine(patterns);
+    engine.enable_incremental(incremental);
+    engine.enable_matrix_cache();
+    phylo::Tree tree = dataset.tree;
+    double sink = engine.log_likelihood(tree, model);  // warm
+    std::size_t branch = 0;
+    const auto start = clock::now();
+    for (int i = 0; i < iters; ++i) {
+      const int index = static_cast<int>(branch++ % tree.n_nodes());
+      if (index != tree.root()) {
+        tree.set_branch_length(index, tree.branch_length(index) * 1.01);
+      }
+      sink += engine.log_likelihood(tree, model);
+    }
+    const double ns = std::chrono::duration<double, std::nano>(
+                          clock::now() - start)
+                          .count() /
+                      iters;
+    benchmark::DoNotOptimize(sink);
+    return ns;
+  };
+
+  const double full_ns = time_mode(false, 300);
+  const double inc_ns = time_mode(true, 3000);
+  std::ofstream out("BENCH_likelihood.json");
+  out.precision(6);
+  out << "{\n"
+      << "  \"bench\": \"likelihood\",\n"
+      << "  \"scenario\": \"32-taxon 4-category DNA, single-branch "
+         "perturbation\",\n"
+      << "  \"n_patterns\": " << patterns.n_patterns() << ",\n"
+      << "  \"full_ns_per_eval\": " << full_ns << ",\n"
+      << "  \"incremental_ns_per_eval\": " << inc_ns << ",\n"
+      << "  \"speedup\": " << full_ns / inc_ns << "\n"
+      << "}\n";
+  std::cout << "BENCH_likelihood.json: full " << full_ns / 1e3
+            << " us/eval, incremental " << inc_ns / 1e3
+            << " us/eval, speedup " << full_ns / inc_ns << "x\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_likelihood_json();
+  return 0;
+}

@@ -71,6 +71,7 @@ int main() {
   table.set_precision(3);
   util::RunningStat frozen_window;
   util::RunningStat online_window;
+  bench::JsonReport json("online_retrain");
   for (std::size_t i = 0; i < stream_length; ++i) {
     const bool late = i >= 200;  // drift begins at job 200
     const core::GarliCostModel& truth = late ? new_model : base_model;
@@ -87,6 +88,13 @@ int main() {
       table.add_row({static_cast<long long>(i + 1),
                      std::string(late ? "drifted" : "baseline"),
                      frozen_window.mean(), online_window.mean()});
+      if (i + 1 == 200) {
+        json.set("baseline_frozen_log_error", frozen_window.mean());
+        json.set("baseline_online_log_error", online_window.mean());
+      } else if (i + 1 == stream_length) {
+        json.set("final_frozen_log_error", frozen_window.mean());
+        json.set("final_online_log_error", online_window.mean());
+      }
       frozen_window = util::RunningStat{};
       online_window = util::RunningStat{};
     }

@@ -28,6 +28,7 @@ int main() {
                      "wasted CPU-h", "useful CPU-h", "mean turnaround h",
                      "makespan d"});
   table.set_precision(1);
+  bench::JsonReport json("scheduling");
 
   for (const core::SchedulingMode mode :
        {core::SchedulingMode::kRoundRobin, core::SchedulingMode::kLoadOnly,
@@ -56,6 +57,10 @@ int main() {
     system.run_until_drained(horizon);
 
     const core::LatticeMetrics& m = system.metrics();
+    const std::string prefix(core::scheduling_mode_name(mode));
+    json.set(prefix + "_completed", static_cast<std::uint64_t>(m.completed));
+    json.set(prefix + "_wasted_cpu_h", m.wasted_cpu_seconds / 3600.0);
+    json.set(prefix + "_mean_turnaround_h", m.mean_turnaround() / 3600.0);
     table.add_row({std::string(core::scheduling_mode_name(mode)),
                    static_cast<long long>(m.completed),
                    static_cast<long long>(m.abandoned),

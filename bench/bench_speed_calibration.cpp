@@ -12,6 +12,7 @@
 int main() {
   using namespace lattice;
 
+  bench::JsonReport json("speed_calibration");
   bench::section("SPEED-CAL(a): calibration accuracy vs measurement noise");
   bench::paper_note(
       "speed = reference runtime / averaged benchmark runtime; reference "
@@ -37,6 +38,11 @@ int main() {
             calibrator.calibrate("r", runtimes);
             err.add(std::abs(*calibrator.speed("r") - speed) / speed * 100.0);
           }
+        }
+        if (sigma == 0.15 && samples == 8) {
+          // Realistic desktop-grid noise with the default benchmark pool.
+          json.set("mean_speed_error_pct_sigma15_n8", err.mean());
+          json.set("max_speed_error_pct_sigma15_n8", err.max());
         }
         table.add_row({sigma, static_cast<long long>(samples), err.mean(),
                        err.max()});
@@ -92,6 +98,14 @@ int main() {
                               : variant == Variant::kUncalibrated
                                     ? "ranked, speeds all 1.0"
                                     : "ranked, calibrated speeds";
+      const std::string key = variant == Variant::kRoundRobin
+                                  ? "round_robin"
+                                  : variant == Variant::kUncalibrated
+                                        ? "uncalibrated"
+                                        : "calibrated";
+      json.set(key + "_completed",
+               static_cast<std::uint64_t>(m.completed));
+      json.set(key + "_mean_turnaround_h", m.mean_turnaround() / 3600.0);
       table.add_row({std::string(label),
                      static_cast<long long>(m.completed),
                      m.mean_turnaround() / 3600.0,

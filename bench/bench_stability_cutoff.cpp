@@ -21,6 +21,7 @@ int main() {
   util::Table table({"cutoff h", "completed", "abandoned", "failed attempts",
                      "wasted CPU-h", "mean turnaround h", "makespan d"});
   table.set_precision(1);
+  bench::JsonReport json("stability_cutoff");
 
   // A deliberately cluster-poor inventory: one small dedicated cluster
   // against large desktop/volunteer pools, so the cutoff actually decides
@@ -56,6 +57,14 @@ int main() {
     }
     system.run_until_drained(150.0 * 86400.0);
     const core::LatticeMetrics& m = system.metrics();
+    const std::string key =
+        cutoff_hours > 1e8 ? std::string("inf")
+                           : util::format("{:.0f}h", cutoff_hours);
+    json.set("cutoff_" + key + "_completed",
+             static_cast<std::uint64_t>(m.completed));
+    json.set("cutoff_" + key + "_wasted_cpu_h",
+             m.wasted_cpu_seconds / 3600.0);
+    json.set("cutoff_" + key + "_makespan_d", m.last_completion / 86400.0);
     table.add_row({cutoff_hours > 1e8 ? std::string("inf")
                                       : util::format("{:.0f}", cutoff_hours),
                    static_cast<long long>(m.completed),

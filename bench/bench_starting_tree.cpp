@@ -75,10 +75,15 @@ int main() {
     }
   }
 
+  bench::JsonReport json("starting_tree");
+  const char* keys[3] = {"random", "neighbor_joining", "stepwise_parsimony"};
   util::Table table({"start", "mean lnL gap", "mean RF to truth",
                      "mean generations", "mean lnL evals"});
   table.set_precision(1);
   for (int s = 0; s < 3; ++s) {
+    json.set(std::string(keys[s]) + "_mean_lnl_gap", totals[s].lnl_gap.mean());
+    json.set(std::string(keys[s]) + "_mean_evaluations",
+             totals[s].evaluations.mean());
     table.add_row({std::string(labels[s]), totals[s].lnl_gap.mean(),
                    totals[s].rf.mean(), totals[s].generations.mean(),
                    totals[s].evaluations.mean()});

@@ -150,17 +150,23 @@ bool GaSearch::step() {
   ++generation_;
 
   // (mu + lambda) steady state: one offspring per population slot, then
-  // keep the best population_size individuals.
+  // keep the best population_size individuals. The population is kept
+  // sorted best-first as an invariant, so only the offspring need sorting;
+  // a linear merge then restores global order — no full re-sort.
   std::vector<Individual> offspring;
   offspring.reserve(population_.size());
   for (std::size_t i = 0; i < population_.size(); ++i) {
     offspring.push_back(mutate(population_[tournament_select()]));
   }
+  const auto better = [](const Individual& a, const Individual& b) {
+    return a.log_likelihood > b.log_likelihood;
+  };
+  std::sort(offspring.begin(), offspring.end(), better);
+  const std::size_t parents = population_.size();
   for (auto& child : offspring) population_.push_back(std::move(child));
-  std::sort(population_.begin(), population_.end(),
-            [](const Individual& a, const Individual& b) {
-              return a.log_likelihood > b.log_likelihood;
-            });
+  std::inplace_merge(population_.begin(),
+                     population_.begin() + static_cast<std::ptrdiff_t>(parents),
+                     population_.end(), better);
   population_.resize(config_.population_size);
 
   const double best_now = population_.front().log_likelihood;
@@ -176,11 +182,16 @@ bool GaSearch::step() {
 
 void GaSearch::inject(const Individual& migrant) {
   assert(!population_.empty());
+  // Replace the worst individual and rotate the migrant into its sorted
+  // position — the rest of the population is already ordered.
   population_.back() = migrant;
-  std::sort(population_.begin(), population_.end(),
-            [](const Individual& a, const Individual& b) {
-              return a.log_likelihood > b.log_likelihood;
-            });
+  const auto better = [](const Individual& a, const Individual& b) {
+    return a.log_likelihood > b.log_likelihood;
+  };
+  const auto pos = std::upper_bound(population_.begin(),
+                                    population_.end() - 1,
+                                    population_.back(), better);
+  std::rotate(pos, population_.end() - 1, population_.end());
   if (migrant.log_likelihood >
       best_ever_ + config_.significant_improvement) {
     best_ever_ = migrant.log_likelihood;
@@ -307,6 +318,12 @@ GaSearch GaSearch::restore(const PatternizedAlignment& data,
     }
     search.population_.push_back(std::move(individual));
   }
+  // Checkpoints are written best-first, but step()/inject() now rely on
+  // sortedness as an invariant — re-establish it for robustness.
+  std::sort(search.population_.begin(), search.population_.end(),
+            [](const Individual& a, const Individual& b) {
+              return a.log_likelihood > b.log_likelihood;
+            });
   return search;
 }
 

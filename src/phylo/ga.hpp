@@ -78,6 +78,13 @@ class GaSearch {
     return engine_.evaluations();
   }
 
+  /// Fan likelihood rate categories across `pool` workers (mirrors
+  /// rf::Forest). Borrowed, not owned; results stay bit-identical to
+  /// serial evaluation. Pass nullptr to go back to serial.
+  void set_thread_pool(util::ThreadPool* pool) {
+    engine_.set_thread_pool(pool);
+  }
+
   /// Replace the worst individual with `migrant` (island-model migration;
   /// GARLI's MPI version exchanges individuals between populations). The
   /// migrant's log_likelihood must already be evaluated for this data.

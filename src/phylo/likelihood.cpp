@@ -4,23 +4,144 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
+
+#include "util/threadpool.hpp"
 
 namespace lattice::phylo {
 
 namespace {
-// Rescale when the largest partial falls below this; keeps products of many
-// small branch probabilities out of the denormal range.
+// Rescale when the largest partial in a block falls below this; keeps
+// products of many small branch probabilities out of the denormal range.
 constexpr double kScaleThreshold = 1e-100;
+
+constexpr std::size_t kB = LikelihoodEngine::kPatternBlock;
+
+// One child-edge contribution to a block of a parent partial. `dst` holds
+// n_states rows of kB doubles; `cp` is the child's block in the same
+// layout; `p` is the row-major n_states x n_states transition matrix.
+// kAssign writes the first child's factor, the second multiplies in.
+template <bool kAssign>
+void child_internal_generic(double* __restrict dst,
+                            const double* __restrict cp,
+                            const double* __restrict p, std::size_t ns) {
+  double acc[kB];
+  for (std::size_t x = 0; x < ns; ++x) {
+    for (std::size_t i = 0; i < kB; ++i) acc[i] = 0.0;
+    const double* px = p + x * ns;
+    for (std::size_t y = 0; y < ns; ++y) {
+      const double pxy = px[y];
+      const double* __restrict cpy = cp + y * kB;
+      for (std::size_t i = 0; i < kB; ++i) acc[i] += pxy * cpy[i];
+    }
+    double* __restrict row = dst + x * kB;
+    for (std::size_t i = 0; i < kB; ++i) {
+      if constexpr (kAssign) {
+        row[i] = acc[i];
+      } else {
+        row[i] *= acc[i];
+      }
+    }
+  }
+}
+
+// Specialized fully unrolled 4-state (DNA) path: the compiler sees four
+// contiguous input rows and four constants per output row and vectorizes
+// the pattern loop.
+template <bool kAssign>
+void child_internal_4(double* __restrict dst, const double* __restrict cp,
+                      const double* __restrict p) {
+  const double* __restrict c0 = cp;
+  const double* __restrict c1 = cp + kB;
+  const double* __restrict c2 = cp + 2 * kB;
+  const double* __restrict c3 = cp + 3 * kB;
+  double* __restrict r0 = dst;
+  double* __restrict r1 = dst + kB;
+  double* __restrict r2 = dst + 2 * kB;
+  double* __restrict r3 = dst + 3 * kB;
+  for (std::size_t i = 0; i < kB; ++i) {
+    const double v0 = c0[i];
+    const double v1 = c1[i];
+    const double v2 = c2[i];
+    const double v3 = c3[i];
+    const double a0 = p[0] * v0 + p[1] * v1 + p[2] * v2 + p[3] * v3;
+    const double a1 = p[4] * v0 + p[5] * v1 + p[6] * v2 + p[7] * v3;
+    const double a2 = p[8] * v0 + p[9] * v1 + p[10] * v2 + p[11] * v3;
+    const double a3 = p[12] * v0 + p[13] * v1 + p[14] * v2 + p[15] * v3;
+    if constexpr (kAssign) {
+      r0[i] = a0;
+      r1[i] = a1;
+      r2[i] = a2;
+      r3[i] = a3;
+    } else {
+      r0[i] *= a0;
+      r1[i] *= a1;
+      r2[i] *= a2;
+      r3[i] *= a3;
+    }
+  }
+}
+
+// Leaf contribution: column of P for the observed state, or 1 for missing
+// data.
+template <bool kAssign>
+void child_leaf(double* __restrict dst, const State* __restrict states,
+                const double* __restrict p, std::size_t ns) {
+  for (std::size_t x = 0; x < ns; ++x) {
+    const double* px = p + x * ns;
+    double* __restrict row = dst + x * kB;
+    for (std::size_t i = 0; i < kB; ++i) {
+      const State s = states[i];
+      const double f = s == kMissing ? 1.0 : px[static_cast<std::size_t>(s)];
+      if constexpr (kAssign) {
+        row[i] = f;
+      } else {
+        row[i] *= f;
+      }
+    }
+  }
+}
+
+template <bool kAssign>
+void apply_child(double* dst, const double* child_partial,
+                 const State* child_states, const double* p,
+                 std::size_t ns) {
+  if (child_states != nullptr) {
+    child_leaf<kAssign>(dst, child_states, p, ns);
+  } else if (ns == 4) {
+    child_internal_4<kAssign>(dst, child_partial, p);
+  } else {
+    child_internal_generic<kAssign>(dst, child_partial, p, ns);
+  }
+}
+
 }  // namespace
 
 LikelihoodEngine::LikelihoodEngine(const PatternizedAlignment& data)
-    : data_(&data) {}
+    : data_(&data) {
+  n_leaves_ = data.n_taxa();
+  const std::size_t n_patterns = data.n_patterns();
+  n_blocks_ = (n_patterns + kB - 1) / kB;
+  n_pad_ = n_blocks_ * kB;
+  // Transpose the pattern-major alignment into taxon-major tip rows so the
+  // leaf kernel streams contiguous states; pad lanes replicate the last
+  // real pattern so they follow the same scaling dynamics as real data.
+  tips_.resize(n_leaves_ * n_pad_);
+  for (std::size_t taxon = 0; taxon < n_leaves_; ++taxon) {
+    State* row = tips_.data() + taxon * n_pad_;
+    for (std::size_t pat = 0; pat < n_patterns; ++pat) {
+      row[pat] = data.state(taxon, pat);
+    }
+    const State last = n_patterns > 0 ? row[n_patterns - 1] : kMissing;
+    for (std::size_t pat = n_patterns; pat < n_pad_; ++pat) row[pat] = last;
+  }
+}
 
 void LikelihoodEngine::enable_matrix_cache(std::size_t capacity) {
   cache_enabled_ = true;
-  cache_capacity_ = capacity;
+  cache_capacity_ = std::max<std::size_t>(1, capacity);
 }
 
 void LikelihoodEngine::disable_matrix_cache() {
@@ -40,79 +161,161 @@ const double* LikelihoodEngine::transition(const SubstitutionModel& model,
   const auto it = matrix_cache_.find(key);
   if (it != matrix_cache_.end()) {
     ++cache_hits_;
-    return it->second.data();
+    it->second.referenced = true;
+    return it->second.matrix.data();
   }
   ++cache_misses_;
-  if (matrix_cache_.size() >= cache_capacity_) matrix_cache_.clear();
-  std::vector<double> matrix(model.n_states() * model.n_states());
-  model.transition_matrix(branch_length, rate, matrix);
-  return matrix_cache_.emplace(key, std::move(matrix))
-      .first->second.data();
-}
-
-void LikelihoodEngine::compute_partials(const Tree& tree,
-                                        const SubstitutionModel& model,
-                                        std::size_t category) {
-  const std::size_t n_states = model.n_states();
-  const std::size_t n_patterns = data_->n_patterns();
-  const double rate = model.categories()[category].rate;
-
-  std::fill(scale_log_.begin(), scale_log_.end(), 0.0);
-
-  for (const int index : tree.postorder()) {
-    if (tree.is_leaf(index)) continue;
-    std::vector<double>& partial = partials_[static_cast<std::size_t>(index)];
-    std::fill(partial.begin(), partial.end(), 1.0);
-
-    for (const int child :
-         {tree.node(index).left, tree.node(index).right}) {
-      const double* p =
-          transition(model, tree.branch_length(child), rate);
-      if (tree.is_leaf(child)) {
-        // Leaf contribution: column of P for the observed state, or all
-        // ones for missing data.
-        for (std::size_t pat = 0; pat < n_patterns; ++pat) {
-          const State s =
-              data_->state(static_cast<std::size_t>(child), pat);
-          if (s == kMissing) continue;  // multiply by 1
-          double* row = partial.data() + pat * n_states;
-          const double* p_col = p + static_cast<std::size_t>(s);
-          for (std::size_t x = 0; x < n_states; ++x) {
-            row[x] *= p_col[x * n_states];
-          }
-        }
+  if (matrix_cache_.size() >= cache_capacity_) {
+    // Second-chance sweep: entries hit since the last sweep survive with
+    // their bit cleared; cold entries go. If everything is hot, drop every
+    // other entry so insertion always makes progress — either way the hot
+    // working set is never discarded wholesale.
+    std::size_t erased = 0;
+    for (auto walk = matrix_cache_.begin(); walk != matrix_cache_.end();) {
+      if (walk->second.referenced) {
+        walk->second.referenced = false;
+        ++walk;
       } else {
-        const std::vector<double>& child_partial =
-            partials_[static_cast<std::size_t>(child)];
-        for (std::size_t pat = 0; pat < n_patterns; ++pat) {
-          const double* cp = child_partial.data() + pat * n_states;
-          double* row = partial.data() + pat * n_states;
-          for (std::size_t x = 0; x < n_states; ++x) {
-            const double* p_row = p + x * n_states;
-            double total = 0.0;
-            for (std::size_t y = 0; y < n_states; ++y) {
-              total += p_row[y] * cp[y];
-            }
-            child_factor_[x] = total;
-          }
-          for (std::size_t x = 0; x < n_states; ++x) {
-            row[x] *= child_factor_[x];
-          }
-        }
+        walk = matrix_cache_.erase(walk);
+        ++erased;
       }
     }
-
-    // Per-pattern rescaling.
-    for (std::size_t pat = 0; pat < n_patterns; ++pat) {
-      double* row = partial.data() + pat * n_states;
-      double max_value = 0.0;
-      for (std::size_t x = 0; x < n_states; ++x) {
-        max_value = std::max(max_value, row[x]);
+    if (erased == 0) {
+      bool drop = true;
+      for (auto walk = matrix_cache_.begin(); walk != matrix_cache_.end();) {
+        if (drop) {
+          walk = matrix_cache_.erase(walk);
+          ++erased;
+        } else {
+          ++walk;
+        }
+        drop = !drop;
       }
-      if (max_value > 0.0 && max_value < kScaleThreshold) {
-        const double inv = 1.0 / max_value;
-        for (std::size_t x = 0; x < n_states; ++x) row[x] *= inv;
-        scale_log_[pat] += std::log(max_value);
+    }
+    cache_evictions_ += erased;
+  }
+  MatrixEntry entry;
+  entry.matrix.resize(model.n_states() * model.n_states());
+  model.transition_matrix(branch_length, rate, entry.matrix);
+  return matrix_cache_.emplace(key, std::move(entry))
+      .first->second.matrix.data();
+}
+
+void LikelihoodEngine::resize_workspace(const Tree& tree,
+                                        const SubstitutionModel& model) {
+  n_states_ = model.n_states();
+  n_cat_ = model.categories().size();
+  slab_ = n_pad_ * n_states_;
+  const std::size_t n_internal = tree.n_nodes() - n_leaves_;
+  partials_.assign(n_internal * n_cat_ * slab_, 0.0);
+  scales_.assign(n_internal * n_cat_ * n_pad_, 0.0);
+  cached_n_nodes_ = tree.n_nodes();
+  p_matrix_.resize(n_states_ * n_states_);
+}
+
+void LikelihoodEngine::collect_dirty(const Tree& tree, bool full) {
+  dirty_nodes_.clear();
+  for (const int index : tree.postorder()) {
+    if (tree.is_leaf(index)) continue;
+    if (!full &&
+        cached_revision_[static_cast<std::size_t>(index)] ==
+            tree.revision(index)) {
+      partials_reused_ += n_cat_;
+      continue;
+    }
+    const Tree::Node& n = tree.node(index);
+    dirty_nodes_.push_back(DirtyNode{index, n.left, n.right,
+                                     tree.is_leaf(n.left),
+                                     tree.is_leaf(n.right)});
+    partials_recomputed_ += n_cat_;
+  }
+}
+
+void LikelihoodEngine::gather_matrices(const Tree& tree,
+                                       const SubstitutionModel& model) {
+  // Serial phase: the matrix cache is shared mutable state, so matrices
+  // are resolved here and copied into a dense per-evaluation buffer the
+  // parallel kernels read without touching the cache (whose entries may
+  // also be evicted mid-gather).
+  const auto categories = model.categories();
+  const std::size_t nn = n_states_ * n_states_;
+  edge_mats_.resize(dirty_nodes_.size() * 2 * n_cat_ * nn);
+  for (std::size_t k = 0; k < dirty_nodes_.size(); ++k) {
+    const DirtyNode& dn = dirty_nodes_[k];
+    const int children[2] = {dn.left, dn.right};
+    for (int side = 0; side < 2; ++side) {
+      const double length = tree.branch_length(children[side]);
+      for (std::size_t cat = 0; cat < n_cat_; ++cat) {
+        const double* m = transition(model, length, categories[cat].rate);
+        std::memcpy(
+            edge_mats_.data() + ((2 * k + static_cast<std::size_t>(side)) *
+                                     n_cat_ +
+                                 cat) *
+                                    nn,
+            m, nn * sizeof(double));
+      }
+    }
+  }
+}
+
+void LikelihoodEngine::compute_range(std::size_t cat, std::size_t blk_lo,
+                                     std::size_t blk_hi) {
+  const std::size_t ns = n_states_;
+  const std::size_t nn = ns * ns;
+  for (std::size_t k = 0; k < dirty_nodes_.size(); ++k) {
+    const DirtyNode& dn = dirty_nodes_[k];
+    double* partial = partial_ptr(dn.node, cat);
+    double* scale = scale_ptr(dn.node, cat);
+    const double* left_mat =
+        edge_mats_.data() + ((2 * k + 0) * n_cat_ + cat) * nn;
+    const double* right_mat =
+        edge_mats_.data() + ((2 * k + 1) * n_cat_ + cat) * nn;
+    const double* left_partial =
+        dn.left_leaf ? nullptr : partial_ptr(dn.left, cat);
+    const double* right_partial =
+        dn.right_leaf ? nullptr : partial_ptr(dn.right, cat);
+    const double* left_scale =
+        dn.left_leaf ? nullptr : scale_ptr(dn.left, cat);
+    const double* right_scale =
+        dn.right_leaf ? nullptr : scale_ptr(dn.right, cat);
+    const State* left_states =
+        dn.left_leaf
+            ? tips_.data() + static_cast<std::size_t>(dn.left) * n_pad_
+            : nullptr;
+    const State* right_states =
+        dn.right_leaf
+            ? tips_.data() + static_cast<std::size_t>(dn.right) * n_pad_
+            : nullptr;
+
+    for (std::size_t b = blk_lo; b < blk_hi; ++b) {
+      double* block = partial + b * ns * kB;
+      apply_child<true>(block,
+                        left_partial ? left_partial + b * ns * kB : nullptr,
+                        left_states ? left_states + b * kB : nullptr,
+                        left_mat, ns);
+      apply_child<false>(block,
+                         right_partial ? right_partial + b * ns * kB : nullptr,
+                         right_states ? right_states + b * kB : nullptr,
+                         right_mat, ns);
+
+      // Cumulative subtree scale: children first, then this node's own
+      // per-block rescale when the whole block has drifted tiny.
+      double* sb = scale + b * kB;
+      const double* sl = left_scale ? left_scale + b * kB : nullptr;
+      const double* sr = right_scale ? right_scale + b * kB : nullptr;
+      for (std::size_t i = 0; i < kB; ++i) {
+        sb[i] = (sl ? sl[i] : 0.0) + (sr ? sr[i] : 0.0);
+      }
+      double block_max = 0.0;
+      const std::size_t len = ns * kB;
+      for (std::size_t i = 0; i < len; ++i) {
+        block_max = std::max(block_max, block[i]);
+      }
+      if (block_max > 0.0 && block_max < kScaleThreshold) {
+        const double inv = 1.0 / block_max;
+        for (std::size_t i = 0; i < len; ++i) block[i] *= inv;
+        const double log_max = std::log(block_max);
+        for (std::size_t i = 0; i < kB; ++i) sb[i] += log_max;
       }
     }
   }
@@ -128,63 +331,95 @@ double LikelihoodEngine::log_likelihood(const Tree& tree,
   }
   ++evaluations_;
 
-  const std::size_t n_states = model.n_states();
   const std::size_t n_patterns = data_->n_patterns();
   const auto categories = model.categories();
 
-  // (Re)size workspace.
-  partials_.resize(tree.n_nodes());
-  for (const int index : tree.postorder()) {
-    if (!tree.is_leaf(index)) {
-      partials_[static_cast<std::size_t>(index)].resize(n_patterns * n_states);
-    }
+  const bool shape_changed = n_states_ != model.n_states() ||
+                             n_cat_ != categories.size() ||
+                             cached_n_nodes_ != tree.n_nodes() ||
+                             partials_.empty();
+  if (shape_changed) resize_workspace(tree, model);
+  const bool full = !incremental_enabled_ || shape_changed ||
+                    cached_tree_uid_ != tree.uid() ||
+                    cached_model_serial_ != model.serial();
+  if (full) {
+    cached_revision_.assign(tree.n_nodes(),
+                            std::numeric_limits<std::uint64_t>::max());
   }
-  scale_log_.resize(n_patterns);
-  p_matrix_.resize(n_states * n_states);
-  child_factor_.resize(n_states);
-  category_log_lik_.assign(
-      categories.size(),
-      std::vector<double>(n_patterns,
-                          -std::numeric_limits<double>::infinity()));
 
-  const auto freqs = model.frequencies();
-  const std::vector<double>& root_partial =
-      partials_[static_cast<std::size_t>(tree.root())];
+  collect_dirty(tree, full);
+  if (!dirty_nodes_.empty()) {
+    gather_matrices(tree, model);
 
-  for (std::size_t cat = 0; cat < categories.size(); ++cat) {
-    compute_partials(tree, model, cat);
-    for (std::size_t pat = 0; pat < n_patterns; ++pat) {
-      const double* row = root_partial.data() + pat * n_states;
-      double site = 0.0;
-      for (std::size_t x = 0; x < n_states; ++x) {
-        site += freqs[x] * row[x];
+    const std::size_t n_units = n_cat_ * n_blocks_;
+    if (pool_ != nullptr && n_units > 1) {
+      // Units are (category, block-chunk) cells. The partitioning depends
+      // only on the workload shape, every cell is written by exactly one
+      // task, and the mixing reduction below is serial — so thread count
+      // and scheduling cannot change the result.
+      const std::size_t target_units = 4 * (pool_->size() + 1);
+      const std::size_t want_per_cat =
+          std::max<std::size_t>(1, target_units / n_cat_);
+      const std::size_t chunk = std::max<std::size_t>(
+          1, (n_blocks_ + want_per_cat - 1) / want_per_cat);
+      const std::size_t chunks_per_cat = (n_blocks_ + chunk - 1) / chunk;
+      pool_->parallel_for(n_cat_ * chunks_per_cat, [&](std::size_t unit) {
+        const std::size_t cat = unit / chunks_per_cat;
+        const std::size_t blk_lo = (unit % chunks_per_cat) * chunk;
+        const std::size_t blk_hi = std::min(n_blocks_, blk_lo + chunk);
+        compute_range(cat, blk_lo, blk_hi);
+      });
+    } else {
+      for (std::size_t cat = 0; cat < n_cat_; ++cat) {
+        compute_range(cat, 0, n_blocks_);
       }
-      category_log_lik_[cat][pat] =
-          site > 0.0 ? std::log(site) + scale_log_[pat]
-                     : -std::numeric_limits<double>::infinity();
+    }
+
+    for (const DirtyNode& dn : dirty_nodes_) {
+      cached_revision_[static_cast<std::size_t>(dn.node)] =
+          tree.revision(dn.node);
     }
   }
+  cached_tree_uid_ = tree.uid();
+  cached_model_serial_ = model.serial();
 
-  // Mix categories per pattern in log space (log-sum-exp).
+  // Root summation and category mixing, fused in linear space: per pattern
+  // the mix is sum_c w_c * site_c * exp(scale_c - max_scale), needing one
+  // log (plus an exp only when categories rescaled differently) instead of
+  // a log-sum-exp over per-category log-likelihoods. Serial, in pattern
+  // order: the deterministic reduction.
+  const auto freqs = model.frequencies();
+  root_partials_.resize(n_cat_);
+  root_scales_.resize(n_cat_);
+  for (std::size_t cat = 0; cat < n_cat_; ++cat) {
+    root_partials_[cat] = partial_ptr(tree.root(), cat);
+    root_scales_[cat] = scale_ptr(tree.root(), cat);
+  }
   double total = 0.0;
   for (std::size_t pat = 0; pat < n_patterns; ++pat) {
-    double max_term = -std::numeric_limits<double>::infinity();
-    for (std::size_t cat = 0; cat < categories.size(); ++cat) {
-      if (categories[cat].weight <= 0.0) continue;
-      const double term =
-          std::log(categories[cat].weight) + category_log_lik_[cat][pat];
-      max_term = std::max(max_term, term);
-    }
-    if (!std::isfinite(max_term)) {
-      return -std::numeric_limits<double>::infinity();
+    const std::size_t b = pat / kB;
+    const std::size_t lane = pat % kB;
+    double max_scale = root_scales_[0][pat];
+    for (std::size_t cat = 1; cat < n_cat_; ++cat) {
+      max_scale = std::max(max_scale, root_scales_[cat][pat]);
     }
     double mix = 0.0;
-    for (std::size_t cat = 0; cat < categories.size(); ++cat) {
-      if (categories[cat].weight <= 0.0) continue;
-      mix += std::exp(std::log(categories[cat].weight) +
-                      category_log_lik_[cat][pat] - max_term);
+    for (std::size_t cat = 0; cat < n_cat_; ++cat) {
+      const double weight = categories[cat].weight;
+      if (weight <= 0.0) continue;
+      const double* block = root_partials_[cat] + b * n_states_ * kB;
+      double site = 0.0;
+      for (std::size_t x = 0; x < n_states_; ++x) {
+        site += freqs[x] * block[x * kB + lane];
+      }
+      const double scale = root_scales_[cat][pat];
+      mix += weight * site *
+             (scale == max_scale ? 1.0 : std::exp(scale - max_scale));
     }
-    total += data_->weight(pat) * (max_term + std::log(mix));
+    if (!(mix > 0.0)) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    total += data_->weight(pat) * (std::log(mix) + max_scale);
   }
   return total;
 }

@@ -1,7 +1,21 @@
-// Felsenstein pruning over pattern-compressed data with per-pattern
+// Felsenstein pruning over pattern-compressed data with per-block
 // rescaling — the likelihood kernel at the heart of GARLI (and of BEAGLE,
 // the GPU library the paper's group built; here it is a portable CPU
 // implementation).
+//
+// Three stacked optimizations make the GA's hot loop cheap:
+//   1. Dirty-partial caching: per-(node, category) conditional likelihoods
+//      are kept across calls, tagged with the tree's per-node revision;
+//      only nodes on the path from a mutated edge to the root recompute.
+//   2. Blocked structure-of-arrays kernel: patterns are processed in
+//      fixed-size blocks laid out state-major, so the inner loops run over
+//      contiguous doubles and auto-vectorize (with a specialized 4-state
+//      path for DNA).
+//   3. Optional thread pool: rate categories — crossed with pattern-block
+//      chunks — fan out across workers; every (category, pattern) cell is
+//      computed by exactly one task with the same scalar code, and the
+//      final mixing reduction is serial, so results are bit-identical to
+//      the single-threaded evaluation.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +27,10 @@
 #include "phylo/model.hpp"
 #include "phylo/tree.hpp"
 
+namespace lattice::util {
+class ThreadPool;
+}
+
 namespace lattice::phylo {
 
 /// Evaluates log-likelihoods of trees for one alignment. The engine owns
@@ -21,36 +39,84 @@ namespace lattice::phylo {
 /// mutates model parameters alongside topology.
 class LikelihoodEngine {
  public:
+  /// Patterns per SoA block. Each block stores n_states contiguous rows of
+  /// kPatternBlock doubles; rescaling decisions are made per block.
+  static constexpr std::size_t kPatternBlock = 32;
+
   explicit LikelihoodEngine(const PatternizedAlignment& data);
 
   const PatternizedAlignment& data() const { return *data_; }
 
   /// Full-tree log-likelihood under `model`. Requirements: the tree's leaf
   /// count equals the alignment's taxon count and the model's data type
-  /// matches the alignment.
+  /// matches the alignment. Incremental by default: when called again with
+  /// the same tree object (same uid) and same compiled model, only nodes
+  /// whose subtree revision changed are recomputed; anything else (new
+  /// tree object, new model instance, shape change) falls back to a full
+  /// recompute.
   double log_likelihood(const Tree& tree, const SubstitutionModel& model);
 
   /// Number of log_likelihood calls served (used by runtime calibration).
   std::uint64_t evaluations() const { return evaluations_; }
 
+  /// Toggle dirty-partial reuse (on by default). Disabling forces every
+  /// evaluation to recompute all internal nodes — the benchmark baseline.
+  void enable_incremental(bool on) { incremental_enabled_ = on; }
+  /// Per-(node, category) partials served from cache / recomputed.
+  std::uint64_t partials_reused() const { return partials_reused_; }
+  std::uint64_t partials_recomputed() const { return partials_recomputed_; }
+
+  /// Optional worker pool (mirroring rf::Forest): categories — or pattern
+  /// blocks when there is only one category — are evaluated in parallel.
+  /// The pool is borrowed, not owned; pass nullptr to go back to serial.
+  /// Pooled results are bit-identical to serial ones.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+
   /// Enable the BEAGLE-style transition-matrix cache: P(t) matrices are
   /// memoized by (model instance, branch length, rate). In a GA step only
   /// one or two branch lengths change, so nearly every matrix is reused —
   /// the dominant cost for codon models, where each P(t) is a dense
-  /// 61x61x61 reconstruction. `capacity` bounds the entry count; the cache
-  /// is emptied wholesale when full (matrices are cheap to rebuild).
+  /// 61x61 reconstruction. `capacity` bounds the entry count; when full, a
+  /// second-chance sweep evicts entries not referenced since the previous
+  /// sweep, keeping the hot working set resident.
   void enable_matrix_cache(std::size_t capacity = 4096);
   void disable_matrix_cache();
   std::uint64_t cache_hits() const { return cache_hits_; }
   std::uint64_t cache_misses() const { return cache_misses_; }
+  std::uint64_t cache_evictions() const { return cache_evictions_; }
 
  private:
-  void compute_partials(const Tree& tree, const SubstitutionModel& model,
-                        std::size_t category);
+  struct DirtyNode {
+    int node;
+    int left;
+    int right;
+    bool left_leaf;
+    bool right_leaf;
+  };
+
   /// Returns the transition matrix for (branch_length, rate), through the
-  /// cache when enabled.
+  /// cache when enabled. The pointer is valid only until the next call.
   const double* transition(const SubstitutionModel& model,
                            double branch_length, double rate);
+  void resize_workspace(const Tree& tree, const SubstitutionModel& model);
+  void collect_dirty(const Tree& tree, bool full);
+  void gather_matrices(const Tree& tree, const SubstitutionModel& model);
+  /// Recompute the partials of every dirty node for one category over the
+  /// block range [blk_lo, blk_hi). The only code path for partials — used
+  /// by the serial and pooled drivers alike, which is what makes pooled
+  /// evaluation bit-identical.
+  void compute_range(std::size_t cat, std::size_t blk_lo, std::size_t blk_hi);
+
+  double* partial_ptr(int node, std::size_t cat) {
+    return partials_.data() +
+           ((static_cast<std::size_t>(node) - n_leaves_) * n_cat_ + cat) *
+               slab_;
+  }
+  double* scale_ptr(int node, std::size_t cat) {
+    return scales_.data() +
+           ((static_cast<std::size_t>(node) - n_leaves_) * n_cat_ + cat) *
+               n_pad_;
+  }
 
   struct MatrixKey {
     std::uint64_t model_serial;
@@ -66,24 +132,59 @@ class LikelihoodEngine {
       return static_cast<std::size_t>(h);
     }
   };
+  struct MatrixEntry {
+    std::vector<double> matrix;
+    bool referenced = true;  // second-chance bit, cleared by eviction sweeps
+  };
 
   const PatternizedAlignment* data_;
   std::uint64_t evaluations_ = 0;
+  bool incremental_enabled_ = true;
+  std::uint64_t partials_reused_ = 0;
+  std::uint64_t partials_recomputed_ = 0;
+  util::ThreadPool* pool_ = nullptr;
+
   bool cache_enabled_ = false;
   std::size_t cache_capacity_ = 0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
-  std::unordered_map<MatrixKey, std::vector<double>, MatrixKeyHash>
-      matrix_cache_;
+  std::uint64_t cache_evictions_ = 0;
+  std::unordered_map<MatrixKey, MatrixEntry, MatrixKeyHash> matrix_cache_;
 
-  // Workspace, sized on first use: partials_[node] is patterns x states for
-  // the current category; scale_log_ is per pattern for the current
-  // category; category_log_likelihood_[cat][pattern] collects root sums.
-  std::vector<std::vector<double>> partials_;
-  std::vector<double> scale_log_;
-  std::vector<std::vector<double>> category_log_lik_;
-  std::vector<double> p_matrix_;        // per-branch transition matrix
-  std::vector<double> child_factor_;    // per-state accumulation buffer
+  // Cache identity: which (tree, model, shape) the stored partials belong
+  // to. cached_revision_[node] mirrors Tree::revision at the time the
+  // node's partial was computed.
+  std::uint64_t cached_tree_uid_ = 0;
+  std::uint64_t cached_model_serial_ = 0;
+  std::size_t cached_n_nodes_ = 0;
+  std::vector<std::uint64_t> cached_revision_;
+
+  // Workspace geometry, fixed per (alignment, model-shape).
+  std::size_t n_leaves_ = 0;
+  std::size_t n_states_ = 0;
+  std::size_t n_cat_ = 0;
+  std::size_t n_pad_ = 0;    // n_patterns rounded up to kPatternBlock
+  std::size_t n_blocks_ = 0;
+  std::size_t slab_ = 0;     // n_pad_ * n_states_: one (node, cat) partial
+
+  // partials_: per (internal node, category) SoA blocks — block-major,
+  // then state-major rows of kPatternBlock. scales_: per (internal node,
+  // category, pattern) *cumulative* log scaling of the subtree, so a
+  // node's scale is its own rescale plus its children's, and incremental
+  // recomputes stay local.
+  std::vector<double> partials_;
+  std::vector<double> scales_;
+  // Taxon-major padded tip states; pad lanes replicate the last real
+  // pattern so block rescaling sees no artificial outliers.
+  std::vector<State> tips_;
+  // Transition matrices for the current dirty set, copied out of the
+  // cache: [(dirty_index * 2 + side) * n_cat + cat] * n_states^2.
+  std::vector<double> edge_mats_;
+  std::vector<DirtyNode> dirty_nodes_;
+  std::vector<double> p_matrix_;  // uncached transition() scratch
+  // Per-category root pointers, cached across the mixing loop.
+  std::vector<const double*> root_partials_;
+  std::vector<const double*> root_scales_;
 };
 
 }  // namespace lattice::phylo

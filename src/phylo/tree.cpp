@@ -1,6 +1,7 @@
 #include "phylo/tree.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cctype>
 #include <set>
@@ -10,6 +11,37 @@
 #include "util/fmt.hpp"
 
 namespace lattice::phylo {
+
+std::uint64_t Tree::next_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+Tree::Tree(const Tree& other)
+    : nodes_(other.nodes_),
+      postorder_(other.postorder_),
+      n_leaves_(other.n_leaves_),
+      root_(other.root_),
+      revisions_(other.revisions_),
+      uid_(next_uid()) {}
+
+Tree& Tree::operator=(const Tree& other) {
+  if (this == &other) return *this;
+  nodes_ = other.nodes_;
+  postorder_ = other.postorder_;
+  n_leaves_ = other.n_leaves_;
+  root_ = other.root_;
+  revisions_ = other.revisions_;
+  uid_ = next_uid();
+  return *this;
+}
+
+void Tree::mark_dirty(int index) {
+  for (int walk = index; walk != kNoNode;
+       walk = nodes_[static_cast<std::size_t>(walk)].parent) {
+    ++revisions_[static_cast<std::size_t>(walk)];
+  }
+}
 
 Tree Tree::random(std::size_t n_leaves, util::Rng& rng,
                   double mean_branch_length) {
@@ -72,6 +104,11 @@ void Tree::set_branch_length(int index, double length) {
     throw std::invalid_argument("tree: negative branch length");
   }
   mutable_node(index).length = length;
+  // The edge above `index` feeds the *parent's* partial (P(t) on this edge
+  // enters the parent's pruning product); the node's own subtree is
+  // untouched. Dirty from the parent up.
+  const int parent = node(index).parent;
+  mark_dirty(parent != kNoNode ? parent : index);
 }
 
 void Tree::relink_child(int parent_index, int old_child, int new_child) {
@@ -85,6 +122,11 @@ void Tree::relink_child(int parent_index, int old_child, int new_child) {
 }
 
 void Tree::rebuild_postorder() {
+  // Newly created nodes (construction, parsing, SPR midpoints) enter at
+  // revision 0; topology mutators follow up with targeted mark_dirty calls
+  // so ancestors of a rewired edge are invalidated without touching the
+  // rest of the tree.
+  revisions_.resize(nodes_.size(), 0);
   postorder_.clear();
   postorder_.reserve(nodes_.size());
   // Iterative postorder with an explicit stack.
@@ -148,6 +190,11 @@ void Tree::nni(int internal_node, int variant) {
     mutable_node(cousin).parent = internal_node;
   }
   rebuild_postorder();
+  // Both edge endpoints changed their child sets; everything above them is
+  // stale too. (In the non-root case the sibling bump is one node of spare
+  // recompute; in the root case it is required.)
+  mark_dirty(internal_node);
+  mark_dirty(sibling);
   assert(check_valid());
 }
 
@@ -185,6 +232,11 @@ bool Tree::spr(int prune_node, int graft_node) {
   mutable_node(prune_node).parent = parent;
 
   rebuild_postorder();
+  // Detach side: the grandparent absorbed the sibling (with a longer edge).
+  // Graft side: `parent` has a new child pair and `graft_node`'s edge was
+  // split. mark_dirty climbs to the root from both, covering the join.
+  mark_dirty(grandparent);
+  mark_dirty(parent);
   assert(check_valid());
   return true;
 }

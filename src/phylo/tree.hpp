@@ -28,6 +28,16 @@ class Tree {
     double length = 0.0;  // branch to parent (unused at the root)
   };
 
+  Tree() = default;
+  // Copies get a fresh uid: a copy may diverge from the original, so
+  // consumers that cache per-node state (the likelihood engine's dirty
+  // partials) must not confuse the two. Moves keep the uid — the content
+  // travels with it.
+  Tree(const Tree& other);
+  Tree& operator=(const Tree& other);
+  Tree(Tree&&) noexcept = default;
+  Tree& operator=(Tree&&) noexcept = default;
+
   /// Build a uniformly random topology by sequential random attachment,
   /// with branch lengths drawn Exponential(mean_branch_length).
   static Tree random(std::size_t n_leaves, util::Rng& rng,
@@ -84,6 +94,22 @@ class Tree {
   /// every topology move.
   bool check_valid() const;
 
+  /// Identity of this tree object for caches keyed on tree content: unique
+  /// per construction and per copy, preserved across moves. Two trees with
+  /// the same uid and equal per-node revisions have identical topology and
+  /// branch lengths.
+  std::uint64_t uid() const { return uid_; }
+
+  /// Per-node revision counter for incremental likelihood: bumped — along
+  /// with every ancestor up to the root — whenever anything *below* the
+  /// node changes (a child branch length via set_branch_length, or child
+  /// relinking in nni/spr after rebuild_postorder). A node's conditional
+  /// likelihood depends only on its subtree, so a cached partial tagged
+  /// with this revision is valid iff the revision is unchanged.
+  std::uint64_t revision(int index) const {
+    return revisions_[static_cast<std::size_t>(index)];
+  }
+
   /// Exact structural serialization (preserves node indices, unlike
   /// Newick), used by GA checkpoints so a restored search replays the same
   /// RNG-indexed mutations. One line: "n_leaves root p:l:r:len ...".
@@ -97,12 +123,17 @@ class Tree {
   Node& mutable_node(int index) { return nodes_[static_cast<std::size_t>(index)]; }
   /// Replace `old_child` of `parent_index` with `new_child`.
   void relink_child(int parent_index, int old_child, int new_child);
+  /// Bump the revision of `index` and every ancestor up to the root.
+  void mark_dirty(int index);
+  static std::uint64_t next_uid();
   std::vector<std::vector<std::uint64_t>> bipartitions() const;
 
   std::vector<Node> nodes_;
   std::vector<int> postorder_;
   std::size_t n_leaves_ = 0;
   int root_ = kNoNode;
+  std::vector<std::uint64_t> revisions_;
+  std::uint64_t uid_ = next_uid();
 };
 
 }  // namespace lattice::phylo

@@ -1,6 +1,7 @@
 #include "util/threadpool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace lattice::util {
 
@@ -38,24 +39,31 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t min_chunk) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(n, size());
-  if (chunks <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
-  std::vector<std::future<void>> pending;
-  pending.reserve(chunks);
-  const std::size_t per = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = c * per;
-    const std::size_t hi = std::min(n, lo + per);
-    if (lo >= hi) break;
-    pending.push_back(submit([lo, hi, &body] {
+  if (min_chunk == 0) min_chunk = 1;
+  // ~4 chunks per thread (workers + caller) balances ragged workloads
+  // without flooding the queue; min_chunk lets callers demand coarser
+  // grains when per-index work is tiny.
+  const std::size_t grains = 4 * (size() + 1);
+  const std::size_t chunk =
+      std::max(min_chunk, (n + grains - 1) / grains);
+  std::atomic<std::size_t> next{0};
+  const auto run = [n, chunk, &body, &next] {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= n) return;
+      const std::size_t hi = std::min(n, lo + chunk);
       for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
-  }
+    }
+  };
+  const std::size_t total_chunks = (n + chunk - 1) / chunk;
+  const std::size_t helpers = std::min(size(), total_chunks - 1);
+  std::vector<std::future<void>> pending;
+  pending.reserve(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) pending.push_back(submit(run));
+  run();  // caller thread always makes progress, even with a saturated pool
   for (auto& f : pending) f.get();
 }
 

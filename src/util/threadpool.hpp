@@ -42,10 +42,15 @@ class ThreadPool {
     return result;
   }
 
-  /// Run body(i) for i in [0, n), blocking until all complete. Work is
-  /// divided into contiguous chunks, one per worker, so body should be
-  /// roughly uniform in cost per index.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  /// Run body(i) for i in [0, n), blocking until all complete. Indices are
+  /// claimed in contiguous chunks of at least `min_chunk` from a shared
+  /// atomic cursor, so uneven per-index costs still balance. The calling
+  /// thread participates in the work, which makes the call reentrant: a
+  /// body running on a pool worker may itself call parallel_for on the
+  /// same pool without deadlocking, because the caller drains the range
+  /// even when every worker is busy.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                    std::size_t min_chunk = 1);
 
  private:
   void worker_loop();
