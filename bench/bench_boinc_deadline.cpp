@@ -13,6 +13,8 @@
 
 #include "bench_common.hpp"
 #include "core/deadline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -24,6 +26,7 @@ struct Run {
   std::uint64_t completed = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t reissues = 0;
+  std::uint64_t deadline_misses = 0;
   double wasted_duplicate_h = 0.0;
   double batch_latency_days = 0.0;
 };
@@ -38,6 +41,8 @@ Run run_policy(const std::string& label, double fixed_deadline,
     config.deadline.min_deadline_seconds = 3.0 * 3600.0;
   }
   core::LatticeSystem system(config);
+  obs::MetricsRegistry obs_metrics;
+  system.enable_observability(obs_metrics, obs::Tracer::null());
 
   boinc::BoincPoolConfig pool;
   pool.hosts = 300;
@@ -72,6 +77,7 @@ Run run_policy(const std::string& label, double fixed_deadline,
   run.completed = system.metrics().completed;
   run.timeouts = server.timed_out_results();
   run.reissues = server.reissued_results();
+  run.deadline_misses = obs_metrics.counter_total("boinc.deadline_misses");
   run.wasted_duplicate_h = (server.wasted_duplicate_cpu_seconds() +
                             server.discarded_cpu_seconds()) /
                            3600.0;
@@ -104,6 +110,7 @@ int main() {
       if (ch == ' ' || ch == '=') ch = '_';
     }
     json.set(key + "_reissues", run.reissues);
+    json.set(key + "_deadline_misses", run.deadline_misses);
     json.set(key + "_wasted_duplicate_h", run.wasted_duplicate_h);
     json.set(key + "_batch_latency_d", run.batch_latency_days);
     table.add_row({run.policy, static_cast<long long>(run.completed),

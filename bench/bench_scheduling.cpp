@@ -11,6 +11,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -37,6 +39,8 @@ int main() {
     config.scheduler.mode = mode;
     config.seed = 7;
     core::LatticeSystem system(config);
+    obs::MetricsRegistry obs_metrics;
+    system.enable_observability(obs_metrics, obs::Tracer::null());
     bench::build_inventory(system);
     system.calibrate_speeds();
     if (mode == core::SchedulingMode::kEstimateAware) {
@@ -61,6 +65,14 @@ int main() {
     json.set(prefix + "_completed", static_cast<std::uint64_t>(m.completed));
     json.set(prefix + "_wasted_cpu_h", m.wasted_cpu_seconds / 3600.0);
     json.set(prefix + "_mean_turnaround_h", m.mean_turnaround() / 3600.0);
+    json.set(prefix + "_sched_decisions",
+             obs_metrics.counter_total("sched.decisions"));
+    json.set(prefix + "_route_unstable",
+             obs_metrics.counter_total("sched.route_unstable"));
+    json.set(prefix + "_grid_preemptions",
+             obs_metrics.counter_total("grid.preemptions"));
+    json.set(prefix + "_boinc_deadline_misses",
+             obs_metrics.counter_total("boinc.deadline_misses"));
     table.add_row({std::string(core::scheduling_mode_name(mode)),
                    static_cast<long long>(m.completed),
                    static_cast<long long>(m.abandoned),

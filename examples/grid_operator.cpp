@@ -2,19 +2,52 @@
 // replay a day of diurnal portal traffic from a recorded trace, watch the
 // condor_status-style reports, and exercise the §III job-control utilities
 // (status queries, cancelling a runaway batch).
+//
+// Flags: --metrics-out=FILE writes a metrics snapshot (.csv or .json),
+//        --trace-out=FILE writes a Chrome trace_event JSON for Perfetto.
+// See docs/OBSERVABILITY.md for the metric catalog and trace schema.
 #include <iostream>
+#include <string>
 
 #include "core/portal.hpp"
 #include "core/status.hpp"
 #include "core/workload.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fmt.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lattice;
+
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::cerr << "usage: grid_operator [--metrics-out=FILE] "
+                   "[--trace-out=FILE]\n";
+      return 2;
+    }
+  }
 
   core::LatticeConfig config;
   config.scheduler.mode = core::SchedulingMode::kEstimateAware;
   core::LatticeSystem system(config);
+
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    system.enable_observability(
+        metrics, trace_out.empty() ? obs::Tracer::null() : tracer);
+  }
 
   // The four-institution inventory.
   grid::BatchQueueResource::Config big;
@@ -84,5 +117,28 @@ int main() {
   std::cout << "\n=== after the trace drains ===\n"
             << core::job_status_report(system)
             << core::batch_status_report(portal);
+
+  if (!metrics_out.empty()) {
+    if (!obs::write_metrics(metrics, metrics_out)) {
+      std::cerr << "failed to write " << metrics_out << "\n";
+      return 1;
+    }
+    std::cout << util::format(
+        "\nmetrics snapshot -> {} ({} metrics; {} jobs completed, "
+        "{} failed attempts)\n",
+        metrics_out, metrics.size(),
+        metrics.counter_total("lattice.jobs_completed"),
+        metrics.counter_total("lattice.failed_attempts"));
+  }
+  if (!trace_out.empty()) {
+    if (!obs::write_trace(tracer, trace_out)) {
+      std::cerr << "failed to write " << trace_out << "\n";
+      return 1;
+    }
+    std::cout << util::format(
+        "chrome trace -> {} ({} events; open in Perfetto or "
+        "chrome://tracing)\n",
+        trace_out, tracer.events());
+  }
   return 0;
 }

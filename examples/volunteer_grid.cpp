@@ -2,17 +2,52 @@
 // pool (the paper's BOINC side: 23,192 public desktop computers, churn,
 // departures, checkpointing, deadlines, quorum validation). Shows the
 // workunit lifecycle statistics a project operator watches.
+//
+// Flags: --metrics-out=FILE writes a metrics snapshot (.csv or .json),
+//        --trace-out=FILE writes a Chrome trace_event JSON for Perfetto.
+// See docs/OBSERVABILITY.md for the metric catalog and trace schema.
 #include <iostream>
+#include <string>
 
 #include "boinc/server.hpp"
 #include "core/deadline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 #include "util/fmt.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lattice;
 
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::cerr << "usage: volunteer_grid [--metrics-out=FILE] "
+                   "[--trace-out=FILE]\n";
+      return 2;
+    }
+  }
+
   sim::Simulation sim;
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  obs::Tracer& bound_tracer =
+      trace_out.empty() ? obs::Tracer::null() : tracer;
+  const bool observe = !metrics_out.empty() || !trace_out.empty();
+  if (observe) {
+    sim.set_observability(&metrics,
+                          trace_out.empty() ? nullptr : &tracer);
+  }
   boinc::BoincPoolConfig config;
   config.hosts = 400;
   config.mean_speed = 0.8;      // volunteer PCs trail the reference cluster
@@ -25,6 +60,7 @@ int main() {
   config.target_nresults = 2;
   config.seed = 99;
   boinc::BoincServer server(sim, "lattice-boinc", config);
+  if (observe) server.set_observability(metrics, bound_tracer);
 
   std::size_t completed = 0;
   std::size_t failed = 0;
@@ -84,5 +120,26 @@ int main() {
       static_cast<double>(results_issued) /
           static_cast<double>(server.workunits().size()),
       config.min_quorum);
+
+  if (!metrics_out.empty()) {
+    if (!obs::write_metrics(metrics, metrics_out)) {
+      std::cerr << "failed to write " << metrics_out << "\n";
+      return 1;
+    }
+    std::cout << util::format(
+        "metrics snapshot -> {} ({} deadline misses, {} results reissued)\n",
+        metrics_out, metrics.counter_total("boinc.deadline_misses"),
+        metrics.counter_total("boinc.results_reissued"));
+  }
+  if (!trace_out.empty()) {
+    if (!obs::write_trace(tracer, trace_out)) {
+      std::cerr << "failed to write " << trace_out << "\n";
+      return 1;
+    }
+    std::cout << util::format(
+        "chrome trace -> {} ({} events; open in Perfetto or "
+        "chrome://tracing)\n",
+        trace_out, tracer.events());
+  }
   return 0;
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Docs lint: every metric name registered in src/ must appear (backticked)
+# in the catalog at docs/OBSERVABILITY.md, so the operator's view never
+# silently drifts from the code. Registration sites keep the metric name as
+# a literal string on the call (see src/obs/metrics.hpp), which is what
+# makes this extraction reliable. Wired into ctest as the check_docs test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+doc=docs/OBSERVABILITY.md
+if [ ! -f "$doc" ]; then
+  echo "check_docs: missing $doc" >&2
+  exit 1
+fi
+
+# Registration calls are always instrument methods on a registry object
+# (m.counter("name", ...) etc.), so require the leading '.'; this skips
+# find_counter()/counter_total() lookups. Files are newline-flattened first
+# because clang-format may wrap the name onto the line after the call.
+registered=$(
+  find src -name '*.cpp' -o -name '*.hpp' | sort | while read -r f; do
+    tr '\n' ' ' < "$f" |
+      grep -oE '[.>][[:space:]]*(counter|gauge|histogram)\([[:space:]]*"[A-Za-z0-9_.]+"' ||
+      true
+  done | grep -oE '"[A-Za-z0-9_.]+"' | tr -d '"' | sort -u
+)
+
+if [ -z "$registered" ]; then
+  echo "check_docs: found no registered metrics in src/" >&2
+  exit 1
+fi
+
+fail=0
+for name in $registered; do
+  if ! grep -qF "\`$name\`" "$doc"; then
+    echo "check_docs: metric '$name' is registered in src/ but missing" \
+         "from $doc" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  count=$(printf '%s\n' "$registered" | wc -l)
+  echo "check_docs: all $count registered metric names documented in $doc"
+fi
+exit "$fail"

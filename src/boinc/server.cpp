@@ -46,6 +46,63 @@ BoincServer::BoincServer(sim::Simulation& sim, std::string name,
   transitioner_ = std::make_unique<sim::PeriodicTask>(
       sim_, sim_.now() + config_.transitioner_period,
       config_.transitioner_period, [this] { transition(); });
+  on_observability();
+}
+
+void BoincServer::on_observability() {
+  obs::MetricsRegistry& m = metrics();
+  obs_wu_created_ = &m.counter("boinc.workunits_created", "workunits",
+                               "workunits accepted from the grid level",
+                               name());
+  obs_wu_validated_ =
+      &m.counter("boinc.workunits_validated", "workunits",
+                 "workunits that reached quorum with a canonical result",
+                 name());
+  obs_wu_failed_ = &m.counter(
+      "boinc.workunits_failed", "workunits",
+      "workunits abandoned (errors or result cap exhausted)", name());
+  obs_results_issued_ =
+      &m.counter("boinc.results_issued", "results",
+                 "result instances created (initial replication plus "
+                 "reissues)",
+                 name());
+  obs_results_sent_ = &m.counter("boinc.results_sent", "results",
+                                 "result instances handed to a host", name());
+  obs_results_success_ =
+      &m.counter("boinc.results_success", "results",
+                 "result instances reported back successfully", name());
+  obs_results_error_ = &m.counter("boinc.results_error", "results",
+                                  "result instances that failed on the host",
+                                  name());
+  obs_results_timed_out_ =
+      &m.counter("boinc.results_timed_out", "results",
+                 "result instances timed out by the transitioner", name());
+  obs_results_reissued_ =
+      &m.counter("boinc.results_reissued", "results",
+                 "replacement result instances issued after "
+                 "timeouts/errors/split votes",
+                 name());
+  obs_deadline_misses_ = &m.counter(
+      "boinc.deadline_misses", "results",
+      "results whose report deadline passed before a report arrived",
+      name());
+  obs_deadline_slack_ = &m.histogram(
+      "boinc.deadline_slack_s",
+      {-7.0 * 86400.0, -86400.0, 0.0, 3600.0, 6.0 * 3600.0, 86400.0,
+       3.0 * 86400.0, 7.0 * 86400.0, 14.0 * 86400.0},
+      "s", "deadline minus report time at success (negative = late)",
+      name());
+  obs_dispatch_wait_ = &m.histogram(
+      "boinc.queue_wait_s",
+      {60.0, 600.0, 3600.0, 6.0 * 3600.0, 86400.0, 3.0 * 86400.0,
+       7.0 * 86400.0},
+      "s", "wait from workunit creation to a result being sent", name());
+}
+
+void BoincServer::observe_result_end(const Result& result,
+                                     std::string_view reason) {
+  tracer().async_end("result", "boinc.result", result.id, sim_.now(),
+                     {{"reason", std::string(reason)}});
 }
 
 BoincServer::~BoincServer() = default;
@@ -80,6 +137,7 @@ grid::ResourceInfo BoincServer::info() const {
 void BoincServer::submit(grid::GridJob& job) {
   job.state = grid::JobState::kQueued;
   job.resource = name();
+  job.queued_time = sim_.now();
 
   Workunit wu;
   wu.id = next_workunit_id_++;
@@ -99,6 +157,9 @@ void BoincServer::submit(grid::GridJob& job) {
 
   auto [it, inserted] = workunits_.emplace(wu.id, std::move(wu));
   assert(inserted);
+  obs_wu_created_->inc();
+  tracer().async_begin("workunit", "boinc.wu", it->second.id, sim_.now(),
+                       {{"grid_job", std::to_string(job.id)}});
   for (int i = 0; i < it->second.target_nresults; ++i) {
     issue_result(it->second);
   }
@@ -117,6 +178,7 @@ void BoincServer::issue_result(Workunit& wu) {
   wu.results.push_back(result);
   result_to_workunit_[result.id] = wu.id;
   unsent_.push_back(result.id);
+  obs_results_issued_->inc();
 }
 
 void BoincServer::register_idle(VolunteerHost& host) {
@@ -170,6 +232,11 @@ bool BoincServer::request_work(VolunteerHost& host) {
     result->host_id = host.id();
     result->sent_time = sim_.now();
     result->deadline = sim_.now() + wu->delay_bound;
+    obs_results_sent_->inc();
+    obs_dispatch_wait_->observe(sim_.now() - wu->created);
+    tracer().async_begin("result", "boinc.result", result->id, sim_.now(),
+                         {{"host", std::to_string(host.id())},
+                          {"workunit", std::to_string(wu->id)}});
     if (wu->grid_job != nullptr &&
         wu->grid_job->state == grid::JobState::kQueued) {
       wu->grid_job->state = grid::JobState::kRunning;
@@ -213,18 +280,28 @@ void BoincServer::report_result(std::uint64_t result_id, double cpu_seconds,
   Result* result = find_result(result_id);
   if (result == nullptr) return;
   total_cpu_ += cpu_seconds;
+  const bool was_in_progress = result->state == ResultState::kInProgress;
   Workunit* wu = workunit_of(result->workunit_id);
   assert(wu != nullptr);
   if (wu->state != WorkunitState::kActive) {
     // Straggler for an already-decided workunit: wasted duplication.
     result->state = ResultState::kAborted;
     wasted_duplicate_ += cpu_seconds;
+    if (was_in_progress) observe_result_end(*result, "straggler");
     return;
   }
   result->state = ResultState::kSuccess;
   result->received_time = sim_.now();
   result->cpu_seconds = cpu_seconds;
   result->output_hash = output_hash;
+  obs_results_success_->inc();
+  if (was_in_progress) {
+    observe_result_end(*result, "success");
+    // Positive slack = reported ahead of the deadline; a late report that
+    // beat the transitioner still counts as a deadline miss.
+    obs_deadline_slack_->observe(result->deadline - sim_.now());
+    if (sim_.now() > result->deadline) obs_deadline_misses_->inc();
+  }
   validate(*wu);
 }
 
@@ -232,10 +309,14 @@ void BoincServer::report_error(std::uint64_t result_id, double cpu_seconds) {
   Result* result = find_result(result_id);
   if (result == nullptr) return;
   total_cpu_ += cpu_seconds;
+  const bool was_in_progress = result->state == ResultState::kInProgress;
   result->state = ResultState::kError;
+  obs_results_error_->inc();
+  if (was_in_progress) observe_result_end(*result, "error");
   Workunit* wu = workunit_of(result->workunit_id);
   if (wu != nullptr && wu->state == WorkunitState::kActive) {
     ++reissued_;
+    obs_results_reissued_->inc();
     issue_result(*wu);
     try_dispatch();
     if (wu->outstanding() == 0) {
@@ -261,8 +342,11 @@ void BoincServer::transition() {
     for (Result& result : wu.results) {
       if (result.state == ResultState::kInProgress &&
           sim_.now() > result.deadline) {
+        observe_result_end(result, "timeout");
         result.state = ResultState::kTimedOut;
         ++timeouts_;
+        obs_results_timed_out_->inc();
+        obs_deadline_misses_->inc();
         // Tell the holder (if it still exists) to drop the task.
         for (auto& host : hosts_) {
           if (host->id() == result.host_id) {
@@ -275,6 +359,7 @@ void BoincServer::transition() {
     }
     if (reissue_needed && wu.outstanding() < wu.min_quorum) {
       ++reissued_;
+      obs_results_reissued_->inc();
       issue_result(wu);
       if (static_cast<int>(wu.results.size()) >= wu.max_total_results &&
           wu.outstanding() == 0) {
@@ -329,6 +414,7 @@ void BoincServer::validate(Workunit& wu) {
   if (wu.outstanding() == 0) {
     if (static_cast<int>(wu.results.size()) < wu.max_total_results) {
       ++reissued_;
+      obs_results_reissued_->inc();
       issue_result(wu);
       try_dispatch();
     } else {
@@ -362,6 +448,9 @@ void BoincServer::finish_workunit(Workunit& wu, bool success,
                                   const std::string& why) {
   wu.state = success ? WorkunitState::kValidated : WorkunitState::kError;
   wu.validated_time = sim_.now();
+  (success ? obs_wu_validated_ : obs_wu_failed_)->inc();
+  tracer().async_end("workunit", "boinc.wu", wu.id, sim_.now(),
+                     {{"outcome", why}});
   if (success) {
     // Grant credit to hosts whose result carried the canonical output
     // fingerprint (the validator's majority hash).
@@ -394,6 +483,7 @@ void BoincServer::finish_workunit(Workunit& wu, bool success,
   // modeled as immediate).
   for (Result& result : wu.results) {
     if (result.state == ResultState::kInProgress) {
+      observe_result_end(result, "aborted");
       for (auto& host : hosts_) {
         if (host->id() == result.host_id) {
           host->abort_task(result.id);
@@ -429,8 +519,11 @@ void BoincServer::cancel(std::uint64_t job_id) {
     if (wu.state != WorkunitState::kActive) return;
     grid::GridJob& job = *wu.grid_job;
     wu.state = WorkunitState::kCancelled;
+    tracer().async_end("workunit", "boinc.wu", wu.id, sim_.now(),
+                       {{"outcome", "cancelled"}});
     for (Result& result : wu.results) {
       if (result.state == ResultState::kInProgress) {
+        observe_result_end(result, "cancelled");
         for (auto& host : hosts_) {
           if (host->id() == result.host_id) {
             host->abort_task(result.id);

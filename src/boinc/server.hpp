@@ -129,6 +129,10 @@ class BoincServer final : public grid::LocalResource {
   friend class VolunteerHost;
 
   void transition();
+  void on_observability() override;
+  /// Close a result's trace span and stamp deadline metrics when it leaves
+  /// the in-progress state (report, error, timeout, abort).
+  void observe_result_end(const Result& result, std::string_view reason);
   Result* find_result(std::uint64_t result_id);
   Workunit* workunit_of(std::uint64_t workunit_id);
   void issue_result(Workunit& wu);
@@ -156,6 +160,20 @@ class BoincServer final : public grid::LocalResource {
   std::map<std::uint64_t, double> credit_;
   std::map<std::uint64_t, int> valid_streak_;
   std::uint64_t corrupted_ = 0;
+
+  // Observability (bound to the null sinks until set_observability).
+  obs::Counter* obs_wu_created_ = nullptr;
+  obs::Counter* obs_wu_validated_ = nullptr;
+  obs::Counter* obs_wu_failed_ = nullptr;
+  obs::Counter* obs_results_issued_ = nullptr;
+  obs::Counter* obs_results_sent_ = nullptr;
+  obs::Counter* obs_results_success_ = nullptr;
+  obs::Counter* obs_results_error_ = nullptr;
+  obs::Counter* obs_results_timed_out_ = nullptr;
+  obs::Counter* obs_results_reissued_ = nullptr;
+  obs::Counter* obs_deadline_misses_ = nullptr;
+  obs::Histogram* obs_deadline_slack_ = nullptr;
+  obs::Histogram* obs_dispatch_wait_ = nullptr;
 };
 
 }  // namespace lattice::boinc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "util/log.hpp"
 
@@ -14,10 +15,13 @@ LatticeSystem::LatticeSystem(LatticeConfig config)
       speeds_(600.0),
       estimator_(),
       scheduler_(mds_, speeds_, config.scheduler),
-      rng_(config.seed) {
+      rng_(config.seed),
+      obs_metrics_(&obs::MetricsRegistry::null()),
+      obs_tracer_(&obs::Tracer::null()) {
   pump_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, config_.scheduler_period, config_.scheduler_period,
       [this] { pump(); });
+  bind_observability();
 }
 
 LatticeSystem::~LatticeSystem() = default;
@@ -32,6 +36,42 @@ void LatticeSystem::wire_resource(
       });
   mds_.attach_provider(resource, config_.mds_report_period);
   adapters_[resource.name()] = std::move(adapter);
+  resource.set_observability(*obs_metrics_, *obs_tracer_);
+}
+
+void LatticeSystem::enable_observability(obs::MetricsRegistry& metrics,
+                                        obs::Tracer& tracer) {
+  obs_metrics_ = &metrics;
+  obs_tracer_ = &tracer;
+  sim_.set_observability(&metrics, &tracer);
+  scheduler_.set_observability(metrics);
+  for (auto& [name, resource] : resources_) {
+    resource->set_observability(metrics, tracer);
+  }
+  bind_observability();
+}
+
+void LatticeSystem::bind_observability() {
+  obs::MetricsRegistry& m = *obs_metrics_;
+  obs_jobs_submitted_ = &m.counter("lattice.jobs_submitted", "jobs",
+                                   "jobs accepted at the grid level");
+  obs_jobs_completed_ = &m.counter("lattice.jobs_completed", "jobs",
+                                   "jobs that reached a validated result");
+  obs_jobs_abandoned_ = &m.counter(
+      "lattice.jobs_abandoned", "jobs",
+      "jobs given up on after max_attempts failed placements");
+  obs_failed_attempts_ = &m.counter(
+      "lattice.failed_attempts", "attempts",
+      "placements that ended in preemption, timeout, or error");
+  obs_sched_queue_wait_ = &m.histogram(
+      "sched.queue_wait_s",
+      {60.0, 600.0, 3600.0, 6.0 * 3600.0, 86400.0, 7.0 * 86400.0}, "s",
+      "grid-level wait from submission to first dispatch");
+  obs_predictor_error_ = &m.histogram(
+      "sched.predictor_abs_error_s",
+      {60.0, 600.0, 3600.0, 6.0 * 3600.0, 86400.0, 3.0 * 86400.0}, "s",
+      "absolute error of the runtime estimate vs the measured reference "
+      "runtime, for completed jobs with an estimate");
 }
 
 grid::BatchQueueResource& LatticeSystem::add_cluster(
@@ -153,6 +193,9 @@ std::uint64_t LatticeSystem::submit_job_with_runtime(
   pending_.push_back(id);
   ++metrics_.submitted;
   ++outstanding_;
+  obs_jobs_submitted_->inc();
+  obs_tracer_->async_begin("job", "lattice.job", id, sim_.now(),
+                           {{"batch", std::to_string(batch_id)}});
   return id;
 }
 
@@ -176,6 +219,8 @@ bool LatticeSystem::cancel_job(std::uint64_t id) {
       if (pending_it != pending_.end()) pending_.erase(pending_it);
       job.state = grid::JobState::kCancelled;
       --outstanding_;
+      obs_tracer_->async_end("job", "lattice.job", id, sim_.now(),
+                             {{"outcome", "cancelled"}});
       if (terminal_hook_) terminal_hook_(job, false);
       return true;
     }
@@ -226,6 +271,9 @@ void LatticeSystem::dispatch(grid::GridJob& job,
     }
   } refresher{this, resource_name};
 
+  if (job.attempts == 0) {
+    obs_sched_queue_wait_->observe(sim_.now() - job.submit_time);
+  }
   const auto boinc_it = boinc_adapters_.find(resource_name);
   if (boinc_it != boinc_adapters_.end()) {
     // Estimate-derived report deadline (paper §VI.A). Without an estimate
@@ -250,6 +298,16 @@ void LatticeSystem::on_outcome(grid::GridJob& job,
     metrics_.total_turnaround_seconds += sim_.now() - job.submit_time;
     metrics_.last_completion = sim_.now();
     --outstanding_;
+    obs_jobs_completed_->inc();
+    obs_tracer_->async_end("job", "lattice.job", job.id, sim_.now(),
+                           {{"outcome", "completed"},
+                            {"resource", job.resource}});
+    if (job.estimated_reference_runtime) {
+      const double measured =
+          outcome.cpu_seconds * speeds_.speed_or_default(job.resource);
+      obs_predictor_error_->observe(
+          std::abs(*job.estimated_reference_runtime - measured));
+    }
 
     // §VI.E: feed the observation back into the model. The measured
     // reference runtime is the attempt's CPU time scaled by the calibrated
@@ -266,13 +324,19 @@ void LatticeSystem::on_outcome(grid::GridJob& job,
   metrics_.wasted_cpu_seconds += outcome.cpu_seconds;
   if (job.state == grid::JobState::kCancelled) {
     --outstanding_;
+    obs_tracer_->async_end("job", "lattice.job", job.id, sim_.now(),
+                           {{"outcome", "cancelled"}});
     if (terminal_hook_) terminal_hook_(job, false);
     return;
   }
   ++metrics_.failed_attempts;
+  obs_failed_attempts_->inc();
   if (job.attempts >= config_.max_attempts) {
     ++metrics_.abandoned;
     --outstanding_;
+    obs_jobs_abandoned_->inc();
+    obs_tracer_->async_end("job", "lattice.job", job.id, sim_.now(),
+                           {{"outcome", "abandoned"}});
     util::log_warn("lattice", "job {} abandoned after {} attempts", job.id,
                    job.attempts);
     if (terminal_hook_) terminal_hook_(job, false);

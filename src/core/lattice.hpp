@@ -138,9 +138,17 @@ class LatticeSystem {
   /// Run until all submitted jobs are terminal (or the horizon passes).
   void run_until_drained(sim::SimTime horizon);
 
+  /// Bind the whole stack — simulation kernel, meta-scheduler, every
+  /// resource added before or after this call, and the grid level itself —
+  /// to the given sinks. Pure observation: enabling must not change any
+  /// scheduling decision or event timing (tests/test_obs.cpp asserts this).
+  void enable_observability(obs::MetricsRegistry& metrics,
+                            obs::Tracer& tracer);
+
  private:
   void wire_resource(grid::LocalResource& resource,
                      std::unique_ptr<grid::SchedulerAdapter> adapter);
+  void bind_observability();
   void pump();
   void on_outcome(grid::GridJob& job, const grid::JobOutcome& outcome);
   void dispatch(grid::GridJob& job, const std::string& resource_name);
@@ -168,6 +176,16 @@ class LatticeSystem {
   std::unique_ptr<sim::PeriodicTask> pump_task_;
   std::function<void(const grid::GridJob&, bool)> terminal_hook_;
   LatticeMetrics metrics_;
+
+  // Observability (bound to the null sinks until enable_observability).
+  obs::MetricsRegistry* obs_metrics_;
+  obs::Tracer* obs_tracer_;
+  obs::Counter* obs_jobs_submitted_ = nullptr;
+  obs::Counter* obs_jobs_completed_ = nullptr;
+  obs::Counter* obs_jobs_abandoned_ = nullptr;
+  obs::Counter* obs_failed_attempts_ = nullptr;
+  obs::Histogram* obs_sched_queue_wait_ = nullptr;
+  obs::Histogram* obs_predictor_error_ = nullptr;
 };
 
 }  // namespace lattice::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
+
 namespace lattice::core {
 
 std::string_view scheduling_mode_name(SchedulingMode mode) {
@@ -18,7 +20,23 @@ std::string_view scheduling_mode_name(SchedulingMode mode) {
 MetaScheduler::MetaScheduler(const grid::MdsDirectory& mds,
                              const SpeedCalibrator& speeds,
                              SchedulerPolicy policy)
-    : mds_(mds), speeds_(speeds), policy_(policy) {}
+    : mds_(mds), speeds_(speeds), policy_(policy) {
+  set_observability(obs::MetricsRegistry::null());
+}
+
+void MetaScheduler::set_observability(obs::MetricsRegistry& metrics) {
+  decisions_ = &metrics.counter("sched.decisions", "jobs",
+                                "placement decisions made");
+  route_stable_ = &metrics.counter(
+      "sched.route_stable", "jobs", "placements onto stable resources");
+  route_unstable_ =
+      &metrics.counter("sched.route_unstable", "jobs",
+                       "placements onto unstable (desktop/volunteer) "
+                       "resources");
+  no_eligible_ = &metrics.counter(
+      "sched.no_eligible", "calls",
+      "choose() calls that found no eligible online resource");
+}
 
 bool MetaScheduler::matches(const grid::GridJob& job,
                             const grid::ResourceInfo& info) {
@@ -52,11 +70,16 @@ std::optional<std::string> MetaScheduler::choose(const grid::GridJob& job) {
   for (const grid::MdsEntry& entry : mds_.online()) {
     if (matches(job, entry.info)) eligible.push_back(entry);
   }
-  if (eligible.empty()) return std::nullopt;
+  if (eligible.empty()) {
+    no_eligible_->inc();
+    return std::nullopt;
+  }
 
   if (policy_.mode == SchedulingMode::kRoundRobin) {
     const grid::MdsEntry& pick =
         eligible[round_robin_next_++ % eligible.size()];
+    decisions_->inc();
+    (pick.info.stable ? route_stable_ : route_unstable_)->inc();
     return pick.info.name;
   }
 
@@ -116,6 +139,8 @@ std::optional<std::string> MetaScheduler::choose(const grid::GridJob& job) {
       best = &entry;
     }
   }
+  decisions_->inc();
+  (best->info.stable ? route_stable_ : route_unstable_)->inc();
   return best->info.name;
 }
 

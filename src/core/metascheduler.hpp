@@ -24,6 +24,11 @@
 #include "grid/job.hpp"
 #include "grid/mds.hpp"
 
+namespace lattice::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace lattice::obs
+
 namespace lattice::core {
 
 enum class SchedulingMode {
@@ -58,6 +63,11 @@ class MetaScheduler {
   const SchedulerPolicy& policy() const { return policy_; }
   void set_policy(const SchedulerPolicy& policy) { policy_ = policy; }
 
+  /// Re-bind routing-decision counters into `metrics` (instruments default
+  /// to the null registry's sinks, so un-instrumented scheduling pays one
+  /// pointer increment per decision).
+  void set_observability(obs::MetricsRegistry& metrics);
+
   /// Matchmaking predicate, exposed for tests.
   static bool matches(const grid::GridJob& job,
                       const grid::ResourceInfo& info);
@@ -67,6 +77,12 @@ class MetaScheduler {
   const SpeedCalibrator& speeds_;
   SchedulerPolicy policy_;
   std::size_t round_robin_next_ = 0;
+
+  // Observability (bound to the null registry until set_observability).
+  obs::Counter* decisions_ = nullptr;
+  obs::Counter* route_stable_ = nullptr;
+  obs::Counter* route_unstable_ = nullptr;
+  obs::Counter* no_eligible_ = nullptr;
 };
 
 }  // namespace lattice::core

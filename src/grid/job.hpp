@@ -70,6 +70,9 @@ struct GridJob {
   JobState state = JobState::kPending;
   std::string resource;  // where it is (or last was) placed
   sim::SimTime submit_time = 0.0;
+  /// When the current local resource accepted the job (per attempt; the
+  /// local queue wait observed by obs is start_time - queued_time).
+  sim::SimTime queued_time = 0.0;
   sim::SimTime start_time = 0.0;
   sim::SimTime finish_time = 0.0;
   int attempts = 0;

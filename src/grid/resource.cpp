@@ -18,11 +18,28 @@ std::string_view resource_kind_name(ResourceKind kind) {
 }
 
 LocalResource::LocalResource(sim::Simulation& sim, std::string name)
-    : sim_(sim), name_(std::move(name)) {}
+    : sim_(sim),
+      name_(std::move(name)),
+      metrics_(&obs::MetricsRegistry::null()),
+      tracer_(&obs::Tracer::null()) {}
+
+void LocalResource::set_observability(obs::MetricsRegistry& metrics,
+                                      obs::Tracer& tracer) {
+  metrics_ = &metrics;
+  tracer_ = &tracer;
+  on_observability();
+}
 
 void LocalResource::notify(GridJob& job, const JobOutcome& outcome) {
   if (callback_) callback_(job, outcome);
 }
+
+namespace {
+// Local-queue wait buckets shared by every LRM: 1 min .. 1 week.
+std::vector<double> queue_wait_bounds() {
+  return {60.0, 600.0, 3600.0, 6.0 * 3600.0, 86400.0, 7.0 * 86400.0};
+}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // BatchQueueResource
@@ -32,6 +49,24 @@ BatchQueueResource::BatchQueueResource(sim::Simulation& sim, std::string name,
     : LocalResource(sim, std::move(name)), config_(config) {
   assert(config_.nodes > 0 && config_.cores_per_node > 0);
   assert(config_.node_speed > 0.0);
+  on_observability();
+}
+
+void BatchQueueResource::on_observability() {
+  obs::MetricsRegistry& m = metrics();
+  obs_started_ =
+      &m.counter("grid.attempts_started", "attempts",
+                 "job attempts started on a local resource", name());
+  obs_completed_ = &m.counter("grid.attempts_completed", "attempts",
+                              "job attempts that ran to completion", name());
+  obs_walltime_kills_ =
+      &m.counter("grid.walltime_kills", "attempts",
+                 "attempts killed by the LRM walltime limit", name());
+  obs_cancelled_ = &m.counter("grid.attempts_cancelled", "attempts",
+                              "attempts removed by cancellation", name());
+  obs_queue_wait_ =
+      &m.histogram("grid.queue_wait_s", queue_wait_bounds(), "s",
+                   "local-queue wait from acceptance to start", name());
 }
 
 ResourceInfo BatchQueueResource::info() const {
@@ -52,6 +87,7 @@ ResourceInfo BatchQueueResource::info() const {
 void BatchQueueResource::submit(GridJob& job) {
   job.state = JobState::kQueued;
   job.resource = name();
+  job.queued_time = sim_.now();
   queue_.push_back(&job);
   try_start();
 }
@@ -64,6 +100,10 @@ void BatchQueueResource::try_start() {
     job->state = JobState::kRunning;
     job->start_time = sim_.now();
     job->attempts += 1;
+    obs_started_->inc();
+    obs_queue_wait_->observe(sim_.now() - job->queued_time);
+    tracer().async_begin("attempt", "grid.attempt", job->id, sim_.now(),
+                         {{"resource", name()}});
 
     const double staging =
         (job->input_mb + job->output_mb) / config_.stage_mb_per_second;
@@ -97,12 +137,16 @@ void BatchQueueResource::finish(std::uint64_t job_id, bool walltime_killed) {
     job.wasted_cpu_seconds += cpu;
     outcome.completed = false;
     outcome.reason = "walltime";
+    obs_walltime_kills_->inc();
   } else {
     job.state = JobState::kCompleted;
     job.finish_time = sim_.now();
     outcome.completed = true;
     outcome.reason = "completed";
+    obs_completed_->inc();
   }
+  tracer().async_end("attempt", "grid.attempt", job.id, sim_.now(),
+                     {{"reason", outcome.reason}});
   try_start();
   notify(job, outcome);
 }
@@ -115,6 +159,7 @@ void BatchQueueResource::cancel(std::uint64_t job_id) {
     GridJob& job = **queued;
     queue_.erase(queued);
     job.state = JobState::kCancelled;
+    obs_cancelled_->inc();
     notify(job, JobOutcome{false, 0.0, "cancelled"});
     return;
   }
@@ -128,6 +173,9 @@ void BatchQueueResource::cancel(std::uint64_t job_id) {
   running_.erase(it);
   job.state = JobState::kCancelled;
   job.wasted_cpu_seconds += cpu;
+  obs_cancelled_->inc();
+  tracer().async_end("attempt", "grid.attempt", job.id, sim_.now(),
+                     {{"reason", "cancelled"}});
   try_start();
   notify(job, JobOutcome{false, cpu, "cancelled"});
 }
@@ -161,6 +209,24 @@ CondorPool::CondorPool(sim::Simulation& sim, std::string name, Config config)
     machines_[m].owner_busy = rng_.bernoulli(busy_fraction);
     schedule_owner_cycle(m);
   }
+  on_observability();
+}
+
+void CondorPool::on_observability() {
+  obs::MetricsRegistry& m = metrics();
+  obs_started_ =
+      &m.counter("grid.attempts_started", "attempts",
+                 "job attempts started on a local resource", name());
+  obs_completed_ = &m.counter("grid.attempts_completed", "attempts",
+                              "job attempts that ran to completion", name());
+  obs_preemptions_ =
+      &m.counter("grid.preemptions", "attempts",
+                 "attempts lost to owner-return preemption", name());
+  obs_cancelled_ = &m.counter("grid.attempts_cancelled", "attempts",
+                              "attempts removed by cancellation", name());
+  obs_queue_wait_ =
+      &m.histogram("grid.queue_wait_s", queue_wait_bounds(), "s",
+                   "local-queue wait from acceptance to start", name());
 }
 
 std::vector<double> CondorPool::machine_speeds() const {
@@ -197,6 +263,9 @@ void CondorPool::owner_arrives(std::size_t machine) {
   m.job = nullptr;
   job.state = JobState::kFailed;
   job.wasted_cpu_seconds += cpu;
+  obs_preemptions_->inc();
+  tracer().async_end("attempt", "grid.attempt", job.id, sim_.now(),
+                     {{"reason", "preempted"}});
   util::log_debug("condor", "{}: preempted job {} after {:.0f}s", name(),
                   job.id, cpu);
   notify(job, JobOutcome{false, cpu, "preempted"});
@@ -229,6 +298,7 @@ ResourceInfo CondorPool::info() const {
 void CondorPool::submit(GridJob& job) {
   job.state = JobState::kQueued;
   job.resource = name();
+  job.queued_time = sim_.now();
   queue_.push_back(&job);
   try_start();
 }
@@ -271,6 +341,10 @@ void CondorPool::try_start() {
       job->state = JobState::kRunning;
       job->start_time = sim_.now();
       job->attempts += 1;
+      obs_started_->inc();
+      obs_queue_wait_->observe(sim_.now() - job->queued_time);
+      tracer().async_begin("attempt", "grid.attempt", job->id, sim_.now(),
+                           {{"resource", name()}});
       const double duration =
           config_.job_overhead_seconds +
           (job->input_mb + job->output_mb) / config_.stage_mb_per_second +
@@ -292,6 +366,9 @@ void CondorPool::complete(std::size_t machine) {
   m.job = nullptr;
   job.state = JobState::kCompleted;
   job.finish_time = sim_.now();
+  obs_completed_->inc();
+  tracer().async_end("attempt", "grid.attempt", job.id, sim_.now(),
+                     {{"reason", "completed"}});
   try_start();
   notify(job, JobOutcome{true, cpu, "completed"});
 }
@@ -304,6 +381,7 @@ void CondorPool::cancel(std::uint64_t job_id) {
     GridJob& job = **queued;
     queue_.erase(queued);
     job.state = JobState::kCancelled;
+    obs_cancelled_->inc();
     notify(job, JobOutcome{false, 0.0, "cancelled"});
     return;
   }
@@ -316,6 +394,9 @@ void CondorPool::cancel(std::uint64_t job_id) {
     machine.job = nullptr;
     job.state = JobState::kCancelled;
     job.wasted_cpu_seconds += cpu;
+    obs_cancelled_->inc();
+    tracer().async_end("attempt", "grid.attempt", job.id, sim_.now(),
+                       {{"reason", "cancelled"}});
     try_start();
     notify(job, JobOutcome{false, cpu, "cancelled"});
     return;

@@ -17,6 +17,8 @@
 
 #include "grid/classad.hpp"
 #include "grid/job.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
@@ -81,14 +83,26 @@ class LocalResource {
     callback_ = std::move(callback);
   }
 
+  /// Re-bind this resource's instruments into real sinks. Defaults are
+  /// the null objects; enabling is pure observation (no behavior change).
+  void set_observability(obs::MetricsRegistry& metrics, obs::Tracer& tracer);
+
  protected:
   void notify(GridJob& job, const JobOutcome& outcome);
+
+  /// Subclass hook: re-bind instrument pointers after a sink change.
+  virtual void on_observability() {}
+
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  obs::Tracer& tracer() { return *tracer_; }
 
   sim::Simulation& sim_;
 
  private:
   std::string name_;
   CompletionCallback callback_;
+  obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
 };
 
 /// Dedicated cluster under a FIFO batch LRM (PBS or SGE). Slots = nodes x
@@ -131,10 +145,17 @@ class BatchQueueResource : public LocalResource {
 
   void try_start();
   void finish(std::uint64_t job_id, bool walltime_killed);
+  void on_observability() override;
 
   Config config_;
   std::deque<GridJob*> queue_;
   std::vector<Running> running_;
+
+  obs::Counter* obs_started_ = nullptr;
+  obs::Counter* obs_completed_ = nullptr;
+  obs::Counter* obs_walltime_kills_ = nullptr;
+  obs::Counter* obs_cancelled_ = nullptr;
+  obs::Histogram* obs_queue_wait_ = nullptr;
 };
 
 /// Institutional desktop pool under Condor. Machines cycle between
@@ -189,11 +210,18 @@ class CondorPool : public LocalResource {
   void owner_leaves(std::size_t machine);
   void try_start();
   void complete(std::size_t machine);
+  void on_observability() override;
 
   Config config_;
   util::Rng rng_;
   std::vector<Machine> machines_;
   std::deque<GridJob*> queue_;
+
+  obs::Counter* obs_started_ = nullptr;
+  obs::Counter* obs_completed_ = nullptr;
+  obs::Counter* obs_preemptions_ = nullptr;
+  obs::Counter* obs_cancelled_ = nullptr;
+  obs::Histogram* obs_queue_wait_ = nullptr;
 };
 
 }  // namespace lattice::grid

@@ -1,0 +1,178 @@
+// lattice::obs — grid-wide observability. A MetricsRegistry of named
+// counters, gauges and fixed-bucket histograms that every layer of the
+// stack (simulation kernel, meta-scheduler, LRMs, BOINC server, likelihood
+// engine) reports into, snapshotable as a table/CSV/JSON for the operator.
+//
+// Design rules (see DESIGN.md §8 and docs/OBSERVABILITY.md):
+//
+//  * Null-object default: components bind their instrument pointers against
+//    MetricsRegistry::null() at construction. The null registry hands out
+//    shared sink instruments that swallow writes and register nothing, so
+//    the un-instrumented hot path is a pointer increment with no branch,
+//    no lookup, and no allocation. Calling set_observability()/
+//    enable_observability() re-binds the same pointers into a real
+//    registry.
+//  * Observation only: instruments never feed back into simulation
+//    decisions. Enabling metrics must not change any simulation outcome
+//    (the determinism guard in tests/test_obs.cpp asserts this).
+//  * Registration is idempotent: re-registering the same (name, label)
+//    returns the same instrument, so re-binding after enable is safe.
+//  * Metric names are literal strings at the registration site; the
+//    scripts/check_docs.sh lint cross-checks every registered name against
+//    the catalog in docs/OBSERVABILITY.md.
+//
+// Not thread-safe: the registry is written from simulation code, which is
+// single-threaded by design. (Likelihood-engine counters are incremented
+// from the calling thread only, never from pooled workers.)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace lattice::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+std::string_view metric_kind_name(MetricKind kind);
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level (queue depth, online hosts).
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. An observation x lands in the first bucket i
+/// with x <= upper_bounds[i] (Prometheus "le" semantics: a value exactly
+/// on a bound belongs to that bound's bucket); values above the last bound
+/// land in the overflow bucket. Bounds may be negative (deadline slack).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Bucket count including the overflow bucket.
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+  /// Upper bound of bucket i; +infinity for the overflow bucket.
+  double bucket_bound(std::size_t i) const;
+
+ private:
+  std::vector<double> bounds_;        // strictly increasing
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() : enabled_(true) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide disabled registry every component binds against by
+  /// default. Its instruments are shared sinks; nothing is registered.
+  static MetricsRegistry& null();
+
+  bool enabled() const { return enabled_; }
+
+  /// Register (or look up) an instrument. `label` distinguishes instances
+  /// of the same metric (e.g. one `grid.queue_wait_s` per resource); the
+  /// catalog name/unit/help are shared. Returned references stay valid for
+  /// the registry's lifetime. Kind mismatches on an existing (name, label)
+  /// return the null sink of the requested kind.
+  Counter& counter(std::string_view name, std::string_view unit,
+                   std::string_view help, std::string_view label = {});
+  Gauge& gauge(std::string_view name, std::string_view unit,
+               std::string_view help, std::string_view label = {});
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds,
+                       std::string_view unit, std::string_view help,
+                       std::string_view label = {});
+
+  /// Number of registered instruments (0 for the null registry).
+  std::size_t size() const { return entries_.size(); }
+
+  /// Read-back for tests, benches and report code. nullptr when the
+  /// (name, label) pair was never registered (or on the null registry).
+  const Counter* find_counter(std::string_view name,
+                              std::string_view label = {}) const;
+  const Gauge* find_gauge(std::string_view name,
+                          std::string_view label = {}) const;
+  const Histogram* find_histogram(std::string_view name,
+                                  std::string_view label = {}) const;
+  /// Counter value summed over every label of `name` (0 if absent).
+  std::uint64_t counter_total(std::string_view name) const;
+
+  /// Snapshot in registration order. Histograms report count/sum/mean;
+  /// counters and gauges report their value.
+  util::Table snapshot() const;
+  std::string snapshot_csv() const;
+  /// JSON snapshot with full per-bucket histogram detail.
+  std::string snapshot_json() const;
+
+ private:
+  struct NullTag {};
+  explicit MetricsRegistry(NullTag) : enabled_(false) {}
+
+  struct Entry {
+    std::string name;
+    std::string label;
+    std::string unit;
+    std::string help;
+    MetricKind kind;
+    std::size_t index;  // into the deque matching `kind`
+  };
+
+  const Entry* find(std::string_view name, std::string_view label,
+                    MetricKind kind) const;
+
+  bool enabled_;
+  std::vector<Entry> entries_;
+  std::map<std::pair<std::string, std::string>, std::size_t> index_;
+  // Deques: stable addresses across registration.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  // Shared sinks handed out by the null registry (and on kind mismatch).
+  Counter sink_counter_;
+  Gauge sink_gauge_;
+  Histogram sink_histogram_{std::vector<double>{}};
+};
+
+/// Write a snapshot to `path`: CSV when the extension is .csv, JSON
+/// otherwise. Returns false when the file cannot be opened.
+bool write_metrics(const MetricsRegistry& registry, const std::string& path);
+
+}  // namespace lattice::obs

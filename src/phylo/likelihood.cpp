@@ -8,6 +8,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/threadpool.hpp"
 
 namespace lattice::phylo {
@@ -137,6 +139,47 @@ LikelihoodEngine::LikelihoodEngine(const PatternizedAlignment& data)
     const State last = n_patterns > 0 ? row[n_patterns - 1] : kMissing;
     for (std::size_t pat = n_patterns; pat < n_pad_; ++pat) row[pat] = last;
   }
+  set_observability(obs::MetricsRegistry::null(), obs::Tracer::null());
+}
+
+void LikelihoodEngine::set_observability(obs::MetricsRegistry& metrics,
+                                         obs::Tracer& tracer) {
+  obs_tracer_ = &tracer;
+  obs_wall_track_ = tracer.wall_track("phylo.likelihood");
+  obs_evaluations_ = &metrics.counter("phylo.evaluations", "calls",
+                                      "log_likelihood calls served");
+  obs_partials_reused_ = &metrics.counter(
+      "phylo.partials_reused", "partials",
+      "(node, category) partials served from the dirty-partial cache");
+  obs_partials_recomputed_ = &metrics.counter(
+      "phylo.partials_recomputed", "partials",
+      "(node, category) partials recomputed by the pruning kernel");
+  obs_cache_hits_ = &metrics.counter(
+      "phylo.matrix_cache_hits", "lookups",
+      "transition matrices served from the P(t) cache");
+  obs_cache_misses_ = &metrics.counter(
+      "phylo.matrix_cache_misses", "lookups",
+      "transition matrices rebuilt on a P(t) cache miss");
+  // Publish only activity after binding: snapshot the current totals.
+  pub_evaluations_ = evaluations_;
+  pub_partials_reused_ = partials_reused_;
+  pub_partials_recomputed_ = partials_recomputed_;
+  pub_cache_hits_ = cache_hits_;
+  pub_cache_misses_ = cache_misses_;
+}
+
+void LikelihoodEngine::publish_observability() {
+  obs_evaluations_->inc(evaluations_ - pub_evaluations_);
+  obs_partials_reused_->inc(partials_reused_ - pub_partials_reused_);
+  obs_partials_recomputed_->inc(partials_recomputed_ -
+                                pub_partials_recomputed_);
+  obs_cache_hits_->inc(cache_hits_ - pub_cache_hits_);
+  obs_cache_misses_->inc(cache_misses_ - pub_cache_misses_);
+  pub_evaluations_ = evaluations_;
+  pub_partials_reused_ = partials_reused_;
+  pub_partials_recomputed_ = partials_recomputed_;
+  pub_cache_hits_ = cache_hits_;
+  pub_cache_misses_ = cache_misses_;
 }
 
 void LikelihoodEngine::enable_matrix_cache(std::size_t capacity) {
@@ -323,6 +366,25 @@ void LikelihoodEngine::compute_range(std::size_t cat, std::size_t blk_lo,
 
 double LikelihoodEngine::log_likelihood(const Tree& tree,
                                         const SubstitutionModel& model) {
+  if (!obs_tracer_->enabled()) {
+    // publish_observability against the null sinks is a handful of sink
+    // increments; the un-instrumented hot loop stays free of clock reads.
+    const double result = evaluate(tree, model);
+    publish_observability();
+    return result;
+  }
+  const double t0 = obs::Tracer::wall_now_us();
+  const double result = evaluate(tree, model);
+  obs_tracer_->complete_wall(obs_wall_track_, "log_likelihood",
+                             "phylo.likelihood", t0,
+                             obs::Tracer::wall_now_us(),
+                             {{"dirty", std::to_string(dirty_nodes_.size())}});
+  publish_observability();
+  return result;
+}
+
+double LikelihoodEngine::evaluate(const Tree& tree,
+                                  const SubstitutionModel& model) {
   if (tree.n_leaves() != data_->n_taxa()) {
     throw std::invalid_argument("likelihood: tree/alignment taxon mismatch");
   }

@@ -31,6 +31,12 @@ namespace lattice::util {
 class ThreadPool;
 }
 
+namespace lattice::obs {
+class Counter;
+class MetricsRegistry;
+class Tracer;
+}
+
 namespace lattice::phylo {
 
 /// Evaluates log-likelihoods of trees for one alignment. The engine owns
@@ -85,6 +91,14 @@ class LikelihoodEngine {
   std::uint64_t cache_misses() const { return cache_misses_; }
   std::uint64_t cache_evictions() const { return cache_evictions_; }
 
+  /// Mirror the engine's statistics into obs instruments: counter deltas
+  /// are published at the end of every log_likelihood call, and when the
+  /// tracer is enabled each evaluation also emits a wall-clock span
+  /// (likelihood evaluation is real compute, not simulated time). Counters
+  /// are touched only from the calling thread, so the mirror is safe with
+  /// a thread pool attached. Defaults to the null sinks.
+  void set_observability(obs::MetricsRegistry& metrics, obs::Tracer& tracer);
+
  private:
   struct DirtyNode {
     int node;
@@ -94,6 +108,9 @@ class LikelihoodEngine {
     bool right_leaf;
   };
 
+  double evaluate(const Tree& tree, const SubstitutionModel& model);
+  /// Push counter deltas since the previous publish into the bound sinks.
+  void publish_observability();
   /// Returns the transition matrix for (branch_length, rate), through the
   /// cache when enabled. The pointer is valid only until the next call.
   const double* transition(const SubstitutionModel& model,
@@ -185,6 +202,21 @@ class LikelihoodEngine {
   // Per-category root pointers, cached across the mixing loop.
   std::vector<const double*> root_partials_;
   std::vector<const double*> root_scales_;
+
+  // Observability (bound to the null sinks by the constructor). pub_* hold
+  // the totals already published, so each publish is a cheap delta.
+  obs::Tracer* obs_tracer_ = nullptr;
+  int obs_wall_track_ = 0;
+  obs::Counter* obs_evaluations_ = nullptr;
+  obs::Counter* obs_partials_reused_ = nullptr;
+  obs::Counter* obs_partials_recomputed_ = nullptr;
+  obs::Counter* obs_cache_hits_ = nullptr;
+  obs::Counter* obs_cache_misses_ = nullptr;
+  std::uint64_t pub_evaluations_ = 0;
+  std::uint64_t pub_partials_reused_ = 0;
+  std::uint64_t pub_partials_recomputed_ = 0;
+  std::uint64_t pub_cache_hits_ = 0;
+  std::uint64_t pub_cache_misses_ = 0;
 };
 
 }  // namespace lattice::phylo

@@ -4,7 +4,29 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace lattice::sim {
+
+void Simulation::set_observability(obs::MetricsRegistry* metrics,
+                                   obs::Tracer* tracer) {
+  if (metrics == nullptr || !metrics->enabled()) {
+    obs_events_ = nullptr;
+    obs_pending_ = nullptr;
+    obs_handler_us_ = nullptr;
+  } else {
+    obs_events_ = &metrics->counter("sim.events_fired", "events",
+                                    "events executed by the kernel");
+    obs_pending_ = &metrics->gauge("sim.pending_events", "events",
+                                   "scheduled events not yet fired");
+    obs_handler_us_ = &metrics->histogram(
+        "sim.handler_wall_us", {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6}, "us",
+        "wall-clock time spent inside one event handler");
+  }
+  obs_tracer_ = (tracer != nullptr && tracer->enabled()) ? tracer : nullptr;
+  obs_track_ = obs_tracer_ ? obs_tracer_->track("sim.kernel") : 0;
+}
 
 EventHandle Simulation::at(SimTime when, std::function<void()> fn) {
   assert(fn);
@@ -33,7 +55,19 @@ bool Simulation::step() {
     if (pending_ids_.erase(event.id) == 0) continue;  // cancelled
     now_ = event.when;
     ++fired_;
+    if (obs_events_ == nullptr) {  // fast path: observability detached
+      event.fn();
+      return true;
+    }
+    obs_events_->inc();
+    obs_pending_->set(static_cast<double>(pending_ids_.size()));
+    const double t0 = obs::Tracer::wall_now_us();
     event.fn();
+    obs_handler_us_->observe(obs::Tracer::wall_now_us() - t0);
+    if (obs_tracer_ != nullptr && fired_ % kTraceSamplePeriod == 0) {
+      obs_tracer_->counter(obs_track_, "sim.pending_events", now_,
+                           static_cast<double>(pending_ids_.size()));
+    }
     return true;
   }
   return false;

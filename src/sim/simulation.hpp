@@ -15,6 +15,14 @@
 #include <unordered_set>
 #include <vector>
 
+namespace lattice::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class Tracer;
+}  // namespace lattice::obs
+
 namespace lattice::sim {
 
 using SimTime = double;
@@ -62,6 +70,16 @@ class Simulation {
   std::uint64_t events_fired() const { return fired_; }
   std::size_t pending() const { return pending_ids_.size(); }
 
+  /// Attach observability sinks (pass nullptr/nullptr to detach). Records
+  /// events fired, pending-queue depth, and per-handler wall time; with a
+  /// tracer, samples the queue depth as a Chrome counter track every
+  /// `kTraceSamplePeriod` events. Pure observation — enabling this never
+  /// changes event order or timing (the test_obs determinism guard).
+  void set_observability(obs::MetricsRegistry* metrics, obs::Tracer* tracer);
+
+  /// Queue-depth counter-sampling period (events) when tracing.
+  static constexpr std::uint64_t kTraceSamplePeriod = 64;
+
   static constexpr SimTime kForever = 1e300;
 
  private:
@@ -85,6 +103,13 @@ class Simulation {
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
   std::uint64_t fired_ = 0;
+
+  // Observability (null when not attached; see set_observability).
+  obs::Counter* obs_events_ = nullptr;
+  obs::Gauge* obs_pending_ = nullptr;
+  obs::Histogram* obs_handler_us_ = nullptr;
+  obs::Tracer* obs_tracer_ = nullptr;
+  int obs_track_ = 0;
 };
 
 /// Repeating event helper: calls fn every `period` seconds starting at

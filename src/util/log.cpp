@@ -7,7 +7,10 @@ namespace lattice::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::atomic<std::ostream*> g_stream{nullptr};
+// The sink pointer is guarded by g_write_mutex (not atomic): swapping it
+// must wait for in-flight writes, or a writer could stream into an object
+// the caller of set_log_stream is about to destroy.
+std::ostream* g_stream = nullptr;
 std::mutex g_write_mutex;
 
 constexpr std::string_view level_name(LogLevel level) {
@@ -29,15 +32,15 @@ void set_log_level(LogLevel level) {
 }
 
 void set_log_stream(std::ostream* stream) {
-  g_stream.store(stream, std::memory_order_relaxed);
+  std::scoped_lock lock(g_write_mutex);
+  g_stream = stream;
 }
 
 namespace detail {
 void log_write(LogLevel level, std::string_view component,
                const std::string& message) {
-  std::ostream* out = g_stream.load(std::memory_order_relaxed);
-  if (out == nullptr) out = &std::clog;
   std::scoped_lock lock(g_write_mutex);
+  std::ostream* out = g_stream == nullptr ? &std::clog : g_stream;
   (*out) << '[' << level_name(level) << "] " << component << ": " << message
          << '\n';
 }

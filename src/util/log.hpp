@@ -1,5 +1,13 @@
 // Minimal leveled logger. Grid components log through this so that tests can
 // silence output and examples can raise verbosity.
+//
+// Thread safety: all entry points are safe to call concurrently (likelihood
+// evaluation runs under a thread pool). The level is an atomic read on the
+// fast path, so set_log_level may race a concurrent log() only in the benign
+// sense that an in-flight message is judged against the old threshold.
+// set_log_stream synchronizes with in-flight writes: once it returns, no
+// logger thread still references the previous stream, so the caller may
+// destroy it. Messages are written whole under one lock and never interleave.
 #pragma once
 
 #include <iostream>
@@ -17,6 +25,7 @@ LogLevel log_level();
 void set_log_level(LogLevel level);
 
 /// Redirect log output (defaults to std::clog). Pass nullptr to restore.
+/// Blocks until in-flight writes to the previous stream have finished.
 void set_log_stream(std::ostream* stream);
 
 namespace detail {
