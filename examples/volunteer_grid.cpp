@@ -4,8 +4,14 @@
 // workunit lifecycle statistics a project operator watches.
 //
 // Flags: --metrics-out=FILE writes a metrics snapshot (.csv or .json),
-//        --trace-out=FILE writes a Chrome trace_event JSON for Perfetto.
+//        --trace-out=FILE writes a Chrome trace_event JSON for Perfetto,
+//        --pool-threads=N additionally runs the pooled-likelihood
+//        determinism self-test on an N-thread pool (N=0: serial engine).
+//        The self-test's log-likelihood and phylo.* counters must be
+//        bit-identical for every N — scripts/determinism.sh asserts this
+//        at the binary level (ctest test determinism_e2e).
 // See docs/OBSERVABILITY.md for the metric catalog and trace schema.
+#include <algorithm>
 #include <iostream>
 #include <string>
 
@@ -13,14 +19,19 @@
 #include "core/deadline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "phylo/likelihood.hpp"
+#include "phylo/simulate.hpp"
 #include "sim/simulation.hpp"
 #include "util/fmt.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 int main(int argc, char** argv) {
   using namespace lattice;
 
   std::string metrics_out;
   std::string trace_out;
+  int pool_threads = -1;  // -1: self-test off
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -31,9 +42,11 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(12);
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg.rfind("--pool-threads=", 0) == 0) {
+      pool_threads = std::stoi(arg.substr(15));
     } else {
       std::cerr << "usage: volunteer_grid [--metrics-out=FILE] "
-                   "[--trace-out=FILE]\n";
+                   "[--trace-out=FILE] [--pool-threads=N]\n";
       return 2;
     }
   }
@@ -120,6 +133,45 @@ int main(int argc, char** argv) {
       static_cast<double>(results_issued) /
           static_cast<double>(server.workunits().size()),
       config.min_quorum);
+
+  // Pooled-likelihood determinism self-test: the same seeded dataset is
+  // evaluated on a pool of the requested size, with a few incremental
+  // branch-length perturbations to drive the dirty-partial path. Every
+  // number printed here — and every phylo.* counter folded into the
+  // metrics snapshot below — is independent of the pool size by
+  // construction (DESIGN.md §7: tiles are disjoint, the reduction is
+  // serial), which scripts/determinism.sh verifies end to end.
+  if (pool_threads >= 0) {
+    util::Rng rng(20260806);
+    phylo::ModelSpec spec;
+    spec.rate_het = phylo::RateHet::kGamma;
+    spec.n_rate_categories = 4;
+    const auto dataset = phylo::simulate_dataset(12, 240, spec, rng, 0.1);
+    const phylo::PatternizedAlignment patterns(dataset.alignment);
+    const phylo::SubstitutionModel model(spec);
+    phylo::LikelihoodEngine engine(patterns);
+    engine.enable_matrix_cache();
+    if (observe) engine.set_observability(metrics, bound_tracer);
+    util::ThreadPool pool(
+        pool_threads > 0 ? static_cast<std::size_t>(pool_threads) : 1);
+    if (pool_threads > 0) engine.set_thread_pool(&pool);
+
+    phylo::Tree tree = dataset.tree;
+    double sum = engine.log_likelihood(tree, model);
+    for (int step = 0; step < 8; ++step) {
+      const int node = static_cast<int>(
+          (static_cast<std::size_t>(step) * 5) % tree.n_nodes());
+      if (node != tree.root()) {
+        tree.set_branch_length(
+            node, std::clamp(tree.branch_length(node) * 1.1, 1e-8, 10.0));
+      }
+      sum += engine.log_likelihood(tree, model);
+    }
+    std::cout << util::format(
+        "likelihood self-test: sum logL = {:.10f} ({} evaluations, {} "
+        "partials recomputed)\n",
+        sum, engine.evaluations(), engine.partials_recomputed());
+  }
 
   if (!metrics_out.empty()) {
     if (!obs::write_metrics(metrics, metrics_out)) {

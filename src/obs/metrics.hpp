@@ -21,11 +21,18 @@
 //    scripts/check_docs.sh lint cross-checks every registered name against
 //    the catalog in docs/OBSERVABILITY.md.
 //
-// Not thread-safe: the registry is written from simulation code, which is
-// single-threaded by design. (Likelihood-engine counters are incremented
-// from the calling thread only, never from pooled workers.)
+// Concurrency contract: registration (counter()/gauge()/histogram()) and
+// Histogram::observe are single-threaded — they happen on the simulation
+// thread, before any worker threads touch the instruments. Counter::inc
+// and Gauge::set/add are thread-safe (relaxed atomics): concurrent
+// engines — island-GA searches running on pool workers, each publishing
+// through its own LikelihoodEngine — may share one instrument, and in the
+// null-object default they all share the *same* sink instrument, so the
+// sinks must tolerate concurrent writes. Relaxed ordering is enough: the
+// values are independent event tallies read only after join/snapshot.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -41,25 +48,31 @@ enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 
 std::string_view metric_kind_name(MetricKind kind);
 
-/// Monotone event count.
+/// Monotone event count. inc() is thread-safe (see the concurrency
+/// contract above); relaxed because tallies carry no ordering.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Point-in-time level (queue depth, online hosts).
+/// Point-in-time level (queue depth, online hosts). set()/add() are
+/// thread-safe; add() is a C++20 atomic<double> fetch_add.
 class Gauge {
  public:
-  void set(double value) { value_ = value; }
-  void add(double delta) { value_ += delta; }
-  double value() const { return value_; }
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket histogram. An observation x lands in the first bucket i

@@ -214,6 +214,7 @@ const double* LikelihoodEngine::transition(const SubstitutionModel& model,
     // other entry so insertion always makes progress — either way the hot
     // working set is never discarded wholesale.
     std::size_t erased = 0;
+    // lattice-lint: allow(unordered-iteration) — erase set is decided per entry by its referenced bit alone; the surviving set is identical under any visit order
     for (auto walk = matrix_cache_.begin(); walk != matrix_cache_.end();) {
       if (walk->second.referenced) {
         walk->second.referenced = false;
@@ -224,13 +225,29 @@ const double* LikelihoodEngine::transition(const SubstitutionModel& model,
       }
     }
     if (erased == 0) {
+      // All-hot fallback. "Every other entry" must not mean hash order —
+      // that would make the survivor set (and the hit/miss counters the
+      // obs layer exports) differ across standard libraries. Sort the keys
+      // and alternate in that platform-independent order instead.
+      std::vector<MatrixKey> keys;
+      keys.reserve(matrix_cache_.size());
+      // lattice-lint: allow(unordered-iteration) — key harvest only; keys are sorted below before any order-sensitive use
+      for (const auto& kv : matrix_cache_) keys.push_back(kv.first);
+      std::sort(keys.begin(), keys.end(), [](const MatrixKey& a,
+                                             const MatrixKey& b) {
+        if (a.model_serial != b.model_serial) {
+          return a.model_serial < b.model_serial;
+        }
+        if (a.length_bits != b.length_bits) {
+          return a.length_bits < b.length_bits;
+        }
+        return a.rate_bits < b.rate_bits;
+      });
       bool drop = true;
-      for (auto walk = matrix_cache_.begin(); walk != matrix_cache_.end();) {
+      for (const MatrixKey& k : keys) {
         if (drop) {
-          walk = matrix_cache_.erase(walk);
+          matrix_cache_.erase(k);
           ++erased;
-        } else {
-          ++walk;
         }
         drop = !drop;
       }
@@ -373,10 +390,12 @@ double LikelihoodEngine::log_likelihood(const Tree& tree,
     publish_observability();
     return result;
   }
+  // lattice-lint: allow(wall-clock) — pure observation: opens the wall-clock likelihood span (pid 2 in the trace), never read back into results
   const double t0 = obs::Tracer::wall_now_us();
   const double result = evaluate(tree, model);
   obs_tracer_->complete_wall(obs_wall_track_, "log_likelihood",
                              "phylo.likelihood", t0,
+                             // lattice-lint: allow(wall-clock) — pure observation: closes the wall-clock likelihood span
                              obs::Tracer::wall_now_us(),
                              {{"dirty", std::to_string(dirty_nodes_.size())}});
   publish_observability();

@@ -166,6 +166,10 @@ class LikelihoodEngine {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::uint64_t cache_evictions_ = 0;
+  // Audited (ISSUE 3): lookups are by exact key; the two eviction sweeps in
+  // transition() are either order-insensitive (flag-driven) or run in
+  // sorted-key order, so hash order never reaches results or counters.
+  // lattice-lint: allow(unordered-member) — keyed lookups; eviction sweeps are order-insensitive or key-sorted (see transition())
   std::unordered_map<MatrixKey, MatrixEntry, MatrixKeyHash> matrix_cache_;
 
   // Cache identity: which (tree, model, shape) the stored partials belong

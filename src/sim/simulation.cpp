@@ -61,8 +61,10 @@ bool Simulation::step() {
     }
     obs_events_->inc();
     obs_pending_->set(static_cast<double>(pending_ids_.size()));
+    // lattice-lint: allow(wall-clock) — pure observation: feeds the sim.handler_wall_us histogram, never read back into simulation state
     const double t0 = obs::Tracer::wall_now_us();
     event.fn();
+    // lattice-lint: allow(wall-clock) — pure observation: closes the handler-wall-time measurement opened above
     obs_handler_us_->observe(obs::Tracer::wall_now_us() - t0);
     if (obs_tracer_ != nullptr && fired_ % kTraceSamplePeriod == 0) {
       obs_tracer_->counter(obs_track_, "sim.pending_events", now_,

@@ -97,7 +97,12 @@ class Simulation {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> pending_ids_;  // scheduled, not yet fired
+  // Scheduled-but-not-fired ids. Audited (ISSUE 3): this set is only ever
+  // probed — insert/erase/contains/size — and never iterated, so hash order
+  // cannot leak into event order; firing order is fixed entirely by the
+  // (when, seq) priority queue above.
+  // lattice-lint: allow(unordered-member) — membership queries only, never iterated; event order is owned by the priority queue
+  std::unordered_set<std::uint64_t> pending_ids_;
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;

@@ -15,13 +15,18 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::scoped_lock lock(mutex_);
     stopping_ = true;
   }
+  // Workers observe stopping_ under the mutex, finish draining the queue,
+  // and exit; every future handed out before shutdown resolves.
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {

@@ -3,6 +3,24 @@
 // forest and evaluating independent likelihood replicates. The simulation
 // kernel itself is single-threaded and deterministic; parallelism lives only
 // in these leaf computations.
+//
+// Thread safety and shutdown/enqueue contract (mirrors log.hpp):
+//
+//  * submit() and parallel_for() are safe to call concurrently from any
+//    thread, including from a task already running on a pool worker
+//    (parallel_for is reentrant; the caller drains the range itself).
+//  * Shutdown drains: the destructor stops intake first, then wakes every
+//    worker, and workers keep executing already-queued tasks until the
+//    queue is empty before exiting. A future obtained from submit() before
+//    the destructor started is therefore always eventually ready.
+//  * Enqueue-after-stop is a hard error: once the destructor has started,
+//    submit() throws std::runtime_error instead of accepting a task whose
+//    future could never resolve. Consequently submit() racing the
+//    destructor is a caller lifetime bug — the caller must ensure (as
+//    rf::Forest and LikelihoodEngine do, by joining parallel_for before
+//    releasing the pool) that no producer outlives the pool. The throw
+//    turns such a bug into a loud failure instead of a silent hang, and is
+//    asserted by test_util's EnqueueAfterStopThrows.
 #pragma once
 
 #include <condition_variable>
@@ -11,6 +29,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -22,12 +41,19 @@ class ThreadPool {
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
+  /// Stop intake, execute every already-queued task, and join the workers.
+  /// Idempotent when called again after returning; must not be called from
+  /// two threads at once or from a pool task. The destructor calls this.
+  void shutdown();
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; the future resolves with its result.
+  /// Enqueue a task; the future resolves with its result. Throws
+  /// std::runtime_error if the pool is shutting down (see the
+  /// shutdown/enqueue contract above).
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -36,6 +62,11 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       std::scoped_lock lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error(
+            "ThreadPool::submit after shutdown started: the task's future "
+            "could never become ready");
+      }
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();

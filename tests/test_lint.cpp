@@ -1,0 +1,284 @@
+// Tests for the lattice-lint rule engine: every rule must fire on a
+// synthetic snippet, respect the allow() suppression syntax, and report
+// stable `file:line rule-id` output. The engine itself is the tentpole of
+// ISSUE 3 — these tests are what let the *next* PR refactor the linter
+// without silently losing a rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lattice-lint/lint.hpp"
+
+namespace lattice::lint {
+namespace {
+
+Options deterministic() {
+  Options options;
+  options.deterministic = true;
+  return options;
+}
+
+std::vector<std::string> rules_fired(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool fired(const std::vector<Finding>& findings, std::string_view rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// --- wall-clock -----------------------------------------------------------
+
+TEST(LintWallClock, FiresOnSteadyClockInDeterministicCode) {
+  const auto findings = lint_source(
+      "src/sim/x.cpp",
+      "void f() { auto t = std::chrono::steady_clock::now(); }\n",
+      deterministic());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "wall-clock");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintWallClock, FiresOnCTimeAndWallNowUs) {
+  const std::string src =
+      "long a = time(nullptr);\n"
+      "double b = obs::Tracer::wall_now_us();\n";
+  const auto findings = lint_source("f.cpp", src, deterministic());
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_EQ(findings[1].rule, "wall-clock");
+}
+
+TEST(LintWallClock, DoesNotFireOnRuntimeIdentifiersOrNonDeterministicFiles) {
+  // "runtime(" embeds "time(" behind a word character; "localtime" is only
+  // matched as a whole call.
+  const std::string src =
+      "double x = job.reference_runtime();\n"
+      "double y = estimate_runtime(job);\n";
+  EXPECT_TRUE(lint_source("f.cpp", src, deterministic()).empty());
+  // Same clock read, but the file is not deterministic (e.g. src/obs).
+  Options obs;
+  obs.deterministic = false;
+  EXPECT_TRUE(lint_source("src/obs/trace.cpp",
+                          "auto t = std::chrono::steady_clock::now();\n", obs)
+                  .empty());
+}
+
+TEST(LintWallClock, IgnoresCommentsAndStrings) {
+  const std::string src =
+      "// std::chrono::steady_clock::now() in prose\n"
+      "const char* s = \"time(\";\n"
+      "/* rand() inside a block comment */\n";
+  EXPECT_TRUE(lint_source("f.cpp", src, deterministic()).empty());
+}
+
+// --- ambient-rng ----------------------------------------------------------
+
+TEST(LintAmbientRng, FiresOnRandSrandRandomDevice) {
+  const std::string src =
+      "int a = rand();\n"
+      "srand(42);\n"
+      "std::random_device rd;\n";
+  const auto findings = lint_source("f.cpp", src, deterministic());
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "ambient-rng");
+}
+
+TEST(LintAmbientRng, DoesNotFireOnSeededRngOrSimilarNames) {
+  const std::string src =
+      "util::Rng rng(20260806);\n"
+      "double u = rng.uniform();\n"
+      "auto s = operand(x);\n";  // "rand(" behind a word char
+  EXPECT_TRUE(lint_source("f.cpp", src, deterministic()).empty());
+}
+
+// --- unordered-member / unordered-iteration -------------------------------
+
+TEST(LintUnordered, MemberDeclarationNeedsSuppression) {
+  const auto findings = lint_source(
+      "src/sim/x.hpp", "std::unordered_set<std::uint64_t> ids_;\n",
+      deterministic());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-member");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintUnordered, IncludeLineIsExemptFromMemberRule) {
+  EXPECT_TRUE(lint_source("f.hpp", "#include <unordered_set>\n",
+                          deterministic())
+                  .empty());
+}
+
+TEST(LintUnordered, RangeForOverUnorderedVariableFires) {
+  const std::string src =
+      "std::unordered_map<int, int> cache_;  "
+      "// lattice-lint: allow(unordered-member) — lookup only\n"
+      "void f() {\n"
+      "  for (const auto& kv : cache_) { use(kv); }\n"
+      "}\n";
+  const auto findings = lint_source("f.cpp", src, deterministic());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iteration");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintUnordered, IteratorWalkAndAliasDeclarationsFire) {
+  const std::string src =
+      "using Cache = std::unordered_map<int, int>;  "
+      "// lattice-lint: allow(unordered-member) — alias for lookups\n"
+      "Cache cache_;\n"
+      "void f() {\n"
+      "  for (auto it = cache_.begin(); it != cache_.end();) { ++it; }\n"
+      "}\n";
+  const auto findings = lint_source("f.cpp", src, deterministic());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iteration");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintUnordered, IterationOverOrderedContainersIsFine) {
+  const std::string src =
+      "std::map<int, int> sorted_;\n"
+      "void f() {\n"
+      "  for (const auto& kv : sorted_) { use(kv); }\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("f.cpp", src, deterministic()).empty());
+}
+
+// --- metric-name ----------------------------------------------------------
+
+TEST(LintMetricName, AcceptsCatalogGrammarEverywhere) {
+  Options any;  // metric-name applies outside deterministic dirs too
+  const std::string src =
+      "auto& c = m.counter(\"boinc.results_reissued\", \"results\", "
+      "\"reissues\");\n"
+      "int t = tracer.track(\"sim.kernel\");\n"
+      "tracer.async_begin(\"attempt\", \"grid.attempt\", id, now);\n";
+  EXPECT_TRUE(lint_source("f.cpp", src, any).empty());
+}
+
+TEST(LintMetricName, RejectsOffGrammarNames) {
+  Options any;
+  const auto findings = lint_source(
+      "f.cpp",
+      "auto& c = m.counter(\"BadName\", \"u\", \"h\");\n"
+      "auto& g = m.gauge(\"nodots\", \"u\", \"h\");\n"
+      "auto& h = m.histogram(\"grid.Queue_Wait\", {1.0}, \"s\", \"h\");\n",
+      any);
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "metric-name");
+}
+
+TEST(LintMetricName, ChecksTraceCategoryNotSpanName) {
+  Options any;
+  // Span name "attempt" is legal (no grammar requirement); the *category*
+  // carries the subsystem grammar.
+  const auto findings = lint_source(
+      "f.cpp", "tracer.async_end(\"attempt\", \"NotAGoodCategory\", 1, t);\n",
+      any);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "metric-name");
+}
+
+TEST(LintMetricName, LookupHelpersAreNotRegistrationSites) {
+  Options any;
+  const std::string src =
+      "const auto* c = m.find_counter(\"whatever name\");\n"
+      "auto total = m.counter_total(\"Also Ignored\");\n";
+  EXPECT_TRUE(lint_source("f.cpp", src, any).empty());
+}
+
+// --- suppressions ---------------------------------------------------------
+
+TEST(LintSuppression, SameLineAllowSilencesTheRule) {
+  const std::string src =
+      "auto t = std::chrono::steady_clock::now();  "
+      "// lattice-lint: allow(wall-clock) — benchmark helper, measured "
+      "wall time is the payload\n";
+  EXPECT_TRUE(lint_source("f.cpp", src, deterministic()).empty());
+}
+
+TEST(LintSuppression, PrecedingCommentLineCoversTheNextLine) {
+  const std::string src =
+      "// lattice-lint: allow(ambient-rng) — documented fallback seed\n"
+      "std::random_device rd;\n";
+  EXPECT_TRUE(lint_source("f.cpp", src, deterministic()).empty());
+}
+
+TEST(LintSuppression, DoesNotLeakToOtherLinesOrRules) {
+  const std::string src =
+      "// lattice-lint: allow(wall-clock) — reason\n"
+      "std::random_device rd;\n";  // different rule: still fires
+  const auto findings = lint_source("f.cpp", src, deterministic());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "ambient-rng");
+}
+
+TEST(LintSuppression, MissingReasonIsItselfAFinding) {
+  const std::string src =
+      "int a = rand();  // lattice-lint: allow(ambient-rng)\n";
+  const auto findings = lint_source("f.cpp", src, deterministic());
+  // Malformed suppression does not silence the rule, and is reported.
+  EXPECT_TRUE(fired(findings, "suppression-syntax"));
+  EXPECT_TRUE(fired(findings, "ambient-rng"));
+}
+
+TEST(LintSuppression, UnknownRuleIdIsReported) {
+  const std::string src =
+      "int x = 0;  // lattice-lint: allow(no-such-rule) — because\n";
+  const auto findings = lint_source("f.cpp", src, deterministic());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "suppression-unknown-rule");
+}
+
+TEST(LintSuppression, CollectReturnsWellFormedInventory) {
+  const std::string src =
+      "int a = rand();  // lattice-lint: allow(ambient-rng) — golden seed\n"
+      "int b = rand();  // lattice-lint: allow(ambient-rng)\n";  // malformed
+  const auto inventory = collect_suppressions("src/sim/x.cpp", src);
+  ASSERT_EQ(inventory.size(), 1u);
+  EXPECT_EQ(inventory[0].file, "src/sim/x.cpp");
+  EXPECT_EQ(inventory[0].line, 1);
+  EXPECT_EQ(inventory[0].rule, "ambient-rng");
+  EXPECT_EQ(inventory[0].reason, "golden seed");
+}
+
+// --- report format --------------------------------------------------------
+
+TEST(LintReport, StableFileLineRuleFormat) {
+  const auto findings = lint_source(
+      "src/sim/simulation.cpp", "long t = time(nullptr);\n", deterministic());
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string line = format(findings[0]);
+  EXPECT_EQ(line.rfind("src/sim/simulation.cpp:1 wall-clock ", 0), 0u)
+      << line;
+}
+
+TEST(LintReport, FindingsSortedByLineThenRule) {
+  const std::string src =
+      "std::random_device rd;\n"
+      "long t = time(nullptr);\n";
+  const auto findings = lint_source("f.cpp", src, deterministic());
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(rules_fired(findings),
+            (std::vector<std::string>{"ambient-rng", "wall-clock"}));
+  EXPECT_LT(findings[0].line, findings[1].line);
+}
+
+TEST(LintReport, RuleIdsAreStable) {
+  const auto& ids = rule_ids();
+  for (const char* expected :
+       {"wall-clock", "ambient-rng", "unordered-member",
+        "unordered-iteration", "metric-name", "header-self-contained"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
+        << expected;
+  }
+}
+
+}  // namespace
+}  // namespace lattice::lint

@@ -306,6 +306,28 @@ TEST(ThreadPool, ParallelForZeroIsNoop) {
   EXPECT_FALSE(touched);
 }
 
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  // The shutdown contract (threadpool.hpp): every future handed out before
+  // shutdown resolves, because workers drain the queue before exiting.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&ran] { ran++; }));
+  }
+  pool.shutdown();
+  for (auto& f : futures) f.get();  // all ready, none abandoned
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, EnqueueAfterStopThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+  // Idempotent second shutdown (the destructor will be the third).
+  pool.shutdown();
+}
+
 TEST(Ini, ParseSectionsAndValues) {
   const auto ini = IniFile::parse(
       "# comment\n[general]\nkey = value\nnum = 42\n\n[model]\nrate = 2.5\n"

@@ -1,0 +1,77 @@
+// lattice-lint — project-invariant static checks for the lattice tree.
+//
+// The simulator and likelihood engine promise bit-deterministic results
+// (DESIGN.md §9); these rules make that promise *statically* enforceable so
+// a refactor cannot quietly reintroduce wall-clock reads, ambient RNG, or
+// hash-order-dependent iteration into a deterministic path. The engine is a
+// line-oriented lexer (comments and string literals are recognized, not a
+// full parser), which is exactly enough for the invariants below because
+// the project style keeps the relevant constructs on one line and metric
+// names as literal strings at the call site (see src/obs/metrics.hpp).
+//
+// Rules (ids are stable; docs/LINTING.md is the catalog):
+//   wall-clock           no system/steady/high_resolution clock, time(),
+//                        clock(), gettimeofday, or Tracer::wall_now_us in
+//                        deterministic code
+//   ambient-rng          no rand()/srand()/std::random_device; use the
+//                        seeded util::Rng
+//   unordered-member     every unordered_map/unordered_set mention in a
+//                        deterministic file must carry an audit suppression
+//   unordered-iteration  no range-for or begin()/end() iteration over a
+//                        variable declared as an unordered container
+//   metric-name          metric/trace name literals follow the cataloged
+//                        `subsystem.noun_verb` grammar
+//   header-self-contained (driver-level) every .hpp compiles standalone
+//   suppression-syntax   allow() comment without a reason string
+//   suppression-unknown-rule  allow() naming a rule id that does not exist
+//   suppression-undocumented  suppression missing from the docs inventory
+//
+// Suppression syntax, same line or the immediately preceding comment line:
+//   // lattice-lint: allow(<rule-id>) — <reason>
+// The reason is mandatory; `--docs` additionally cross-checks every
+// suppression against the inventory table in docs/LINTING.md.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lattice::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Suppression {
+  std::string file;
+  int line = 0;   // line the suppression applies to
+  std::string rule;
+  std::string reason;
+};
+
+struct Options {
+  /// Deterministic file: wall-clock, ambient-rng and the unordered rules
+  /// are active. Metric-name is checked everywhere.
+  bool deterministic = false;
+};
+
+/// All rule ids the engine knows (suppressions must name one of these).
+const std::vector<std::string>& rule_ids();
+
+/// Lint one source file already loaded into `text`. `path` is used only
+/// for reporting. Findings come back sorted by (line, rule).
+std::vector<Finding> lint_source(std::string_view path, std::string_view text,
+                                 const Options& options);
+
+/// Collect the (well-formed) suppressions present in `text`, for the
+/// docs-inventory cross-check and `--list-suppressions`.
+std::vector<Suppression> collect_suppressions(std::string_view path,
+                                              std::string_view text);
+
+/// Stable report line: `<file>:<line> <rule-id> <message>`.
+std::string format(const Finding& finding);
+
+}  // namespace lattice::lint

@@ -1,0 +1,272 @@
+// lattice-lint CLI — walks src/ and enforces the project's determinism
+// invariants (see lint.hpp for the rule catalog and docs/LINTING.md for the
+// rationale). Exit status: 0 clean, 1 findings, 2 usage/I/O error.
+//
+// Usage:
+//   lattice-lint [--src DIR] [--headers] [--docs FILE]
+//                [--list-suppressions] [--compiler CXX] [files...]
+//
+//   --src DIR            source root to walk (default: src)
+//   --headers            also check every .hpp compiles standalone via a
+//                        generated TU (rule header-self-contained)
+//   --docs FILE          cross-check each suppression against the inventory
+//                        table in FILE (rule suppression-undocumented)
+//   --list-suppressions  print `file:line rule — reason` for every
+//                        suppression and exit 0
+//   --compiler CXX       compiler for --headers (default: $CXX, else c++)
+//   files...             lint only these files (paths still classified by
+//                        their directory under --src)
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lattice-lint/lint.hpp"
+
+namespace fs = std::filesystem;
+using lattice::lint::Finding;
+using lattice::lint::Options;
+using lattice::lint::Suppression;
+
+namespace {
+
+// Directories under src/ whose code must be bit-deterministic. Wall time
+// and ambient RNG are allowed only in obs/ (pure observation) and util/
+// (the seeded Rng itself, the thread pool's condition variables).
+const std::set<std::string> kDeterministicDirs = {"sim", "core", "grid",
+                                                 "boinc", "phylo"};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool is_source(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+// First path component below the source root ("src/sim/x.cpp" -> "sim").
+std::string top_dir(const fs::path& root, const fs::path& path) {
+  const fs::path rel = fs::relative(path, root);
+  return rel.begin() != rel.end() ? rel.begin()->string() : std::string();
+}
+
+// Portable-ish shell quoting for the header-check system() command.
+std::string shq(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+struct HeaderCheck {
+  fs::path header;
+  bool ok = false;
+  std::string diagnostics;
+};
+
+// header-self-contained: every public header must compile on its own, so a
+// consumer never depends on include-order luck. Each header gets a
+// generated TU `#include "rel/path.hpp"` compiled with -fsyntax-only.
+std::vector<HeaderCheck> check_headers(const fs::path& src_root,
+                                       const std::vector<fs::path>& headers,
+                                       const std::string& compiler) {
+  std::vector<HeaderCheck> checks(headers.size());
+  const fs::path tmp_root =
+      fs::temp_directory_path() / "lattice-lint-headers";
+  std::error_code ec;
+  fs::create_directories(tmp_root, ec);
+  std::size_t n_threads = std::thread::hardware_concurrency();
+  if (n_threads == 0) n_threads = 1;
+  n_threads = std::min<std::size_t>(n_threads, headers.size());
+  std::vector<std::thread> pool;
+  std::atomic<std::size_t> next{0};
+  auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= headers.size()) return;
+      const fs::path& header = headers[i];
+      const std::string rel =
+          fs::relative(header, src_root).generic_string();
+      std::string stem = rel;
+      for (char& c : stem) {
+        if (c == '/' || c == '\\') c = '_';
+      }
+      const fs::path tu = tmp_root / (stem + ".tu.cpp");
+      const fs::path err = tmp_root / (stem + ".err");
+      {
+        std::ofstream out(tu);
+        out << "#include \"" << rel << "\"\n";
+        out << "int lattice_lint_header_anchor_" << i << ";\n";
+      }
+      const std::string cmd = shq(compiler) +
+                              " -std=c++20 -fsyntax-only -I" +
+                              shq(src_root.string()) + " " +
+                              shq(tu.string()) + " 2>" + shq(err.string());
+      const int rc = std::system(cmd.c_str());
+      checks[i].header = header;
+      checks[i].ok = rc == 0;
+      if (rc != 0) checks[i].diagnostics = read_file(err);
+    }
+  };
+  for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(work);
+  for (auto& t : pool) t.join();
+  return checks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path src_root = "src";
+  bool headers = false;
+  bool list_suppressions = false;
+  std::string docs;
+  std::string compiler;
+  if (const char* env = std::getenv("CXX")) compiler = env;
+  if (compiler.empty()) compiler = "c++";
+  std::vector<fs::path> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--src" && i + 1 < argc) {
+      src_root = argv[++i];
+    } else if (arg == "--headers") {
+      headers = true;
+    } else if (arg == "--docs" && i + 1 < argc) {
+      docs = argv[++i];
+    } else if (arg == "--list-suppressions") {
+      list_suppressions = true;
+    } else if (arg == "--compiler" && i + 1 < argc) {
+      compiler = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "lattice-lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      explicit_files.emplace_back(arg);
+    }
+  }
+
+  if (!fs::is_directory(src_root)) {
+    std::cerr << "lattice-lint: source root " << src_root
+              << " is not a directory\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  if (!explicit_files.empty()) {
+    files = explicit_files;
+  } else {
+    for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+      if (entry.is_regular_file() && is_source(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  std::vector<Suppression> suppressions;
+  std::vector<fs::path> header_files;
+  for (const fs::path& file : files) {
+    const std::string text = read_file(file);
+    Options options;
+    options.deterministic =
+        kDeterministicDirs.count(top_dir(src_root, file)) > 0;
+    const std::string display = file.generic_string();
+    for (Finding f : lattice::lint::lint_source(display, text, options)) {
+      findings.push_back(std::move(f));
+    }
+    for (Suppression s :
+         lattice::lint::collect_suppressions(display, text)) {
+      suppressions.push_back(std::move(s));
+    }
+    if (file.extension() == ".hpp") header_files.push_back(file);
+  }
+
+  if (list_suppressions) {
+    for (const Suppression& s : suppressions) {
+      std::cout << s.file << ':' << s.line << ' ' << s.rule << " — "
+                << s.reason << "\n";
+    }
+    return 0;
+  }
+
+  // Docs inventory cross-check: every suppression must be listed (file and
+  // rule id on one line) in the docs inventory, so the audit trail in
+  // docs/LINTING.md can never silently lag the tree.
+  if (!docs.empty()) {
+    const std::string doc_text = read_file(docs);
+    if (doc_text.empty()) {
+      std::cerr << "lattice-lint: cannot read docs inventory " << docs
+                << "\n";
+      return 2;
+    }
+    std::istringstream lines(doc_text);
+    std::vector<std::string> doc_lines;
+    for (std::string line; std::getline(lines, line);) {
+      doc_lines.push_back(line);
+    }
+    for (const Suppression& s : suppressions) {
+      bool listed = false;
+      for (const std::string& line : doc_lines) {
+        if (line.find(s.file) != std::string::npos &&
+            line.find(s.rule) != std::string::npos) {
+          listed = true;
+          break;
+        }
+      }
+      if (!listed) {
+        findings.push_back(
+            Finding{s.file, s.line, "suppression-undocumented",
+                    "allow(" + s.rule +
+                        ") is not listed in the suppression inventory in " +
+                        docs});
+      }
+    }
+  }
+
+  if (headers) {
+    for (const HeaderCheck& check :
+         check_headers(src_root, header_files, compiler)) {
+      if (!check.ok) {
+        findings.push_back(Finding{
+            check.header.generic_string(), 1, "header-self-contained",
+            "header does not compile standalone (generated TU failed)"});
+        std::cerr << check.diagnostics;
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const Finding& f : findings) {
+    std::cout << lattice::lint::format(f) << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "lattice-lint: " << files.size() << " files clean ("
+              << suppressions.size() << " audited suppressions)\n";
+    return 0;
+  }
+  std::cout << "lattice-lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
