@@ -1,0 +1,69 @@
+// Feeder queue — the unsent-result dispatch structure, modeled on BOINC's
+// shared-memory feeder: the feeder daemon keeps a bounded cache of unsent
+// results and the scheduler RPC scans that cache in order, skipping
+// results the requesting host may not take (one-result-per-host rule) and
+// dropping entries whose workunit has meanwhile been decided.
+//
+// Replaces the seed's mid-deque erase pattern
+// (`unsent_.erase(unsent_.begin() + scan)`), which made every stale-entry
+// drop O(queue) and dispatch under churn O(queue²). Here a scan pops from
+// the front (O(1)), stale entries are dropped on encounter, and the few
+// skipped-but-still-sendable entries are restored to the front in their
+// original order — so the scan sequence any host observes is identical to
+// the seed implementation's, at O(scanned) instead of O(scanned × queue).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace lattice::boinc {
+
+class FeederQueue {
+ public:
+  /// Scan verdict for one queue entry.
+  enum class Probe : std::uint8_t {
+    kTake,  // dispatch this result; scan ends
+    kSkip,  // ineligible for this host only; keep queued in order
+    kDrop,  // stale (workunit decided); remove permanently
+  };
+
+  void enqueue(std::uint64_t result_id) { queue_.push_back(result_id); }
+
+  /// Entries currently queued, including not-yet-dropped stale entries
+  /// (matches what the seed's unsent_ size reported to MDS).
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  /// Scan in FIFO order, calling probe(result_id) per entry until a
+  /// kTake or the queue is exhausted. Returns true if an entry was taken.
+  /// Skipped entries keep their queue positions.
+  template <typename ProbeFn>
+  bool scan(ProbeFn&& probe) {
+    bool taken = false;
+    skipped_.clear();
+    while (!queue_.empty()) {
+      const std::uint64_t result_id = queue_.front();
+      queue_.pop_front();
+      const Probe verdict = probe(result_id);
+      if (verdict == Probe::kDrop) continue;
+      if (verdict == Probe::kSkip) {
+        skipped_.push_back(result_id);
+        continue;
+      }
+      taken = true;
+      break;
+    }
+    // Restore skipped entries to the front in their original order.
+    for (auto it = skipped_.rbegin(); it != skipped_.rend(); ++it) {
+      queue_.push_front(*it);
+    }
+    return taken;
+  }
+
+ private:
+  std::deque<std::uint64_t> queue_;
+  std::vector<std::uint64_t> skipped_;  // scratch, reused across scans
+};
+
+}  // namespace lattice::boinc

@@ -1,0 +1,82 @@
+// Decision-identity property tests for the scheduler scalability pass
+// (ISSUE 4): the indexed structures must change complexity, never
+// decisions.
+//
+//   FeederQueue — FIFO take/skip/drop semantics matching the seed's
+//   mid-deque scan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "boinc/feeder.hpp"
+
+namespace lattice {
+namespace {
+
+// ---------------------------------------------------------------------
+// FeederQueue semantics
+// ---------------------------------------------------------------------
+
+TEST(FeederQueue, TakesInFifoOrder) {
+  boinc::FeederQueue queue;
+  queue.enqueue(1);
+  queue.enqueue(2);
+  queue.enqueue(3);
+  std::uint64_t taken = 0;
+  EXPECT_TRUE(queue.scan([&](std::uint64_t id) {
+    taken = id;
+    return boinc::FeederQueue::Probe::kTake;
+  }));
+  EXPECT_EQ(taken, 1u);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(FeederQueue, SkippedEntriesKeepTheirPositions) {
+  boinc::FeederQueue queue;
+  for (std::uint64_t id = 1; id <= 5; ++id) queue.enqueue(id);
+  // Skip 1 and 2, take 3: the queue must read 1, 2, 4, 5 afterwards.
+  EXPECT_TRUE(queue.scan([](std::uint64_t id) {
+    return id < 3 ? boinc::FeederQueue::Probe::kSkip
+                  : boinc::FeederQueue::Probe::kTake;
+  }));
+  std::vector<std::uint64_t> remaining;
+  while (!queue.empty()) {
+    queue.scan([&](std::uint64_t id) {
+      remaining.push_back(id);
+      return boinc::FeederQueue::Probe::kDrop;
+    });
+  }
+  EXPECT_EQ(remaining, (std::vector<std::uint64_t>{1, 2, 4, 5}));
+}
+
+TEST(FeederQueue, DropRemovesAndScanReportsNoTake) {
+  boinc::FeederQueue queue;
+  queue.enqueue(7);
+  queue.enqueue(8);
+  EXPECT_FALSE(queue.scan([](std::uint64_t) {
+    return boinc::FeederQueue::Probe::kDrop;
+  }));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.scan([](std::uint64_t) {
+    return boinc::FeederQueue::Probe::kTake;
+  }));
+}
+
+TEST(FeederQueue, AllSkippedLeavesQueueIntact) {
+  boinc::FeederQueue queue;
+  for (std::uint64_t id = 1; id <= 4; ++id) queue.enqueue(id);
+  EXPECT_FALSE(queue.scan([](std::uint64_t) {
+    return boinc::FeederQueue::Probe::kSkip;
+  }));
+  EXPECT_EQ(queue.size(), 4u);
+  std::uint64_t front = 0;
+  queue.scan([&](std::uint64_t id) {
+    front = id;
+    return boinc::FeederQueue::Probe::kTake;
+  });
+  EXPECT_EQ(front, 1u);  // original order preserved
+}
+
+}  // namespace
+}  // namespace lattice
