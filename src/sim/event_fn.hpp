@@ -1,0 +1,120 @@
+// Small-buffer-optimized, move-only event closure for the simulation
+// kernel. The discrete-event loop schedules hundreds of thousands of
+// closures per run; almost all of them capture a `this` pointer and at
+// most a couple of scalars, so a `std::function` (whose libstdc++ inline
+// budget is 16 bytes) heap-allocates for many of them and drags an
+// allocator round trip into every schedule/fire pair. EventFn inlines
+// captures up to kInlineBytes and only boxes genuinely large closures.
+//
+// Move-only on purpose: event closures are consumed exactly once by the
+// kernel, so copyability would only force captured state to be copyable.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lattice::sim {
+
+class EventFn {
+ public:
+  /// Inline capture budget. Sized for the common kernel closures (a
+  /// `this` pointer plus a handful of ids/doubles) while keeping the
+  /// event slot pool compact.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kBoxedOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  /// Destroy the held closure (and release captured state) immediately.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->relocate(buffer_, nullptr);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buffer_); }
+
+  /// Whether a closure of type F would be stored inline (no allocation).
+  template <typename F>
+  static constexpr bool fits_inline() {
+    using Fn = std::remove_cvref_t<F>;
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct the payload from `from` into `to` and destroy the
+    /// `from` payload; with `to == nullptr`, destroy only.
+    void (*relocate)(void* from, void* to) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* storage) { (*std::launder(static_cast<Fn*>(storage)))(); },
+      [](void* from, void* to) noexcept {
+        Fn* fn = std::launder(static_cast<Fn*>(from));
+        if (to != nullptr) ::new (to) Fn(std::move(*fn));
+        fn->~Fn();
+      }};
+
+  template <typename Fn>
+  static constexpr Ops kBoxedOps{
+      [](void* storage) { (**std::launder(static_cast<Fn**>(storage)))(); },
+      [](void* from, void* to) noexcept {
+        Fn** box = std::launder(static_cast<Fn**>(from));
+        if (to != nullptr) {
+          ::new (to) Fn*(*box);  // pointer relocation; no payload move
+        } else {
+          delete *box;
+        }
+      }};
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buffer_, buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buffer_[kInlineBytes];
+};
+
+}  // namespace lattice::sim

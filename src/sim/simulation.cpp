@@ -28,48 +28,193 @@ void Simulation::set_observability(obs::MetricsRegistry* metrics,
   obs_track_ = obs_tracer_ ? obs_tracer_->track("sim.kernel") : 0;
 }
 
-EventHandle Simulation::at(SimTime when, std::function<void()> fn) {
-  assert(fn);
-  when = std::max(when, now_);
-  const std::uint64_t id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
-  pending_ids_.insert(id);
-  return EventHandle{id};
+std::uint32_t Simulation::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-EventHandle Simulation::after(SimTime delay, std::function<void()> fn) {
+void Simulation::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();  // eager: captured state is released right here
+  if (++s.generation == 0) s.generation = 1;  // 0 is the invalid-handle mark
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulation::sift_up(std::size_t pos) {
+  const Event moving = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!earlier(moving, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = moving;
+}
+
+void Simulation::sift_down(std::size_t pos) {
+  const std::size_t size = heap_.size();
+  const Event moving = heap_[pos];
+  for (;;) {
+    const std::size_t first = pos * 4 + 1;
+    if (first >= size) break;
+    std::size_t best;
+    if (first + 4 <= size) {
+      // Interior node: tournament over the 4 children (two independent
+      // pairs, then the winners) — same 3 comparisons as a linear scan but
+      // without a loop-carried dependency.
+      const std::size_t a =
+          earlier(heap_[first + 1], heap_[first]) ? first + 1 : first;
+      const std::size_t b =
+          earlier(heap_[first + 3], heap_[first + 2]) ? first + 3 : first + 2;
+      best = earlier(heap_[b], heap_[a]) ? b : a;
+    } else {
+      best = first;
+      for (std::size_t child = first + 1; child < size; ++child) {
+        if (earlier(heap_[child], heap_[best])) best = child;
+      }
+    }
+    if (!earlier(heap_[best], moving)) break;
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = moving;
+}
+
+void Simulation::heapify() {
+  if (heap_.size() < 2) return;
+  for (std::size_t pos = (heap_.size() - 2) / 4 + 1; pos-- > 0;) {
+    sift_down(pos);
+  }
+}
+
+void Simulation::pop_front() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+EventHandle Simulation::at(SimTime when, EventFn fn) {
+  assert(fn);
+  when = std::max(when, now_);
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].fn = std::move(fn);
+  const std::uint32_t generation = slots_[slot].generation;
+  const Event event{when, next_seq_++, slot, generation};
+  if (when >= far_threshold_) {
+    // Distant event (a volunteer host's next power cycle, a departure
+    // weeks out): parked unsorted, O(1), keeping the hot heap small.
+    far_.push_back(event);
+  } else {
+    heap_.push_back(event);
+    sift_up(heap_.size() - 1);
+  }
+  ++live_;
+  if (live_ > peak_pending_) peak_pending_ = live_;
+  return EventHandle{(static_cast<std::uint64_t>(slot) << 32) | generation};
+}
+
+bool Simulation::refill() {
+  // The near heap drained: advance the parking threshold past the earliest
+  // live far event and admit everything inside the new window. Correctness:
+  // refill only runs with heap_ empty, every parked event is >= the old
+  // threshold, and the new threshold admits a (when, seq)-prefix of the
+  // parked set — so the global pop order is exactly the single-heap order.
+  while (heap_.empty() && !far_.empty()) {
+    SimTime min_when = kForever;
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < far_.size(); ++read) {
+      const Event& event = far_[read];
+      if (!entry_live(event)) continue;  // drop tombstones during the scan
+      min_when = std::min(min_when, event.when);
+      far_[write++] = event;
+    }
+    far_.resize(write);
+    if (far_.empty()) return false;
+    far_threshold_ = min_when + kFarWindow;
+    for (std::size_t read = 0; read < far_.size();) {
+      if (far_[read].when < far_threshold_) {
+        heap_.push_back(far_[read]);
+        far_[read] = far_.back();
+        far_.pop_back();
+      } else {
+        ++read;
+      }
+    }
+    heapify();
+  }
+  return !heap_.empty();
+}
+
+EventHandle Simulation::after(SimTime delay, EventFn fn) {
   return at(now_ + std::max(delay, 0.0), std::move(fn));
 }
 
 bool Simulation::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  // Erase from the pending set; the queue entry becomes a tombstone that is
-  // skipped when it surfaces.
-  return pending_ids_.erase(handle.id_) > 0;
+  const auto slot = static_cast<std::uint32_t>(handle.id_ >> 32);
+  const auto generation = static_cast<std::uint32_t>(handle.id_);
+  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+    return false;  // already fired or already cancelled
+  }
+  release_slot(slot);
+  --live_;
+  maybe_compact();
+  return true;
+}
+
+void Simulation::maybe_compact() {
+  // Cancellation leaves tombstones in both bands; bound the garbage so a
+  // churn-heavy run (hosts cancelling completion events on every
+  // preemption) cannot grow the structures past ~2x the live event count.
+  const std::size_t entries = heap_.size() + far_.size();
+  if (entries < kCompactMinEntries || entries - live_ <= live_) {
+    return;
+  }
+  std::erase_if(heap_, [this](const Event& e) { return !entry_live(e); });
+  std::erase_if(far_, [this](const Event& e) { return !entry_live(e); });
+  // Rebuilding cannot reorder firing: (when, seq) is a strict total order,
+  // so any valid heap over the surviving entries pops identically.
+  heapify();
+  ++compactions_;
+}
+
+void Simulation::fire(const Event& event) {
+  // Move the closure out and free the slot before invoking, so the
+  // handler can schedule into the freed slot or cancel itself (a no-op).
+  EventFn fn = std::move(slots_[event.slot].fn);
+  release_slot(event.slot);
+  --live_;
+  now_ = event.when;
+  ++fired_;
+  if (obs_events_ == nullptr) {  // fast path: observability detached
+    fn();
+    return;
+  }
+  obs_events_->inc();
+  obs_pending_->set(static_cast<double>(live_));
+  // lattice-lint: allow(wall-clock) — pure observation: feeds the sim.handler_wall_us histogram, never read back into simulation state
+  const double t0 = obs::Tracer::wall_now_us();
+  fn();
+  // lattice-lint: allow(wall-clock) — pure observation: closes the handler-wall-time measurement opened above
+  obs_handler_us_->observe(obs::Tracer::wall_now_us() - t0);
+  if (obs_tracer_ != nullptr && fired_ % kTraceSamplePeriod == 0) {
+    obs_tracer_->counter(obs_track_, "sim.pending_events", now_,
+                         static_cast<double>(live_));
+  }
 }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (pending_ids_.erase(event.id) == 0) continue;  // cancelled
-    now_ = event.when;
-    ++fired_;
-    if (obs_events_ == nullptr) {  // fast path: observability detached
-      event.fn();
-      return true;
-    }
-    obs_events_->inc();
-    obs_pending_->set(static_cast<double>(pending_ids_.size()));
-    // lattice-lint: allow(wall-clock) — pure observation: feeds the sim.handler_wall_us histogram, never read back into simulation state
-    const double t0 = obs::Tracer::wall_now_us();
-    event.fn();
-    // lattice-lint: allow(wall-clock) — pure observation: closes the handler-wall-time measurement opened above
-    obs_handler_us_->observe(obs::Tracer::wall_now_us() - t0);
-    if (obs_tracer_ != nullptr && fired_ % kTraceSamplePeriod == 0) {
-      obs_tracer_->counter(obs_track_, "sim.pending_events", now_,
-                           static_cast<double>(pending_ids_.size()));
-    }
+  while (!heap_.empty() || refill()) {
+    const Event event = heap_.front();
+    pop_front();
+    if (!entry_live(event)) continue;  // cancelled: tombstone
+    fire(event);
     return true;
   }
   return false;
@@ -77,20 +222,23 @@ bool Simulation::step() {
 
 std::uint64_t Simulation::run(SimTime until) {
   std::uint64_t count = 0;
-  while (!queue_.empty()) {
+  while (!heap_.empty() || refill()) {
     // Skip tombstones so the horizon check sees the next live event.
-    if (!pending_ids_.contains(queue_.top().id)) {
-      queue_.pop();
+    const Event event = heap_.front();
+    if (!entry_live(event)) {
+      pop_front();
       continue;
     }
-    if (queue_.top().when > until) break;
-    if (step()) ++count;
+    if (event.when > until) break;
+    pop_front();
+    fire(event);
+    ++count;
   }
   return count;
 }
 
 PeriodicTask::PeriodicTask(Simulation& sim, SimTime start, SimTime period,
-                           std::function<void()> fn)
+                           EventFn fn)
     : sim_(sim), period_(period), fn_(std::move(fn)) {
   assert(period_ > 0.0);
   arm(start);

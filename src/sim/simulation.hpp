@@ -7,13 +7,25 @@
 // Time is a double in seconds from simulation start. Events at equal times
 // fire in scheduling order (a monotone sequence number breaks ties), which
 // keeps runs reproducible across platforms.
+//
+// Storage layout (the 10⁵-host scalability pass): a 4-ary implicit heap
+// holds 24-byte POD entries (when, seq, slot⊕generation), so sift
+// operations are plain memmoves over few cache lines; events far in the
+// future (beyond kFarWindow) park in an unsorted side vector and are bulk
+// heapified only when the near band drains, keeping the hot heap small;
+// closures live in a generation-checked slot pool addressed by the heap
+// entry, constructed in place with small-buffer storage (EventFn) so
+// scheduling an ordinary capture allocates nothing. Cancellation
+// destroys the closure eagerly — captured job payloads and host references
+// are released immediately — and leaves a tombstone in the heap that is
+// dropped lazily, with a full compaction pass once tombstones outnumber
+// live entries (DESIGN.md §10).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
+
+#include "sim/event_fn.hpp"
 
 namespace lattice::obs {
 class Counter;
@@ -48,15 +60,17 @@ class Simulation {
   SimTime now() const { return now_; }
 
   /// Schedule fn at absolute time `when` (>= now). Events in the past are
-  /// clamped to now.
-  EventHandle at(SimTime when, std::function<void()> fn);
+  /// clamped to now. Accepts any callable; captures up to
+  /// EventFn::kInlineBytes are stored without allocating.
+  EventHandle at(SimTime when, EventFn fn);
 
   /// Schedule fn `delay` seconds from now (negative clamps to 0).
-  EventHandle after(SimTime delay, std::function<void()> fn);
+  EventHandle after(SimTime delay, EventFn fn);
 
   /// Cancel a pending event. Returns false if it already fired, was
-  /// cancelled, or the handle is empty. The event's closure is dropped
-  /// lazily when it reaches the head of the queue.
+  /// cancelled, or the handle is empty. The event's closure is destroyed
+  /// eagerly — captured state is released before cancel() returns — while
+  /// the heap entry becomes a tombstone removed lazily (or by compaction).
   bool cancel(EventHandle handle);
 
   /// Run until the event queue drains or now() would exceed `until`
@@ -66,9 +80,18 @@ class Simulation {
   /// Fire at most one event. Returns false when the queue is empty.
   bool step();
 
-  bool empty() const { return pending_ids_.empty(); }
+  bool empty() const { return live_ == 0; }
   std::uint64_t events_fired() const { return fired_; }
-  std::size_t pending() const { return pending_ids_.size(); }
+  std::size_t pending() const { return live_; }
+  /// High-water mark of pending() over the simulation's lifetime.
+  std::size_t peak_pending() const { return peak_pending_; }
+  /// Queue entries currently occupied by cancelled events (tombstones
+  /// awaiting lazy removal or compaction). Exposed for tests/benches.
+  std::size_t dead_entries() const {
+    return heap_.size() + far_.size() - live_;
+  }
+  /// Compaction passes performed (tombstone garbage collections).
+  std::uint64_t compactions() const { return compactions_; }
 
   /// Attach observability sinks (pass nullptr/nullptr to detach). Records
   /// events fired, pending-queue depth, and per-handler wall time; with a
@@ -80,33 +103,82 @@ class Simulation {
   /// Queue-depth counter-sampling period (events) when tracing.
   static constexpr std::uint64_t kTraceSamplePeriod = 64;
 
+  /// Compaction trigger: once the heap holds at least this many entries
+  /// and more than half of them are tombstones, the dead entries are
+  /// erased and the heap is rebuilt (same strict (when, seq) order, so
+  /// firing order is unaffected).
+  static constexpr std::size_t kCompactMinEntries = 64;
+
   static constexpr SimTime kForever = 1e300;
 
+  /// Far-parking window (seconds): events scheduled at or beyond
+  /// `far_threshold_` bypass the heap into an unsorted parking vector and
+  /// only get heap-ordered when the near band drains past the threshold.
+  /// Polling loops and task completions land in the near band; host
+  /// lifetime events (power cycles days out, departures weeks out) park.
+  static constexpr SimTime kFarWindow = 8.0 * 3600.0;
+
  private:
+  /// POD heap entry; the closure lives in slots_[slot].
   struct Event {
     SimTime when;
     std::uint64_t seq;
-    std::uint64_t id;
-    std::function<void()> fn;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  /// Strict (when, seq) total order — no ties, so every valid heap over
+  /// the same entries pops in exactly the same sequence (what lets the
+  /// layout change arity or be rebuilt without affecting firing order).
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+  /// Closure storage with a generation stamp: a heap entry (or handle)
+  /// addresses a slot and is valid only while its generation matches, so
+  /// cancelled/fired events become tombstones without touching the heap.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNoFreeSlot;
   };
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffffu;
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Scheduled-but-not-fired ids. Audited (ISSUE 3): this set is only ever
-  // probed — insert/erase/contains/size — and never iterated, so hash order
-  // cannot leak into event order; firing order is fixed entirely by the
-  // (when, seq) priority queue above.
-  // lattice-lint: allow(unordered-member) — membership queries only, never iterated; event order is owned by the priority queue
-  std::unordered_set<std::uint64_t> pending_ids_;
+  bool entry_live(const Event& event) const {
+    return slots_[event.slot].generation == event.generation;
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void maybe_compact();
+  // 4-ary implicit heap primitives (see heap_ below).
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heapify();
+  void pop_front();
+  /// Migrate parked far events into the (drained) heap, advancing
+  /// far_threshold_. Returns true when the heap is non-empty afterwards.
+  bool refill();
+  /// Execute one live, already-popped event (shared by run/step).
+  void fire(const Event& event);
+
+  /// 4-ary implicit min-heap ordered by earlier(): shallower than a binary
+  /// heap (log₄ levels), so a sift touches half the cache lines — the heap
+  /// at 10⁵ hosts holds ~10⁵ pending entries and sift traffic dominates
+  /// the kernel.
+  std::vector<Event> heap_;
+  /// Far band: unsorted parking for events with when >= far_threshold_.
+  /// Invariant: every heap entry is < far_threshold_ <= every far entry,
+  /// and the threshold only ever increases — so the two-band pop order is
+  /// exactly the single-heap pop order (DESIGN.md §10).
+  std::vector<Event> far_;
+  SimTime far_threshold_ = kFarWindow;
+  std::vector<Slot> slots_;   // slot pool; freed slots chain via next_free
+  std::uint32_t free_head_ = kNoFreeSlot;
+  std::size_t live_ = 0;      // scheduled-but-not-fired events
+  std::size_t peak_pending_ = 0;
+  std::uint64_t compactions_ = 0;
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t fired_ = 0;
 
   // Observability (null when not attached; see set_observability).
@@ -122,8 +194,7 @@ class Simulation {
 /// reporting loops and BOINC daemon polling loops.
 class PeriodicTask {
  public:
-  PeriodicTask(Simulation& sim, SimTime start, SimTime period,
-               std::function<void()> fn);
+  PeriodicTask(Simulation& sim, SimTime start, SimTime period, EventFn fn);
   ~PeriodicTask() { stop(); }
   PeriodicTask(const PeriodicTask&) = delete;
   PeriodicTask& operator=(const PeriodicTask&) = delete;
@@ -136,7 +207,7 @@ class PeriodicTask {
 
   Simulation& sim_;
   SimTime period_;
-  std::function<void()> fn_;
+  EventFn fn_;
   EventHandle next_;
   bool running_ = true;
 };

@@ -1,8 +1,11 @@
 // Unit tests for the discrete-event simulation kernel.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/simulation.hpp"
 
 namespace lattice::sim {
@@ -126,6 +129,80 @@ TEST(Simulation, PendingCountsLiveEvents) {
   EXPECT_EQ(sim.pending(), 1u);
   sim.run();
   EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, CancelReleasesCapturedStateEagerly) {
+  // ISSUE 4 satellite: a cancelled event must not pin its captured state
+  // (job payloads, host references) until the tombstone surfaces.
+  Simulation sim;
+  auto payload = std::make_shared<int>(42);
+  auto handle = sim.at(1e6, [payload] { (void)*payload; });
+  EXPECT_EQ(payload.use_count(), 2);
+  EXPECT_TRUE(sim.cancel(handle));
+  EXPECT_EQ(payload.use_count(), 1);  // released at cancel, not at fire
+  sim.run();
+}
+
+TEST(Simulation, CompactionBoundsTombstonesAndPreservesOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(sim.at(1000.0 - i, [&order, i] { order.push_back(i); }));
+  }
+  // Cancel 90%: the dead fraction crosses 1/2, so the heap must compact.
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 10 != 0) sim.cancel(handles[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(sim.pending(), 100u);
+  EXPECT_GE(sim.compactions(), 1u);
+  EXPECT_LE(sim.dead_entries(), sim.pending());
+  sim.run();
+  // Survivors fire in time order: times were 1000-i, so descending i.
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    EXPECT_GT(order[k - 1], order[k]);
+  }
+}
+
+TEST(Simulation, PeakPendingTracksHighWaterMark) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.at(static_cast<double>(i), [] {});
+  EXPECT_EQ(sim.peak_pending(), 5u);
+  sim.run();
+  EXPECT_EQ(sim.peak_pending(), 5u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(EventFn, InlinesSmallCapturesAndBoxesLarge) {
+  int hits = 0;
+  auto small = [&hits] { ++hits; };
+  static_assert(EventFn::fits_inline<decltype(small)>());
+  EventFn small_fn(small);
+  small_fn();
+  EXPECT_EQ(hits, 1);
+
+  std::array<double, 16> big_payload{};
+  big_payload[7] = 7.5;
+  double sum = 0.0;
+  auto big = [big_payload, &sum] { sum += big_payload[7]; };
+  static_assert(!EventFn::fits_inline<decltype(big)>());
+  EventFn big_fn(big);
+  EventFn moved(std::move(big_fn));  // boxed closures move by pointer
+  moved();
+  EXPECT_DOUBLE_EQ(sum, 7.5);
+}
+
+TEST(EventFn, MoveTransfersOwnershipAndResetReleases) {
+  auto payload = std::make_shared<int>(1);
+  EventFn fn([payload] { (void)payload; });
+  EXPECT_EQ(payload.use_count(), 2);
+  EventFn other(std::move(fn));
+  EXPECT_FALSE(fn);  // NOLINT(bugprone-use-after-move) — asserting the moved-from contract
+  EXPECT_TRUE(other);
+  EXPECT_EQ(payload.use_count(), 2);
+  other.reset();
+  EXPECT_EQ(payload.use_count(), 1);
 }
 
 TEST(PeriodicTask, FiresAtFixedInterval) {
