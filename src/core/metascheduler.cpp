@@ -36,51 +36,62 @@ void MetaScheduler::set_observability(obs::MetricsRegistry& metrics) {
   no_eligible_ = &metrics.counter(
       "sched.no_eligible", "calls",
       "choose() calls that found no eligible online resource");
+  candidates_scanned_ = &metrics.counter(
+      "sched.match_candidates_scanned", "entries",
+      "directory entries examined by indexed matchmaking (vs "
+      "sched.match_eligible: the index's selectivity)");
+  match_eligible_ = &metrics.counter(
+      "sched.match_eligible", "entries",
+      "directory entries that passed matchmaking and the online filter");
 }
 
 bool MetaScheduler::matches(const grid::GridJob& job,
                             const grid::ResourceInfo& info) {
-  const grid::JobRequirements& req = job.requirements;
-  if (!req.platforms.empty()) {
-    bool platform_ok = false;
-    for (const auto& wanted : req.platforms) {
-      for (const auto& offered : info.platforms) {
-        if (wanted == offered) {
-          platform_ok = true;
-          break;
-        }
-      }
-    }
-    if (!platform_ok) return false;
+  if (!grid::MdsDirectory::class_matches(job.requirements, info.platforms,
+                                         info.software, info.mpi_capable)) {
+    return false;
   }
-  if (req.min_memory_gb > info.node_memory_gb) return false;
-  if (req.needs_mpi && !info.mpi_capable) return false;
-  for (const auto& dependency : req.software) {
-    if (std::find(info.software.begin(), info.software.end(), dependency) ==
-        info.software.end()) {
-      return false;
-    }
-  }
-  return true;
+  return job.requirements.min_memory_gb <= info.node_memory_gb;
 }
 
 std::optional<std::string> MetaScheduler::choose(const grid::GridJob& job) {
-  // Step 1+2: reporting resources that pass matchmaking.
-  std::vector<grid::MdsEntry> eligible;
-  for (const grid::MdsEntry& entry : mds_.online()) {
-    if (matches(job, entry.info)) eligible.push_back(entry);
-  }
+  // Step 1+2 via the capability index: only candidate classes are
+  // examined, and the counters make the selectivity observable.
+  eligible_scratch_.clear();
+  grid::MdsMatchStats stats;
+  mds_.match_online(job.requirements, eligible_scratch_, &stats);
+  candidates_scanned_->inc(stats.candidates_scanned);
+  match_eligible_->inc(stats.eligible);
+  return pick(job, eligible_scratch_);
+}
+
+std::optional<std::string> MetaScheduler::choose_linear(
+    const grid::GridJob& job) {
+  // Reference implementation: full directory scan, monolithic predicate,
+  // no capability index. Feeds the same scanned/eligible counters so the
+  // two paths are comparable in benchmarks.
+  eligible_scratch_.clear();
+  grid::MdsMatchStats stats;
+  mds_.match_online_linear(job.requirements, eligible_scratch_, &stats);
+  candidates_scanned_->inc(stats.candidates_scanned);
+  match_eligible_->inc(stats.eligible);
+  return pick(job, eligible_scratch_);
+}
+
+std::optional<std::string> MetaScheduler::pick(
+    const grid::GridJob& job,
+    const std::vector<const grid::MdsEntry*>& eligible) {
   if (eligible.empty()) {
     no_eligible_->inc();
     return std::nullopt;
   }
 
   if (policy_.mode == SchedulingMode::kRoundRobin) {
-    const grid::MdsEntry& pick =
-        eligible[round_robin_next_++ % eligible.size()];
+    const grid::MdsEntry& pick_entry =
+        *eligible[round_robin_next_++ % eligible.size()];
     decisions_->inc();
-    (pick.info.stable ? route_stable_ : route_unstable_)->inc();
-    return pick.info.name;
+    (pick_entry.info.stable ? route_stable_ : route_unstable_)->inc();
+    return pick_entry.info.name;
   }
 
   // The runtime estimate this mode is allowed to use (reference seconds).
@@ -92,18 +103,22 @@ std::optional<std::string> MetaScheduler::choose(const grid::GridJob& job) {
   }
 
   // Step 3: stability filter, using the estimate scaled by each
-  // candidate's speed.
+  // candidate's speed. The speed comes from the MDS entry itself — the
+  // calibration pass publishes it there (LatticeSystem::calibrate_speeds
+  // → MdsDirectory::set_speed), so ranking reads only information-service
+  // data and skips a per-candidate string-keyed calibrator lookup.
+  const std::vector<const grid::MdsEntry*>* candidates = &eligible;
   if (estimate) {
-    std::vector<grid::MdsEntry> stable_ok;
-    for (const grid::MdsEntry& entry : eligible) {
-      const double wall_hours =
-          *estimate / speeds_.speed_or_default(entry.info.name) / 3600.0;
-      if (entry.info.stable || wall_hours <= policy_.stability_cutoff_hours) {
-        stable_ok.push_back(entry);
+    stable_scratch_.clear();
+    for (const grid::MdsEntry* entry : eligible) {
+      const double wall_hours = *estimate / entry->speed / 3600.0;
+      if (entry->info.stable ||
+          wall_hours <= policy_.stability_cutoff_hours) {
+        stable_scratch_.push_back(entry);
       }
     }
-    if (!stable_ok.empty()) {
-      eligible = std::move(stable_ok);
+    if (!stable_scratch_.empty()) {
+      candidates = &stable_scratch_;
     }
     // If nothing passes (only unstable resources online and the job is
     // long), fall through with the original list: placing somewhere beats
@@ -113,30 +128,29 @@ std::optional<std::string> MetaScheduler::choose(const grid::GridJob& job) {
   // Step 4: rank by expected completion time.
   const grid::MdsEntry* best = nullptr;
   double best_score = std::numeric_limits<double>::infinity();
-  for (const grid::MdsEntry& entry : eligible) {
-    const double slots = std::max<double>(entry.info.total_slots, 1.0);
-    const double busy =
-        static_cast<double>(entry.info.total_slots - entry.info.free_slots);
+  for (const grid::MdsEntry* entry : *candidates) {
+    const double slots = std::max<double>(entry->info.total_slots, 1.0);
+    const double busy = static_cast<double>(entry->info.total_slots -
+                                            entry->info.free_slots);
     const double backlog =
-        (static_cast<double>(entry.info.queued_jobs) + busy) / slots;
+        (static_cast<double>(entry->info.queued_jobs) + busy) / slots;
     double score;
     if (policy_.mode == SchedulingMode::kLoadOnly || !estimate) {
       // Paper's naive variant: spread by load alone.
-      score = backlog - 1e-3 * static_cast<double>(entry.info.free_slots);
+      score = backlog - 1e-3 * static_cast<double>(entry->info.free_slots);
     } else {
-      const double speed = speeds_.speed_or_default(entry.info.name);
-      const double wall = *estimate / speed;
+      const double wall = *estimate / entry->speed;
       score = wall * (1.0 + policy_.load_weight * backlog);
-      if (entry.info.free_slots == 0) {
+      if (entry->info.free_slots == 0) {
         // Must wait for a slot; penalize by the mean wall time of what is
         // ahead in line (approximated by this job's own wall time).
-        score += wall * (static_cast<double>(entry.info.queued_jobs) + 1.0) /
+        score += wall * (static_cast<double>(entry->info.queued_jobs) + 1.0) /
                  slots;
       }
     }
     if (score < best_score) {
       best_score = score;
-      best = &entry;
+      best = entry;
     }
   }
   decisions_->inc();

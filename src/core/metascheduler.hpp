@@ -12,6 +12,12 @@
 //      resource speed, inflated by current load so work spreads instead of
 //      backing up on the fastest resource.
 //
+// Steps 1–2 run against the MDS capability-class index
+// (MdsDirectory::match_online), so a decision touches only the candidate
+// classes instead of every registered resource; choose_linear() retains
+// the pre-index full scan as the reference implementation, and the two are
+// decision-identical by construction (tests/test_sched_index.cpp).
+//
 // Alternative modes reproduce the baselines the benchmarks compare
 // against: round-robin spreading and load-only ranking, plus an oracle
 // that ranks with the true runtime (the ceiling for estimate quality).
@@ -19,6 +25,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/speed.hpp"
 #include "grid/job.hpp"
@@ -57,8 +64,16 @@ class MetaScheduler {
 
   /// Pick a resource for the job, or nullopt when nothing eligible is
   /// online. Uses job.estimated_reference_runtime in kEstimateAware mode
-  /// and job.true_reference_runtime in kOracle mode.
+  /// and job.true_reference_runtime in kOracle mode. Eligibility comes
+  /// from the MDS capability index.
   std::optional<std::string> choose(const grid::GridJob& job);
+
+  /// The pre-index reference: full linear scan over the directory with
+  /// the monolithic matches() predicate. Retained so the property test
+  /// can assert decision-identity with choose(); both advance the same
+  /// round-robin cursor, so compare separate instances, not interleaved
+  /// calls on one.
+  std::optional<std::string> choose_linear(const grid::GridJob& job);
 
   const SchedulerPolicy& policy() const { return policy_; }
   void set_policy(const SchedulerPolicy& policy) { policy_ = policy; }
@@ -68,21 +83,32 @@ class MetaScheduler {
   /// pointer increment per decision).
   void set_observability(obs::MetricsRegistry& metrics);
 
-  /// Matchmaking predicate, exposed for tests.
+  /// Matchmaking predicate, exposed for tests. Equivalent to
+  /// MdsDirectory::class_matches plus the per-entry memory floor.
   static bool matches(const grid::GridJob& job,
                       const grid::ResourceInfo& info);
 
  private:
+  /// Steps 3–4 over an eligible candidate list (name-ordered).
+  std::optional<std::string> pick(
+      const grid::GridJob& job,
+      const std::vector<const grid::MdsEntry*>& eligible);
+
   const grid::MdsDirectory& mds_;
   const SpeedCalibrator& speeds_;
   SchedulerPolicy policy_;
   std::size_t round_robin_next_ = 0;
+  /// Scratch reused across choose() calls (allocation-lean hot path).
+  std::vector<const grid::MdsEntry*> eligible_scratch_;
+  std::vector<const grid::MdsEntry*> stable_scratch_;
 
   // Observability (bound to the null registry until set_observability).
   obs::Counter* decisions_ = nullptr;
   obs::Counter* route_stable_ = nullptr;
   obs::Counter* route_unstable_ = nullptr;
   obs::Counter* no_eligible_ = nullptr;
+  obs::Counter* candidates_scanned_ = nullptr;
+  obs::Counter* match_eligible_ = nullptr;
 };
 
 }  // namespace lattice::core

@@ -1,25 +1,96 @@
 #include "grid/mds.hpp"
 
+#include <algorithm>
+
 namespace lattice::grid {
 
 MdsDirectory::MdsDirectory(sim::Simulation& sim, double ttl)
     : sim_(sim), ttl_(ttl) {}
 
+std::string MdsDirectory::class_key_of(const ResourceInfo& info) {
+  // Canonical fingerprint of the matchmaking-relevant capabilities:
+  // sorted platform names + MPI flag + sorted software list.
+  std::vector<std::string> platforms;
+  platforms.reserve(info.platforms.size());
+  for (const PlatformSpec& platform : info.platforms) {
+    platforms.push_back(platform_name(platform));
+  }
+  std::sort(platforms.begin(), platforms.end());
+  std::vector<std::string> software = info.software;
+  std::sort(software.begin(), software.end());
+
+  std::string key;
+  for (const std::string& platform : platforms) {
+    key += platform;
+    key += ',';
+  }
+  key += info.mpi_capable ? "|mpi|" : "|nompi|";
+  for (const std::string& item : software) {
+    key += item;
+    key += ',';
+  }
+  return key;
+}
+
+void MdsDirectory::file_under_class(Entry& entry, std::string key) {
+  if (entry.class_key == key) return;
+  if (!entry.class_key.empty()) {
+    const auto old_it = classes_.find(entry.class_key);
+    old_it->second.members.erase(entry.data.info.name);
+    if (old_it->second.members.empty()) classes_.erase(old_it);
+  }
+  auto [it, inserted] = classes_.try_emplace(key);
+  if (inserted) {
+    it->second.platforms = entry.data.info.platforms;
+    it->second.software = entry.data.info.software;
+    it->second.mpi_capable = entry.data.info.mpi_capable;
+  }
+  it->second.members[entry.data.info.name] = &entry;
+  entry.class_key = std::move(key);
+}
+
 void MdsDirectory::report(const ResourceInfo& info) {
   auto [it, inserted] = entries_.try_emplace(info.name);
-  it->second.info = info;
-  it->second.last_report = sim_.now();
+  Entry& entry = it->second;
+  // Incremental index maintenance: the canonical class key is rebuilt (and
+  // the entry re-filed) only when the capability fields actually changed —
+  // first report, or a capability upgrade. Ordinary heartbeats compare the
+  // raw fields (cheap, no allocation) and just refresh the load/timestamp
+  // data in place.
+  const bool capabilities_changed =
+      inserted || entry.data.info.mpi_capable != info.mpi_capable ||
+      entry.data.info.platforms != info.platforms ||
+      entry.data.info.software != info.software;
+  if (capabilities_changed) {
+    entry.data.info = info;
+    entry.data.last_report = sim_.now();
+    file_under_class(entry, class_key_of(info));
+    return;
+  }
+  // Heartbeat fast path: capabilities (and the name, which keys entries_)
+  // are unchanged, so only the volatile load fields need copying — no
+  // string or vector traffic.
+  ResourceInfo& dst = entry.data.info;
+  dst.kind = info.kind;
+  dst.total_slots = info.total_slots;
+  dst.free_slots = info.free_slots;
+  dst.queued_jobs = info.queued_jobs;
+  dst.node_memory_gb = info.node_memory_gb;
+  dst.stable = info.stable;
+  entry.data.last_report = sim_.now();
 }
 
 void MdsDirectory::set_speed(const std::string& resource, double speed) {
   const auto it = entries_.find(resource);
-  if (it != entries_.end()) it->second.speed = speed;
+  if (it != entries_.end()) it->second.data.speed = speed;
 }
 
 std::vector<MdsEntry> MdsDirectory::online() const {
   std::vector<MdsEntry> out;
   for (const auto& [name, entry] : entries_) {
-    if (sim_.now() - entry.last_report <= ttl_) out.push_back(entry);
+    if (sim_.now() - entry.data.last_report <= ttl_) {
+      out.push_back(entry.data);
+    }
   }
   return out;
 }
@@ -27,7 +98,7 @@ std::vector<MdsEntry> MdsDirectory::online() const {
 std::vector<MdsEntry> MdsDirectory::all() const {
   std::vector<MdsEntry> out;
   out.reserve(entries_.size());
-  for (const auto& [name, entry] : entries_) out.push_back(entry);
+  for (const auto& [name, entry] : entries_) out.push_back(entry.data);
   return out;
 }
 
@@ -35,19 +106,100 @@ std::optional<MdsEntry> MdsDirectory::find(
     const std::string& resource) const {
   const auto it = entries_.find(resource);
   if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  return it->second.data;
 }
 
 bool MdsDirectory::is_online(const std::string& resource) const {
   const auto it = entries_.find(resource);
-  return it != entries_.end() && sim_.now() - it->second.last_report <= ttl_;
+  return it != entries_.end() &&
+         sim_.now() - it->second.data.last_report <= ttl_;
+}
+
+bool MdsDirectory::class_matches(const JobRequirements& req,
+                                 const std::vector<PlatformSpec>& platforms,
+                                 const std::vector<std::string>& software,
+                                 bool mpi_capable) {
+  if (!req.platforms.empty()) {
+    bool platform_ok = false;
+    for (const PlatformSpec& wanted : req.platforms) {
+      for (const PlatformSpec& offered : platforms) {
+        if (wanted == offered) {
+          platform_ok = true;
+          break;
+        }
+      }
+    }
+    if (!platform_ok) return false;
+  }
+  if (req.needs_mpi && !mpi_capable) return false;
+  for (const std::string& dependency : req.software) {
+    if (std::find(software.begin(), software.end(), dependency) ==
+        software.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MdsDirectory::match_online(const JobRequirements& req,
+                                std::vector<const MdsEntry*>& out,
+                                MdsMatchStats* stats) const {
+  const std::size_t first = out.size();
+  MdsMatchStats local;
+  for (const auto& [key, cls] : classes_) {
+    ++local.classes_scanned;
+    if (!class_matches(req, cls.platforms, cls.software, cls.mpi_capable)) {
+      continue;
+    }
+    for (const auto& [name, entry] : cls.members) {
+      ++local.candidates_scanned;
+      if (sim_.now() - entry->data.last_report > ttl_) continue;  // stale
+      if (req.min_memory_gb > entry->data.info.node_memory_gb) continue;
+      out.push_back(&entry->data);
+    }
+  }
+  // Matching classes each yield name-ordered members; merge to the global
+  // name order a linear directory scan would produce, so downstream
+  // ranking (and round-robin indexing) is decision-identical to the
+  // linear reference. Sorting touches only the eligible set.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
+            [](const MdsEntry* a, const MdsEntry* b) {
+              return a->info.name < b->info.name;
+            });
+  local.eligible = out.size() - first;
+  if (stats != nullptr) *stats = local;
+}
+
+void MdsDirectory::match_online_linear(const JobRequirements& req,
+                                       std::vector<const MdsEntry*>& out,
+                                       MdsMatchStats* stats) const {
+  const std::size_t first = out.size();
+  MdsMatchStats local;
+  for (const auto& [name, entry] : entries_) {
+    ++local.candidates_scanned;
+    if (sim_.now() - entry.data.last_report > ttl_) continue;  // stale
+    if (!class_matches(req, entry.data.info.platforms,
+                       entry.data.info.software,
+                       entry.data.info.mpi_capable)) {
+      continue;
+    }
+    if (req.min_memory_gb > entry.data.info.node_memory_gb) continue;
+    out.push_back(&entry.data);
+  }
+  local.eligible = out.size() - first;
+  if (stats != nullptr) *stats = local;
 }
 
 void MdsDirectory::attach_provider(LocalResource& resource, double period) {
   report(resource.info());
   providers_.push_back(std::make_unique<sim::PeriodicTask>(
-      sim_, sim_.now() + period, period,
-      [this, &resource] { report(resource.info()); }));
+      sim_, sim_.now() + period, period, [this, &resource] {
+        // One shared scratch (single-threaded sim): steady-state heartbeats
+        // reuse its string/vector capacity instead of allocating a fresh
+        // ResourceInfo per report.
+        resource.info_into(scratch_info_);
+        report(scratch_info_);
+      }));
 }
 
 }  // namespace lattice::grid

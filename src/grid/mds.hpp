@@ -3,6 +3,17 @@
 // snapshots into a central directory; entries are valid for a short
 // lifetime, and a resource whose reports stop arriving is marked offline so
 // "no new jobs are scheduled there".
+//
+// Matchmaking index (the 10⁵-host scalability pass): entries are grouped
+// into capability classes keyed by the matchmaking-relevant static
+// capabilities — platform list, software list, MPI flag. A query evaluates
+// the class predicate once per class and then touches only the members of
+// matching classes (TTL and memory are cheap per-entry compares), instead
+// of re-evaluating the full predicate against every registered resource.
+// The index is maintained incrementally: a heartbeat re-files its entry
+// only when the capability fields actually changed, and offline transitions
+// need no maintenance at all because staleness is a pure time compare
+// (invalidation rules in DESIGN.md §10).
 #pragma once
 
 #include <map>
@@ -11,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "grid/job.hpp"
 #include "grid/resource.hpp"
 #include "sim/simulation.hpp"
 
@@ -22,6 +34,17 @@ struct MdsEntry {
   /// Calibrated speed relative to the reference machine (set by the
   /// grid-level speed calibration; 1.0 until calibrated).
   double speed = 1.0;
+};
+
+/// Tally of one indexed matchmaking query (feeds the
+/// sched.match_candidates_scanned / sched.match_eligible counters).
+struct MdsMatchStats {
+  /// Capability classes whose predicate was evaluated.
+  std::size_t classes_scanned = 0;
+  /// Entries examined inside matching classes (TTL + memory checks).
+  std::size_t candidates_scanned = 0;
+  /// Entries that passed every filter.
+  std::size_t eligible = 0;
 };
 
 class MdsDirectory {
@@ -41,17 +64,66 @@ class MdsDirectory {
   std::optional<MdsEntry> find(const std::string& resource) const;
   bool is_online(const std::string& resource) const;
 
+  /// Indexed matchmaking: append pointers to the online entries that
+  /// satisfy `req` (platforms, software, MPI, memory) to `out`, in
+  /// resource-name order — the same order a linear scan over the
+  /// name-keyed directory produces, so ranking and round-robin decisions
+  /// are bit-identical to the retained linear reference
+  /// (MetaScheduler::choose_linear, tests/test_sched_index.cpp). Returned
+  /// pointers are valid until the next report() for that resource.
+  void match_online(const JobRequirements& req,
+                    std::vector<const MdsEntry*>& out,
+                    MdsMatchStats* stats = nullptr) const;
+
+  /// The pre-index reference: evaluate the full predicate against every
+  /// registered entry (name order). Same contract as match_online and
+  /// guaranteed to select the same entries in the same order; retained
+  /// for MetaScheduler::choose_linear and the property test.
+  void match_online_linear(const JobRequirements& req,
+                           std::vector<const MdsEntry*>& out,
+                           MdsMatchStats* stats = nullptr) const;
+
+  /// Capability-class predicate used by the index (platforms, software,
+  /// MPI — everything in JobRequirements except the per-entry memory
+  /// floor). Exposed for the matchmaking property test.
+  static bool class_matches(const JobRequirements& req,
+                            const std::vector<PlatformSpec>& platforms,
+                            const std::vector<std::string>& software,
+                            bool mpi_capable);
+
   double ttl() const { return ttl_; }
+  /// Number of distinct capability classes currently indexed.
+  std::size_t capability_classes() const { return classes_.size(); }
 
   /// Attach a periodic scheduler provider that polls `resource.info()`
   /// every `period` seconds (plus an initial report now).
   void attach_provider(LocalResource& resource, double period);
 
  private:
+  struct Entry {
+    MdsEntry data;
+    /// Key of the capability class this entry is filed under.
+    std::string class_key;
+  };
+  /// One capability class: the shared matchmaking-relevant capabilities
+  /// plus the (name-ordered) member set.
+  struct CapabilityClass {
+    std::vector<PlatformSpec> platforms;
+    std::vector<std::string> software;
+    bool mpi_capable = false;
+    std::map<std::string, const Entry*> members;
+  };
+
+  static std::string class_key_of(const ResourceInfo& info);
+  void file_under_class(Entry& entry, std::string key);
+
   sim::Simulation& sim_;
   double ttl_;
-  std::map<std::string, MdsEntry> entries_;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, CapabilityClass> classes_;
   std::vector<std::unique_ptr<sim::PeriodicTask>> providers_;
+  /// Reused by provider heartbeats (see attach_provider).
+  ResourceInfo scratch_info_;
 };
 
 }  // namespace lattice::grid

@@ -398,6 +398,9 @@ TEST(Scheduler, SpeedScalingChangesStabilityDecision) {
   fx.mds.report(fx.cluster("hpc", 1, 50));
   fx.mds.report(fx.pool("condor", 60));
   fx.speeds.calibrate("condor", std::vector<double>{150.0});  // speed 4.0
+  // Ranking reads speeds from the directory entry (what calibrate_speeds
+  // publishes); mirror the calibration the way LatticeSystem does.
+  fx.mds.set_speed("condor", fx.speeds.speed_or_default("condor"));
   SchedulerPolicy policy;
   policy.stability_cutoff_hours = 10.0;
   MetaScheduler scheduler(fx.mds, fx.speeds, policy);

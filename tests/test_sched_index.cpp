@@ -2,14 +2,27 @@
 // (ISSUE 4): the indexed structures must change complexity, never
 // decisions.
 //
-//   FeederQueue — FIFO take/skip/drop semantics matching the seed's
-//   mid-deque scan.
+//   1. MDS capability index vs linear directory scan — identical eligible
+//      sets in identical order, and MetaScheduler::choose vs choose_linear
+//      make identical placements over randomized inventories and job
+//      streams in every scheduling mode (including round-robin, whose
+//      cursor makes decisions order-sensitive).
+//   2. FeederQueue — FIFO take/skip/drop semantics matching the seed's
+//      mid-deque scan.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "boinc/feeder.hpp"
+#include "core/metascheduler.hpp"
+#include "core/speed.hpp"
+#include "grid/job.hpp"
+#include "grid/mds.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
 
 namespace lattice {
 namespace {
@@ -76,6 +89,143 @@ TEST(FeederQueue, AllSkippedLeavesQueueIntact) {
     return boinc::FeederQueue::Probe::kTake;
   });
   EXPECT_EQ(front, 1u);  // original order preserved
+}
+
+// ---------------------------------------------------------------------
+// Matchmaking index vs linear scan
+// ---------------------------------------------------------------------
+
+const std::vector<grid::PlatformSpec> kPlatformPool = {
+    {grid::OsType::kLinux, grid::Arch::kX86_64},
+    {grid::OsType::kLinux, grid::Arch::kX86},
+    {grid::OsType::kWindows, grid::Arch::kX86_64},
+    {grid::OsType::kMacOS, grid::Arch::kPowerPC},
+};
+const std::vector<std::string> kSoftwarePool = {"garli", "java", "blast",
+                                                "hmmer"};
+
+grid::ResourceInfo random_resource(util::Rng& rng, std::size_t index) {
+  grid::ResourceInfo info;
+  info.name = "res" + std::to_string(index);
+  info.kind = static_cast<grid::ResourceKind>(rng.below(4));
+  info.total_slots = 1 + rng.below(64);
+  info.free_slots = rng.below(info.total_slots + 1);
+  info.queued_jobs = rng.below(100);
+  info.node_memory_gb = 1.0 + static_cast<double>(rng.below(16));
+  for (const grid::PlatformSpec& platform : kPlatformPool) {
+    if (rng.bernoulli(0.5)) info.platforms.push_back(platform);
+  }
+  if (info.platforms.empty()) info.platforms.push_back(kPlatformPool[0]);
+  for (const std::string& software : kSoftwarePool) {
+    if (rng.bernoulli(0.4)) info.software.push_back(software);
+  }
+  info.mpi_capable = rng.bernoulli(0.3);
+  info.stable = rng.bernoulli(0.5);
+  return info;
+}
+
+grid::GridJob random_job(util::Rng& rng, std::uint64_t id) {
+  grid::GridJob job;
+  job.id = id;
+  for (const grid::PlatformSpec& platform : kPlatformPool) {
+    if (rng.bernoulli(0.3)) job.requirements.platforms.push_back(platform);
+  }
+  for (const std::string& software : kSoftwarePool) {
+    if (rng.bernoulli(0.2)) job.requirements.software.push_back(software);
+  }
+  job.requirements.needs_mpi = rng.bernoulli(0.2);
+  job.requirements.min_memory_gb = static_cast<double>(rng.below(10));
+  job.true_reference_runtime = rng.uniform(600.0, 40.0 * 3600.0);
+  if (rng.bernoulli(0.8)) {
+    job.estimated_reference_runtime =
+        job.true_reference_runtime * rng.uniform(0.5, 2.0);
+  }
+  return job;
+}
+
+/// Randomized inventory with a staleness mix: all resources report at t=0,
+/// half keep reporting, and the clock advances past the TTL so the other
+/// half is offline at query time.
+void build_directory(sim::Simulation& sim, grid::MdsDirectory& mds,
+                     util::Rng& rng, std::size_t resources) {
+  std::vector<grid::ResourceInfo> inventory;
+  inventory.reserve(resources);
+  for (std::size_t i = 0; i < resources; ++i) {
+    inventory.push_back(random_resource(rng, i));
+  }
+  for (const grid::ResourceInfo& info : inventory) mds.report(info);
+  // Advance beyond the TTL, re-reporting only the even-indexed half.
+  const double later = mds.ttl() + 100.0;
+  sim.at(later, [&mds, inventory] {
+    for (std::size_t i = 0; i < inventory.size(); i += 2) {
+      mds.report(inventory[i]);
+    }
+  });
+  sim.run();
+}
+
+TEST(MdsIndex, MatchesLinearScanOverRandomInventories) {
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    util::Rng rng(1000 + trial);
+    sim::Simulation sim;
+    grid::MdsDirectory mds(sim);
+    build_directory(sim, mds, rng, 30 + trial);
+    ASSERT_GT(mds.capability_classes(), 1u);
+
+    for (int q = 0; q < 50; ++q) {
+      const grid::GridJob job = random_job(rng, static_cast<std::uint64_t>(q));
+      std::vector<const grid::MdsEntry*> indexed;
+      std::vector<const grid::MdsEntry*> linear;
+      grid::MdsMatchStats indexed_stats;
+      grid::MdsMatchStats linear_stats;
+      mds.match_online(job.requirements, indexed, &indexed_stats);
+      mds.match_online_linear(job.requirements, linear, &linear_stats);
+      ASSERT_EQ(indexed.size(), linear.size());
+      for (std::size_t i = 0; i < indexed.size(); ++i) {
+        EXPECT_EQ(indexed[i], linear[i]) << "entry order diverged at " << i;
+      }
+      EXPECT_EQ(indexed_stats.eligible, linear_stats.eligible);
+      // The point of the index: never examine more entries than the scan.
+      EXPECT_LE(indexed_stats.candidates_scanned,
+                linear_stats.candidates_scanned);
+    }
+  }
+}
+
+TEST(MetaScheduler, IndexedAndLinearChooseIdenticallyInEveryMode) {
+  const core::SchedulingMode modes[] = {
+      core::SchedulingMode::kRoundRobin, core::SchedulingMode::kLoadOnly,
+      core::SchedulingMode::kEstimateAware, core::SchedulingMode::kOracle};
+  for (const core::SchedulingMode mode : modes) {
+    for (std::uint64_t trial = 0; trial < 5; ++trial) {
+      util::Rng rng(7000 + trial);
+      sim::Simulation sim;
+      grid::MdsDirectory mds(sim);
+      build_directory(sim, mds, rng, 25);
+      core::SpeedCalibrator speeds(3600.0);
+      for (std::size_t i = 0; i < 25; i += 3) {
+        const double runtime = rng.uniform(1200.0, 7200.0);
+        const std::string name = "res" + std::to_string(i);
+        speeds.calibrate(name, {{runtime}});
+        mds.set_speed(name, speeds.speed_or_default(name));
+      }
+      core::SchedulerPolicy policy;
+      policy.mode = mode;
+      // Separate instances: both paths advance their own round-robin
+      // cursor, so interleaving calls on one scheduler would trivially
+      // diverge.
+      core::MetaScheduler indexed(mds, speeds, policy);
+      core::MetaScheduler linear(mds, speeds, policy);
+      for (std::uint64_t j = 0; j < 100; ++j) {
+        const grid::GridJob job = random_job(rng, j);
+        const std::optional<std::string> via_index = indexed.choose(job);
+        const std::optional<std::string> via_scan = linear.choose_linear(job);
+        ASSERT_EQ(via_index, via_scan)
+            << "mode " << scheduling_mode_name(mode) << " trial " << trial
+            << " job " << j;
+      }
+    }
+  }
 }
 
 }  // namespace
