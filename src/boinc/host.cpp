@@ -28,9 +28,22 @@ void VolunteerHost::start(bool initially_online) {
   }
 }
 
+void VolunteerHost::sync_census() {
+  const bool online_now = online();
+  const bool free_now = online_now && !task_.has_value();
+  server_.census_delta(
+      static_cast<int>(online_now) - static_cast<int>(census_online_),
+      static_cast<int>(free_now) - static_cast<int>(census_free_),
+      static_cast<int>(departed_) - static_cast<int>(census_departed_));
+  census_online_ = online_now;
+  census_free_ = free_now;
+  census_departed_ = departed_;
+}
+
 void VolunteerHost::go_online() {
   if (departed_) return;
   online_ = true;
+  sync_census();
   transition_ = sim_.after(rng_.exponential(params_.mean_on_hours * 3600.0),
                            [this] { go_offline(); });
   if (task_) {
@@ -44,6 +57,7 @@ void VolunteerHost::go_offline() {
   if (departed_) return;
   if (task_) pause_task();
   online_ = false;
+  sync_census();
   sim_.cancel(poll_);
   transition_ = sim_.after(rng_.exponential(params_.mean_off_hours * 3600.0),
                            [this] { go_online(); });
@@ -58,6 +72,7 @@ void VolunteerHost::depart() {
     task_.reset();
   }
   online_ = false;
+  sync_census();
   sim_.cancel(transition_);
   sim_.cancel(poll_);
   sim_.cancel(completion_);
@@ -77,6 +92,7 @@ void VolunteerHost::assign(std::uint64_t result_id, double reference_work) {
   assert(online() && !task_);
   sim_.cancel(poll_);
   task_ = Task{result_id, reference_work, 0.0};
+  sync_census();
   resume_task();
 }
 
@@ -104,6 +120,7 @@ void VolunteerHost::complete_task() {
   const double cpu = task_->cpu_spent;
   const bool flawed = rng_.bernoulli(params_.error_probability);
   task_.reset();
+  sync_census();
   // A flawed host perturbs the output fingerprint; the validator's quorum
   // comparison is what catches it.
   const std::uint64_t hash = flawed ? 0xbad0000 + id_ : 0;
@@ -121,6 +138,7 @@ void VolunteerHost::abort_task(std::uint64_t result_id) {
   }
   server_.note_discarded_cpu(task_->cpu_spent);
   task_.reset();
+  sync_census();
   if (online()) request_work();
 }
 

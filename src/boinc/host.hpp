@@ -51,6 +51,8 @@ class VolunteerHost {
   void abort_task(std::uint64_t result_id);
 
  private:
+  friend class BoincServer;  // idle_listed_ bookkeeping
+
   struct Task {
     std::uint64_t result_id;
     double remaining_work;  // reference seconds
@@ -64,6 +66,10 @@ class VolunteerHost {
   void pause_task();
   void complete_task();
   void request_work();
+  /// Push the delta between this host's cached census contribution and its
+  /// current state (online / free / departed) to the server, keeping the
+  /// server's ResourceInfo counts O(1). Called after every state mutation.
+  void sync_census();
 
   sim::Simulation& sim_;
   BoincServer& server_;
@@ -73,6 +79,13 @@ class VolunteerHost {
 
   bool online_ = false;
   bool departed_ = false;
+  /// True while this host sits in the server's idle list (set on push,
+  /// cleared on pop) — makes register_idle dedup O(1).
+  bool idle_listed_ = false;
+  /// Cached census contribution last pushed to the server (sync_census).
+  bool census_online_ = false;
+  bool census_free_ = false;
+  bool census_departed_ = false;
   std::optional<Task> task_;
   sim::SimTime compute_started_ = 0.0;
   sim::EventHandle completion_;

@@ -2,10 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 #include "util/log.hpp"
 
 namespace lattice::boinc {
+
+namespace {
+
+void apply_delta(std::size_t& count, int delta) {
+  if (delta >= 0) {
+    count += static_cast<std::size_t>(delta);
+  } else {
+    assert(count >= static_cast<std::size_t>(-delta));
+    count -= static_cast<std::size_t>(-delta);
+  }
+}
+
+}  // namespace
 
 std::string_view result_state_name(ResultState state) {
   switch (state) {
@@ -27,6 +41,7 @@ BoincServer::BoincServer(sim::Simulation& sim, std::string name,
   assert(config_.hosts > 0);
   const double on_fraction =
       config_.mean_on_hours / (config_.mean_on_hours + config_.mean_off_hours);
+  hosts_.reserve(config_.hosts);
   for (std::size_t h = 0; h < config_.hosts; ++h) {
     HostParams params;
     const double sigma = config_.speed_sigma;
@@ -38,6 +53,8 @@ BoincServer::BoincServer(sim::Simulation& sim, std::string name,
     params.error_probability = rng_.bernoulli(config_.flaky_host_fraction)
                                    ? config_.flaky_error_probability
                                    : config_.host_error_probability;
+    // Host ids are assigned densely (h + 1), which is what makes
+    // host_by_id a direct vector index.
     auto host = std::make_unique<VolunteerHost>(sim_, *this, h + 1, params,
                                                 rng_.split());
     host->start(rng_.bernoulli(on_fraction));
@@ -101,37 +118,42 @@ void BoincServer::on_observability() {
 
 void BoincServer::observe_result_end(const Result& result,
                                      std::string_view reason) {
+  // Guarded: the attribute vector would otherwise allocate per result
+  // even on the null tracer, and this runs for every result instance.
+  if (!tracer().enabled()) return;
   tracer().async_end("result", "boinc.result", result.id, sim_.now(),
                      {{"reason", std::string(reason)}});
 }
 
 BoincServer::~BoincServer() = default;
 
-std::size_t BoincServer::online_hosts() const {
-  std::size_t n = 0;
-  for (const auto& host : hosts_) {
-    if (host->online()) ++n;
-  }
-  return n;
-}
-
 grid::ResourceInfo BoincServer::info() const {
   grid::ResourceInfo info;
-  info.name = name();
-  info.kind = grid::ResourceKind::kBoincPool;
-  info.total_slots = 0;
-  info.free_slots = 0;
-  for (const auto& host : hosts_) {
-    if (host->departed()) continue;
-    ++info.total_slots;
-    if (host->online() && !host->computing()) ++info.free_slots;
-  }
-  info.queued_jobs = unsent_.size();
-  info.node_memory_gb = 2.0;
-  info.platforms = {config_.platform};
-  info.mpi_capable = false;
-  info.stable = false;
+  info_into(info);
   return info;
+}
+
+void BoincServer::info_into(grid::ResourceInfo& out) const {
+  out.name = name();
+  out.kind = grid::ResourceKind::kBoincPool;
+  // Incremental census: both counts are maintained by host state-change
+  // hooks (VolunteerHost::sync_census), not a scan of the host table.
+  out.total_slots = hosts_.size() - departed_count_;
+  out.free_slots = free_count_;
+  std::size_t queued = 0;
+  for (const auto& [platform, feeder] : feeders_) queued += feeder.size();
+  out.queued_jobs = queued;
+  out.node_memory_gb = 2.0;
+  out.platforms.assign(1, config_.platform);
+  out.mpi_capable = false;
+  out.software.clear();
+  out.stable = false;
+}
+
+void BoincServer::census_delta(int online, int free, int departed) {
+  apply_delta(online_count_, online);
+  apply_delta(free_count_, free);
+  apply_delta(departed_count_, departed);
 }
 
 void BoincServer::submit(grid::GridJob& job) {
@@ -158,8 +180,10 @@ void BoincServer::submit(grid::GridJob& job) {
   auto [it, inserted] = workunits_.emplace(wu.id, std::move(wu));
   assert(inserted);
   obs_wu_created_->inc();
-  tracer().async_begin("workunit", "boinc.wu", it->second.id, sim_.now(),
-                       {{"grid_job", std::to_string(job.id)}});
+  if (tracer().enabled()) {
+    tracer().async_begin("workunit", "boinc.wu", it->second.id, sim_.now(),
+                         {{"grid_job", std::to_string(job.id)}});
+  }
   for (int i = 0; i < it->second.target_nresults; ++i) {
     issue_result(it->second);
   }
@@ -170,73 +194,87 @@ void BoincServer::set_delay_bound(std::uint64_t grid_job_id, double seconds) {
   delay_bound_overrides_[grid_job_id] = seconds;
 }
 
+FeederQueue& BoincServer::feeder_for(const grid::PlatformSpec& platform) {
+  const bool is_default = platform == config_.platform;
+  if (is_default && default_feeder_ != nullptr) return *default_feeder_;
+  FeederQueue& feeder = feeders_[grid::platform_name(platform)];
+  if (is_default) default_feeder_ = &feeder;
+  return feeder;
+}
+
 void BoincServer::issue_result(Workunit& wu) {
   if (static_cast<int>(wu.results.size()) >= wu.max_total_results) return;
   Result result;
   result.id = next_result_id_++;
   result.workunit_id = wu.id;
   wu.results.push_back(result);
-  result_to_workunit_[result.id] = wu.id;
-  unsent_.push_back(result.id);
+  results_index_.push_back(
+      {&wu, static_cast<std::uint32_t>(wu.results.size() - 1)});
+  // The pool is platform-homogeneous, so every result feeds the pool
+  // platform's queue.
+  feeder_for(config_.platform).enqueue(result.id);
   obs_results_issued_->inc();
 }
 
 void BoincServer::register_idle(VolunteerHost& host) {
-  if (std::find(idle_hosts_.begin(), idle_hosts_.end(), &host) ==
-      idle_hosts_.end()) {
-    idle_hosts_.push_back(&host);
-  }
+  // O(1): the flag mirrors idle_hosts_ membership exactly (set on push,
+  // cleared on pop), replacing the seed's linear std::find dedup.
+  if (host.idle_listed_) return;
+  host.idle_listed_ = true;
+  idle_hosts_.push_back(&host);
 }
 
 void BoincServer::try_dispatch() {
-  while (!unsent_.empty() && !idle_hosts_.empty()) {
+  FeederQueue& feeder = feeder_for(config_.platform);
+  while (!feeder.empty() && !idle_hosts_.empty()) {
     VolunteerHost* host = idle_hosts_.back();
     idle_hosts_.pop_back();
+    host->idle_listed_ = false;
     if (!host->online() || host->computing()) continue;
     if (!request_work(*host)) break;
   }
 }
 
 bool BoincServer::request_work(VolunteerHost& host) {
-  for (std::size_t scan = 0; scan < unsent_.size();) {
-    const std::uint64_t result_id = unsent_[scan];
+  // Feeder scan: FIFO over unsent results, dropping stale entries on
+  // encounter and skipping (but retaining) results this host may not take.
+  // The verdict sequence is exactly the seed's mid-deque scan; see
+  // boinc/feeder.hpp.
+  return feeder_for(config_.platform).scan([&](std::uint64_t result_id) {
     Result* result = find_result(result_id);
     if (result == nullptr || result->state != ResultState::kUnsent) {
-      unsent_.erase(unsent_.begin() +
-                    static_cast<std::ptrdiff_t>(scan));
-      continue;  // stale entry (workunit finished meanwhile)
+      return FeederQueue::Probe::kDrop;  // stale (workunit decided)
     }
-    Workunit* wu = workunit_of(result->workunit_id);
+    Workunit* wu = workunit_of_result(result_id);
     if (wu == nullptr || wu->state != WorkunitState::kActive) {
-      unsent_.erase(unsent_.begin() +
-                    static_cast<std::ptrdiff_t>(scan));
-      continue;
+      return FeederQueue::Probe::kDrop;
     }
     // BOINC's "one result per user per workunit" rule: replicas of the
     // same workunit must land on distinct hosts, or a single flawed host
     // could satisfy the quorum with two copies of the same wrong answer.
-    bool host_has_sibling = false;
     for (const Result& sibling : wu->results) {
       if (sibling.host_id == host.id() &&
           sibling.state != ResultState::kUnsent) {
-        host_has_sibling = true;
-        break;
+        return FeederQueue::Probe::kSkip;
       }
     }
-    if (host_has_sibling) {
-      ++scan;
-      continue;
-    }
-    unsent_.erase(unsent_.begin() + static_cast<std::ptrdiff_t>(scan));
     result->state = ResultState::kInProgress;
     result->host_id = host.id();
     result->sent_time = sim_.now();
     result->deadline = sim_.now() + wu->delay_bound;
+    // Every dispatch arms exactly one deadline-heap entry (a result's
+    // deadline is set once and the state machine never re-enters
+    // kInProgress), so entries need no removal — just lazy invalidation.
+    deadline_heap_.push_back({result->deadline, result->id});
+    std::push_heap(deadline_heap_.begin(), deadline_heap_.end(),
+                   std::greater<>{});
     obs_results_sent_->inc();
     obs_dispatch_wait_->observe(sim_.now() - wu->created);
-    tracer().async_begin("result", "boinc.result", result->id, sim_.now(),
-                         {{"host", std::to_string(host.id())},
-                          {"workunit", std::to_string(wu->id)}});
+    if (tracer().enabled()) {
+      tracer().async_begin("result", "boinc.result", result->id, sim_.now(),
+                           {{"host", std::to_string(host.id())},
+                            {"workunit", std::to_string(wu->id)}});
+    }
     if (wu->grid_job != nullptr &&
         wu->grid_job->state == grid::JobState::kQueued) {
       wu->grid_job->state = grid::JobState::kRunning;
@@ -254,25 +292,31 @@ bool BoincServer::request_work(VolunteerHost& host) {
                 wu->reference_work +
                     (config_.result_overhead_seconds + staging) *
                         host.speed());
-    return true;
-  }
-  return false;
+    return FeederQueue::Probe::kTake;
+  });
 }
 
 Result* BoincServer::find_result(std::uint64_t result_id) {
-  const auto wu_it = result_to_workunit_.find(result_id);
-  if (wu_it == result_to_workunit_.end()) return nullptr;
-  Workunit* wu = workunit_of(wu_it->second);
-  if (wu == nullptr) return nullptr;
-  for (Result& r : wu->results) {
-    if (r.id == result_id) return &r;
-  }
-  return nullptr;
+  if (result_id == 0 || result_id > results_index_.size()) return nullptr;
+  const ResultLoc& loc = results_index_[result_id - 1];
+  return &loc.workunit->results[loc.index];
+}
+
+Workunit* BoincServer::workunit_of_result(std::uint64_t result_id) {
+  if (result_id == 0 || result_id > results_index_.size()) return nullptr;
+  return results_index_[result_id - 1].workunit;
 }
 
 Workunit* BoincServer::workunit_of(std::uint64_t workunit_id) {
   const auto it = workunits_.find(workunit_id);
   return it == workunits_.end() ? nullptr : &it->second;
+}
+
+VolunteerHost* BoincServer::host_by_id(std::uint64_t host_id) {
+  // Ids are dense (assigned h + 1 at construction) and hosts are never
+  // removed from the table, so lookup is a direct index.
+  if (host_id == 0 || host_id > hosts_.size()) return nullptr;
+  return hosts_[host_id - 1].get();
 }
 
 void BoincServer::report_result(std::uint64_t result_id, double cpu_seconds,
@@ -281,7 +325,7 @@ void BoincServer::report_result(std::uint64_t result_id, double cpu_seconds,
   if (result == nullptr) return;
   total_cpu_ += cpu_seconds;
   const bool was_in_progress = result->state == ResultState::kInProgress;
-  Workunit* wu = workunit_of(result->workunit_id);
+  Workunit* wu = workunit_of_result(result_id);
   assert(wu != nullptr);
   if (wu->state != WorkunitState::kActive) {
     // Straggler for an already-decided workunit: wasted duplication.
@@ -313,7 +357,7 @@ void BoincServer::report_error(std::uint64_t result_id, double cpu_seconds) {
   result->state = ResultState::kError;
   obs_results_error_->inc();
   if (was_in_progress) observe_result_end(*result, "error");
-  Workunit* wu = workunit_of(result->workunit_id);
+  Workunit* wu = workunit_of_result(result_id);
   if (wu != nullptr && wu->state == WorkunitState::kActive) {
     ++reissued_;
     obs_results_reissued_->inc();
@@ -335,37 +379,92 @@ void BoincServer::notify_departure(std::uint64_t result_id) {
   }
 }
 
+void BoincServer::time_out_result(Workunit& wu, Result& result) {
+  (void)wu;
+  observe_result_end(result, "timeout");
+  result.state = ResultState::kTimedOut;
+  ++timeouts_;
+  obs_results_timed_out_->inc();
+  obs_deadline_misses_->inc();
+  // Tell the holder (if it still exists) to drop the task. This can
+  // synchronously hand the freed host a new unsent result.
+  VolunteerHost* host = host_by_id(result.host_id);
+  if (host != nullptr) host->abort_task(result.id);
+}
+
+void BoincServer::reissue_after_timeouts(Workunit& wu) {
+  if (wu.outstanding() >= wu.min_quorum) return;
+  ++reissued_;
+  obs_results_reissued_->inc();
+  issue_result(wu);
+  if (static_cast<int>(wu.results.size()) >= wu.max_total_results &&
+      wu.outstanding() == 0) {
+    finish_workunit(wu, false, "result cap exhausted");
+  }
+}
+
 void BoincServer::transition() {
+  if (transitioner_full_sweep_) {
+    transition_full_sweep();
+    return;
+  }
+  // Deadline heap: pop the overdue prefix (lazily discarding entries whose
+  // result already left kInProgress), then replay the timeouts in the full
+  // sweep's visit order — workunit-major, issuance order within a
+  // workunit — because a timeout's synchronous host abort can trigger an
+  // immediate dispatch, making processing order observable. Result ids
+  // increase with issuance, so (workunit id, result id) is that order.
+  overdue_scratch_.clear();
+  while (!deadline_heap_.empty() &&
+         deadline_heap_.front().deadline < sim_.now()) {
+    std::pop_heap(deadline_heap_.begin(), deadline_heap_.end(),
+                  std::greater<>{});
+    const DeadlineEntry entry = deadline_heap_.back();
+    deadline_heap_.pop_back();
+    Result* result = find_result(entry.result_id);
+    if (result == nullptr || result->state != ResultState::kInProgress) {
+      continue;  // lazily deleted: reported/aborted since dispatch
+    }
+    overdue_scratch_.emplace_back(result->workunit_id, entry.result_id);
+  }
+  std::sort(overdue_scratch_.begin(), overdue_scratch_.end());
+  for (std::size_t i = 0; i < overdue_scratch_.size();) {
+    const std::uint64_t wu_id = overdue_scratch_[i].first;
+    Workunit* wu = workunit_of(wu_id);
+    const bool active = wu != nullptr && wu->state == WorkunitState::kActive;
+    bool reissue_needed = false;
+    for (; i < overdue_scratch_.size() && overdue_scratch_[i].first == wu_id;
+         ++i) {
+      if (!active) continue;
+      Result* result = find_result(overdue_scratch_[i].second);
+      // Re-check at visit time: processing an earlier workunit can change
+      // this result's state (e.g. its workunit was finished meanwhile).
+      if (result == nullptr || result->state != ResultState::kInProgress) {
+        continue;
+      }
+      time_out_result(*wu, *result);
+      reissue_needed = true;
+    }
+    if (active && reissue_needed) reissue_after_timeouts(*wu);
+  }
+  try_dispatch();
+}
+
+void BoincServer::transition_full_sweep() {
+  // The seed implementation, retained as the oracle for the deadline-heap
+  // path (tests/test_sched_index.cpp runs twin scenarios under both and
+  // requires identical outcomes): sweep every workunit, every result.
   for (auto& [id, wu] : workunits_) {
     if (wu.state != WorkunitState::kActive) continue;
     bool reissue_needed = false;
     for (Result& result : wu.results) {
       if (result.state == ResultState::kInProgress &&
           sim_.now() > result.deadline) {
-        observe_result_end(result, "timeout");
-        result.state = ResultState::kTimedOut;
-        ++timeouts_;
-        obs_results_timed_out_->inc();
-        obs_deadline_misses_->inc();
-        // Tell the holder (if it still exists) to drop the task.
-        for (auto& host : hosts_) {
-          if (host->id() == result.host_id) {
-            host->abort_task(result.id);
-            break;
-          }
-        }
+        time_out_result(wu, result);
         reissue_needed = true;
       }
     }
-    if (reissue_needed && wu.outstanding() < wu.min_quorum) {
-      ++reissued_;
-      obs_results_reissued_->inc();
-      issue_result(wu);
-      if (static_cast<int>(wu.results.size()) >= wu.max_total_results &&
-          wu.outstanding() == 0) {
-        finish_workunit(wu, false, "result cap exhausted");
-      }
-    }
+    if (reissue_needed) reissue_after_timeouts(wu);
   }
   try_dispatch();
 }
@@ -383,12 +482,14 @@ void BoincServer::validate(Workunit& wu) {
   // Majority vote over output fingerprints among successful results; the
   // workunit validates when some fingerprint reaches the quorum. (Quorum 1
   // means any single return is trusted, the paper project's setting.)
-  std::map<std::uint64_t, int> votes;
+  votes_scratch_.clear();
   for (const Result& result : wu.results) {
-    if (result.state == ResultState::kSuccess) ++votes[result.output_hash];
+    if (result.state == ResultState::kSuccess) tally_vote(result.output_hash);
   }
   int best = 0;
-  for (const auto& [hash, count] : votes) best = std::max(best, count);
+  for (const auto& [hash, count] : votes_scratch_) {
+    best = std::max(best, count);
+  }
 
   // Adaptive replication: a lone quorum-1 result from an unproven host
   // needs one agreeing replica before it validates.
@@ -449,19 +550,25 @@ void BoincServer::finish_workunit(Workunit& wu, bool success,
   wu.state = success ? WorkunitState::kValidated : WorkunitState::kError;
   wu.validated_time = sim_.now();
   (success ? obs_wu_validated_ : obs_wu_failed_)->inc();
-  tracer().async_end("workunit", "boinc.wu", wu.id, sim_.now(),
-                     {{"outcome", why}});
+  if (tracer().enabled()) {
+    tracer().async_end("workunit", "boinc.wu", wu.id, sim_.now(),
+                       {{"outcome", why}});
+  }
   if (success) {
     // Grant credit to hosts whose result carried the canonical output
     // fingerprint (the validator's majority hash).
-    std::map<std::uint64_t, int> votes;
+    votes_scratch_.clear();
     for (const Result& result : wu.results) {
-      if (result.state == ResultState::kSuccess) ++votes[result.output_hash];
+      if (result.state == ResultState::kSuccess) {
+        tally_vote(result.output_hash);
+      }
     }
+    // Smallest hash with the maximal count, matching the ascending-key
+    // iteration of the std::map tally this flat scratch replaced.
     std::uint64_t canonical = 0;
     int best = 0;
-    for (const auto& [hash, count] : votes) {
-      if (count > best) {
+    for (const auto& [hash, count] : votes_scratch_) {
+      if (count > best || (count == best && best > 0 && hash < canonical)) {
         best = count;
         canonical = hash;
       }
@@ -484,12 +591,8 @@ void BoincServer::finish_workunit(Workunit& wu, bool success,
   for (Result& result : wu.results) {
     if (result.state == ResultState::kInProgress) {
       observe_result_end(result, "aborted");
-      for (auto& host : hosts_) {
-        if (host->id() == result.host_id) {
-          host->abort_task(result.id);
-          break;
-        }
-      }
+      VolunteerHost* host = host_by_id(result.host_id);
+      if (host != nullptr) host->abort_task(result.id);
       result.state = ResultState::kAborted;
     } else if (result.state == ResultState::kUnsent) {
       result.state = ResultState::kAborted;
@@ -519,17 +622,15 @@ void BoincServer::cancel(std::uint64_t job_id) {
     if (wu.state != WorkunitState::kActive) return;
     grid::GridJob& job = *wu.grid_job;
     wu.state = WorkunitState::kCancelled;
-    tracer().async_end("workunit", "boinc.wu", wu.id, sim_.now(),
-                       {{"outcome", "cancelled"}});
+    if (tracer().enabled()) {
+      tracer().async_end("workunit", "boinc.wu", wu.id, sim_.now(),
+                         {{"outcome", "cancelled"}});
+    }
     for (Result& result : wu.results) {
       if (result.state == ResultState::kInProgress) {
         observe_result_end(result, "cancelled");
-        for (auto& host : hosts_) {
-          if (host->id() == result.host_id) {
-            host->abort_task(result.id);
-            break;
-          }
-        }
+        VolunteerHost* host = host_by_id(result.host_id);
+        if (host != nullptr) host->abort_task(result.id);
         result.state = ResultState::kAborted;
       } else if (result.state == ResultState::kUnsent) {
         result.state = ResultState::kAborted;

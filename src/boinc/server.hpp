@@ -7,13 +7,24 @@
 //                          received in a timely manner");
 //   validator           — forms a quorum of agreeing results;
 //   assimilator         — reports the canonical result to the grid level.
+//
+// Scalability (the 10⁵-host pass): every per-decision structure is
+// indexed — unsent results live in per-platform feeder queues
+// (FeederQueue, O(1) amortized per scan step), report deadlines live in a
+// lazy-deletion min-heap so the transitioner touches only overdue results
+// instead of sweeping every workunit, hosts are addressed by id through a
+// dense index instead of linear scans, idle registration is O(1) via a
+// listed flag, and the ResourceInfo census (online/free/departed counts)
+// is maintained incrementally by host state-change hooks so info() is
+// O(1) instead of O(hosts). Invalidation rules are in DESIGN.md §10.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "boinc/feeder.hpp"
 #include "boinc/host.hpp"
 #include "boinc/workunit.hpp"
 #include "grid/resource.hpp"
@@ -67,6 +78,7 @@ class BoincServer final : public grid::LocalResource {
 
   // grid::LocalResource interface -------------------------------------
   grid::ResourceInfo info() const override;
+  void info_into(grid::ResourceInfo& out) const override;
   void submit(grid::GridJob& job) override;
   void cancel(std::uint64_t job_id) override;
 
@@ -92,7 +104,7 @@ class BoincServer final : public grid::LocalResource {
   const std::map<std::uint64_t, Workunit>& workunits() const {
     return workunits_;
   }
-  std::size_t online_hosts() const;
+  std::size_t online_hosts() const { return online_count_; }
   std::size_t attached_hosts() const { return hosts_.size(); }
   std::uint64_t reissued_results() const { return reissued_; }
   std::uint64_t timed_out_results() const { return timeouts_; }
@@ -111,6 +123,18 @@ class BoincServer final : public grid::LocalResource {
   }
   const BoincPoolConfig& config() const { return config_; }
 
+  /// Test knob: run the transitioner as the seed's full workunit-table
+  /// sweep instead of the deadline heap. The two paths are
+  /// interaction-identical by construction; the property test
+  /// (tests/test_sched_index.cpp) runs twin scenarios under both and
+  /// demands bit-identical outcomes.
+  void set_transitioner_full_sweep(bool full_sweep) {
+    transitioner_full_sweep_ = full_sweep;
+  }
+  /// Deadline-heap entries currently alive (including lazily deleted
+  /// stragglers awaiting pop). Exposed for tests.
+  std::size_t deadline_heap_entries() const { return deadline_heap_.size(); }
+
   /// Credit granted to a host (cobblestone-style: normalized CPU-seconds
   /// of *validated* work — results whose output matched the canonical
   /// fingerprint; flawed or wasted results earn nothing).
@@ -128,27 +152,90 @@ class BoincServer final : public grid::LocalResource {
  private:
   friend class VolunteerHost;
 
+  /// Overdue deadline-heap entry, lazily deleted: valid only while the
+  /// named result is still kInProgress (a result's deadline is set exactly
+  /// once, at dispatch).
+  struct DeadlineEntry {
+    double deadline;
+    std::uint64_t result_id;
+    bool operator>(const DeadlineEntry& other) const {
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return result_id > other.result_id;
+    }
+  };
+
+  /// Where a result lives: owning workunit (stable: workunits_ is a
+  /// node-based map) and position in its results vector (stable:
+  /// append-only).
+  struct ResultLoc {
+    Workunit* workunit;
+    std::uint32_t index;
+  };
+
   void transition();
+  void transition_full_sweep();
+  /// Apply the timeout protocol to one overdue in-progress result;
+  /// `reissue_needed` accumulates per-workunit.
+  void time_out_result(Workunit& wu, Result& result);
+  /// Per-workunit reissue step after its timeouts this transition.
+  void reissue_after_timeouts(Workunit& wu);
   void on_observability() override;
   /// Close a result's trace span and stamp deadline metrics when it leaves
   /// the in-progress state (report, error, timeout, abort).
   void observe_result_end(const Result& result, std::string_view reason);
   Result* find_result(std::uint64_t result_id);
   Workunit* workunit_of(std::uint64_t workunit_id);
+  Workunit* workunit_of_result(std::uint64_t result_id);
+  VolunteerHost* host_by_id(std::uint64_t host_id);
   void issue_result(Workunit& wu);
   void try_dispatch();
   void validate(Workunit& wu);
   void finish_workunit(Workunit& wu, bool success, const std::string& why);
+  FeederQueue& feeder_for(const grid::PlatformSpec& platform);
+  /// Bump `hash`'s tally in votes_scratch_ (≤ max_total_results entries, so
+  /// a linear probe beats a per-validation std::map allocation).
+  void tally_vote(std::uint64_t hash) {
+    for (auto& [seen, count] : votes_scratch_) {
+      if (seen == hash) {
+        ++count;
+        return;
+      }
+    }
+    votes_scratch_.emplace_back(hash, 1);
+  }
+  /// Incremental ResourceInfo census: hosts report state-change deltas
+  /// (online = powered on and attached, free = online with no task,
+  /// departed = permanently gone) so info() never scans the host table.
+  void census_delta(int online, int free, int departed);
 
   BoincPoolConfig config_;
   util::Rng rng_;
   std::vector<std::unique_ptr<VolunteerHost>> hosts_;
   std::map<std::uint64_t, Workunit> workunits_;
-  std::map<std::uint64_t, std::uint64_t> result_to_workunit_;
-  std::deque<std::uint64_t> unsent_;       // result ids awaiting dispatch
+  /// Dense result-id → location index (ids are assigned sequentially from
+  /// 1, so entry i describes result i + 1): O(1) result lookup on every
+  /// report/dispatch/timeout instead of two tree searches.
+  std::vector<ResultLoc> results_index_;
+  /// Unsent results awaiting dispatch, one feeder per platform (the pool
+  /// is homogeneous today, so a single feeder is live; the keying is the
+  /// structure BOINC's shared-memory feeder uses per app-platform pair).
+  std::map<std::string, FeederQueue> feeders_;
+  /// Cached feeder for config_.platform (map nodes are stable): every
+  /// request/enqueue targets the pool platform, and rebuilding the
+  /// platform-name key per call was a measurable allocation cost.
+  FeederQueue* default_feeder_ = nullptr;
   std::vector<VolunteerHost*> idle_hosts_;  // online, no task
   std::map<std::uint64_t, double> delay_bound_overrides_;
+  /// Min-heap over (deadline, result id) of dispatched results; the
+  /// transitioner pops only the overdue prefix.
+  std::vector<DeadlineEntry> deadline_heap_;
+  /// Scratch for one transition's overdue set, sorted to the full-sweep
+  /// visit order (workunit id, then result id).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> overdue_scratch_;
+  /// Scratch output-hash tally for validate()/finish_workunit().
+  std::vector<std::pair<std::uint64_t, int>> votes_scratch_;
   std::unique_ptr<sim::PeriodicTask> transitioner_;
+  bool transitioner_full_sweep_ = false;
 
   std::uint64_t next_workunit_id_ = 1;
   std::uint64_t next_result_id_ = 1;
@@ -160,6 +247,11 @@ class BoincServer final : public grid::LocalResource {
   std::map<std::uint64_t, double> credit_;
   std::map<std::uint64_t, int> valid_streak_;
   std::uint64_t corrupted_ = 0;
+
+  // Incremental host census (see census_delta).
+  std::size_t online_count_ = 0;
+  std::size_t free_count_ = 0;
+  std::size_t departed_count_ = 0;
 
   // Observability (bound to the null sinks until set_observability).
   obs::Counter* obs_wu_created_ = nullptr;
