@@ -194,8 +194,10 @@ std::uint64_t LatticeSystem::submit_job_with_runtime(
   ++metrics_.submitted;
   ++outstanding_;
   obs_jobs_submitted_->inc();
-  obs_tracer_->async_begin("job", "lattice.job", id, sim_.now(),
-                           {{"batch", std::to_string(batch_id)}});
+  if (obs_tracer_->enabled()) {
+    obs_tracer_->async_begin("job", "lattice.job", id, sim_.now(),
+                             {{"batch", std::to_string(batch_id)}});
+  }
   return id;
 }
 
@@ -219,8 +221,10 @@ bool LatticeSystem::cancel_job(std::uint64_t id) {
       if (pending_it != pending_.end()) pending_.erase(pending_it);
       job.state = grid::JobState::kCancelled;
       --outstanding_;
-      obs_tracer_->async_end("job", "lattice.job", id, sim_.now(),
-                             {{"outcome", "cancelled"}});
+      if (obs_tracer_->enabled()) {
+        obs_tracer_->async_end("job", "lattice.job", id, sim_.now(),
+                               {{"outcome", "cancelled"}});
+      }
       if (terminal_hook_) terminal_hook_(job, false);
       return true;
     }
@@ -299,9 +303,11 @@ void LatticeSystem::on_outcome(grid::GridJob& job,
     metrics_.last_completion = sim_.now();
     --outstanding_;
     obs_jobs_completed_->inc();
-    obs_tracer_->async_end("job", "lattice.job", job.id, sim_.now(),
-                           {{"outcome", "completed"},
-                            {"resource", job.resource}});
+    if (obs_tracer_->enabled()) {
+      obs_tracer_->async_end("job", "lattice.job", job.id, sim_.now(),
+                             {{"outcome", "completed"},
+                              {"resource", job.resource}});
+    }
     if (job.estimated_reference_runtime) {
       const double measured =
           outcome.cpu_seconds * speeds_.speed_or_default(job.resource);
@@ -324,8 +330,10 @@ void LatticeSystem::on_outcome(grid::GridJob& job,
   metrics_.wasted_cpu_seconds += outcome.cpu_seconds;
   if (job.state == grid::JobState::kCancelled) {
     --outstanding_;
-    obs_tracer_->async_end("job", "lattice.job", job.id, sim_.now(),
-                           {{"outcome", "cancelled"}});
+    if (obs_tracer_->enabled()) {
+      obs_tracer_->async_end("job", "lattice.job", job.id, sim_.now(),
+                             {{"outcome", "cancelled"}});
+    }
     if (terminal_hook_) terminal_hook_(job, false);
     return;
   }
@@ -335,8 +343,10 @@ void LatticeSystem::on_outcome(grid::GridJob& job,
     ++metrics_.abandoned;
     --outstanding_;
     obs_jobs_abandoned_->inc();
-    obs_tracer_->async_end("job", "lattice.job", job.id, sim_.now(),
-                           {{"outcome", "abandoned"}});
+    if (obs_tracer_->enabled()) {
+      obs_tracer_->async_end("job", "lattice.job", job.id, sim_.now(),
+                             {{"outcome", "abandoned"}});
+    }
     util::log_warn("lattice", "job {} abandoned after {} attempts", job.id,
                    job.attempts);
     if (terminal_hook_) terminal_hook_(job, false);

@@ -209,6 +209,10 @@ CondorPool::CondorPool(sim::Simulation& sim, std::string name, Config config)
     machines_[m].owner_busy = rng_.bernoulli(busy_fraction);
     schedule_owner_cycle(m);
   }
+  machine_ads_.reserve(machines_.size());
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    machine_ads_.push_back(machine_ad(m));
+  }
   on_observability();
 }
 
@@ -299,7 +303,8 @@ void CondorPool::submit(GridJob& job) {
   job.state = JobState::kQueued;
   job.resource = name();
   job.queued_time = sim_.now();
-  queue_.push_back(&job);
+  queue_.push_back(
+      {&job, AdExpression::parse(condor_requirements_expression(job))});
   try_start();
 }
 
@@ -327,14 +332,13 @@ void CondorPool::try_start() {
   // expression; a job with no eligible idle machine does not block the
   // jobs behind it.
   for (std::size_t q = 0; q < queue_.size();) {
-    GridJob* job = queue_[q];
-    const AdExpression requirements =
-        AdExpression::parse(condor_requirements_expression(*job));
+    GridJob* job = queue_[q].job;
+    const AdExpression& requirements = queue_[q].requirements;
     bool placed = false;
     for (std::size_t m = 0; m < machines_.size(); ++m) {
       Machine& machine = machines_[m];
       if (machine.owner_busy || machine.job != nullptr) continue;
-      if (!requirements.matches(machine_ad(m))) continue;
+      if (!requirements.matches(machine_ads_[m])) continue;
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(q));
       machine.job = job;
       machine.job_started = sim_.now();
@@ -376,9 +380,9 @@ void CondorPool::complete(std::size_t machine) {
 void CondorPool::cancel(std::uint64_t job_id) {
   const auto queued =
       std::find_if(queue_.begin(), queue_.end(),
-                   [&](const GridJob* j) { return j->id == job_id; });
+                   [&](const QueuedJob& q) { return q.job->id == job_id; });
   if (queued != queue_.end()) {
-    GridJob& job = **queued;
+    GridJob& job = *queued->job;
     queue_.erase(queued);
     job.state = JobState::kCancelled;
     obs_cancelled_->inc();

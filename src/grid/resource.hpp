@@ -71,6 +71,10 @@ class LocalResource {
   sim::Simulation& simulation() { return sim_; }
 
   virtual ResourceInfo info() const = 0;
+  /// Allocation-lean variant for periodic reporters: fill `out` in place so
+  /// callers reusing one ResourceInfo hit string/vector capacity instead of
+  /// fresh heap blocks on every heartbeat. Default falls back to info().
+  virtual void info_into(ResourceInfo& out) const { out = info(); }
   /// Accept a grid job into the local queue. The job must stay alive until
   /// the completion callback fires.
   virtual void submit(GridJob& job) = 0;
@@ -205,6 +209,14 @@ class CondorPool : public LocalResource {
     sim::SimTime job_started = 0.0;
   };
 
+  /// Queued job with its requirements expression parsed once at submit —
+  /// try_start rescans the queue on every dispatch opportunity, and the
+  /// expression is a pure function of the (immutable) job requirements.
+  struct QueuedJob {
+    GridJob* job;
+    AdExpression requirements;
+  };
+
   void schedule_owner_cycle(std::size_t machine);
   void owner_arrives(std::size_t machine);
   void owner_leaves(std::size_t machine);
@@ -215,7 +227,10 @@ class CondorPool : public LocalResource {
   Config config_;
   util::Rng rng_;
   std::vector<Machine> machines_;
-  std::deque<GridJob*> queue_;
+  /// machine_ad(m) snapshots, built once: the advertised attributes
+  /// (OpSys/Arch/Memory/KFlops) are fixed at construction.
+  std::vector<ClassAd> machine_ads_;
+  std::deque<QueuedJob> queue_;
 
   obs::Counter* obs_started_ = nullptr;
   obs::Counter* obs_completed_ = nullptr;
