@@ -11,6 +11,11 @@
 #include <utility>
 #include <vector>
 
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#define LATTICE_BENCH_HAS_GETRUSAGE 1
+#endif
+
 #include "core/cost_model.hpp"
 #include "core/estimator.hpp"
 #include "core/lattice.hpp"
@@ -18,6 +23,20 @@
 #include "util/table.hpp"
 
 namespace lattice::bench {
+
+/// Peak resident-set size of this process in kilobytes (getrusage
+/// ru_maxrss; 0 where the platform has no getrusage). A scalability bench
+/// records this next to throughput so a memory blow-up at 10^5 hosts is
+/// as visible as a slowdown.
+inline std::uint64_t rss_peak_kb() {
+#ifdef LATTICE_BENCH_HAS_GETRUSAGE
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+  }
+#endif
+  return 0;
+}
 
 /// Machine-readable benchmark results: collects key/value metrics and
 /// writes BENCH_<name>.json into the working directory on destruction, so
@@ -40,6 +59,21 @@ class JsonReport {
   }
   void set(const std::string& key, const std::string& value) {
     entries_.emplace_back(key, '"' + escape(value) + '"');
+  }
+
+  /// Record an event-throughput pair: `<prefix>_events` and
+  /// `<prefix>_events_per_sec` (0 when the wall time is degenerate).
+  void set_events_per_sec(const std::string& prefix, std::uint64_t events,
+                          double wall_seconds) {
+    set(prefix + "_events", events);
+    set(prefix + "_events_per_sec",
+        wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
+                           : 0.0);
+  }
+
+  /// Record the process peak RSS under `key` (see bench::rss_peak_kb).
+  void set_rss_peak_kb(const std::string& key = "rss_peak_kb") {
+    set(key, bench::rss_peak_kb());
   }
 
   void write() const {
@@ -84,6 +118,14 @@ struct InventoryOptions {
   double cluster_overhead = 30.0;
   double condor_overhead = 60.0;
   std::uint64_t seed = 1;
+  /// Volunteer-pool redundancy/reliability knobs (BoincPoolConfig
+  /// defaults when left alone). Raising quorum and the flaky fraction
+  /// drives the validator, transitioner, and reissue paths — what the
+  /// grid-scale smoke runs under the sanitizers.
+  int boinc_min_quorum = 1;
+  int boinc_target_nresults = 1;
+  double boinc_flaky_fraction = 0.0;
+  double boinc_delay_bound = 14.0 * 86400.0;
 };
 
 /// The Lattice Project's §IV inventory: clusters at four institutions
@@ -134,6 +176,10 @@ inline void build_inventory(core::LatticeSystem& system,
     config.mean_speed = 0.8;
     config.speed_sigma = 0.6;
     config.seed = options.seed + 999;
+    config.min_quorum = options.boinc_min_quorum;
+    config.target_nresults = options.boinc_target_nresults;
+    config.flaky_host_fraction = options.boinc_flaky_fraction;
+    config.default_delay_bound = options.boinc_delay_bound;
     system.add_boinc_pool("lattice-boinc", config);
   }
 }

@@ -17,6 +17,9 @@
 
 #include "boinc/server.hpp"
 #include "core/deadline.hpp"
+#include "core/metascheduler.hpp"
+#include "core/speed.hpp"
+#include "grid/mds.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "phylo/likelihood.hpp"
@@ -86,6 +89,19 @@ int main(int argc, char** argv) {
         }
       });
 
+  // Placement goes through the grid layer's matchmaking (MDS capability
+  // index + meta-scheduler) rather than straight to the server, so the
+  // determinism check covers the indexed scheduling path end to end; the
+  // retained linear reference is consulted on every decision and must
+  // agree (the binary-level twin of tests/test_sched_index.cpp).
+  grid::MdsDirectory mds(sim);
+  mds.report(server.info());
+  core::SpeedCalibrator speeds(3600.0);
+  core::SchedulerPolicy policy;
+  core::MetaScheduler scheduler(mds, speeds, policy);
+  core::MetaScheduler linear_reference(mds, speeds, policy);
+  if (observe) scheduler.set_observability(metrics);
+
   // 200 jobs of ~6 reference-hours each, with estimate-derived deadlines.
   core::DeadlinePolicy deadline_policy;
   std::vector<grid::GridJob> jobs(200);
@@ -93,11 +109,21 @@ int main(int argc, char** argv) {
     jobs[i].id = i + 1;
     jobs[i].true_reference_runtime = 6.0 * 3600.0;
     jobs[i].estimated_reference_runtime = 6.3 * 3600.0;  // RF estimate
+    const auto placement = scheduler.choose(jobs[i]);
+    if (placement != linear_reference.choose_linear(jobs[i]) ||
+        placement.value_or("") != "lattice-boinc") {
+      std::cerr << "matchmaking diverged from the linear reference!\n";
+      return 1;
+    }
     server.set_delay_bound(
         jobs[i].id,
         deadline_policy.deadline_seconds(*jobs[i].estimated_reference_runtime));
     server.submit(jobs[i]);
   }
+  std::cout << util::format(
+      "matchmaking: {} placements via the capability index, linear "
+      "reference agreed on all\n",
+      jobs.size());
 
   std::cout << util::format("submitted {} workunits to {} volunteer hosts\n",
                             jobs.size(), config.hosts);

@@ -37,6 +37,15 @@ run b 2
 run c 5
 
 fail=0
+# The scheduler-scalability metrics must be present in the snapshot: the
+# indexed matchmaking path is only proven live (and only comparable across
+# PRs) if its counters appear here.
+for metric in sched.match_candidates_scanned sched.match_eligible; do
+  if ! grep -q "$metric" "$work/m-a.json"; then
+    echo "determinism: metric '$metric' missing from metrics snapshot" >&2
+    fail=1
+  fi
+done
 check() {  # check <x> <y> <what>
   local x=$1 y=$2 what=$3
   if ! cmp -s "$work/$x" "$work/$y"; then
