@@ -39,8 +39,41 @@ for name in $registered; do
   fi
 done
 
+# The scheduler-scalability pass documents a complexity budget
+# (docs/PERFORMANCE.md) and index-invalidation rules (DESIGN.md §10);
+# both must keep naming the indexed structures they govern so the docs
+# cannot silently drift from the data structures.
+perf=docs/PERFORMANCE.md
+if [ ! -f "$perf" ]; then
+  echo "check_docs: missing $perf (complexity budget)" >&2
+  fail=1
+else
+  for anchor in match_online 'deadline heap' 'feeder' 'census' \
+                'far band' 'ns/decision'; do
+    if ! grep -qiF "$anchor" "$perf"; then
+      echo "check_docs: $perf lost its '$anchor' budget entry" >&2
+      fail=1
+    fi
+  done
+fi
+
+design=DESIGN.md
+if ! grep -qE '^## +(§ *)?10' "$design" 2>/dev/null; then
+  echo "check_docs: $design has no §10 (index-invalidation rules)" >&2
+  fail=1
+else
+  for anchor in 'capability class' 'deadline' 'tombstone' 'generation' \
+                'far_threshold_' 'results_index_'; do
+    if ! grep -qiF "$anchor" "$design"; then
+      echo "check_docs: $design §10 lost its '$anchor' invalidation rule" >&2
+      fail=1
+    fi
+  done
+fi
+
 if [ "$fail" -eq 0 ]; then
   count=$(printf '%s\n' "$registered" | wc -l)
-  echo "check_docs: all $count registered metric names documented in $doc"
+  echo "check_docs: all $count registered metric names documented in $doc;" \
+       "complexity budget and invalidation rules present"
 fi
 exit "$fail"
