@@ -19,6 +19,7 @@
 #include "core/cost_model.hpp"
 #include "core/estimator.hpp"
 #include "core/lattice.hpp"
+#include "grid/inventory.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -111,77 +112,17 @@ inline void paper_note(const std::string& note) {
   std::cout << "[paper] " << note << "\n";
 }
 
-struct InventoryOptions {
-  std::size_t boinc_hosts = 300;
-  std::size_t condor_machines_per_pool = 40;
-  bool include_boinc = true;
-  double cluster_overhead = 30.0;
-  double condor_overhead = 60.0;
-  std::uint64_t seed = 1;
-  /// Volunteer-pool redundancy/reliability knobs (BoincPoolConfig
-  /// defaults when left alone). Raising quorum and the flaky fraction
-  /// drives the validator, transitioner, and reissue paths — what the
-  /// grid-scale smoke runs under the sanitizers.
-  int boinc_min_quorum = 1;
-  int boinc_target_nresults = 1;
-  double boinc_flaky_fraction = 0.0;
-  double boinc_delay_bound = 14.0 * 86400.0;
-};
+/// The canonical paper inventory now lives in grid::lattice_inventory
+/// (src/grid/inventory.hpp); the bench-local builder is a thin alias so
+/// existing bench code keeps compiling unchanged.
+using InventoryOptions = grid::InventoryOptions;
 
 /// The Lattice Project's §IV inventory: clusters at four institutions
 /// (PBS/SGE, differing speeds and memory), four Condor pools, and the
 /// international BOINC pool.
 inline void build_inventory(core::LatticeSystem& system,
                             const InventoryOptions& options = {}) {
-  using grid::Arch;
-  using grid::OsType;
-  using grid::PlatformSpec;
-
-  auto cluster = [&](const std::string& name, std::size_t nodes,
-                     std::size_t cores, double speed, double memory,
-                     grid::ResourceKind kind) {
-    grid::BatchQueueResource::Config config;
-    config.nodes = nodes;
-    config.cores_per_node = cores;
-    config.node_speed = speed;
-    config.node_memory_gb = memory;
-    config.kind = kind;
-    config.mpi_capable = true;
-    config.job_overhead_seconds = options.cluster_overhead;
-    config.software = {"java"};
-    system.add_cluster(name, config);
-  };
-  cluster("umd-deepthought", 32, 8, 1.6, 32.0, grid::ResourceKind::kPbsCluster);
-  cluster("umd-cbcb", 16, 4, 1.2, 64.0, grid::ResourceKind::kSgeCluster);
-  cluster("bowie-hpc", 8, 4, 0.8, 8.0, grid::ResourceKind::kPbsCluster);
-  cluster("smithsonian-hpc", 12, 4, 1.0, 16.0,
-          grid::ResourceKind::kSgeCluster);
-
-  const char* pool_names[4] = {"umd-condor", "bowie-condor", "coppin-condor",
-                               "smithsonian-condor"};
-  const double pool_speeds[4] = {1.0, 0.7, 0.6, 0.9};
-  for (int i = 0; i < 4; ++i) {
-    grid::CondorPool::Config config;
-    config.machines = options.condor_machines_per_pool;
-    config.mean_speed = pool_speeds[i];
-    config.machine_memory_gb = 2.0;
-    config.job_overhead_seconds = options.condor_overhead;
-    config.seed = options.seed + static_cast<std::uint64_t>(i) * 101;
-    system.add_condor_pool(pool_names[i], config);
-  }
-
-  if (options.include_boinc && options.boinc_hosts > 0) {
-    boinc::BoincPoolConfig config;
-    config.hosts = options.boinc_hosts;
-    config.mean_speed = 0.8;
-    config.speed_sigma = 0.6;
-    config.seed = options.seed + 999;
-    config.min_quorum = options.boinc_min_quorum;
-    config.target_nresults = options.boinc_target_nresults;
-    config.flaky_host_fraction = options.boinc_flaky_fraction;
-    config.default_delay_bound = options.boinc_delay_bound;
-    system.add_boinc_pool("lattice-boinc", config);
-  }
+  grid::build_inventory(system, options);
 }
 
 /// Train the system's estimator on a synthetic "previously submitted jobs"

@@ -8,10 +8,12 @@
 // See docs/OBSERVABILITY.md for the metric catalog and trace schema.
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/portal.hpp"
 #include "core/status.hpp"
 #include "core/workload.hpp"
+#include "grid/inventory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/fmt.hpp"
@@ -49,24 +51,27 @@ int main(int argc, char** argv) {
         metrics, trace_out.empty() ? obs::Tracer::null() : tracer);
   }
 
-  // The four-institution inventory.
+  // The operator's inventory as declarative specs (grid/inventory.hpp):
+  // two clusters, a Condor pool, the volunteer pool.
+  std::vector<grid::ResourceSpec> specs;
   grid::BatchQueueResource::Config big;
   big.nodes = 32;
   big.cores_per_node = 8;
   big.node_speed = 1.6;
-  system.add_cluster("umd-deepthought", big);
+  specs.push_back(grid::ResourceSpec::cluster("umd-deepthought", big));
   grid::BatchQueueResource::Config small;
   small.nodes = 8;
   small.cores_per_node = 4;
   small.kind = grid::ResourceKind::kSgeCluster;
-  system.add_cluster("smithsonian-hpc", small);
+  specs.push_back(grid::ResourceSpec::cluster("smithsonian-hpc", small));
   grid::CondorPool::Config condor;
   condor.machines = 60;
   condor.memory_sigma = 0.5;
-  system.add_condor_pool("umd-condor", condor);
+  specs.push_back(grid::ResourceSpec::condor("umd-condor", condor));
   boinc::BoincPoolConfig volunteers;
   volunteers.hosts = 200;
-  system.add_boinc_pool("lattice-boinc", volunteers);
+  specs.push_back(grid::ResourceSpec::boinc_pool("lattice-boinc", volunteers));
+  grid::build_inventory(system, specs);
   system.calibrate_speeds();
 
   core::RuntimeEstimator::Config est;
@@ -106,7 +111,9 @@ int main(int argc, char** argv) {
   std::cout << "\n=== six hours in ===\n"
             << core::resource_status_report(system)
             << core::job_status_report(system)
-            << core::batch_status_report(portal);
+            << core::batch_status_report(portal)
+            << "\n=== most-retried jobs ===\n"
+            << core::job_attempts_report(system, 10);
 
   const std::size_t cancelled = portal.cancel_batch(runaway.batch_id);
   std::cout << util::format("\noperator cancelled the codon batch: {} jobs "

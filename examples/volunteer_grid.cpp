@@ -10,15 +10,24 @@
 //        The self-test's log-likelihood and phylo.* counters must be
 //        bit-identical for every N — scripts/determinism.sh asserts this
 //        at the binary level (ctest test determinism_e2e).
+//        --fault-plan=FILE instead runs the fault-injection recovery
+//        scenario (docs/RESILIENCE.md): a small multi-resource grid under
+//        the declarative fault plan, verified to recover end to end (all
+//        jobs complete, zero corrupted canonical results under quorum).
 // See docs/OBSERVABILITY.md for the metric catalog and trace schema.
 #include <algorithm>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "boinc/server.hpp"
 #include "core/deadline.hpp"
+#include "core/lattice.hpp"
 #include "core/metascheduler.hpp"
 #include "core/speed.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "grid/inventory.hpp"
 #include "grid/mds.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -29,11 +38,157 @@
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
 
+namespace {
+
+// The fault-injection recovery scenario: a stable cluster, a
+// preemption-prone Condor pool, and a quorum-2 volunteer pool, all under
+// the declarative plan from --fault-plan=FILE. The run self-verifies the
+// recovery contract and exits nonzero when it is violated, so it doubles
+// as the fault_smoke ctest; scripts/determinism.sh additionally asserts
+// two identical invocations are bit-identical.
+int run_fault_scenario(const std::string& plan_path,
+                       const std::string& metrics_out,
+                       const std::string& trace_out) {
+  using namespace lattice;
+
+  fault::FaultPlan plan;
+  try {
+    plan = fault::load_fault_plan(plan_path);
+  } catch (const std::exception& error) {
+    std::cerr << "fault plan: " << error.what() << "\n";
+    return 2;
+  }
+  std::cout << "fault plan (" << plan_path << "):\n"
+            << fault::fault_plan_summary(plan);
+
+  core::LatticeConfig config;
+  config.seed = plan.seed;
+  config.max_attempts = 24;
+  config.retry.backoff_base_seconds = 30.0;
+  config.retry.backoff_cap_seconds = 1800.0;
+  config.retry.backoff_jitter = 0.25;
+  config.retry.demote_after_failures = 3;
+  core::LatticeSystem system(config);
+
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  const bool observe = !metrics_out.empty() || !trace_out.empty();
+  if (observe) {
+    system.enable_observability(
+        metrics, trace_out.empty() ? obs::Tracer::null() : tracer);
+  }
+
+  // Host-level faults rewrite the volunteer-pool config before the pool is
+  // built; outage windows are armed on the running system below.
+  grid::BatchQueueResource::Config cluster;
+  cluster.nodes = 4;
+  cluster.cores_per_node = 4;
+  cluster.node_speed = 1.2;
+  grid::CondorPool::Config condor;
+  condor.machines = 16;
+  condor.mean_idle_hours = 0.5;  // owners return often: preemption-prone
+  condor.mean_busy_hours = 6.0;
+  boinc::BoincPoolConfig volunteers;
+  volunteers.hosts = 120;
+  volunteers.mean_speed = 0.8;
+  volunteers.speed_sigma = 0.6;
+  volunteers.min_quorum = 2;  // cross-validation catches corruption
+  volunteers.target_nresults = 2;
+  volunteers.seed = 99;
+  fault::apply_fault_plan(plan, volunteers);
+
+  std::vector<grid::ResourceSpec> specs;
+  specs.push_back(grid::ResourceSpec::cluster("stable-cluster", cluster));
+  specs.push_back(grid::ResourceSpec::condor("campus-condor", condor));
+  specs.push_back(
+      grid::ResourceSpec::boinc_pool("lattice-boinc", volunteers));
+  grid::build_inventory(system, specs);
+  system.calibrate_speeds();
+
+  fault::FaultInjector injector(system, plan);
+  if (observe) injector.set_observability(metrics);
+  try {
+    injector.arm();
+  } catch (const std::exception& error) {
+    std::cerr << "fault plan: " << error.what() << "\n";
+    return 2;
+  }
+
+  constexpr std::size_t kJobs = 40;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    system.submit_job_with_runtime(core::GarliFeatures{}, 2.0 * 3600.0);
+  }
+  std::cout << util::format(
+      "submitted {} jobs of 2.0 reference-hours across {} resources\n",
+      kJobs, system.resource_names().size());
+
+  system.run_until_drained(120.0 * 86400.0);
+
+  const auto& m = system.metrics();
+  auto* server =
+      dynamic_cast<boinc::BoincServer*>(system.resource("lattice-boinc"));
+  std::cout << util::format(
+      "drained at {:.1f} days: {}/{} completed, {} abandoned, {} failed "
+      "attempts\n",
+      system.simulation().now() / 86400.0, m.completed, kJobs, m.abandoned,
+      m.failed_attempts);
+  std::cout << util::format(
+      "volunteer pool: {} reissues, {} timeouts, {} corrupted canonical "
+      "results; {} outage windows\n",
+      server->reissued_results(), server->timed_out_results(),
+      server->corrupted_validations(), injector.outages_begun());
+
+  // The recovery contract this scenario exists to demonstrate.
+  bool ok = true;
+  if (m.completed != kJobs) {
+    std::cerr << "FAIL: not every job recovered to completion\n";
+    ok = false;
+  }
+  if (server->corrupted_validations() != 0) {
+    std::cerr << "FAIL: a corrupted result became canonical under quorum\n";
+    ok = false;
+  }
+  if (plan.active() && m.failed_attempts == 0) {
+    std::cerr << "FAIL: active plan injected no failures to recover from\n";
+    ok = false;
+  }
+  if (!plan.outages.empty() && injector.outages_begun() == 0) {
+    std::cerr << "FAIL: planned outage windows never fired\n";
+    ok = false;
+  }
+
+  if (!metrics_out.empty()) {
+    if (!obs::write_metrics(metrics, metrics_out)) {
+      std::cerr << "failed to write " << metrics_out << "\n";
+      return 1;
+    }
+    std::cout << util::format(
+        "metrics snapshot -> {} ({} retries scheduled, {} unstable->stable "
+        "demotions)\n",
+        metrics_out, metrics.counter_total("sched.retry_scheduled"),
+        metrics.counter_total("sched.demote_unstable_stable"));
+  }
+  if (!trace_out.empty()) {
+    if (!obs::write_trace(tracer, trace_out)) {
+      std::cerr << "failed to write " << trace_out << "\n";
+      return 1;
+    }
+    std::cout << util::format("chrome trace -> {} ({} events)\n", trace_out,
+                              tracer.events());
+  }
+  std::cout << (ok ? "recovery contract holds\n"
+                   : "recovery contract VIOLATED\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace lattice;
 
   std::string metrics_out;
   std::string trace_out;
+  std::string fault_plan;
   int pool_threads = -1;  // -1: self-test off
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -47,11 +202,20 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (arg.rfind("--pool-threads=", 0) == 0) {
       pool_threads = std::stoi(arg.substr(15));
+    } else if (arg.rfind("--fault-plan=", 0) == 0) {
+      fault_plan = arg.substr(13);
+    } else if (arg == "--fault-plan" && i + 1 < argc) {
+      fault_plan = argv[++i];
     } else {
       std::cerr << "usage: volunteer_grid [--metrics-out=FILE] "
-                   "[--trace-out=FILE] [--pool-threads=N]\n";
+                   "[--trace-out=FILE] [--pool-threads=N] "
+                   "[--fault-plan=FILE]\n";
       return 2;
     }
+  }
+
+  if (!fault_plan.empty()) {
+    return run_fault_scenario(fault_plan, metrics_out, trace_out);
   }
 
   sim::Simulation sim;
@@ -82,7 +246,7 @@ int main(int argc, char** argv) {
   std::size_t failed = 0;
   server.set_completion_callback(
       [&](grid::GridJob&, const grid::JobOutcome& outcome) {
-        if (outcome.completed) {
+        if (outcome.completed()) {
           ++completed;
         } else {
           ++failed;

@@ -57,6 +57,23 @@ else
   done
 fi
 
+# The fault layer documents its fault model, recovery mechanisms, and
+# determinism contract (docs/RESILIENCE.md); the doc must keep naming the
+# mechanisms it promises so it cannot drift from src/fault/.
+resilience=docs/RESILIENCE.md
+if [ ! -f "$resilience" ]; then
+  echo "check_docs: missing $resilience (fault model + recovery)" >&2
+  fail=1
+else
+  for anchor in 'fault plan' 'backoff' 'demotion' 'quorum' 'outage' \
+                'heartbeat_only' 'bit-identical' 'fault_smoke'; do
+    if ! grep -qiF "$anchor" "$resilience"; then
+      echo "check_docs: $resilience lost its '$anchor' section" >&2
+      fail=1
+    fi
+  done
+fi
+
 design=DESIGN.md
 if ! grep -qE '^## +(§ *)?10' "$design" 2>/dev/null; then
   echo "check_docs: $design has no §10 (index-invalidation rules)" >&2

@@ -10,6 +10,12 @@
 # metrics snapshot, and pid-2 ("wall-clock" process) events in the trace.
 # Exactly those are filtered before hashing; everything else must match.
 #
+# The fault-injection scenario (--fault-plan, docs/RESILIENCE.md) is held
+# to the same bar: two runs under the committed fault_smoke plan must be
+# bit-identical — fault schedules draw from the seeded sim RNGs, never
+# from wall clock — and the fault/recovery counters must appear in the
+# snapshot.
+#
 # Usage: determinism.sh <volunteer_grid-binary> [workdir]
 set -euo pipefail
 
@@ -32,9 +38,21 @@ run() {  # run <tag> <pool-threads>
   grep -v '"pid": 2' "$work/t-$tag.json" > "$work/t-$tag.det"
 }
 
+plan="$(cd "$(dirname "$0")" && pwd)/../scenarios/fault_smoke.ini"
+run_fault() {  # run_fault <tag>
+  local tag=$1
+  "$bin" --fault-plan="$plan" \
+         --metrics-out="$work/fm-$tag.json" > "$work/fout-$tag.raw"
+  sed -e "s#$work#WORK#g" -e "s#-$tag\.json#-RUN.json#g" \
+      -e "s#$plan#PLAN#g" "$work/fout-$tag.raw" > "$work/fout-$tag.txt"
+  grep -v 'handler_wall_us' "$work/fm-$tag.json" > "$work/fm-$tag.det"
+}
+
 run a 2
 run b 2
 run c 5
+run_fault a
+run_fault b
 
 fail=0
 # The scheduler-scalability metrics must be present in the snapshot: the
@@ -64,8 +82,21 @@ check out-a.txt out-c.txt "stdout across thread counts (2 vs 5)"
 check m-a.det m-c.det "metrics across thread counts (2 vs 5)"
 check t-a.det t-c.det "trace across thread counts (2 vs 5)"
 
+# Fault-injection runs under the same plan: the injected event stream must
+# be a pure function of seed + plan.
+check fout-a.txt fout-b.txt "stdout across identical fault-plan runs"
+check fm-a.det fm-b.det "metrics across identical fault-plan runs"
+# ...and the recovery machinery must be visibly exercised by the plan.
+for metric in fault. sched.retry_; do
+  if ! grep -q "$metric" "$work/fm-a.json"; then
+    echo "determinism: '$metric*' missing from fault-run snapshot" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
-  echo "determinism: 3 runs bit-identical" \
-       "(sha256 $(sha256sum "$work/m-a.det" | cut -c1-12)…)"
+  echo "determinism: 5 runs bit-identical" \
+       "(sha256 $(sha256sum "$work/m-a.det" | cut -c1-12)…" \
+       "fault $(sha256sum "$work/fm-a.det" | cut -c1-12)…)"
 fi
 exit "$fail"

@@ -1,6 +1,7 @@
 #include "boinc/host.hpp"
 
 #include <cassert>
+#include <cmath>
 
 #include "boinc/server.hpp"
 #include "util/log.hpp"
@@ -14,17 +15,23 @@ VolunteerHost::VolunteerHost(sim::Simulation& sim, BoincServer& server,
 
 VolunteerHost::~VolunteerHost() = default;
 
+double VolunteerHost::churn_interval(double mean_seconds) {
+  const double shape = params_.churn_weibull_shape;
+  if (shape == 1.0) return rng_.exponential(mean_seconds);
+  // Scale chosen so the Weibull keeps the configured mean: E[X] =
+  // scale * Γ(1 + 1/shape).
+  return rng_.weibull(shape, mean_seconds / std::tgamma(1.0 + 1.0 / shape));
+}
+
 void VolunteerHost::start(bool initially_online) {
   // Permanent departure clock runs regardless of the on/off cycle.
-  const double lifetime =
-      rng_.exponential(params_.mean_lifetime_days * 86400.0);
+  const double lifetime = churn_interval(params_.mean_lifetime_days * 86400.0);
   sim_.after(lifetime, [this] { depart(); });
   if (initially_online) {
     go_online();
   } else {
-    transition_ = sim_.after(
-        rng_.exponential(params_.mean_off_hours * 3600.0),
-        [this] { go_online(); });
+    transition_ = sim_.after(churn_interval(params_.mean_off_hours * 3600.0),
+                             [this] { go_online(); });
   }
 }
 
@@ -44,7 +51,7 @@ void VolunteerHost::go_online() {
   if (departed_) return;
   online_ = true;
   sync_census();
-  transition_ = sim_.after(rng_.exponential(params_.mean_on_hours * 3600.0),
+  transition_ = sim_.after(churn_interval(params_.mean_on_hours * 3600.0),
                            [this] { go_offline(); });
   if (task_) {
     resume_task();
@@ -59,7 +66,7 @@ void VolunteerHost::go_offline() {
   online_ = false;
   sync_census();
   sim_.cancel(poll_);
-  transition_ = sim_.after(rng_.exponential(params_.mean_off_hours * 3600.0),
+  transition_ = sim_.after(churn_interval(params_.mean_off_hours * 3600.0),
                            [this] { go_online(); });
 }
 
@@ -118,6 +125,17 @@ void VolunteerHost::complete_task() {
   task_->cpu_spent += elapsed;
   const std::uint64_t result_id = task_->result_id;
   const double cpu = task_->cpu_spent;
+  // Fault injection: outright compute failure, reported through the error
+  // path (gated so an unconfigured host draws nothing and the baseline RNG
+  // stream is untouched).
+  if (params_.compute_error_probability > 0.0 &&
+      rng_.bernoulli(params_.compute_error_probability)) {
+    task_.reset();
+    sync_census();
+    server_.report_error(result_id, cpu);
+    request_work();
+    return;
+  }
   const bool flawed = rng_.bernoulli(params_.error_probability);
   task_.reset();
   sync_census();

@@ -23,6 +23,12 @@ struct HostParams {
   double mean_lifetime_days = 90.0;  // until permanent departure
   double error_probability = 0.0;    // wrong-result chance per task
   double request_backoff_hours = 1.0;  // idle poll interval when no work
+  /// Outright task failure (reported through the error path) per task;
+  /// distinct from error_probability, which corrupts silently.
+  double compute_error_probability = 0.0;
+  /// Weibull shape of the on/off/lifetime intervals. 1.0 keeps the
+  /// exponential churn model with the identical draw sequence.
+  double churn_weibull_shape = 1.0;
 };
 
 class VolunteerHost {
@@ -59,6 +65,10 @@ class VolunteerHost {
     double cpu_spent = 0.0;
   };
 
+  /// One churn interval with the given mean: exponential when the Weibull
+  /// shape is 1.0 (same draw sequence as the original model),
+  /// mean-preserving Weibull otherwise.
+  double churn_interval(double mean_seconds);
   void go_online();
   void go_offline();
   void depart();

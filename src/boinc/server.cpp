@@ -50,9 +50,16 @@ BoincServer::BoincServer(sim::Simulation& sim, std::string name,
     params.mean_on_hours = config_.mean_on_hours;
     params.mean_off_hours = config_.mean_off_hours;
     params.mean_lifetime_days = config_.mean_lifetime_days;
-    params.error_probability = rng_.bernoulli(config_.flaky_host_fraction)
-                                   ? config_.flaky_error_probability
-                                   : config_.host_error_probability;
+    // One class draw per host: flaky hosts take both the corruption and
+    // the compute-error rate of their class (compute-error rates are 0
+    // unless a fault plan sets them, so the baseline draw sequence holds).
+    const bool flaky = rng_.bernoulli(config_.flaky_host_fraction);
+    params.error_probability = flaky ? config_.flaky_error_probability
+                                     : config_.host_error_probability;
+    params.compute_error_probability =
+        flaky ? config_.flaky_compute_error_probability
+              : config_.host_compute_error_probability;
+    params.churn_weibull_shape = config_.churn_weibull_shape;
     // Host ids are assigned densely (h + 1), which is what makes
     // host_by_id a direct vector index.
     auto host = std::make_unique<VolunteerHost>(sim_, *this, h + 1, params,
@@ -114,6 +121,14 @@ void BoincServer::on_observability() {
       {60.0, 600.0, 3600.0, 6.0 * 3600.0, 86400.0, 3.0 * 86400.0,
        7.0 * 86400.0},
       "s", "wait from workunit creation to a result being sent", name());
+  obs_reports_dropped_ = &m.counter(
+      "fault.reports_dropped", "reports",
+      "finished-result reports lost on the report path (fault injection)",
+      name());
+  obs_reports_delayed_ = &m.counter(
+      "fault.reports_delayed", "reports",
+      "finished-result reports deferred on the report path (fault injection)",
+      name());
 }
 
 void BoincServer::observe_result_end(const Result& result,
@@ -321,6 +336,33 @@ VolunteerHost* BoincServer::host_by_id(std::uint64_t host_id) {
 
 void BoincServer::report_result(std::uint64_t result_id, double cpu_seconds,
                                 std::uint64_t output_hash) {
+  // Fault injection on the report path (both gates draw nothing when their
+  // probability is 0, keeping the baseline RNG stream intact). A dropped
+  // report leaves the result kInProgress; the transitioner's deadline heap
+  // eventually times it out and reissues — exactly the recovery mechanism
+  // the paper's deadline work motivates.
+  if (config_.report_drop_probability > 0.0 &&
+      rng_.bernoulli(config_.report_drop_probability)) {
+    obs_reports_dropped_->inc();
+    total_cpu_ += cpu_seconds;
+    discarded_cpu_ += cpu_seconds;
+    util::log_debug("boinc", "report for result {} dropped", result_id);
+    return;
+  }
+  if (config_.report_delay_probability > 0.0 &&
+      rng_.bernoulli(config_.report_delay_probability)) {
+    obs_reports_delayed_->inc();
+    sim_.after(config_.report_delay_seconds,
+               [this, result_id, cpu_seconds, output_hash] {
+                 deliver_report(result_id, cpu_seconds, output_hash);
+               });
+    return;
+  }
+  deliver_report(result_id, cpu_seconds, output_hash);
+}
+
+void BoincServer::deliver_report(std::uint64_t result_id, double cpu_seconds,
+                                 std::uint64_t output_hash) {
   Result* result = find_result(result_id);
   if (result == nullptr) return;
   total_cpu_ += cpu_seconds;
@@ -603,13 +645,26 @@ void BoincServer::finish_workunit(Workunit& wu, bool success,
   double cpu = 0.0;
   for (const Result& result : wu.results) cpu += result.cpu_seconds;
   grid::JobOutcome outcome;
-  outcome.completed = success;
   outcome.cpu_seconds = cpu;
   outcome.reason = why;
   if (success) {
+    outcome.cause = grid::FailureCause::kNone;
     job.state = grid::JobState::kCompleted;
     job.finish_time = sim_.now();
   } else {
+    // Classify the failure for the grid level's retry policy: successful
+    // returns that never reached quorum mean the replicas disagreed
+    // (corruption); otherwise timeouts mean hosts vanished past their
+    // deadlines; otherwise every instance errored outright.
+    bool any_success = false;
+    bool any_timeout = false;
+    for (const Result& result : wu.results) {
+      if (result.state == ResultState::kSuccess) any_success = true;
+      if (result.state == ResultState::kTimedOut) any_timeout = true;
+    }
+    outcome.cause = any_success ? grid::FailureCause::kCorrupted
+                    : any_timeout ? grid::FailureCause::kDeadlineMiss
+                                  : grid::FailureCause::kComputeError;
     job.state = grid::JobState::kFailed;
     job.wasted_cpu_seconds += cpu;
   }
@@ -637,7 +692,8 @@ void BoincServer::cancel(std::uint64_t job_id) {
       }
     }
     job.state = grid::JobState::kCancelled;
-    notify(job, grid::JobOutcome{false, 0.0, "cancelled"});
+    notify(job, grid::JobOutcome{grid::FailureCause::kCancelled, 0.0,
+                                 "cancelled"});
     return;
   }
 }

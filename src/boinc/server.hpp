@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "boinc/config.hpp"
 #include "boinc/feeder.hpp"
 #include "boinc/host.hpp"
 #include "boinc/workunit.hpp"
@@ -32,44 +33,6 @@
 #include "util/rng.hpp"
 
 namespace lattice::boinc {
-
-struct BoincPoolConfig {
-  std::size_t hosts = 500;
-  double mean_speed = 1.0;
-  double speed_sigma = 0.6;
-  double mean_on_hours = 8.0;
-  double mean_off_hours = 16.0;
-  double mean_lifetime_days = 90.0;
-  /// Baseline per-task error probability of a normal host.
-  double host_error_probability = 0.01;
-  /// BOINC's threat model is systematic, per-host unreliability (bad RAM,
-  /// overclocking, tampering): this fraction of hosts errs at
-  /// `flaky_error_probability` instead of the baseline.
-  double flaky_host_fraction = 0.0;
-  double flaky_error_probability = 0.5;
-  /// Default per-result report deadline when a workunit does not carry one
-  /// (the manual per-batch value the paper wants to replace with
-  /// estimate-derived deadlines).
-  double default_delay_bound = 14.0 * 86400.0;
-  int target_nresults = 1;
-  int min_quorum = 1;
-  int max_total_results = 8;
-  /// Adaptive replication (BOINC's reliable-host mechanism): with quorum 1,
-  /// results from hosts that have not yet produced `trust_threshold`
-  /// consecutive valid results are cross-checked against one extra replica
-  /// before validation; results from trusted hosts validate immediately.
-  bool adaptive_replication = false;
-  int trust_threshold = 10;
-  /// Transitioner poll period.
-  double transitioner_period = 600.0;
-  /// Fixed wall-clock cost per result on the host (input download, upload,
-  /// scheduler RPC round trips) — what replicate bundling amortizes.
-  double result_overhead_seconds = 120.0;
-  /// Volunteer last-mile bandwidth for staging job data.
-  double host_mb_per_second = 0.5;
-  grid::PlatformSpec platform{};
-  std::uint64_t seed = 1;
-};
 
 class BoincServer final : public grid::LocalResource {
  public:
@@ -90,7 +53,9 @@ class BoincServer final : public grid::LocalResource {
   /// A host asks for work. Returns true and assigns a task when one is
   /// available and suitable.
   bool request_work(VolunteerHost& host);
-  /// A host reports a finished task.
+  /// A host reports a finished task. Subject to the config's report-path
+  /// faults: the report may be silently dropped (the transitioner recovers
+  /// via the deadline) or deferred before delivery.
   void report_result(std::uint64_t result_id, double cpu_seconds,
                      std::uint64_t output_hash);
   /// A host reports a failed task.
@@ -180,6 +145,10 @@ class BoincServer final : public grid::LocalResource {
   /// Per-workunit reissue step after its timeouts this transition.
   void reissue_after_timeouts(Workunit& wu);
   void on_observability() override;
+  /// The report actually reaching the server (report_result minus the
+  /// fault-injected drop/delay on the way in).
+  void deliver_report(std::uint64_t result_id, double cpu_seconds,
+                      std::uint64_t output_hash);
   /// Close a result's trace span and stamp deadline metrics when it leaves
   /// the in-progress state (report, error, timeout, abort).
   void observe_result_end(const Result& result, std::string_view reason);
@@ -264,6 +233,8 @@ class BoincServer final : public grid::LocalResource {
   obs::Counter* obs_results_timed_out_ = nullptr;
   obs::Counter* obs_results_reissued_ = nullptr;
   obs::Counter* obs_deadline_misses_ = nullptr;
+  obs::Counter* obs_reports_dropped_ = nullptr;
+  obs::Counter* obs_reports_delayed_ = nullptr;
   obs::Histogram* obs_deadline_slack_ = nullptr;
   obs::Histogram* obs_dispatch_wait_ = nullptr;
 };

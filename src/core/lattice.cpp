@@ -8,6 +8,21 @@
 
 namespace lattice::core {
 
+double retry_backoff_seconds(const RetryPolicy& policy, int failed_attempts,
+                             double jitter_draw) {
+  // Capped exponential: base * 2^(n-1), clamped before jitter so the
+  // jittered delay stays within [cap * (1 - j), cap * (1 + j)].
+  double delay = policy.backoff_base_seconds;
+  for (int i = 1; i < failed_attempts && delay < policy.backoff_cap_seconds;
+       ++i) {
+    delay *= 2.0;
+  }
+  delay = std::min(delay, policy.backoff_cap_seconds);
+  const double factor =
+      1.0 + policy.backoff_jitter * (2.0 * jitter_draw - 1.0);
+  return delay * factor;
+}
+
 LatticeSystem::LatticeSystem(LatticeConfig config)
     : config_(config),
       sim_(),
@@ -63,6 +78,17 @@ void LatticeSystem::bind_observability() {
   obs_failed_attempts_ = &m.counter(
       "lattice.failed_attempts", "attempts",
       "placements that ended in preemption, timeout, or error");
+  obs_retry_scheduled_ = &m.counter(
+      "sched.retry_scheduled", "retries",
+      "failed jobs requeued after a backoff delay (retry policy)");
+  obs_demotions_ = &m.counter(
+      "sched.demote_unstable_stable", "jobs",
+      "jobs restricted to stable resources after repeated unstable-resource "
+      "failures");
+  obs_retry_backoff_ = &m.histogram(
+      "sched.retry_backoff_s",
+      {1.0, 10.0, 60.0, 600.0, 3600.0, 6.0 * 3600.0}, "s",
+      "backoff delay applied before a failed job re-enters the queue");
   obs_sched_queue_wait_ = &m.histogram(
       "sched.queue_wait_s",
       {60.0, 600.0, 3600.0, 6.0 * 3600.0, 86400.0, 7.0 * 86400.0}, "s",
@@ -296,7 +322,7 @@ void LatticeSystem::dispatch(grid::GridJob& job,
 
 void LatticeSystem::on_outcome(grid::GridJob& job,
                                const grid::JobOutcome& outcome) {
-  if (outcome.completed) {
+  if (outcome.completed()) {
     metrics_.useful_cpu_seconds += outcome.cpu_seconds;
     ++metrics_.completed;
     metrics_.total_turnaround_seconds += sim_.now() - job.submit_time;
@@ -337,6 +363,7 @@ void LatticeSystem::on_outcome(grid::GridJob& job,
     if (terminal_hook_) terminal_hook_(job, false);
     return;
   }
+  job.last_failure = outcome.cause;
   ++metrics_.failed_attempts;
   obs_failed_attempts_->inc();
   if (job.attempts >= config_.max_attempts) {
@@ -344,17 +371,63 @@ void LatticeSystem::on_outcome(grid::GridJob& job,
     --outstanding_;
     obs_jobs_abandoned_->inc();
     if (obs_tracer_->enabled()) {
-      obs_tracer_->async_end("job", "lattice.job", job.id, sim_.now(),
-                             {{"outcome", "abandoned"}});
+      obs_tracer_->async_end(
+          "job", "lattice.job", job.id, sim_.now(),
+          {{"outcome", "abandoned"},
+           {"cause", std::string(grid::failure_cause_name(outcome.cause))}});
     }
-    util::log_warn("lattice", "job {} abandoned after {} attempts", job.id,
-                   job.attempts);
+    util::log_warn("lattice", "job {} abandoned after {} attempts ({})",
+                   job.id, job.attempts,
+                   grid::failure_cause_name(outcome.cause));
     if (terminal_hook_) terminal_hook_(job, false);
     return;
   }
-  // Back to the grid-level queue for rescheduling.
+
+  // Demotion: repeated failures on unstable (desktop/volunteer) resources
+  // mean this job keeps losing its progress to churn — route it to stable
+  // resources from now on.
+  if (config_.retry.demote_after_failures > 0 && !job.require_stable) {
+    grid::LocalResource* where = resource(job.resource);
+    if (where != nullptr && !where->info().stable) {
+      ++job.unstable_failures;
+      if (job.unstable_failures >= config_.retry.demote_after_failures) {
+        job.require_stable = true;
+        obs_demotions_->inc();
+        util::log_debug("lattice",
+                        "job {} demoted to stable-only after {} unstable "
+                        "failures",
+                        job.id, job.unstable_failures);
+      }
+    }
+  }
+
+  // Back to the grid-level queue for rescheduling — immediately by
+  // default, or after a capped exponential backoff when the retry policy
+  // is active (so a flapping resource is not hammered in lockstep).
   job.state = grid::JobState::kPending;
-  pending_.push_back(job.id);
+  if (config_.retry.backoff_base_seconds > 0.0) {
+    const double delay =
+        retry_backoff_seconds(config_.retry, job.attempts, rng_.uniform());
+    obs_retry_scheduled_->inc();
+    obs_retry_backoff_->observe(delay);
+    const std::uint64_t id = job.id;
+    sim_.after(delay, [this, id] {
+      const auto it = jobs_.find(id);
+      // The job may have been cancelled while waiting out the backoff.
+      if (it == jobs_.end() ||
+          it->second->state != grid::JobState::kPending) {
+        return;
+      }
+      pending_.push_back(id);
+    });
+  } else {
+    pending_.push_back(job.id);
+  }
+}
+
+void LatticeSystem::for_each_job(
+    const std::function<void(const grid::GridJob&)>& visit) const {
+  for (const auto& [id, job] : jobs_) visit(*job);
 }
 
 void LatticeSystem::run(sim::SimTime until) { sim_.run(until); }

@@ -25,11 +25,35 @@
 #include "core/metascheduler.hpp"
 #include "core/speed.hpp"
 #include "grid/adapter.hpp"
+#include "grid/inventory.hpp"
 #include "grid/mds.hpp"
 #include "grid/resource.hpp"
 #include "sim/simulation.hpp"
 
 namespace lattice::core {
+
+/// Recovery policy for failed placements. Both mechanisms default OFF so
+/// the baseline behavior (immediate requeue, no routing constraint) is
+/// untouched unless a scenario opts in.
+struct RetryPolicy {
+  /// Base of the capped exponential backoff before a failed job re-enters
+  /// the scheduling queue; 0 keeps the immediate-requeue behavior.
+  double backoff_base_seconds = 0.0;
+  double backoff_cap_seconds = 3600.0;
+  /// Uniform jitter fraction: the delay is scaled by a factor drawn from
+  /// [1 - jitter, 1 + jitter] so synchronized failures don't resubmit as a
+  /// thundering herd.
+  double backoff_jitter = 0.25;
+  /// After this many failed attempts on unstable (desktop/volunteer)
+  /// resources, restrict the job to stable resources; 0 disables demotion.
+  int demote_after_failures = 0;
+};
+
+/// The backoff delay before retry number `failed_attempts` (1-based), with
+/// `jitter_draw` a uniform [0,1) variate. Exposed as a free function so
+/// the bounds are testable without running a scenario.
+double retry_backoff_seconds(const RetryPolicy& policy, int failed_attempts,
+                             double jitter_draw);
 
 struct LatticeConfig {
   /// Meta-scheduler pump period (seconds).
@@ -39,6 +63,7 @@ struct LatticeConfig {
   double mds_ttl = 300.0;
   SchedulerPolicy scheduler;
   DeadlinePolicy deadline;
+  RetryPolicy retry;
   /// Give up on a job after this many failed attempts.
   int max_attempts = 12;
   std::uint64_t seed = 1;
@@ -67,10 +92,10 @@ struct JobData {
   double output_mb = 0.0;
 };
 
-class LatticeSystem {
+class LatticeSystem : public grid::InventoryHost {
  public:
   explicit LatticeSystem(LatticeConfig config = {});
-  ~LatticeSystem();
+  ~LatticeSystem() override;
   LatticeSystem(const LatticeSystem&) = delete;
   LatticeSystem& operator=(const LatticeSystem&) = delete;
 
@@ -83,13 +108,16 @@ class LatticeSystem {
   const LatticeConfig& config() const { return config_; }
   LatticeMetrics& metrics() { return metrics_; }
 
-  // Resource building (paper §IV) -------------------------------------
+  // Resource building (paper §IV): the grid::InventoryHost interface, so
+  // declarative ResourceSpec lists build into this system via
+  // grid::build_inventory.
   grid::BatchQueueResource& add_cluster(
-      const std::string& name, grid::BatchQueueResource::Config config);
+      const std::string& name,
+      grid::BatchQueueResource::Config config) override;
   grid::CondorPool& add_condor_pool(const std::string& name,
-                                    grid::CondorPool::Config config);
+                                    grid::CondorPool::Config config) override;
   boinc::BoincServer& add_boinc_pool(const std::string& name,
-                                     boinc::BoincPoolConfig config);
+                                     boinc::BoincPoolConfig config) override;
 
   const std::vector<std::string>& resource_names() const { return names_; }
   grid::LocalResource* resource(const std::string& name);
@@ -120,6 +148,10 @@ class LatticeSystem {
 
   const grid::GridJob* job(std::uint64_t id) const;
   std::size_t pending_jobs() const { return pending_.size(); }
+
+  /// Visit every job ever submitted, in id order (status reports).
+  void for_each_job(
+      const std::function<void(const grid::GridJob&)>& visit) const;
 
   /// Cancel a job wherever it is — still pending at the grid level, queued,
   /// or running on a resource (the command-line utilities of §III).
@@ -184,6 +216,9 @@ class LatticeSystem {
   obs::Counter* obs_jobs_completed_ = nullptr;
   obs::Counter* obs_jobs_abandoned_ = nullptr;
   obs::Counter* obs_failed_attempts_ = nullptr;
+  obs::Counter* obs_retry_scheduled_ = nullptr;
+  obs::Counter* obs_demotions_ = nullptr;
+  obs::Histogram* obs_retry_backoff_ = nullptr;
   obs::Histogram* obs_sched_queue_wait_ = nullptr;
   obs::Histogram* obs_predictor_error_ = nullptr;
 };

@@ -80,7 +80,20 @@ std::optional<std::string> MetaScheduler::choose_linear(
 
 std::optional<std::string> MetaScheduler::pick(
     const grid::GridJob& job,
-    const std::vector<const grid::MdsEntry*>& eligible) {
+    const std::vector<const grid::MdsEntry*>& all_eligible) {
+  // Demoted jobs (repeated unstable-resource failures) are restricted to
+  // stable resources outright — a hard filter, unlike the estimate-driven
+  // stability cutoff below, which is advisory and falls through.
+  const std::vector<const grid::MdsEntry*>* eligible_ptr = &all_eligible;
+  if (job.require_stable) {
+    require_stable_scratch_.clear();
+    for (const grid::MdsEntry* entry : all_eligible) {
+      if (entry->info.stable) require_stable_scratch_.push_back(entry);
+    }
+    eligible_ptr = &require_stable_scratch_;
+  }
+  const std::vector<const grid::MdsEntry*>& eligible = *eligible_ptr;
+
   if (eligible.empty()) {
     no_eligible_->inc();
     return std::nullopt;

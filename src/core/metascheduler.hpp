@@ -89,10 +89,11 @@ class MetaScheduler {
                       const grid::ResourceInfo& info);
 
  private:
-  /// Steps 3–4 over an eligible candidate list (name-ordered).
+  /// Steps 3–4 over an eligible candidate list (name-ordered), preceded by
+  /// the hard stable-only filter for demoted jobs (job.require_stable).
   std::optional<std::string> pick(
       const grid::GridJob& job,
-      const std::vector<const grid::MdsEntry*>& eligible);
+      const std::vector<const grid::MdsEntry*>& all_eligible);
 
   const grid::MdsDirectory& mds_;
   const SpeedCalibrator& speeds_;
@@ -101,6 +102,7 @@ class MetaScheduler {
   /// Scratch reused across choose() calls (allocation-lean hot path).
   std::vector<const grid::MdsEntry*> eligible_scratch_;
   std::vector<const grid::MdsEntry*> stable_scratch_;
+  std::vector<const grid::MdsEntry*> require_stable_scratch_;
 
   // Observability (bound to the null registry until set_observability).
   obs::Counter* decisions_ = nullptr;

@@ -125,6 +125,29 @@ const BatchRecord* Portal::batch(std::uint64_t id) const {
   return it == batches_.end() ? nullptr : &it->second;
 }
 
+PortalOutcome Portal::progress(std::uint64_t batch_id) const {
+  PortalOutcome outcome;
+  const BatchRecord* record = batch(batch_id);
+  if (record == nullptr) return outcome;
+  outcome.accepted = true;
+  outcome.batch_id = record->id;
+  outcome.grid_jobs = record->grid_jobs;
+  outcome.eta_seconds = record->eta_seconds;
+  outcome.completed_jobs = record->completed_jobs;
+  outcome.failed_jobs = record->failed_jobs;
+  for (const std::uint64_t job_id : record->job_ids) {
+    const grid::GridJob* member = system_.job(job_id);
+    if (member != nullptr && member->state == grid::JobState::kPending) {
+      ++outcome.pending_jobs;
+    }
+  }
+  // Members parked at the grid level with the batch unfinished: the grid
+  // currently has nowhere to place them (or is backing off), but the batch
+  // survives — it drains when resources return.
+  outcome.degraded = !record->done && outcome.pending_jobs > 0;
+  return outcome;
+}
+
 std::size_t Portal::cancel_batch(std::uint64_t id) {
   const auto it = batches_.find(id);
   if (it == batches_.end() || it->second.done) return 0;

@@ -59,6 +59,16 @@ struct PortalOutcome {
   std::size_t grid_jobs = 0;
   std::size_t bundle_size = 1;
   std::optional<double> eta_seconds;
+
+  // Partial-progress fields (filled by Portal::progress): how far the
+  // batch has come, and whether the grid is currently degraded under it.
+  std::size_t completed_jobs = 0;
+  std::size_t failed_jobs = 0;
+  /// Member jobs sitting at the grid level with nowhere to go (e.g. a
+  /// total-grid outage): the portal holds them queued rather than failing
+  /// the batch — graceful degradation, not loss.
+  std::size_t pending_jobs = 0;
+  bool degraded = false;
 };
 
 class Portal {
@@ -75,6 +85,13 @@ class Portal {
                        const phylo::Alignment* alignment = nullptr);
 
   const BatchRecord* batch(std::uint64_t id) const;
+
+  /// Point-in-time progress of a batch: completed/failed so far, members
+  /// still queued at the grid level, and the degradation flag (pending
+  /// members with the batch unfinished — the shape of a grid outage from
+  /// the user's seat). Unknown batch ids return a default (unaccepted)
+  /// outcome.
+  PortalOutcome progress(std::uint64_t batch_id) const;
   const std::map<std::uint64_t, BatchRecord>& batches() const {
     return batches_;
   }

@@ -1,7 +1,9 @@
 #include "core/status.hpp"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "util/fmt.hpp"
 #include "util/table.hpp"
@@ -43,6 +45,45 @@ std::string job_status_report(const LatticeSystem& system) {
     out << util::format("mean turnaround: {:.1f}h\n",
                         m.mean_turnaround() / 3600.0);
   }
+  return out.str();
+}
+
+std::string job_attempts_report(const LatticeSystem& system,
+                                std::size_t max_rows) {
+  struct Row {
+    std::uint64_t id;
+    grid::JobState state;
+    int attempts;
+    grid::FailureCause last_failure;
+    bool require_stable;
+    std::string resource;
+  };
+  std::vector<Row> rows;
+  system.for_each_job([&](const grid::GridJob& job) {
+    rows.push_back(Row{job.id, job.state, job.attempts, job.last_failure,
+                       job.require_stable, job.resource});
+  });
+  // Most-retried jobs first; id ascending as the tie-break so the report
+  // is deterministic.
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.attempts != b.attempts) return a.attempts > b.attempts;
+    return a.id < b.id;
+  });
+  if (rows.size() > max_rows) rows.resize(max_rows);
+
+  util::Table table(
+      {"job", "state", "attempts", "last failure", "resource"});
+  for (const Row& row : rows) {
+    table.add_row(
+        {static_cast<long long>(row.id),
+         std::string(grid::job_state_name(row.state)),
+         static_cast<long long>(row.attempts),
+         std::string(grid::failure_cause_name(row.last_failure)) +
+             (row.require_stable ? " [stable-only]" : ""),
+         row.resource.empty() ? std::string("-") : row.resource});
+  }
+  std::ostringstream out;
+  table.print(out);
   return out.str();
 }
 

@@ -17,6 +17,12 @@ std::string resource_status_report(LatticeSystem& system);
 /// Job counts by state plus headline metrics.
 std::string job_status_report(const LatticeSystem& system);
 
+/// Per-job attempt table: id, state, attempts, last failure cause, current
+/// (or last) resource. Jobs with the most attempts first, capped at
+/// `max_rows` — the operator's view of which jobs are fighting the grid.
+std::string job_attempts_report(const LatticeSystem& system,
+                                std::size_t max_rows = 20);
+
 /// One user-facing batch status line per batch.
 std::string batch_status_report(const Portal& portal);
 

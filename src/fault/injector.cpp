@@ -1,0 +1,74 @@
+#include "fault/injector.hpp"
+
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+#include "util/log.hpp"
+
+namespace lattice::fault {
+
+FaultInjector::FaultInjector(core::LatticeSystem& system, FaultPlan plan)
+    : system_(system), plan_(std::move(plan)) {
+  set_observability(obs::MetricsRegistry::null());
+}
+
+void FaultInjector::set_observability(obs::MetricsRegistry& metrics) {
+  obs_begun_ = &metrics.counter("fault.outages_begun", "outages",
+                                "resource outage windows entered");
+  obs_ended_ = &metrics.counter("fault.outages_ended", "outages",
+                                "resource outage windows exited");
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (const ResourceOutage& outage : plan_.outages) {
+    if (system_.resource(outage.resource) == nullptr) {
+      throw std::runtime_error(util::format(
+          "fault plan: outage names unknown resource '{}'",
+          outage.resource));
+    }
+    schedule_window(outage, outage.start);
+  }
+}
+
+void FaultInjector::schedule_window(const ResourceOutage& outage,
+                                    double start) {
+  // The captured reference points into plan_.outages, which is immutable
+  // after arm(), so it outlives every scheduled window. Periodic windows
+  // chain the next repetition lazily (when this one begins) so a finite
+  // run schedules a bounded number of events.
+  sim::Simulation& sim = system_.simulation();
+  sim.at(start, [this, &outage, start] {
+    begin_outage(outage);
+    if (outage.period > 0.0) {
+      schedule_window(outage, start + outage.period);
+    }
+  });
+  sim.at(start + outage.duration, [this, &outage] { end_outage(outage); });
+}
+
+void FaultInjector::begin_outage(const ResourceOutage& outage) {
+  ++begun_;
+  obs_begun_->inc();
+  util::log_info("fault", "{}: outage begins{}", outage.resource,
+                 outage.heartbeat_only ? " (heartbeat only)" : "");
+  if (!outage.heartbeat_only) {
+    system_.resource(outage.resource)->set_outage(true);
+  }
+  system_.mds().set_heartbeat_blackout(outage.resource, true);
+}
+
+void FaultInjector::end_outage(const ResourceOutage& outage) {
+  obs_ended_->inc();
+  util::log_info("fault", "{}: outage ends", outage.resource);
+  system_.mds().set_heartbeat_blackout(outage.resource, false);
+  if (!outage.heartbeat_only) {
+    system_.resource(outage.resource)->set_outage(false);
+  }
+  // Re-announce immediately so the scheduler does not wait out a full
+  // provider period (plus TTL) before using the recovered resource.
+  system_.mds().report(system_.resource(outage.resource)->info());
+}
+
+}  // namespace lattice::fault

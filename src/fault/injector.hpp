@@ -1,0 +1,54 @@
+// Time-driven fault injection on a running LatticeSystem: arms the plan's
+// resource outage windows on the simulation clock. A full outage calls the
+// resource's set_outage (failing held work with FailureCause::kOutage and
+// bouncing submissions) AND blacks out its MDS heartbeats; a heartbeat-only
+// outage does just the latter, so in-flight work survives but the
+// scheduler routes around the resource.
+//
+// Host-level faults (churn, error rates, report path) are config-time —
+// apply_fault_plan() must rewrite the BoincPoolConfig before the pool is
+// built; the injector only handles what varies with simulated time.
+#pragma once
+
+#include "core/lattice.hpp"
+#include "fault/plan.hpp"
+#include "obs/metrics.hpp"
+
+namespace lattice::fault {
+
+class FaultInjector {
+ public:
+  /// Binds to the system; nothing is scheduled until arm().
+  FaultInjector(core::LatticeSystem& system, FaultPlan plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedule every outage window of the plan. Call once, before run();
+  /// windows naming unknown resources throw std::runtime_error (a plan
+  /// typo should fail loudly, not silently inject nothing).
+  void arm();
+
+  /// Count outage transitions in the given registry (fault.outages_begun /
+  /// fault.outages_ended). Defaults to the null registry.
+  void set_observability(obs::MetricsRegistry& metrics);
+
+  const FaultPlan& plan() const { return plan_; }
+  /// Windows armed so far (each periodic repetition counts once when it
+  /// begins).
+  std::uint64_t outages_begun() const { return begun_; }
+
+ private:
+  void schedule_window(const ResourceOutage& outage, double start);
+  void begin_outage(const ResourceOutage& outage);
+  void end_outage(const ResourceOutage& outage);
+
+  core::LatticeSystem& system_;
+  FaultPlan plan_;
+  bool armed_ = false;
+  std::uint64_t begun_ = 0;
+
+  obs::Counter* obs_begun_ = nullptr;
+  obs::Counter* obs_ended_ = nullptr;
+};
+
+}  // namespace lattice::fault

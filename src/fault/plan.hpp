@@ -1,0 +1,121 @@
+// Declarative fault plans for lattice::fault. A FaultPlan is pure data:
+// what to break, when, and how hard — host churn acceleration (Weibull),
+// per-host-class compute-error and corruption probabilities, report-path
+// loss, and resource-level outage windows. Plans apply to the simulation in
+// two ways: apply_fault_plan() rewrites a BoincPoolConfig before the pool
+// is built (host-level faults), and FaultInjector (injector.hpp) schedules
+// the time-driven outage windows on a running LatticeSystem.
+//
+// Determinism contract: every fault draw comes from the simulation's
+// seeded RNGs, and a field left at its inert default adds no draws at all,
+// so (a) the same seed + plan always produces the identical event stream
+// and (b) an inactive plan leaves the baseline stream bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "boinc/config.hpp"
+#include "util/ini.hpp"
+
+namespace lattice::fault {
+
+/// Scales the volunteer pool's availability churn. The scales multiply the
+/// config's mean on/off/lifetime intervals (1.0 = unchanged; 0.25 on_scale
+/// means hosts stay up a quarter as long). The Weibull shape < 1 gives the
+/// heavy-tailed burstiness measured on real desktop grids; 1.0 keeps the
+/// exponential model.
+struct HostChurnFault {
+  double on_scale = 1.0;
+  double off_scale = 1.0;
+  double lifetime_scale = 1.0;
+  double weibull_shape = 1.0;
+
+  bool active() const {
+    return on_scale != 1.0 || off_scale != 1.0 || lifetime_scale != 1.0 ||
+           weibull_shape != 1.0;
+  }
+};
+
+/// Per-host-class fault rates. Negative = keep the pool config's value.
+struct HostClassFault {
+  /// Outright task failure (error path; the scheduler sees it at once).
+  double compute_error_probability = -1.0;
+  /// Silent corruption (wrong result; only quorum validation catches it).
+  double corruption_probability = -1.0;
+
+  bool active() const {
+    return compute_error_probability >= 0.0 || corruption_probability >= 0.0;
+  }
+};
+
+/// Report-path degradation between volunteer hosts and the BOINC server.
+struct ReportPathFault {
+  double drop_probability = 0.0;
+  double delay_probability = 0.0;
+  double delay_seconds = 0.0;
+
+  bool active() const {
+    return drop_probability > 0.0 || delay_probability > 0.0;
+  }
+};
+
+/// One resource-level outage window. With period == 0 the window fires
+/// once; otherwise it repeats every `period` seconds (start, start+period,
+/// ...). heartbeat_only models a partitioned information service: the
+/// resource keeps running what it holds, but its MDS heartbeats are lost
+/// so the scheduler stops sending work.
+struct ResourceOutage {
+  std::string resource;
+  double start = 0.0;
+  double duration = 0.0;
+  double period = 0.0;
+  bool heartbeat_only = false;
+};
+
+struct FaultPlan {
+  HostChurnFault churn;
+  HostClassFault normal_hosts;
+  HostClassFault flaky_hosts;
+  /// Negative = keep the pool config's flaky fraction.
+  double flaky_host_fraction = -1.0;
+  ReportPathFault report_path;
+  std::vector<ResourceOutage> outages;
+  /// Reserved for plan-level randomness; recorded in the summary so runs
+  /// are identifiable.
+  std::uint64_t seed = 1;
+
+  bool active() const {
+    return churn.active() || normal_hosts.active() || flaky_hosts.active() ||
+           flaky_host_fraction >= 0.0 || report_path.active() ||
+           !outages.empty();
+  }
+};
+
+/// Rewrite a volunteer-pool config per the plan's host-level faults (churn,
+/// host classes, report path). Pure transform — call before the pool is
+/// constructed. An inactive plan leaves the config untouched.
+void apply_fault_plan(const FaultPlan& plan, boinc::BoincPoolConfig& config);
+
+/// Parse a plan from INI text. Schema:
+///   [plan]        seed
+///   [churn]       on_scale off_scale lifetime_scale weibull_shape
+///   [hosts]       flaky_fraction compute_error_probability
+///                 corruption_probability flaky_compute_error_probability
+///                 flaky_corruption_probability
+///   [report_path] drop_probability delay_probability delay_seconds
+///   [outage.<resource>]  start duration period heartbeat_only
+/// Every key is optional; omitted keys keep their inert defaults. Throws
+/// std::runtime_error on malformed values.
+FaultPlan fault_plan_from_ini(const util::IniFile& ini);
+
+/// Load a plan from an INI file on disk. Throws std::runtime_error when
+/// the file cannot be read or parsed.
+FaultPlan load_fault_plan(const std::string& path);
+
+/// One-line-per-aspect human summary (deterministic; printed by the
+/// fault-plan scenarios so runs are diffable).
+std::string fault_plan_summary(const FaultPlan& plan);
+
+}  // namespace lattice::fault

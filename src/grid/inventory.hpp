@@ -1,0 +1,89 @@
+// Unified resource construction: a declarative ResourceSpec naming any of
+// the grid's resource kinds (batch cluster, Condor pool, BOINC volunteer
+// pool) plus one build_inventory() that instantiates a list of specs into
+// any InventoryHost. Subsumes the per-example construction boilerplate and
+// the benchmark-local inventory builder — the paper's §IV federation is
+// now data (lattice_inventory()), not code repeated per harness.
+//
+// Layering: this header needs only the resource Config structs, which are
+// pure data (boinc/config.hpp is header-only), so lattice_grid does not
+// link against the BOINC or core libraries. The host interface is
+// implemented by core::LatticeSystem.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "boinc/config.hpp"
+#include "grid/resource.hpp"
+
+namespace lattice::boinc {
+class BoincServer;
+}  // namespace lattice::boinc
+
+namespace lattice::grid {
+
+/// Anything that can own the three resource kinds (core::LatticeSystem).
+class InventoryHost {
+ public:
+  virtual ~InventoryHost() = default;
+
+  virtual BatchQueueResource& add_cluster(
+      const std::string& name, BatchQueueResource::Config config) = 0;
+  virtual CondorPool& add_condor_pool(const std::string& name,
+                                      CondorPool::Config config) = 0;
+  virtual boinc::BoincServer& add_boinc_pool(
+      const std::string& name, boinc::BoincPoolConfig config) = 0;
+};
+
+/// One declaratively-specified resource: a name plus the kind-specific
+/// config. Specs are plain data — build them, edit them (e.g. a fault plan
+/// raising a pool's corruption rate), then instantiate with
+/// build_inventory().
+struct ResourceSpec {
+  std::string name;
+  std::variant<BatchQueueResource::Config, CondorPool::Config,
+               boinc::BoincPoolConfig>
+      config;
+
+  ResourceKind kind() const;
+
+  static ResourceSpec cluster(std::string name,
+                              BatchQueueResource::Config config);
+  static ResourceSpec condor(std::string name, CondorPool::Config config);
+  static ResourceSpec boinc_pool(std::string name,
+                                 boinc::BoincPoolConfig config);
+};
+
+/// Knobs for the canonical paper inventory (lattice_inventory).
+struct InventoryOptions {
+  std::size_t boinc_hosts = 300;
+  std::size_t condor_machines_per_pool = 40;
+  bool include_boinc = true;
+  double cluster_overhead = 30.0;
+  double condor_overhead = 60.0;
+  std::uint64_t seed = 1;
+  /// Volunteer-pool redundancy/reliability knobs (BoincPoolConfig
+  /// defaults when left alone). Raising quorum and the flaky fraction
+  /// drives the validator, transitioner, and reissue paths — what the
+  /// grid-scale smoke runs under the sanitizers.
+  int boinc_min_quorum = 1;
+  int boinc_target_nresults = 1;
+  double boinc_flaky_fraction = 0.0;
+  double boinc_delay_bound = 14.0 * 86400.0;
+};
+
+/// The Lattice Project's §IV inventory as specs: clusters at four
+/// institutions (PBS/SGE, differing speeds and memory), four Condor pools,
+/// and the international BOINC pool.
+std::vector<ResourceSpec> lattice_inventory(const InventoryOptions& options);
+
+/// Instantiate the specs into the host, in list order.
+void build_inventory(InventoryHost& host,
+                     const std::vector<ResourceSpec>& specs);
+
+/// Convenience: the canonical paper inventory in one call.
+void build_inventory(InventoryHost& host, const InventoryOptions& options);
+
+}  // namespace lattice::grid

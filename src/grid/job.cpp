@@ -56,4 +56,17 @@ std::string_view job_state_name(JobState state) {
   return "?";
 }
 
+std::string_view failure_cause_name(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kNone: return "none";
+    case FailureCause::kComputeError: return "compute_error";
+    case FailureCause::kCorrupted: return "corrupted";
+    case FailureCause::kHostVanished: return "host_vanished";
+    case FailureCause::kOutage: return "outage";
+    case FailureCause::kDeadlineMiss: return "deadline_miss";
+    case FailureCause::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
 }  // namespace lattice::grid

@@ -48,6 +48,22 @@ enum class JobState : std::uint8_t {
 
 std::string_view job_state_name(JobState state);
 
+/// Why an attempt (or a whole job) failed. kNone marks success; everything
+/// else is a failure class the retry policy can branch on — transient
+/// compute errors retry anywhere, host churn and outages argue for a more
+/// stable placement, deadline misses argue for a faster one.
+enum class FailureCause : std::uint8_t {
+  kNone,          // completed successfully
+  kComputeError,  // the application errored on the execute machine
+  kCorrupted,     // result rejected by quorum validation
+  kHostVanished,  // preemption, host churn, permanent departure
+  kOutage,        // the whole resource went down mid-attempt
+  kDeadlineMiss,  // walltime limit or report deadline exceeded
+  kCancelled,     // removed by user/operator request
+};
+
+std::string_view failure_cause_name(FailureCause cause);
+
 struct GridJob {
   std::uint64_t id = 0;
   std::string application = "garli";
@@ -78,6 +94,15 @@ struct GridJob {
   int attempts = 0;
   /// CPU-seconds burned by attempts that did not complete.
   double wasted_cpu_seconds = 0.0;
+
+  // Retry-policy state (maintained by the grid level's on_outcome path).
+  /// Cause of the most recent failed attempt (kNone until one fails).
+  FailureCause last_failure = FailureCause::kNone;
+  /// Failed attempts on unstable (desktop/volunteer) resources.
+  int unstable_failures = 0;
+  /// Set by the demotion policy: the meta-scheduler must place this job on
+  /// a stable resource only.
+  bool require_stable = false;
 };
 
 }  // namespace lattice::grid

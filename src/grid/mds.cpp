@@ -50,6 +50,9 @@ void MdsDirectory::file_under_class(Entry& entry, std::string key) {
 }
 
 void MdsDirectory::report(const ResourceInfo& info) {
+  // A blacked-out resource's heartbeats never reach the directory; its
+  // entry simply ages past the TTL and the scheduler routes around it.
+  if (!blackout_.empty() && blackout_.count(info.name) != 0) return;
   auto [it, inserted] = entries_.try_emplace(info.name);
   Entry& entry = it->second;
   // Incremental index maintenance: the canonical class key is rebuilt (and
@@ -83,6 +86,22 @@ void MdsDirectory::report(const ResourceInfo& info) {
 void MdsDirectory::set_speed(const std::string& resource, double speed) {
   const auto it = entries_.find(resource);
   if (it != entries_.end()) it->second.data.speed = speed;
+}
+
+void MdsDirectory::set_heartbeat_blackout(const std::string& resource,
+                                          bool blackout) {
+  if (blackout) {
+    blackout_.insert(resource);
+    // Expire the current entry immediately instead of waiting for natural
+    // TTL decay: push its last report just past the validity window.
+    const auto it = entries_.find(resource);
+    if (it != entries_.end()) {
+      it->second.data.last_report =
+          std::min(it->second.data.last_report, sim_.now() - ttl_ - 1.0);
+    }
+  } else {
+    blackout_.erase(resource);
+  }
 }
 
 std::vector<MdsEntry> MdsDirectory::online() const {

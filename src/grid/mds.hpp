@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,15 @@ class MdsDirectory {
 
   void report(const ResourceInfo& info);
   void set_speed(const std::string& resource, double speed);
+
+  /// Heartbeat blackout (driven by lattice::fault): while set, reports from
+  /// this resource are discarded, so its directory entry goes stale within
+  /// one TTL and the scheduler stops considering it — the paper's "no new
+  /// jobs are scheduled there" path, without the resource itself failing.
+  void set_heartbeat_blackout(const std::string& resource, bool blackout);
+  bool heartbeat_blackout(const std::string& resource) const {
+    return blackout_.count(resource) != 0;
+  }
 
   /// Entries whose last report is within the TTL (the resources the
   /// scheduler may consider).
@@ -120,6 +130,8 @@ class MdsDirectory {
   sim::Simulation& sim_;
   double ttl_;
   std::map<std::string, Entry> entries_;
+  /// Resources whose heartbeats are currently suppressed.
+  std::set<std::string> blackout_;
   std::map<std::string, CapabilityClass> classes_;
   std::vector<std::unique_ptr<sim::PeriodicTask>> providers_;
   /// Reused by provider heartbeats (see attach_provider).

@@ -64,6 +64,9 @@ void BatchQueueResource::on_observability() {
                  "attempts killed by the LRM walltime limit", name());
   obs_cancelled_ = &m.counter("grid.attempts_cancelled", "attempts",
                               "attempts removed by cancellation", name());
+  obs_outage_kills_ =
+      &m.counter("grid.outage_kills", "attempts",
+                 "attempts lost to a resource-level outage", name());
   obs_queue_wait_ =
       &m.histogram("grid.queue_wait_s", queue_wait_bounds(), "s",
                    "local-queue wait from acceptance to start", name());
@@ -85,14 +88,57 @@ ResourceInfo BatchQueueResource::info() const {
 }
 
 void BatchQueueResource::submit(GridJob& job) {
-  job.state = JobState::kQueued;
   job.resource = name();
+  if (outage_) {
+    // The LRM front end is down: the submission bounces immediately and
+    // the grid level reschedules (or backs off) on kOutage.
+    job.state = JobState::kFailed;
+    obs_outage_kills_->inc();
+    notify(job, JobOutcome{FailureCause::kOutage, 0.0, "outage"});
+    return;
+  }
+  job.state = JobState::kQueued;
   job.queued_time = sim_.now();
   queue_.push_back(&job);
   try_start();
 }
 
+void BatchQueueResource::set_outage(bool down) {
+  if (down == outage_) return;
+  outage_ = down;
+  if (down) {
+    fail_all_for_outage();
+  } else {
+    try_start();
+  }
+}
+
+void BatchQueueResource::fail_all_for_outage() {
+  // Move the held jobs aside first: notify() can synchronously resubmit.
+  std::deque<GridJob*> queued;
+  queued.swap(queue_);
+  std::vector<Running> running;
+  running.swap(running_);
+  for (Running& entry : running) sim_.cancel(entry.completion);
+  for (GridJob* job : queued) {
+    job->state = JobState::kFailed;
+    obs_outage_kills_->inc();
+    notify(*job, JobOutcome{FailureCause::kOutage, 0.0, "outage"});
+  }
+  for (Running& entry : running) {
+    GridJob& job = *entry.job;
+    const double cpu = sim_.now() - entry.started;
+    job.state = JobState::kFailed;
+    job.wasted_cpu_seconds += cpu;
+    obs_outage_kills_->inc();
+    tracer().async_end("attempt", "grid.attempt", job.id, sim_.now(),
+                       {{"reason", "outage"}});
+    notify(job, JobOutcome{FailureCause::kOutage, cpu, "outage"});
+  }
+}
+
 void BatchQueueResource::try_start() {
+  if (outage_) return;
   const std::size_t slots = config_.nodes * config_.cores_per_node;
   while (!queue_.empty() && running_.size() < slots) {
     GridJob* job = queue_.front();
@@ -135,13 +181,13 @@ void BatchQueueResource::finish(std::uint64_t job_id, bool walltime_killed) {
   if (walltime_killed) {
     job.state = JobState::kFailed;
     job.wasted_cpu_seconds += cpu;
-    outcome.completed = false;
+    outcome.cause = FailureCause::kDeadlineMiss;
     outcome.reason = "walltime";
     obs_walltime_kills_->inc();
   } else {
     job.state = JobState::kCompleted;
     job.finish_time = sim_.now();
-    outcome.completed = true;
+    outcome.cause = FailureCause::kNone;
     outcome.reason = "completed";
     obs_completed_->inc();
   }
@@ -160,7 +206,7 @@ void BatchQueueResource::cancel(std::uint64_t job_id) {
     queue_.erase(queued);
     job.state = JobState::kCancelled;
     obs_cancelled_->inc();
-    notify(job, JobOutcome{false, 0.0, "cancelled"});
+    notify(job, JobOutcome{FailureCause::kCancelled, 0.0, "cancelled"});
     return;
   }
   const auto it =
@@ -177,7 +223,7 @@ void BatchQueueResource::cancel(std::uint64_t job_id) {
   tracer().async_end("attempt", "grid.attempt", job.id, sim_.now(),
                      {{"reason", "cancelled"}});
   try_start();
-  notify(job, JobOutcome{false, cpu, "cancelled"});
+  notify(job, JobOutcome{FailureCause::kCancelled, cpu, "cancelled"});
 }
 
 // ---------------------------------------------------------------------------
@@ -228,6 +274,9 @@ void CondorPool::on_observability() {
                  "attempts lost to owner-return preemption", name());
   obs_cancelled_ = &m.counter("grid.attempts_cancelled", "attempts",
                               "attempts removed by cancellation", name());
+  obs_outage_kills_ =
+      &m.counter("grid.outage_kills", "attempts",
+                 "attempts lost to a resource-level outage", name());
   obs_queue_wait_ =
       &m.histogram("grid.queue_wait_s", queue_wait_bounds(), "s",
                    "local-queue wait from acceptance to start", name());
@@ -272,7 +321,7 @@ void CondorPool::owner_arrives(std::size_t machine) {
                      {{"reason", "preempted"}});
   util::log_debug("condor", "{}: preempted job {} after {:.0f}s", name(),
                   job.id, cpu);
-  notify(job, JobOutcome{false, cpu, "preempted"});
+  notify(job, JobOutcome{FailureCause::kHostVanished, cpu, "preempted"});
 }
 
 void CondorPool::owner_leaves(std::size_t machine) {
@@ -300,12 +349,61 @@ ResourceInfo CondorPool::info() const {
 }
 
 void CondorPool::submit(GridJob& job) {
+  if (outage_) {
+    // The pool's central manager is down: reject immediately so the grid
+    // level can retry elsewhere instead of queueing into a black hole.
+    job.resource = name();
+    job.state = JobState::kFailed;
+    obs_outage_kills_->inc();
+    notify(job, JobOutcome{FailureCause::kOutage, 0.0, "outage"});
+    return;
+  }
   job.state = JobState::kQueued;
   job.resource = name();
   job.queued_time = sim_.now();
   queue_.push_back(
       {&job, AdExpression::parse(condor_requirements_expression(job))});
   try_start();
+}
+
+void CondorPool::set_outage(bool down) {
+  if (down == outage_) return;
+  outage_ = down;
+  if (down) {
+    fail_all_for_outage();
+  } else {
+    try_start();
+  }
+}
+
+void CondorPool::fail_all_for_outage() {
+  // Collect first, notify after: notify() can synchronously resubmit, and a
+  // resubmission during an outage must see the queue already emptied.
+  std::deque<QueuedJob> queued;
+  queued.swap(queue_);
+  std::vector<std::pair<GridJob*, double>> interrupted;
+  for (Machine& machine : machines_) {
+    if (machine.job == nullptr) continue;
+    GridJob& job = *machine.job;
+    const double cpu = sim_.now() - machine.job_started;
+    sim_.cancel(machine.completion);
+    machine.job = nullptr;
+    job.state = JobState::kFailed;
+    job.wasted_cpu_seconds += cpu;
+    interrupted.emplace_back(&job, cpu);
+  }
+  for (QueuedJob& entry : queued) {
+    GridJob& job = *entry.job;
+    job.state = JobState::kFailed;
+    obs_outage_kills_->inc();
+    notify(job, JobOutcome{FailureCause::kOutage, 0.0, "outage"});
+  }
+  for (auto& [job, cpu] : interrupted) {
+    obs_outage_kills_->inc();
+    tracer().async_end("attempt", "grid.attempt", job->id, sim_.now(),
+                       {{"reason", "outage"}});
+    notify(*job, JobOutcome{FailureCause::kOutage, cpu, "outage"});
+  }
 }
 
 grid::ClassAd CondorPool::machine_ad(std::size_t machine) const {
@@ -327,6 +425,7 @@ grid::ClassAd CondorPool::machine_ad(std::size_t machine) const {
 }
 
 void CondorPool::try_start() {
+  if (outage_) return;
   // Condor-style matchmaking: each queued job (FIFO priority) is matched
   // against the idle machines' ClassAds using the job's requirements
   // expression; a job with no eligible idle machine does not block the
@@ -374,7 +473,7 @@ void CondorPool::complete(std::size_t machine) {
   tracer().async_end("attempt", "grid.attempt", job.id, sim_.now(),
                      {{"reason", "completed"}});
   try_start();
-  notify(job, JobOutcome{true, cpu, "completed"});
+  notify(job, JobOutcome{FailureCause::kNone, cpu, "completed"});
 }
 
 void CondorPool::cancel(std::uint64_t job_id) {
@@ -386,7 +485,7 @@ void CondorPool::cancel(std::uint64_t job_id) {
     queue_.erase(queued);
     job.state = JobState::kCancelled;
     obs_cancelled_->inc();
-    notify(job, JobOutcome{false, 0.0, "cancelled"});
+    notify(job, JobOutcome{FailureCause::kCancelled, 0.0, "cancelled"});
     return;
   }
   for (std::size_t m = 0; m < machines_.size(); ++m) {
@@ -402,7 +501,7 @@ void CondorPool::cancel(std::uint64_t job_id) {
     tracer().async_end("attempt", "grid.attempt", job.id, sim_.now(),
                        {{"reason", "cancelled"}});
     try_start();
-    notify(job, JobOutcome{false, cpu, "cancelled"});
+    notify(job, JobOutcome{FailureCause::kCancelled, cpu, "cancelled"});
     return;
   }
 }

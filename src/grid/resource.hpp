@@ -50,11 +50,15 @@ struct ResourceInfo {
 };
 
 struct JobOutcome {
-  bool completed = false;
+  /// kNone means the attempt completed; anything else classifies the
+  /// failure so the grid level's retry policy can branch on cause.
+  FailureCause cause = FailureCause::kNone;
   /// CPU-seconds consumed by this attempt (wall time on the executing
   /// machine), whether or not it completed.
   double cpu_seconds = 0.0;
   std::string reason;  // "completed", "preempted", "cancelled", ...
+
+  bool completed() const { return cause == FailureCause::kNone; }
 };
 
 using CompletionCallback =
@@ -81,6 +85,14 @@ class LocalResource {
   /// Remove a queued or running job; fires the callback with
   /// reason="cancelled" if the job was present.
   virtual void cancel(std::uint64_t job_id) = 0;
+
+  /// Resource-level outage control (driven by lattice::fault). Entering an
+  /// outage fails every held job with FailureCause::kOutage and rejects new
+  /// submissions until the outage ends. The default is a no-op so resources
+  /// without an outage model (e.g. the volunteer pool, whose unreliability
+  /// is per-host) ignore it.
+  virtual void set_outage(bool down) { (void)down; }
+  virtual bool in_outage() const { return false; }
 
   /// Invoked on every attempt outcome (success, preemption, cancel).
   void set_completion_callback(CompletionCallback callback) {
@@ -137,6 +149,8 @@ class BatchQueueResource : public LocalResource {
   ResourceInfo info() const override;
   void submit(GridJob& job) override;
   void cancel(std::uint64_t job_id) override;
+  void set_outage(bool down) override;
+  bool in_outage() const override { return outage_; }
 
   const Config& config() const { return config_; }
 
@@ -149,16 +163,19 @@ class BatchQueueResource : public LocalResource {
 
   void try_start();
   void finish(std::uint64_t job_id, bool walltime_killed);
+  void fail_all_for_outage();
   void on_observability() override;
 
   Config config_;
   std::deque<GridJob*> queue_;
   std::vector<Running> running_;
+  bool outage_ = false;
 
   obs::Counter* obs_started_ = nullptr;
   obs::Counter* obs_completed_ = nullptr;
   obs::Counter* obs_walltime_kills_ = nullptr;
   obs::Counter* obs_cancelled_ = nullptr;
+  obs::Counter* obs_outage_kills_ = nullptr;
   obs::Histogram* obs_queue_wait_ = nullptr;
 };
 
@@ -192,6 +209,8 @@ class CondorPool : public LocalResource {
   ResourceInfo info() const override;
   void submit(GridJob& job) override;
   void cancel(std::uint64_t job_id) override;
+  void set_outage(bool down) override;
+  bool in_outage() const override { return outage_; }
 
   /// True machine speeds (exposed for calibration experiments).
   std::vector<double> machine_speeds() const;
@@ -222,6 +241,7 @@ class CondorPool : public LocalResource {
   void owner_leaves(std::size_t machine);
   void try_start();
   void complete(std::size_t machine);
+  void fail_all_for_outage();
   void on_observability() override;
 
   Config config_;
@@ -231,11 +251,13 @@ class CondorPool : public LocalResource {
   /// (OpSys/Arch/Memory/KFlops) are fixed at construction.
   std::vector<ClassAd> machine_ads_;
   std::deque<QueuedJob> queue_;
+  bool outage_ = false;
 
   obs::Counter* obs_started_ = nullptr;
   obs::Counter* obs_completed_ = nullptr;
   obs::Counter* obs_preemptions_ = nullptr;
   obs::Counter* obs_cancelled_ = nullptr;
+  obs::Counter* obs_outage_kills_ = nullptr;
   obs::Histogram* obs_queue_wait_ = nullptr;
 };
 

@@ -163,6 +163,13 @@ void IniFile::set(const std::string& section, const std::string& key,
   s->pairs.emplace_back(key, std::move(value));
 }
 
+std::vector<std::string> IniFile::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const auto& [name, section] : sections_) names.push_back(name);
+  return names;
+}
+
 std::string IniFile::to_string() const {
   std::ostringstream out;
   bool first = true;

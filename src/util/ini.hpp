@@ -39,6 +39,10 @@ class IniFile {
   void set(const std::string& section, const std::string& key,
            std::string value);
 
+  /// Section names in insertion order (for schemas with repeatable,
+  /// dotted section families like `[outage.<resource>]`).
+  std::vector<std::string> section_names() const;
+
   /// Serialize back to INI text (sections and keys in insertion order).
   std::string to_string() const;
 

@@ -123,6 +123,16 @@ class Rng {
     return -mean * std::log(u);
   }
 
+  /// Weibull(shape k, scale λ) by inversion; shape and scale must be > 0.
+  /// shape == 1 degenerates to exponential(scale) with the identical draw
+  /// sequence, which is what lets fault plans leave churn distributions
+  /// untouched by default.
+  double weibull(double shape, double scale) {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return scale * std::pow(-std::log(u), 1.0 / shape);
+  }
+
   /// Gamma(shape, scale) via Marsaglia–Tsang; shape > 0.
   double gamma(double shape, double scale) {
     if (shape < 1.0) {

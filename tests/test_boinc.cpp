@@ -35,7 +35,7 @@ TEST(Boinc, CompletesWorkOnReliableHosts) {
   int completed = 0;
   server.set_completion_callback(
       [&](grid::GridJob& job, const grid::JobOutcome& outcome) {
-        EXPECT_TRUE(outcome.completed);
+        EXPECT_TRUE(outcome.completed());
         EXPECT_EQ(job.state, grid::JobState::kCompleted);
         ++completed;
       });
@@ -64,7 +64,7 @@ TEST(Boinc, ChurnDelaysButCheckpointingPreservesProgress) {
   int completed = 0;
   server.set_completion_callback(
       [&](grid::GridJob&, const grid::JobOutcome& outcome) {
-        if (outcome.completed) ++completed;
+        if (outcome.completed()) ++completed;
       });
   // 8h of reference work against 2h mean uptime stretches: only possible
   // because progress survives downtime.
@@ -115,7 +115,7 @@ TEST(Boinc, TightDeadlineCausesTimeouts) {
   int completed = 0;
   server.set_completion_callback(
       [&](grid::GridJob&, const grid::JobOutcome& outcome) {
-        if (outcome.completed) ++completed;
+        if (outcome.completed()) ++completed;
       });
   std::vector<grid::GridJob> jobs;
   jobs.reserve(5);
@@ -139,7 +139,7 @@ TEST(Boinc, QuorumTwoCatchesFlawedHosts) {
   int completed = 0;
   server.set_completion_callback(
       [&](grid::GridJob&, const grid::JobOutcome& outcome) {
-        if (outcome.completed) ++completed;
+        if (outcome.completed()) ++completed;
       });
   std::vector<grid::GridJob> jobs;
   jobs.reserve(6);
@@ -190,7 +190,7 @@ TEST(Boinc, CancelAbortsOutstandingWork) {
   bool cancelled = false;
   server.set_completion_callback(
       [&](grid::GridJob& job, const grid::JobOutcome& outcome) {
-        cancelled = !outcome.completed &&
+        cancelled = !outcome.completed() &&
                     job.state == grid::JobState::kCancelled;
       });
   auto job = make_job(1, 100000.0);

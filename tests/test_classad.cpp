@@ -149,7 +149,7 @@ TEST(CondorMatchmaking, MemoryHungryJobWaitsForBigMachine) {
   int completed = 0;
   pool.set_completion_callback(
       [&](GridJob&, const JobOutcome& outcome) {
-        if (outcome.completed) ++completed;
+        if (outcome.completed()) ++completed;
       });
 
   GridJob hungry;
@@ -179,7 +179,7 @@ TEST(CondorMatchmaking, UnsatisfiableJobDoesNotBlockQueue) {
   int completed = 0;
   pool.set_completion_callback(
       [&](GridJob&, const JobOutcome& outcome) {
-        if (outcome.completed) ++completed;
+        if (outcome.completed()) ++completed;
       });
   GridJob impossible;
   impossible.id = 1;

@@ -96,7 +96,7 @@ TEST(BatchQueue, RunsJobsToCompletion) {
   int completed = 0;
   cluster.set_completion_callback(
       [&](GridJob& job, const JobOutcome& outcome) {
-        EXPECT_TRUE(outcome.completed);
+        EXPECT_TRUE(outcome.completed());
         EXPECT_EQ(job.state, JobState::kCompleted);
         ++completed;
       });
@@ -162,7 +162,7 @@ TEST(BatchQueue, WalltimeKillsLongJobs) {
   bool failed = false;
   cluster.set_completion_callback(
       [&](GridJob& job, const JobOutcome& outcome) {
-        failed = !outcome.completed && outcome.reason == "walltime";
+        failed = !outcome.completed() && outcome.reason == "walltime";
         EXPECT_EQ(job.state, JobState::kFailed);
       });
   auto job = make_job(1, 1000.0);
@@ -232,7 +232,7 @@ TEST(Condor, CompletesShortJobs) {
   int completed = 0;
   pool.set_completion_callback(
       [&](GridJob&, const JobOutcome& outcome) {
-        if (outcome.completed) ++completed;
+        if (outcome.completed()) ++completed;
       });
   std::vector<GridJob> jobs;
   jobs.reserve(10);
@@ -256,7 +256,7 @@ TEST(Condor, PreemptsWhenOwnerReturns) {
   int completions = 0;
   pool.set_completion_callback(
       [&](GridJob& job, const JobOutcome& outcome) {
-        if (outcome.completed) {
+        if (outcome.completed()) {
           ++completions;
         } else if (outcome.reason == "preempted") {
           ++preemptions;

@@ -289,7 +289,7 @@ TEST_P(QuorumSweep, WorkunitsValidateAndCreditFollowsQuorum) {
   int completed = 0;
   server.set_completion_callback(
       [&](grid::GridJob&, const grid::JobOutcome& outcome) {
-        if (outcome.completed) ++completed;
+        if (outcome.completed()) ++completed;
       });
   std::vector<grid::GridJob> jobs(8);
   for (std::size_t i = 0; i < jobs.size(); ++i) {

@@ -40,8 +40,8 @@ namespace {
 // Directories under src/ whose code must be bit-deterministic. Wall time
 // and ambient RNG are allowed only in obs/ (pure observation) and util/
 // (the seeded Rng itself, the thread pool's condition variables).
-const std::set<std::string> kDeterministicDirs = {"sim", "core", "grid",
-                                                 "boinc", "phylo"};
+const std::set<std::string> kDeterministicDirs = {"sim",   "core", "grid",
+                                                  "boinc", "phylo", "fault"};
 
 std::string read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
