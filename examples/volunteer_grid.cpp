@@ -48,7 +48,7 @@ namespace {
 // two identical invocations are bit-identical.
 int run_fault_scenario(const std::string& plan_path,
                        const std::string& metrics_out,
-                       const std::string& trace_out) {
+                       const std::string& trace_out, std::size_t shards) {
   using namespace lattice;
 
   fault::FaultPlan plan;
@@ -95,6 +95,7 @@ int run_fault_scenario(const std::string& plan_path,
   volunteers.min_quorum = 2;  // cross-validation catches corruption
   volunteers.target_nresults = 2;
   volunteers.seed = 99;
+  volunteers.shards = shards;
   fault::apply_fault_plan(plan, volunteers);
 
   std::vector<grid::ResourceSpec> specs;
@@ -190,6 +191,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string fault_plan;
   int pool_threads = -1;  // -1: self-test off
+  std::size_t shards = 1;  // volunteer-pool calendar shards
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -202,20 +204,22 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (arg.rfind("--pool-threads=", 0) == 0) {
       pool_threads = std::stoi(arg.substr(15));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = static_cast<std::size_t>(std::stoul(arg.substr(9)));
     } else if (arg.rfind("--fault-plan=", 0) == 0) {
       fault_plan = arg.substr(13);
     } else if (arg == "--fault-plan" && i + 1 < argc) {
       fault_plan = argv[++i];
     } else {
       std::cerr << "usage: volunteer_grid [--metrics-out=FILE] "
-                   "[--trace-out=FILE] [--pool-threads=N] "
+                   "[--trace-out=FILE] [--pool-threads=N] [--shards=N] "
                    "[--fault-plan=FILE]\n";
       return 2;
     }
   }
 
   if (!fault_plan.empty()) {
-    return run_fault_scenario(fault_plan, metrics_out, trace_out);
+    return run_fault_scenario(fault_plan, metrics_out, trace_out, shards);
   }
 
   sim::Simulation sim;
@@ -239,6 +243,9 @@ int main(int argc, char** argv) {
   config.min_quorum = 2;             // cross-validate results
   config.target_nresults = 2;
   config.seed = 99;
+  // Calendar shard count for the volunteer pool: any value produces a
+  // bit-identical run (determinism.sh proves it at the binary level).
+  config.shards = shards;
   boinc::BoincServer server(sim, "lattice-boinc", config);
   if (observe) server.set_observability(metrics, bound_tracer);
 

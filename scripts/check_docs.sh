@@ -39,17 +39,19 @@ for name in $registered; do
   fi
 done
 
-# The scheduler-scalability pass documents a complexity budget
-# (docs/PERFORMANCE.md) and index-invalidation rules (DESIGN.md §10);
-# both must keep naming the indexed structures they govern so the docs
-# cannot silently drift from the data structures.
+# The scheduler-scalability passes document a complexity budget
+# (docs/PERFORMANCE.md) and index-invalidation rules (DESIGN.md §10 for
+# the linear→indexed pass, §11 for the sub-linear rank-index stream and
+# the sharded pool calendar); all must keep naming the structures they
+# govern so the docs cannot silently drift from the data structures.
 perf=docs/PERFORMANCE.md
 if [ ! -f "$perf" ]; then
   echo "check_docs: missing $perf (complexity budget)" >&2
   fail=1
 else
   for anchor in match_online 'deadline heap' 'feeder' 'census' \
-                'far band' 'ns/decision'; do
+                'far band' 'ns/decision' 'best_ranked' \
+                'lookahead barrier' 'weak-scaled'; do
     if ! grep -qiF "$anchor" "$perf"; then
       echo "check_docs: $perf lost its '$anchor' budget entry" >&2
       fail=1
@@ -83,6 +85,20 @@ else
                 'far_threshold_' 'results_index_'; do
     if ! grep -qiF "$anchor" "$design"; then
       echo "check_docs: $design §10 lost its '$anchor' invalidation rule" >&2
+      fail=1
+    fi
+  done
+fi
+if ! grep -qE '^## +(§ *)?11' "$design" 2>/dev/null; then
+  echo "check_docs: $design has no §11 (sub-linear decision + sharded" \
+       "kernel invalidation rules)" >&2
+  fail=1
+else
+  for anchor in 'best_ranked' 'by_load' 'by_eta' 'unrank' \
+                'rank_load_weight' 'lookahead barrier' 'epoch' \
+                '(when, seq)'; do
+    if ! grep -qiF "$anchor" "$design"; then
+      echo "check_docs: $design §11 lost its '$anchor' invalidation rule" >&2
       fail=1
     fi
   done

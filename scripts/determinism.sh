@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end determinism check (ctest test `determinism_e2e`): the PR 2
 # obs-on/off guard, promoted to the binary level. Runs the volunteer_grid
-# scenario (with the pooled-likelihood self-test enabled) three times —
-# twice identically, once with a different thread-pool size — and demands
-# bit-identical stdout, metrics snapshot, and trace.
+# scenario (with the pooled-likelihood self-test enabled) four times —
+# twice identically, once with a different thread-pool size, once with the
+# volunteer-pool calendar sharded 4 ways — and demands bit-identical
+# stdout, metrics snapshot, and trace.
 #
 # Wall-clock observations are the one sanctioned nondeterminism, and they
 # are confined by construction: the sim.handler_wall_us histogram in the
@@ -23,9 +24,9 @@ bin=${1:?usage: determinism.sh <volunteer_grid-binary> [workdir]}
 work=${2:-$(mktemp -d)}
 mkdir -p "$work"
 
-run() {  # run <tag> <pool-threads>
-  local tag=$1 threads=$2
-  "$bin" --pool-threads="$threads" \
+run() {  # run <tag> <pool-threads> [shards]
+  local tag=$1 threads=$2 shards=${3:-1}
+  "$bin" --pool-threads="$threads" --shards="$shards" \
          --metrics-out="$work/m-$tag.json" \
          --trace-out="$work/t-$tag.json" > "$work/out-$tag.raw"
   # stdout echoes the per-run output paths; normalize them so the
@@ -51,6 +52,7 @@ run_fault() {  # run_fault <tag>
 run a 2
 run b 2
 run c 5
+run d 2 4
 run_fault a
 run_fault b
 
@@ -81,6 +83,12 @@ check t-a.det t-b.det "trace across identical runs"
 check out-a.txt out-c.txt "stdout across thread counts (2 vs 5)"
 check m-a.det m-c.det "metrics across thread counts (2 vs 5)"
 check t-a.det t-c.det "trace across thread counts (2 vs 5)"
+# Sharded pool calendar: the shard count must be unobservable too — the
+# per-shard drains and (when, seq) merge reproduce the sequential firing
+# order exactly (DESIGN.md §11).
+check out-a.txt out-d.txt "stdout across calendar shards (1 vs 4)"
+check m-a.det m-d.det "metrics across calendar shards (1 vs 4)"
+check t-a.det t-d.det "trace across calendar shards (1 vs 4)"
 
 # Fault-injection runs under the same plan: the injected event stream must
 # be a pure function of seed + plan.
@@ -95,7 +103,7 @@ for metric in fault. sched.retry_; do
 done
 
 if [ "$fail" -eq 0 ]; then
-  echo "determinism: 5 runs bit-identical" \
+  echo "determinism: 6 runs bit-identical" \
        "(sha256 $(sha256sum "$work/m-a.det" | cut -c1-12)…" \
        "fault $(sha256sum "$work/fm-a.det" | cut -c1-12)…)"
 fi

@@ -1,5 +1,6 @@
 #include "boinc/host.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -10,96 +11,66 @@ namespace lattice::boinc {
 
 VolunteerHost::VolunteerHost(sim::Simulation& sim, BoincServer& server,
                              std::uint64_t id, HostParams params,
-                             util::Rng rng)
-    : sim_(sim), server_(server), id_(id), params_(params), rng_(rng) {}
+                             ChurnState& churn)
+    : sim_(sim), server_(server), id_(id), params_(params), churn_(churn) {}
 
 VolunteerHost::~VolunteerHost() = default;
 
-double VolunteerHost::churn_interval(double mean_seconds) {
-  const double shape = params_.churn_weibull_shape;
-  if (shape == 1.0) return rng_.exponential(mean_seconds);
-  // Scale chosen so the Weibull keeps the configured mean: E[X] =
-  // scale * Γ(1 + 1/shape).
-  return rng_.weibull(shape, mean_seconds / std::tgamma(1.0 + 1.0 / shape));
-}
-
 void VolunteerHost::start(bool initially_online) {
-  // Permanent departure clock runs regardless of the on/off cycle.
-  const double lifetime = churn_interval(params_.mean_lifetime_days * 86400.0);
-  sim_.after(lifetime, [this] { depart(); });
+  // Permanent departure clock runs regardless of the on/off cycle; drawn
+  // first, then the first availability interval (stable draw order).
+  churn_.lifetime_end =
+      sim_.now() + BoincServer::churn_draw(churn_.rng, server_.churn_shape_,
+                                           server_.churn_life_scale_);
   if (initially_online) {
-    go_online();
+    churn_.online = 1;
+    sync_census();
+    server_.register_idle(*this);
+    churn_.next_transition =
+        sim_.now() + BoincServer::churn_draw(churn_.rng, server_.churn_shape_,
+                                             server_.churn_on_scale_);
   } else {
-    transition_ = sim_.after(churn_interval(params_.mean_off_hours * 3600.0),
-                             [this] { go_online(); });
+    churn_.next_transition =
+        sim_.now() + BoincServer::churn_draw(churn_.rng, server_.churn_shape_,
+                                             server_.churn_off_scale_);
   }
-}
-
-void VolunteerHost::sync_census() {
-  const bool online_now = online();
-  const bool free_now = online_now && !task_.has_value();
-  server_.census_delta(
-      static_cast<int>(online_now) - static_cast<int>(census_online_),
-      static_cast<int>(free_now) - static_cast<int>(census_free_),
-      static_cast<int>(departed_) - static_cast<int>(census_departed_));
-  census_online_ = online_now;
-  census_free_ = free_now;
-  census_departed_ = departed_;
-}
-
-void VolunteerHost::go_online() {
-  if (departed_) return;
-  online_ = true;
-  sync_census();
-  transition_ = sim_.after(churn_interval(params_.mean_on_hours * 3600.0),
-                           [this] { go_offline(); });
-  if (task_) {
-    resume_task();
-  } else {
-    request_work();
-  }
-}
-
-void VolunteerHost::go_offline() {
-  if (departed_) return;
-  if (task_) pause_task();
-  online_ = false;
-  sync_census();
-  sim_.cancel(poll_);
-  transition_ = sim_.after(churn_interval(params_.mean_off_hours * 3600.0),
-                           [this] { go_online(); });
+  arm_churn();
 }
 
 void VolunteerHost::depart() {
-  if (departed_) return;
-  departed_ = true;
+  if (churn_.departed != 0) return;
+  churn_.departed = 1;
   if (task_) {
-    if (online_) pause_task();
+    if (churn_.online != 0) pause_task();
     server_.notify_departure(task_->result_id);
     task_.reset();
   }
-  online_ = false;
+  churn_.online = 0;
   sync_census();
-  sim_.cancel(transition_);
-  sim_.cancel(poll_);
+  sim_.cancel(wake_);
   sim_.cancel(completion_);
+  server_.calendar_.cancel(key());
 }
 
 void VolunteerHost::request_work() {
   if (!online() || task_) return;
   if (!server_.request_work(*this)) {
-    // Nothing available: register for a poke and poll on backoff.
+    // Nothing available: register for a poke (try_dispatch) when work
+    // arrives. No backoff polling — the poke-driven path plus the
+    // transitioner's periodic try_dispatch keep dispatch live, which is
+    // what removes the hourly idle-poll event flood at 10⁵–10⁶ hosts.
     server_.register_idle(*this);
-    poll_ = sim_.after(params_.request_backoff_hours * 3600.0,
-                       [this] { request_work(); });
   }
 }
 
 void VolunteerHost::assign(std::uint64_t result_id, double reference_work) {
   assert(online() && !task_);
-  sim_.cancel(poll_);
   task_ = Task{result_id, reference_work, 0.0};
   sync_census();
+  // Entering computing mode: churn leaves the calendar for an exact
+  // kernel event.
+  server_.calendar_.cancel(key());
+  arm_churn();
   resume_task();
 }
 
@@ -129,16 +100,18 @@ void VolunteerHost::complete_task() {
   // path (gated so an unconfigured host draws nothing and the baseline RNG
   // stream is untouched).
   if (params_.compute_error_probability > 0.0 &&
-      rng_.bernoulli(params_.compute_error_probability)) {
+      churn_.rng.bernoulli(params_.compute_error_probability)) {
     task_.reset();
     sync_census();
+    after_task_cleared();
     server_.report_error(result_id, cpu);
     request_work();
     return;
   }
-  const bool flawed = rng_.bernoulli(params_.error_probability);
+  const bool flawed = churn_.rng.bernoulli(params_.error_probability);
   task_.reset();
   sync_census();
+  after_task_cleared();
   // A flawed host perturbs the output fingerprint; the validator's quorum
   // comparison is what catches it.
   const std::uint64_t hash = flawed ? 0xbad0000 + id_ : 0;
@@ -148,7 +121,7 @@ void VolunteerHost::complete_task() {
 
 void VolunteerHost::abort_task(std::uint64_t result_id) {
   if (!task_ || task_->result_id != result_id) return;
-  if (online_) {
+  if (churn_.online != 0) {
     // Account the partial progress of the in-flight slice as well.
     const double elapsed = sim_.now() - compute_started_;
     task_->cpu_spent += elapsed;
@@ -157,6 +130,7 @@ void VolunteerHost::abort_task(std::uint64_t result_id) {
   server_.note_discarded_cpu(task_->cpu_spent);
   task_.reset();
   sync_census();
+  after_task_cleared();
   if (online()) request_work();
 }
 

@@ -22,7 +22,6 @@ struct HostParams {
   double mean_off_hours = 16.0;  // powered-off stretch
   double mean_lifetime_days = 90.0;  // until permanent departure
   double error_probability = 0.0;    // wrong-result chance per task
-  double request_backoff_hours = 1.0;  // idle poll interval when no work
   /// Outright task failure (reported through the error path) per task;
   /// distinct from error_probability, which corrupts silently.
   double compute_error_probability = 0.0;
@@ -31,22 +30,52 @@ struct HostParams {
   double churn_weibull_shape = 1.0;
 };
 
+/// Per-host churn state, packed into one cache line and stored densely in
+/// the server (`BoincServer::churn_state_`, indexed by host key). The
+/// calendar's fire loop — the hottest edge of a large sweep, 10⁵–10⁶ flips
+/// per run — touches exactly this record on the idle-flip fast path: the
+/// RNG for the follow-up draw, the transition clocks, and the flag bits the
+/// census and idle list need. Keeping them off the VolunteerHost object
+/// means a flip costs one cache line, not a pointer chase through hosts_.
+/// The interval distributions are pool-uniform, so their parameters live
+/// once in the server, not per record.
+struct alignas(64) ChurnState {
+  util::Rng rng;                       // follow-up interval draws (32 B)
+  sim::SimTime next_transition = 0.0;  // absolute time of the next flip
+  sim::SimTime lifetime_end = 0.0;     // absolute departure time
+  std::uint8_t online = 0;
+  std::uint8_t departed = 0;
+  /// In the server's idle list (set on push, cleared on pop) — O(1) dedup.
+  std::uint8_t idle_listed = 0;
+  /// Mirrors VolunteerHost::task_ so census updates and dispatch probes
+  /// need not touch the host object.
+  std::uint8_t has_task = 0;
+  // Cached census contribution last pushed to the server.
+  std::uint8_t census_online = 0;
+  std::uint8_t census_free = 0;
+  std::uint8_t census_departed = 0;
+};
+
 class VolunteerHost {
  public:
+  /// `churn` is this host's record in the server's dense churn-state
+  /// array; the reference stays valid for the host's lifetime (the array
+  /// is reserved up front and never reallocates).
   VolunteerHost(sim::Simulation& sim, BoincServer& server,
-                std::uint64_t id, HostParams params, util::Rng rng);
+                std::uint64_t id, HostParams params, ChurnState& churn);
   ~VolunteerHost();
   VolunteerHost(const VolunteerHost&) = delete;
   VolunteerHost& operator=(const VolunteerHost&) = delete;
 
   std::uint64_t id() const { return id_; }
   double speed() const { return params_.speed; }
-  bool online() const { return online_ && !departed_; }
-  bool departed() const { return departed_; }
+  bool online() const { return churn_.online != 0 && churn_.departed == 0; }
+  bool departed() const { return churn_.departed != 0; }
   bool computing() const { return task_.has_value(); }
 
-  /// Begin life: schedules the first availability transition and, if
-  /// online, the first work request.
+  /// Begin life: seeds the lifetime clock and the first availability
+  /// transition. The host starts idle, so its churn parks in the server's
+  /// sharded calendar rather than the kernel event queue.
   void start(bool initially_online);
 
   /// Server pushes a task (result instance) to this host. Preconditions:
@@ -57,7 +86,7 @@ class VolunteerHost {
   void abort_task(std::uint64_t result_id);
 
  private:
-  friend class BoincServer;  // idle_listed_ bookkeeping
+  friend class BoincServer;  // churn/census bookkeeping, churn_step
 
   struct Task {
     std::uint64_t result_id;
@@ -65,12 +94,23 @@ class VolunteerHost {
     double cpu_spent = 0.0;
   };
 
-  /// One churn interval with the given mean: exponential when the Weibull
-  /// shape is 1.0 (same draw sequence as the original model),
-  /// mean-preserving Weibull otherwise.
-  double churn_interval(double mean_seconds);
-  void go_online();
-  void go_offline();
+  /// Calendar key of this host (ids are dense, assigned from 1).
+  std::uint32_t key() const { return static_cast<std::uint32_t>(id_ - 1); }
+
+  /// Apply the churn event due at min(next_transition, lifetime_end) —
+  /// an on/off flip or the permanent departure — drawing the following
+  /// interval from the flip time, then re-arm in the current mode.
+  void churn_step(sim::SimTime when);
+  /// Arm the next churn step: a computing host needs its flip at the
+  /// exact time (it pauses the kernel-visible completion event), so it
+  /// gets a kernel event; an idle host's flip only moves census counts
+  /// and idle-list membership, which no one observes before the next
+  /// pool interaction — it parks in the server's sharded calendar and is
+  /// batch-advanced at that barrier.
+  void arm_churn();
+  /// Leaving computing mode: churn moves from the kernel event back to
+  /// the pool calendar.
+  void after_task_cleared();
   void depart();
   void resume_task();
   void pause_task();
@@ -85,22 +125,15 @@ class VolunteerHost {
   BoincServer& server_;
   std::uint64_t id_;
   HostParams params_;
-  util::Rng rng_;
+  /// This host's record in the server's dense churn-state array (owns the
+  /// RNG, the transition clocks, and the census/idle flag bits).
+  ChurnState& churn_;
 
-  bool online_ = false;
-  bool departed_ = false;
-  /// True while this host sits in the server's idle list (set on push,
-  /// cleared on pop) — makes register_idle dedup O(1).
-  bool idle_listed_ = false;
-  /// Cached census contribution last pushed to the server (sync_census).
-  bool census_online_ = false;
-  bool census_free_ = false;
-  bool census_departed_ = false;
   std::optional<Task> task_;
   sim::SimTime compute_started_ = 0.0;
   sim::EventHandle completion_;
-  sim::EventHandle transition_;
-  sim::EventHandle poll_;
+  /// Exact-time churn event while computing (see arm_churn).
+  sim::EventHandle wake_;
 };
 
 }  // namespace lattice::boinc

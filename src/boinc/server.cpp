@@ -2,23 +2,36 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <functional>
 
 #include "util/log.hpp"
+#include "util/threadpool.hpp"
 
 namespace lattice::boinc {
 
 namespace {
-
-void apply_delta(std::size_t& count, int delta) {
-  if (delta >= 0) {
-    count += static_cast<std::size_t>(delta);
-  } else {
-    assert(count >= static_cast<std::size_t>(-delta));
-    count -= static_cast<std::size_t>(-delta);
-  }
+/// Near-band width for the host-churn calendar. The two-band queue's pop
+/// order is window-invariant (sim/band_queue.hpp), so this is purely a
+/// cache-size knob: the near heap holds roughly hosts · window / mean
+/// flip interval entries, and sizing the window for ~16k of them keeps
+/// sift traffic in L2 at 10⁵–10⁶ hosts instead of taking a last-level
+/// miss per level. The far band absorbs the rest at O(1) bucket appends,
+/// paid back as one bucket scan per entry. Depends only on the pool
+/// config — never on the shard count — so sharded twin runs see
+/// identical banding.
+double churn_far_window(const BoincPoolConfig& config) {
+  constexpr double kMaxWindow = 8.0 * 3600.0;  // the kernel default
+  constexpr double kMinWindow = 900.0;
+  constexpr double kTargetHeapEntries = 16384.0;
+  if (config.hosts == 0) return kMaxWindow;
+  // A host flips on/off once per mean_on + once per mean_off hours.
+  const double mean_flip_seconds =
+      (config.mean_on_hours + config.mean_off_hours) * 3600.0 / 2.0;
+  const double window = mean_flip_seconds * kTargetHeapEntries /
+                        static_cast<double>(config.hosts);
+  return std::clamp(window, kMinWindow, kMaxWindow);
 }
-
 }  // namespace
 
 std::string_view result_state_name(ResultState state) {
@@ -37,10 +50,32 @@ BoincServer::BoincServer(sim::Simulation& sim, std::string name,
                          BoincPoolConfig config)
     : grid::LocalResource(sim, std::move(name)),
       config_(config),
-      rng_(config.seed) {
+      rng_(config.seed),
+      calendar_(config.shards == 0 ? 1 : config.shards,
+                churn_far_window(config)) {
   assert(config_.hosts > 0);
+  calendar_.ensure_keys(config_.hosts);
+  if (calendar_.shards() > 1) {
+    // Drain workers for the sharded calendar. Bounded: the drains are
+    // short struct operations, so a handful of workers saturate them.
+    shard_pool_ = std::make_unique<util::ThreadPool>(
+        std::min<std::size_t>(calendar_.shards(), 8));
+  }
+  // Pool-uniform churn distributions: fold the mean-preserving Weibull
+  // normalization (E[X] = scale · Γ(1 + 1/shape)) into the scales once,
+  // instead of once per flip. Shape 1.0 keeps the exponential model with
+  // the identical draw sequence (Γ(2) = 1).
+  churn_shape_ = config_.churn_weibull_shape;
+  const double gamma_norm =
+      churn_shape_ == 1.0 ? 1.0 : std::tgamma(1.0 + 1.0 / churn_shape_);
+  churn_on_scale_ = config_.mean_on_hours * 3600.0 / gamma_norm;
+  churn_off_scale_ = config_.mean_off_hours * 3600.0 / gamma_norm;
+  churn_life_scale_ = config_.mean_lifetime_days * 86400.0 / gamma_norm;
   const double on_fraction =
       config_.mean_on_hours / (config_.mean_on_hours + config_.mean_off_hours);
+  // Reserve exactly: hosts hold references into churn_state_, so the
+  // array must never reallocate after this point.
+  churn_state_.reserve(config_.hosts);
   hosts_.reserve(config_.hosts);
   for (std::size_t h = 0; h < config_.hosts; ++h) {
     HostParams params;
@@ -61,9 +96,11 @@ BoincServer::BoincServer(sim::Simulation& sim, std::string name,
               : config_.host_compute_error_probability;
     params.churn_weibull_shape = config_.churn_weibull_shape;
     // Host ids are assigned densely (h + 1), which is what makes
-    // host_by_id a direct vector index.
+    // host_by_id a direct vector index and the churn record a direct
+    // index by key (id - 1).
+    churn_state_.push_back(ChurnState{rng_.split()});
     auto host = std::make_unique<VolunteerHost>(sim_, *this, h + 1, params,
-                                                rng_.split());
+                                                churn_state_.back());
     host->start(rng_.bernoulli(on_fraction));
     hosts_.push_back(std::move(host));
   }
@@ -148,7 +185,32 @@ grid::ResourceInfo BoincServer::info() const {
   return info;
 }
 
+void BoincServer::advance_pool() {
+  // churn_fire touches exactly one churn record per flip; the prefetch
+  // hook pulls upcoming records of the merged batch into cache ahead of
+  // the fire cursor (the batch order is (when, seq) — effectively random
+  // in key space, so at 10⁵–10⁶ hosts every record is a DRAM miss
+  // without it).
+  calendar_.advance(
+      sim_.now(),
+      [this](std::uint32_t key, sim::SimTime when) { churn_fire(key, when); },
+      [this](std::uint32_t key) {
+        __builtin_prefetch(&churn_state_[key], 1 /* for write */);
+      },
+      shard_pool_.get());
+}
+
+std::size_t BoincServer::online_hosts() const {
+  // Observation point: bring the lazy census up to now() first. The
+  // object is never actually const-qualified; info_into shares the cast.
+  const_cast<BoincServer*>(this)->advance_pool();
+  return online_count_;
+}
+
 void BoincServer::info_into(grid::ResourceInfo& out) const {
+  // Census read = cross-pool interaction: advance the host calendar to
+  // the barrier so the incremental counts are exact at this instant.
+  const_cast<BoincServer*>(this)->advance_pool();
   out.name = name();
   out.kind = grid::ResourceKind::kBoincPool;
   // Incremental census: both counts are maintained by host state-change
@@ -163,12 +225,6 @@ void BoincServer::info_into(grid::ResourceInfo& out) const {
   out.mpi_capable = false;
   out.software.clear();
   out.stable = false;
-}
-
-void BoincServer::census_delta(int online, int free, int departed) {
-  apply_delta(online_count_, online);
-  apply_delta(free_count_, free);
-  apply_delta(departed_count_, departed);
 }
 
 void BoincServer::submit(grid::GridJob& job) {
@@ -231,23 +287,32 @@ void BoincServer::issue_result(Workunit& wu) {
   obs_results_issued_->inc();
 }
 
-void BoincServer::register_idle(VolunteerHost& host) {
-  // O(1): the flag mirrors idle_hosts_ membership exactly (set on push,
-  // cleared on pop), replacing the seed's linear std::find dedup.
-  if (host.idle_listed_) return;
-  host.idle_listed_ = true;
-  idle_hosts_.push_back(&host);
-}
-
 void BoincServer::try_dispatch() {
+  // Dispatch = cross-pool interaction: apply every idle-host flip due by
+  // now before handing out work, so no host is assigned from stale state.
+  advance_pool();
   FeederQueue& feeder = feeder_for(config_.platform);
+  dispatch_scratch_.clear();
   while (!feeder.empty() && !idle_hosts_.empty()) {
-    VolunteerHost* host = idle_hosts_.back();
+    const std::uint32_t key = idle_hosts_.back();
     idle_hosts_.pop_back();
-    host->idle_listed_ = false;
-    if (!host->online() || host->computing()) continue;
-    if (!request_work(*host)) break;
+    ChurnState& st = churn_state_[key];
+    st.idle_listed = 0;
+    // Eligibility from the record alone (online, not departed, taskless);
+    // the host object is dereferenced only for an actual work request.
+    if (st.online == 0 || st.departed != 0 || st.has_task != 0) continue;
+    if (!request_work(*hosts_[key])) {
+      // Every remaining unsent result is unsuitable for this host (the
+      // one-result-per-host rule). With no backoff polls the host must
+      // stay poke-able, and another idle host may still be eligible —
+      // set it aside and keep trying the rest of the stack this round.
+      dispatch_scratch_.push_back(key);
+    }
   }
+  for (const std::uint32_t key : dispatch_scratch_) {
+    register_idle_key(key, churn_state_[key]);
+  }
+  dispatch_scratch_.clear();
 }
 
 bool BoincServer::request_work(VolunteerHost& host) {
@@ -446,6 +511,8 @@ void BoincServer::reissue_after_timeouts(Workunit& wu) {
 }
 
 void BoincServer::transition() {
+  // Transitioner tick = cross-pool interaction barrier.
+  advance_pool();
   if (transitioner_full_sweep_) {
     transition_full_sweep();
     return;

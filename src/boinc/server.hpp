@@ -19,6 +19,8 @@
 // O(1) instead of O(hosts). Invalidation rules are in DESIGN.md §10.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <string>
@@ -29,8 +31,13 @@
 #include "boinc/host.hpp"
 #include "boinc/workunit.hpp"
 #include "grid/resource.hpp"
+#include "sim/calendar.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
+
+namespace lattice::util {
+class ThreadPool;
+}
 
 namespace lattice::boinc {
 
@@ -63,14 +70,24 @@ class BoincServer final : public grid::LocalResource {
   /// A host departed permanently while holding this task.
   void notify_departure(std::uint64_t result_id);
   /// An idle online host signs on (server pokes it when work arrives).
-  void register_idle(VolunteerHost& host);
+  /// O(1): the flag mirrors idle_hosts_ membership exactly (set on push,
+  /// cleared on pop), replacing the seed's linear std::find dedup.
+  void register_idle(VolunteerHost& host) {
+    register_idle_key(host.key(), churn_state_[host.key()]);
+  }
 
   // Introspection for tests/benches ------------------------------------
   const std::map<std::uint64_t, Workunit>& workunits() const {
     return workunits_;
   }
-  std::size_t online_hosts() const { return online_count_; }
+  /// Online hosts as of now() — advances the host calendar first so the
+  /// incremental census is exact at the observation point.
+  std::size_t online_hosts() const;
   std::size_t attached_hosts() const { return hosts_.size(); }
+  /// Churn steps processed through the sharded calendar (lazy idle-host
+  /// flips that never entered the kernel event queue).
+  std::uint64_t calendar_steps() const { return calendar_.fired(); }
+  std::size_t calendar_shards() const { return calendar_.shards(); }
   std::uint64_t reissued_results() const { return reissued_; }
   std::uint64_t timed_out_results() const { return timeouts_; }
   /// Workunits validated with a flawed canonical result (a host error that
@@ -137,6 +154,76 @@ class BoincServer final : public grid::LocalResource {
     std::uint32_t index;
   };
 
+  /// Advance the sharded host calendar to now() — the conservative
+  /// lookahead barrier. Called at every cross-pool interaction point
+  /// (census reads, dispatch, the transitioner tick) so idle-host churn
+  /// is applied, in strict (when, seq) order, before anything observes or
+  /// assigns host state. With >1 shard the per-shard drains run on
+  /// shard_pool_; firing order is shard-count-independent by construction
+  /// (sim/calendar.hpp).
+  void advance_pool();
+  /// One interval draw from the pool-uniform churn distribution:
+  /// exponential when the Weibull shape is 1.0 (identical draw sequence to
+  /// the original model), mean-preserving Weibull otherwise. `scale` is a
+  /// precomputed churn_*_scale_ member — the Γ(1 + 1/shape) normalization
+  /// is folded in once at construction instead of once per flip.
+  static double churn_draw(util::Rng& rng, double shape, double scale) {
+    if (shape == 1.0) return rng.exponential(scale);
+    return rng.weibull(shape, scale);
+  }
+  /// O(1) idle-list push by host key, dedup'd via the record's flag.
+  void register_idle_key(std::uint32_t key, ChurnState& st) {
+    if (st.idle_listed != 0) return;
+    st.idle_listed = 1;
+    idle_hosts_.push_back(key);
+  }
+  /// Push the delta between a record's cached census contribution and its
+  /// current state (online / free / departed), keeping the server's
+  /// ResourceInfo counts O(1). Called after every host state mutation.
+  void sync_census(ChurnState& st) {
+    const bool online_now = st.online != 0 && st.departed == 0;
+    const bool free_now = online_now && st.has_task == 0;
+    const bool departed_now = st.departed != 0;
+    census_delta(
+        static_cast<int>(online_now) - static_cast<int>(st.census_online),
+        static_cast<int>(free_now) - static_cast<int>(st.census_free),
+        static_cast<int>(departed_now) - static_cast<int>(st.census_departed));
+    st.census_online = static_cast<std::uint8_t>(online_now);
+    st.census_free = static_cast<std::uint8_t>(free_now);
+    st.census_departed = static_cast<std::uint8_t>(departed_now);
+  }
+  /// Calendar fire handler: one idle-host availability flip. The calendar
+  /// only ever holds taskless hosts (assign() moves churn to an exact
+  /// kernel event), so the fast path reads and writes exactly one
+  /// ChurnState record — no VolunteerHost dereference — plus the census
+  /// counters, idle list, and calendar re-arm. Defined in-class so the
+  /// calendar's templated advance() inlines the whole per-flip edge.
+  void churn_fire(std::uint32_t key, sim::SimTime when) {
+    ChurnState& st = churn_state_[key];
+    if (st.departed != 0) return;
+    if (st.lifetime_end <= st.next_transition) {
+      hosts_[key]->depart();  // rare: at most once per host
+      return;
+    }
+    // The follow-up interval is drawn from the flip time itself, so a
+    // host's own timeline is exact even when the flip is processed at a
+    // later barrier.
+    (void)when;  // == min(next_transition, lifetime_end) by construction
+    const sim::SimTime flip = st.next_transition;
+    if (st.online != 0) {
+      st.online = 0;
+      sync_census(st);
+      st.next_transition =
+          flip + churn_draw(st.rng, churn_shape_, churn_off_scale_);
+    } else {
+      st.online = 1;
+      sync_census(st);
+      register_idle_key(key, st);
+      st.next_transition =
+          flip + churn_draw(st.rng, churn_shape_, churn_on_scale_);
+    }
+    calendar_.schedule(std::min(st.next_transition, st.lifetime_end), key);
+  }
   void transition();
   void transition_full_sweep();
   /// Apply the timeout protocol to one overdue in-progress result;
@@ -175,10 +262,32 @@ class BoincServer final : public grid::LocalResource {
   /// Incremental ResourceInfo census: hosts report state-change deltas
   /// (online = powered on and attached, free = online with no task,
   /// departed = permanently gone) so info() never scans the host table.
-  void census_delta(int online, int free, int departed);
+  /// In-class: runs once per churn flip, the hottest edge of a large sweep.
+  void census_delta(int online, int free, int departed) {
+    online_count_ = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(online_count_) + online);
+    free_count_ = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(free_count_) + free);
+    departed_count_ = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(departed_count_) + departed);
+  }
 
   BoincPoolConfig config_;
   util::Rng rng_;
+  /// Idle-host churn timers, sharded by host key (config_.shards).
+  sim::ShardedCalendar calendar_;
+  /// Drain workers for the calendar when config_.shards > 1.
+  std::unique_ptr<util::ThreadPool> shard_pool_;
+  /// Dense per-host churn records, indexed by host key (id - 1) — one
+  /// cache line each, so the calendar fire loop streams records instead of
+  /// chasing host pointers. Reserved up front; hosts hold references.
+  std::vector<ChurnState> churn_state_;
+  /// Pool-uniform churn interval parameters (see churn_draw): Weibull
+  /// shape plus the precomputed scales of the on/off/lifetime intervals.
+  double churn_shape_ = 1.0;
+  double churn_on_scale_ = 0.0;
+  double churn_off_scale_ = 0.0;
+  double churn_life_scale_ = 0.0;
   std::vector<std::unique_ptr<VolunteerHost>> hosts_;
   std::map<std::uint64_t, Workunit> workunits_;
   /// Dense result-id → location index (ids are assigned sequentially from
@@ -193,7 +302,10 @@ class BoincServer final : public grid::LocalResource {
   /// request/enqueue targets the pool platform, and rebuilding the
   /// platform-name key per call was a measurable allocation cost.
   FeederQueue* default_feeder_ = nullptr;
-  std::vector<VolunteerHost*> idle_hosts_;  // online, no task
+  std::vector<std::uint32_t> idle_hosts_;  // keys of online, taskless hosts
+  /// Scratch for one try_dispatch round: popped hosts the feeder had no
+  /// suitable result for, re-listed after the round.
+  std::vector<std::uint32_t> dispatch_scratch_;
   std::map<std::uint64_t, double> delay_bound_overrides_;
   /// Min-heap over (deadline, result id) of dispatched results; the
   /// transitioner pops only the overdue prefix.
@@ -238,5 +350,72 @@ class BoincServer final : public grid::LocalResource {
   obs::Histogram* obs_deadline_slack_ = nullptr;
   obs::Histogram* obs_dispatch_wait_ = nullptr;
 };
+
+// VolunteerHost churn path, defined here (where BoincServer is complete).
+// These cover the *kernel-event* flips of task-holding hosts and the state
+// transitions around assignment; the idle-host flip fast path is
+// BoincServer::churn_fire, which never touches the host object. Both paths
+// mutate the same ChurnState record and draw from the same pool-uniform
+// distributions, so a host's timeline is identical whichever path fires
+// its flips.
+
+inline void VolunteerHost::arm_churn() {
+  const sim::SimTime due = std::min(churn_.next_transition,
+                                    churn_.lifetime_end);
+  if (task_) {
+    // Computing: the flip pauses the kernel-visible completion event, so
+    // it must fire at its exact time — a kernel event.
+    wake_ = sim_.at(due, [this] { churn_step(sim_.now()); });
+  } else {
+    // Idle: the flip only moves census counts and idle-list membership,
+    // observed no earlier than the next pool interaction — park it in the
+    // sharded calendar (batch-advanced at that barrier).
+    server_.calendar_.schedule(due, key());
+  }
+}
+
+inline void VolunteerHost::after_task_cleared() {
+  if (churn_.departed != 0) return;
+  sim_.cancel(wake_);
+  arm_churn();
+}
+
+inline void VolunteerHost::sync_census() {
+  churn_.has_task = static_cast<std::uint8_t>(task_.has_value());
+  server_.sync_census(churn_);
+}
+
+inline void VolunteerHost::churn_step(sim::SimTime when) {
+  if (churn_.departed != 0) return;
+  (void)when;  // == min(next_transition, lifetime_end) by construction
+  if (churn_.lifetime_end <= churn_.next_transition) {
+    depart();
+    return;
+  }
+  // The follow-up interval is drawn from the flip time itself, so a
+  // host's own timeline is exact even when the flip is processed at a
+  // later barrier.
+  const sim::SimTime flip = churn_.next_transition;
+  if (churn_.online != 0) {
+    if (task_) pause_task();
+    churn_.online = 0;
+    sync_census();
+    churn_.next_transition =
+        flip + BoincServer::churn_draw(churn_.rng, server_.churn_shape_,
+                                       server_.churn_off_scale_);
+  } else {
+    churn_.online = 1;
+    sync_census();
+    if (task_) {
+      resume_task();
+    } else {
+      server_.register_idle(*this);
+    }
+    churn_.next_transition =
+        flip + BoincServer::churn_draw(churn_.rng, server_.churn_shape_,
+                                       server_.churn_on_scale_);
+  }
+  arm_churn();
+}
 
 }  // namespace lattice::boinc

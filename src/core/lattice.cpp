@@ -33,6 +33,10 @@ LatticeSystem::LatticeSystem(LatticeConfig config)
       rng_(config.seed),
       obs_metrics_(&obs::MetricsRegistry::null()),
       obs_tracer_(&obs::Tracer::null()) {
+  // The directory's maintained eta rank keys must be built with the
+  // policy's load weight for the scheduler to stream decisions from the
+  // rank index (it falls back to the merged-list path on a mismatch).
+  mds_.set_rank_load_weight(config_.scheduler.load_weight);
   pump_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, config_.scheduler_period, config_.scheduler_period,
       [this] { pump(); });

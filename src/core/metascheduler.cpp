@@ -55,14 +55,71 @@ bool MetaScheduler::matches(const grid::GridJob& job,
 }
 
 std::optional<std::string> MetaScheduler::choose(const grid::GridJob& job) {
-  // Step 1+2 via the capability index: only candidate classes are
-  // examined, and the counters make the selectivity observable.
-  eligible_scratch_.clear();
+  // Round-robin needs the full eligible list (the cursor indexes into it),
+  // and an eta stream is only valid when the directory's maintained rank
+  // keys were built with this policy's load weight — otherwise fall back
+  // to the merged-list path, which ranks with the policy weight directly.
+  const std::optional<double> estimate = rank_estimate(job);
+  const bool eta_ranked =
+      policy_.mode != SchedulingMode::kLoadOnly && estimate.has_value();
+  if (policy_.mode == SchedulingMode::kRoundRobin ||
+      (eta_ranked && mds_.rank_load_weight() != policy_.load_weight)) {
+    // Step 1+2 via the capability index: only candidate classes are
+    // examined, and the counters make the selectivity observable.
+    eligible_scratch_.clear();
+    grid::MdsMatchStats stats;
+    mds_.match_online(job.requirements, eligible_scratch_, &stats);
+    candidates_scanned_->inc(stats.candidates_scanned);
+    match_eligible_->inc(stats.eligible);
+    return pick(job, eligible_scratch_);
+  }
+
+  // Ranked modes: stream candidates from the rank index in ascending
+  // (rank key, name) order and take the first acceptable one — the
+  // decision touches the rejected prefix plus one entry instead of the
+  // whole eligible set. Decision-identical to choose_linear by the shared
+  // rank keys and the (key, name) tie-break (tests/test_sched_index.cpp).
+  const grid::RankOrder order =
+      eta_ranked ? grid::RankOrder::kEta : grid::RankOrder::kLoad;
   grid::MdsMatchStats stats;
-  mds_.match_online(job.requirements, eligible_scratch_, &stats);
+  const grid::MdsEntry* best = mds_.best_ranked(
+      job.requirements, order,
+      [&](const grid::MdsEntry& entry) {
+        if (job.require_stable && !entry.info.stable) return false;
+        if (estimate) {
+          // Step-3 advisory stability cutoff (estimated wall hours on this
+          // candidate).
+          const double wall_hours = *estimate / entry.speed / 3600.0;
+          if (!entry.info.stable &&
+              wall_hours > policy_.stability_cutoff_hours) {
+            return false;
+          }
+        }
+        return true;
+      },
+      &stats);
   candidates_scanned_->inc(stats.candidates_scanned);
   match_eligible_->inc(stats.eligible);
-  return pick(job, eligible_scratch_);
+  if (best == nullptr && estimate) {
+    // Stability fallthrough: nothing passed the advisory cutoff, so rank
+    // the unrestricted (but still require_stable-filtered) set — placing
+    // somewhere beats starving, matching the paper's best-effort behavior.
+    grid::MdsMatchStats retry_stats;
+    best = mds_.best_ranked(
+        job.requirements, order,
+        [&](const grid::MdsEntry& entry) {
+          return !job.require_stable || entry.info.stable;
+        },
+        &retry_stats);
+    candidates_scanned_->inc(retry_stats.candidates_scanned);
+  }
+  if (best == nullptr) {
+    no_eligible_->inc();
+    return std::nullopt;
+  }
+  decisions_->inc();
+  (best->info.stable ? route_stable_ : route_unstable_)->inc();
+  return best->info.name;
 }
 
 std::optional<std::string> MetaScheduler::choose_linear(
@@ -108,12 +165,7 @@ std::optional<std::string> MetaScheduler::pick(
   }
 
   // The runtime estimate this mode is allowed to use (reference seconds).
-  std::optional<double> estimate;
-  if (policy_.mode == SchedulingMode::kOracle) {
-    estimate = job.true_reference_runtime;
-  } else if (policy_.mode == SchedulingMode::kEstimateAware) {
-    estimate = job.estimated_reference_runtime;
-  }
+  const std::optional<double> estimate = rank_estimate(job);
 
   // Step 3: stability filter, using the estimate scaled by each
   // candidate's speed. The speed comes from the MDS entry itself — the
@@ -138,29 +190,22 @@ std::optional<std::string> MetaScheduler::pick(
     // starving, matching the paper's best-effort behavior.
   }
 
-  // Step 4: rank by expected completion time.
+  // Step 4: rank by expected completion time, using the same rank-key
+  // functions the MDS rank index maintains (the estimate is a positive
+  // per-decision constant, so dividing it out of the eta score changes no
+  // argmin; rank_key_eta documents the formula). Candidates arrive in
+  // name order and strict `<` keeps the first minimum, so the selection is
+  // the (key, name) lexicographic minimum — exactly what the index's
+  // best_ranked stream yields.
+  const bool eta = policy_.mode != SchedulingMode::kLoadOnly &&
+                   estimate.has_value();
   const grid::MdsEntry* best = nullptr;
   double best_score = std::numeric_limits<double>::infinity();
   for (const grid::MdsEntry* entry : *candidates) {
-    const double slots = std::max<double>(entry->info.total_slots, 1.0);
-    const double busy = static_cast<double>(entry->info.total_slots -
-                                            entry->info.free_slots);
-    const double backlog =
-        (static_cast<double>(entry->info.queued_jobs) + busy) / slots;
-    double score;
-    if (policy_.mode == SchedulingMode::kLoadOnly || !estimate) {
-      // Paper's naive variant: spread by load alone.
-      score = backlog - 1e-3 * static_cast<double>(entry->info.free_slots);
-    } else {
-      const double wall = *estimate / entry->speed;
-      score = wall * (1.0 + policy_.load_weight * backlog);
-      if (entry->info.free_slots == 0) {
-        // Must wait for a slot; penalize by the mean wall time of what is
-        // ahead in line (approximated by this job's own wall time).
-        score += wall * (static_cast<double>(entry->info.queued_jobs) + 1.0) /
-                 slots;
-      }
-    }
+    const double score =
+        eta ? grid::MdsDirectory::rank_key_eta(entry->info, entry->speed,
+                                               policy_.load_weight)
+            : grid::MdsDirectory::rank_key_load(entry->info);
     if (score < best_score) {
       best_score = score;
       best = entry;
@@ -169,6 +214,17 @@ std::optional<std::string> MetaScheduler::pick(
   decisions_->inc();
   (best->info.stable ? route_stable_ : route_unstable_)->inc();
   return best->info.name;
+}
+
+std::optional<double> MetaScheduler::rank_estimate(
+    const grid::GridJob& job) const {
+  if (policy_.mode == SchedulingMode::kOracle) {
+    return job.true_reference_runtime;
+  }
+  if (policy_.mode == SchedulingMode::kEstimateAware) {
+    return job.estimated_reference_runtime;
+  }
+  return std::nullopt;
 }
 
 }  // namespace lattice::core

@@ -12,11 +12,20 @@
 //      resource speed, inflated by current load so work spreads instead of
 //      backing up on the fastest resource.
 //
-// Steps 1–2 run against the MDS capability-class index
-// (MdsDirectory::match_online), so a decision touches only the candidate
-// classes instead of every registered resource; choose_linear() retains
-// the pre-index full scan as the reference implementation, and the two are
-// decision-identical by construction (tests/test_sched_index.cpp).
+// Steps 1–2 run against the MDS capability-class index, and for the
+// ranked modes Step 4 streams candidates from the directory's maintained
+// rank orders (MdsDirectory::best_ranked) in ascending (rank key, name)
+// order, taking the first entry that passes the job-dependent filters —
+// the per-decision work is the rejected prefix plus one entry, not the
+// whole eligible set. choose_linear() retains the pre-index full scan as
+// the reference implementation; both rank with the shared
+// MdsDirectory::rank_key_* functions and the same tie-break, so the two
+// are decision-identical by construction (tests/test_sched_index.cpp).
+// Round-robin keeps the merged eligible list (its cursor indexes into
+// it), as does any eta-ranked decision whose policy load weight differs
+// from the weight the directory's keys were maintained with
+// (MdsDirectory::set_rank_load_weight — LatticeSystem wires it at
+// construction).
 //
 // Alternative modes reproduce the baselines the benchmarks compare
 // against: round-robin spreading and load-only ranking, plus an oracle
@@ -94,6 +103,11 @@ class MetaScheduler {
   std::optional<std::string> pick(
       const grid::GridJob& job,
       const std::vector<const grid::MdsEntry*>& all_eligible);
+
+  /// The runtime estimate the current mode is allowed to rank with
+  /// (reference seconds): true runtime for kOracle, the a priori estimate
+  /// for kEstimateAware, nothing otherwise.
+  std::optional<double> rank_estimate(const grid::GridJob& job) const;
 
   const grid::MdsDirectory& mds_;
   const SpeedCalibrator& speeds_;

@@ -65,6 +65,7 @@ std::string job_attempts_report(const LatticeSystem& system,
   });
   // Most-retried jobs first; id ascending as the tie-break so the report
   // is deterministic.
+  // lattice-lint: allow(decision-sort) — report formatting for operators, never on a placement decision path
   std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     if (a.attempts != b.attempts) return a.attempts > b.attempts;
     return a.id < b.id;

@@ -15,8 +15,10 @@ std::string MdsDirectory::class_key_of(const ResourceInfo& info) {
   for (const PlatformSpec& platform : info.platforms) {
     platforms.push_back(platform_name(platform));
   }
+  // lattice-lint: allow(decision-sort) — class filing, not a per-decision path: runs on first report or capability change only
   std::sort(platforms.begin(), platforms.end());
   std::vector<std::string> software = info.software;
+  // lattice-lint: allow(decision-sort) — same rare class-filing path, never per decision
   std::sort(software.begin(), software.end());
 
   std::string key;
@@ -32,7 +34,68 @@ std::string MdsDirectory::class_key_of(const ResourceInfo& info) {
   return key;
 }
 
+double MdsDirectory::rank_key_load(const ResourceInfo& info) {
+  const double slots = std::max<double>(info.total_slots, 1.0);
+  const double busy =
+      static_cast<double>(info.total_slots - info.free_slots);
+  const double backlog =
+      (static_cast<double>(info.queued_jobs) + busy) / slots;
+  return backlog - 1e-3 * static_cast<double>(info.free_slots);
+}
+
+double MdsDirectory::rank_key_eta(const ResourceInfo& info, double speed,
+                                  double load_weight) {
+  const double slots = std::max<double>(info.total_slots, 1.0);
+  const double busy =
+      static_cast<double>(info.total_slots - info.free_slots);
+  const double backlog =
+      (static_cast<double>(info.queued_jobs) + busy) / slots;
+  const double inv_speed = 1.0 / speed;
+  double key = inv_speed * (1.0 + load_weight * backlog);
+  if (info.free_slots == 0) {
+    // Must wait for a slot; penalize by the mean wall time of what is
+    // ahead in line (approximated by this job's own wall time — which is
+    // the unit here, the estimate having been divided out).
+    key += inv_speed * (static_cast<double>(info.queued_jobs) + 1.0) / slots;
+  }
+  return key;
+}
+
+void MdsDirectory::rank(Entry& entry) {
+  CapabilityClass& cls = classes_.find(entry.class_key)->second;
+  entry.load_key = rank_key_load(entry.data.info);
+  entry.eta_key =
+      rank_key_eta(entry.data.info, entry.data.speed, rank_load_weight_);
+  cls.by_load.emplace(RankKey{entry.load_key, &entry.data.info.name},
+                      &entry);
+  cls.by_eta.emplace(RankKey{entry.eta_key, &entry.data.info.name}, &entry);
+  entry.ranked = true;
+}
+
+void MdsDirectory::unrank(Entry& entry) {
+  if (!entry.ranked) return;
+  CapabilityClass& cls = classes_.find(entry.class_key)->second;
+  cls.by_load.erase(RankKey{entry.load_key, &entry.data.info.name});
+  cls.by_eta.erase(RankKey{entry.eta_key, &entry.data.info.name});
+  entry.ranked = false;
+}
+
+void MdsDirectory::set_rank_load_weight(double load_weight) {
+  if (load_weight == rank_load_weight_) return;
+  rank_load_weight_ = load_weight;
+  // Rare (scheduler-policy setup): re-file every entry's eta key under the
+  // new weight. unrank/rank re-file both orders; the load keys re-insert
+  // at their old positions.
+  for (auto& [name, entry] : entries_) {
+    if (!entry.ranked) continue;
+    unrank(entry);
+    rank(entry);
+  }
+}
+
 void MdsDirectory::file_under_class(Entry& entry, std::string key) {
+  // Caller (report) has already unranked the entry; rank maps never hold
+  // an entry across a re-file.
   if (entry.class_key == key) return;
   if (!entry.class_key.empty()) {
     const auto old_it = classes_.find(entry.class_key);
@@ -65,9 +128,15 @@ void MdsDirectory::report(const ResourceInfo& info) {
       entry.data.info.platforms != info.platforms ||
       entry.data.info.software != info.software;
   if (capabilities_changed) {
+    // Unrank before the info assignment: the erase keys are the cached
+    // rank values plus the (unchanged) name. Re-filed after the move even
+    // when the canonical class key happens to be unchanged (e.g. a
+    // platform-list reorder), so the rank maps never double-file.
+    unrank(entry);
     entry.data.info = info;
     entry.data.last_report = sim_.now();
     file_under_class(entry, class_key_of(info));
+    rank(entry);
     return;
   }
   // Heartbeat fast path: capabilities (and the name, which keys entries_)
@@ -81,11 +150,24 @@ void MdsDirectory::report(const ResourceInfo& info) {
   dst.node_memory_gb = info.node_memory_gb;
   dst.stable = info.stable;
   entry.data.last_report = sim_.now();
+  // Lazy rank maintenance: re-file only when the load fields moved the
+  // rank keys — an idle resource's steady heartbeats touch nothing.
+  if (rank_key_load(dst) != entry.load_key ||
+      rank_key_eta(dst, entry.data.speed, rank_load_weight_) !=
+          entry.eta_key) {
+    unrank(entry);
+    rank(entry);
+  }
 }
 
 void MdsDirectory::set_speed(const std::string& resource, double speed) {
   const auto it = entries_.find(resource);
-  if (it != entries_.end()) it->second.data.speed = speed;
+  if (it == entries_.end()) return;
+  if (it->second.data.speed == speed) return;
+  // Calibration moves the eta rank key; re-file just this entry.
+  unrank(it->second);
+  it->second.data.speed = speed;
+  rank(it->second);
 }
 
 void MdsDirectory::set_heartbeat_blackout(const std::string& resource,
@@ -165,26 +247,41 @@ void MdsDirectory::match_online(const JobRequirements& req,
                                 MdsMatchStats* stats) const {
   const std::size_t first = out.size();
   MdsMatchStats local;
+  member_cursors_.clear();
   for (const auto& [key, cls] : classes_) {
     ++local.classes_scanned;
     if (!class_matches(req, cls.platforms, cls.software, cls.mpi_capable)) {
       continue;
     }
-    for (const auto& [name, entry] : cls.members) {
-      ++local.candidates_scanned;
-      if (sim_.now() - entry->data.last_report > ttl_) continue;  // stale
-      if (req.min_memory_gb > entry->data.info.node_memory_gb) continue;
-      out.push_back(&entry->data);
+    if (!cls.members.empty()) {
+      member_cursors_.push_back({cls.members.begin(), cls.members.end()});
     }
   }
-  // Matching classes each yield name-ordered members; merge to the global
-  // name order a linear directory scan would produce, so downstream
-  // ranking (and round-robin indexing) is decision-identical to the
-  // linear reference. Sorting touches only the eligible set.
-  std::sort(out.begin() + static_cast<std::ptrdiff_t>(first), out.end(),
-            [](const MdsEntry* a, const MdsEntry* b) {
-              return a->info.name < b->info.name;
-            });
+  // K-way merge over the (already name-ordered) member maps of the
+  // matching classes: the eligible set is appended directly in the global
+  // name order a linear directory scan produces, so downstream ranking
+  // (and round-robin indexing) is decision-identical to the linear
+  // reference — and nothing, in particular no retained prefix already in
+  // `out`, is ever (re-)sorted.
+  while (!member_cursors_.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < member_cursors_.size(); ++i) {
+      if (member_cursors_[i].first->first < member_cursors_[best].first->first) {
+        best = i;
+      }
+    }
+    auto& cursor = member_cursors_[best];
+    const Entry* entry = cursor.first->second;
+    ++cursor.first;
+    if (cursor.first == cursor.second) {
+      member_cursors_[best] = member_cursors_.back();
+      member_cursors_.pop_back();
+    }
+    ++local.candidates_scanned;
+    if (sim_.now() - entry->data.last_report > ttl_) continue;  // stale
+    if (req.min_memory_gb > entry->data.info.node_memory_gb) continue;
+    out.push_back(&entry->data);
+  }
   local.eligible = out.size() - first;
   if (stats != nullptr) *stats = local;
 }

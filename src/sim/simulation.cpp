@@ -46,109 +46,18 @@ void Simulation::release_slot(std::uint32_t slot) {
   free_head_ = slot;
 }
 
-void Simulation::sift_up(std::size_t pos) {
-  const Event moving = heap_[pos];
-  while (pos > 0) {
-    const std::size_t parent = (pos - 1) / 4;
-    if (!earlier(moving, heap_[parent])) break;
-    heap_[pos] = heap_[parent];
-    pos = parent;
-  }
-  heap_[pos] = moving;
-}
-
-void Simulation::sift_down(std::size_t pos) {
-  const std::size_t size = heap_.size();
-  const Event moving = heap_[pos];
-  for (;;) {
-    const std::size_t first = pos * 4 + 1;
-    if (first >= size) break;
-    std::size_t best;
-    if (first + 4 <= size) {
-      // Interior node: tournament over the 4 children (two independent
-      // pairs, then the winners) — same 3 comparisons as a linear scan but
-      // without a loop-carried dependency.
-      const std::size_t a =
-          earlier(heap_[first + 1], heap_[first]) ? first + 1 : first;
-      const std::size_t b =
-          earlier(heap_[first + 3], heap_[first + 2]) ? first + 3 : first + 2;
-      best = earlier(heap_[b], heap_[a]) ? b : a;
-    } else {
-      best = first;
-      for (std::size_t child = first + 1; child < size; ++child) {
-        if (earlier(heap_[child], heap_[best])) best = child;
-      }
-    }
-    if (!earlier(heap_[best], moving)) break;
-    heap_[pos] = heap_[best];
-    pos = best;
-  }
-  heap_[pos] = moving;
-}
-
-void Simulation::heapify() {
-  if (heap_.size() < 2) return;
-  for (std::size_t pos = (heap_.size() - 2) / 4 + 1; pos-- > 0;) {
-    sift_down(pos);
-  }
-}
-
-void Simulation::pop_front() {
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-}
-
 EventHandle Simulation::at(SimTime when, EventFn fn) {
   assert(fn);
   when = std::max(when, now_);
   const std::uint32_t slot = acquire_slot();
   slots_[slot].fn = std::move(fn);
   const std::uint32_t generation = slots_[slot].generation;
-  const Event event{when, next_seq_++, slot, generation};
-  if (when >= far_threshold_) {
-    // Distant event (a volunteer host's next power cycle, a departure
-    // weeks out): parked unsorted, O(1), keeping the hot heap small.
-    far_.push_back(event);
-  } else {
-    heap_.push_back(event);
-    sift_up(heap_.size() - 1);
-  }
+  // Distant events (a volunteer host's next power cycle, a departure weeks
+  // out) park in the far band, O(1); the rest enter the 4-ary heap.
+  queue_.push(Event{when, next_seq_++, slot, generation});
   ++live_;
   if (live_ > peak_pending_) peak_pending_ = live_;
   return EventHandle{(static_cast<std::uint64_t>(slot) << 32) | generation};
-}
-
-bool Simulation::refill() {
-  // The near heap drained: advance the parking threshold past the earliest
-  // live far event and admit everything inside the new window. Correctness:
-  // refill only runs with heap_ empty, every parked event is >= the old
-  // threshold, and the new threshold admits a (when, seq)-prefix of the
-  // parked set — so the global pop order is exactly the single-heap order.
-  while (heap_.empty() && !far_.empty()) {
-    SimTime min_when = kForever;
-    std::size_t write = 0;
-    for (std::size_t read = 0; read < far_.size(); ++read) {
-      const Event& event = far_[read];
-      if (!entry_live(event)) continue;  // drop tombstones during the scan
-      min_when = std::min(min_when, event.when);
-      far_[write++] = event;
-    }
-    far_.resize(write);
-    if (far_.empty()) return false;
-    far_threshold_ = min_when + kFarWindow;
-    for (std::size_t read = 0; read < far_.size();) {
-      if (far_[read].when < far_threshold_) {
-        heap_.push_back(far_[read]);
-        far_[read] = far_.back();
-        far_.pop_back();
-      } else {
-        ++read;
-      }
-    }
-    heapify();
-  }
-  return !heap_.empty();
 }
 
 EventHandle Simulation::after(SimTime delay, EventFn fn) {
@@ -172,15 +81,11 @@ void Simulation::maybe_compact() {
   // Cancellation leaves tombstones in both bands; bound the garbage so a
   // churn-heavy run (hosts cancelling completion events on every
   // preemption) cannot grow the structures past ~2x the live event count.
-  const std::size_t entries = heap_.size() + far_.size();
+  const std::size_t entries = queue_.entries();
   if (entries < kCompactMinEntries || entries - live_ <= live_) {
     return;
   }
-  std::erase_if(heap_, [this](const Event& e) { return !entry_live(e); });
-  std::erase_if(far_, [this](const Event& e) { return !entry_live(e); });
-  // Rebuilding cannot reorder firing: (when, seq) is a strict total order,
-  // so any valid heap over the surviving entries pops identically.
-  heapify();
+  queue_.compact([this](const Event& e) { return entry_live(e); });
   ++compactions_;
 }
 
@@ -210,9 +115,10 @@ void Simulation::fire(const Event& event) {
 }
 
 bool Simulation::step() {
-  while (!heap_.empty() || refill()) {
-    const Event event = heap_.front();
-    pop_front();
+  const auto live = [this](const Event& e) { return entry_live(e); };
+  while (!queue_.heap_empty() || queue_.refill(live)) {
+    const Event event = queue_.front();
+    queue_.pop_front();
     if (!entry_live(event)) continue;  // cancelled: tombstone
     fire(event);
     return true;
@@ -222,15 +128,16 @@ bool Simulation::step() {
 
 std::uint64_t Simulation::run(SimTime until) {
   std::uint64_t count = 0;
-  while (!heap_.empty() || refill()) {
+  const auto live = [this](const Event& e) { return entry_live(e); };
+  while (!queue_.heap_empty() || queue_.refill(live)) {
     // Skip tombstones so the horizon check sees the next live event.
-    const Event event = heap_.front();
+    const Event event = queue_.front();
     if (!entry_live(event)) {
-      pop_front();
+      queue_.pop_front();
       continue;
     }
     if (event.when > until) break;
-    pop_front();
+    queue_.pop_front();
     fire(event);
     ++count;
   }

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/band_queue.hpp"
 #include "sim/event_fn.hpp"
 
 namespace lattice::obs {
@@ -36,8 +37,6 @@ class Tracer;
 }  // namespace lattice::obs
 
 namespace lattice::sim {
-
-using SimTime = double;
 
 /// Handle for cancelling a scheduled event.
 class EventHandle {
@@ -87,9 +86,7 @@ class Simulation {
   std::size_t peak_pending() const { return peak_pending_; }
   /// Queue entries currently occupied by cancelled events (tombstones
   /// awaiting lazy removal or compaction). Exposed for tests/benches.
-  std::size_t dead_entries() const {
-    return heap_.size() + far_.size() - live_;
-  }
+  std::size_t dead_entries() const { return queue_.entries() - live_; }
   /// Compaction passes performed (tombstone garbage collections).
   std::uint64_t compactions() const { return compactions_; }
 
@@ -119,20 +116,14 @@ class Simulation {
   static constexpr SimTime kFarWindow = 8.0 * 3600.0;
 
  private:
-  /// POD heap entry; the closure lives in slots_[slot].
+  /// POD queue entry; the closure lives in slots_[slot]. (when, seq) is
+  /// the strict firing order — see TwoBandQueue.
   struct Event {
     SimTime when;
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t generation;
   };
-  /// Strict (when, seq) total order — no ties, so every valid heap over
-  /// the same entries pops in exactly the same sequence (what lets the
-  /// layout change arity or be rebuilt without affecting firing order).
-  static bool earlier(const Event& a, const Event& b) {
-    if (a.when != b.when) return a.when < b.when;
-    return a.seq < b.seq;
-  }
   /// Closure storage with a generation stamp: a heap entry (or handle)
   /// addresses a slot and is valid only while its generation matches, so
   /// cancelled/fired events become tombstones without touching the heap.
@@ -149,28 +140,14 @@ class Simulation {
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot);
   void maybe_compact();
-  // 4-ary implicit heap primitives (see heap_ below).
-  void sift_up(std::size_t pos);
-  void sift_down(std::size_t pos);
-  void heapify();
-  void pop_front();
-  /// Migrate parked far events into the (drained) heap, advancing
-  /// far_threshold_. Returns true when the heap is non-empty afterwards.
-  bool refill();
   /// Execute one live, already-popped event (shared by run/step).
   void fire(const Event& event);
 
-  /// 4-ary implicit min-heap ordered by earlier(): shallower than a binary
-  /// heap (log₄ levels), so a sift touches half the cache lines — the heap
-  /// at 10⁵ hosts holds ~10⁵ pending entries and sift traffic dominates
-  /// the kernel.
-  std::vector<Event> heap_;
-  /// Far band: unsorted parking for events with when >= far_threshold_.
-  /// Invariant: every heap entry is < far_threshold_ <= every far entry,
-  /// and the threshold only ever increases — so the two-band pop order is
-  /// exactly the single-heap pop order (DESIGN.md §10).
-  std::vector<Event> far_;
-  SimTime far_threshold_ = kFarWindow;
+  /// Two-band storage (4-ary POD heap + far parking, sim/band_queue.hpp):
+  /// the heap at 10⁵ hosts holds ~10⁵ pending entries and sift traffic
+  /// dominates the kernel, so entries are 24-byte PODs and distant events
+  /// park unsorted (DESIGN.md §10).
+  TwoBandQueue<Event> queue_{kFarWindow};
   std::vector<Slot> slots_;   // slot pool; freed slots chain via next_free
   std::uint32_t free_head_ = kNoFreeSlot;
   std::size_t live_ = 0;      // scheduled-but-not-fired events

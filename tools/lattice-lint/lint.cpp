@@ -389,8 +389,8 @@ const std::vector<std::string>& rule_ids() {
       "wall-clock",          "ambient-rng",
       "unordered-member",    "unordered-iteration",
       "metric-name",         "header-self-contained",
-      "suppression-syntax",  "suppression-unknown-rule",
-      "suppression-undocumented"};
+      "decision-sort",       "suppression-syntax",
+      "suppression-unknown-rule", "suppression-undocumented"};
   return ids;
 }
 
@@ -531,6 +531,29 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
                   "': iteration order is hash-order, not deterministic "
                   "across platforms");
         }
+      }
+    }
+  }
+
+  // --- Decision-path rules -----------------------------------------------
+  if (options.decision_path) {
+    // Sorting inside src/grid or src/core is presumed to sit on a
+    // per-decision path (matchmaking, ranking) unless audited otherwise:
+    // the sub-linear pass maintains rank order incrementally in the MDS
+    // index, so a new sort here is the exact O(n log n)-per-decision
+    // regression it removed.
+    static const std::regex sort_re(
+        R"(\bstd\s*::\s*(stable_sort|partial_sort|nth_element|sort)\s*\()");
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+      const int line = static_cast<int>(i) + 1;
+      std::smatch m;
+      if (std::regex_search(code_lines[i], m, sort_re) &&
+          !suppressed(line, "decision-sort")) {
+        add(line, "decision-sort",
+            "std::" + m[1].str() +
+                " in a scheduler decision-path dir: keep rank order in the "
+                "MDS index (or tag the sort as off the decision path with a "
+                "suppression)");
       }
     }
   }

@@ -21,6 +21,11 @@
 //                        variable declared as an unordered container
 //   metric-name          metric/trace name literals follow the cataloged
 //                        `subsystem.noun_verb` grammar
+//   decision-sort        no std::sort/stable_sort/partial_sort/nth_element
+//                        in scheduler decision-path dirs (src/grid,
+//                        src/core) without an audit suppression — the
+//                        sub-linear decision pass replaced per-decision
+//                        sorts with maintained rank indexes
 //   header-self-contained (driver-level) every .hpp compiles standalone
 //   suppression-syntax   allow() comment without a reason string
 //   suppression-unknown-rule  allow() naming a rule id that does not exist
@@ -56,6 +61,11 @@ struct Options {
   /// Deterministic file: wall-clock, ambient-rng and the unordered rules
   /// are active. Metric-name is checked everywhere.
   bool deterministic = false;
+  /// Scheduler decision-path file (src/grid, src/core): the decision-sort
+  /// rule is active — sorting inside a per-decision path is the exact
+  /// regression the rank-index pass removed, so every remaining sort must
+  /// carry an audit suppression placing it off the decision path.
+  bool decision_path = false;
 };
 
 /// All rule ids the engine knows (suppressions must name one of these).

@@ -43,6 +43,10 @@ namespace {
 const std::set<std::string> kDeterministicDirs = {"sim",   "core", "grid",
                                                   "boinc", "phylo", "fault"};
 
+// Directories holding the scheduler's per-decision paths (matchmaking,
+// ranking): std::sort and friends are audit points there (decision-sort).
+const std::set<std::string> kDecisionDirs = {"grid", "core"};
+
 std::string read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
   std::ostringstream buf;
@@ -186,8 +190,9 @@ int main(int argc, char** argv) {
   for (const fs::path& file : files) {
     const std::string text = read_file(file);
     Options options;
-    options.deterministic =
-        kDeterministicDirs.count(top_dir(src_root, file)) > 0;
+    const std::string dir = top_dir(src_root, file);
+    options.deterministic = kDeterministicDirs.count(dir) > 0;
+    options.decision_path = kDecisionDirs.count(dir) > 0;
     const std::string display = file.generic_string();
     for (Finding f : lattice::lint::lint_source(display, text, options)) {
       findings.push_back(std::move(f));
