@@ -27,6 +27,12 @@
 // speedup; the 100k row records the pre-sublinear-pass ns/decision so the
 // before/after pair lives in the JSON artifact.
 //
+// Every row also runs a transfer-on twin (lattice::net volunteer mix
+// instead of the free-staging fold) and reports its event throughput plus
+// the overhead ratio — free-staging events/s over transfer-on events/s.
+// The contention engine's budget is <= 1.3x at the 100k row
+// (docs/NETWORKING.md); both figures are frozen in BENCH_grid_scale.json.
+//
 // Flags:
 //   --smoke         miniature sweep (300/1000 hosts, one rep, half-size
 //                   batches, quorum-2 over a flaky pool) as a tier-1 ctest
@@ -44,6 +50,7 @@
 
 #include "bench_common.hpp"
 #include "core/portal.hpp"
+#include "net/config.hpp"
 #include "util/fmt.hpp"
 #include "util/table.hpp"
 
@@ -63,7 +70,8 @@ struct SweepResult {
 SweepResult run_once(std::size_t hosts, std::size_t shards, int batches,
                      std::size_t replicates_per_batch,
                      std::size_t estimator_corpus,
-                     std::size_t estimator_trees, bool stress_boinc) {
+                     std::size_t estimator_trees, bool stress_boinc,
+                     bool transfers) {
   using namespace lattice;
   core::LatticeConfig config;
   config.scheduler.mode = core::SchedulingMode::kEstimateAware;
@@ -73,6 +81,12 @@ SweepResult run_once(std::size_t hosts, std::size_t shards, int batches,
   inventory.boinc_hosts = hosts;
   inventory.boinc_shards = shards;
   inventory.include_boinc = hosts > 0;
+  if (transfers) {
+    // Transfer-on pass: the broadband/DSL/modem volunteer mix replaces the
+    // free-staging fold, so every dispatch and report moves through the
+    // lattice::net contention engine (docs/NETWORKING.md).
+    inventory.boinc_network = net::NetConfig::volunteer_default();
+  }
   if (stress_boinc) {
     // Smoke profile: quorum-2 validation over a 15% flaky pool with tight
     // report deadlines, so the validator, deadline heap, and reissue
@@ -199,7 +213,8 @@ int main(int argc, char** argv) {
 
   util::Table table({"BOINC hosts", "total slots", "completed", "wall s",
                      "jobs/wall-s", "events/s", "ns/decision",
-                     "peak pending", "rss peak KB"});
+                     "peak pending", "rss peak KB", "net ev/s",
+                     "net ovh x"});
   table.set_precision(1);
   bench::JsonReport json(smoke ? "grid_scale_smoke" : "grid_scale");
   json.set("shards", static_cast<std::uint64_t>(shards));
@@ -217,7 +232,8 @@ int main(int argc, char** argv) {
     SweepResult best;
     for (int rep = 0; rep < point.reps; ++rep) {
       const SweepResult r = run_once(point.hosts, shards, batches, replicates,
-                                     corpus, trees, smoke);
+                                     corpus, trees, smoke,
+                                     /*transfers=*/false);
       if (rep == 0 || r.wall_s < best.wall_s) best = r;
       if (r.completed != best.completed || r.events != best.events) {
         std::cout << "nondeterministic rep at " << point.hosts
@@ -225,6 +241,14 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    // Transfer-on twin: same workload with the volunteer link-class mix
+    // live, one rep (the column records the *overhead ratio*, and a single
+    // run bounds it from above — a disturbed run only overstates the
+    // cost). The event count grows (Transfer start/finish epochs enter the
+    // kernel), so the comparable figure is event throughput, not jobs/s.
+    const SweepResult net_run =
+        run_once(point.hosts, shards, batches, replicates, corpus, trees,
+                 smoke, /*transfers=*/true);
     // Running peak RSS after this row: monotone across rows (ru_maxrss is
     // a high-water mark), so each row's figure bounds the memory needed up
     // to and including its own sweep size.
@@ -245,6 +269,21 @@ int main(int argc, char** argv) {
                                  static_cast<double>(best.completed)
                            : 0.0;
 
+    const double net_events_per_s =
+        net_run.wall_s > 0
+            ? static_cast<double>(net_run.events) / net_run.wall_s
+            : 0.0;
+    const double net_ns_per_decision =
+        net_run.completed > 0
+            ? net_run.wall_s * 1e9 / static_cast<double>(net_run.completed)
+            : 0.0;
+    // Event-throughput regression of the transfer pass: free-staging
+    // events/s over transfer-on events/s (>1 means the contention engine
+    // slows the kernel down). Budget: <= 1.3x at the 100k row
+    // (docs/NETWORKING.md), frozen in BENCH_grid_scale.json.
+    const double net_overhead =
+        net_events_per_s > 0 ? events_per_s / net_events_per_s : 0.0;
+
     const std::string key = "hosts_" + std::to_string(point.hosts);
     json.set(key + "_completed", best.completed);
     json.set(key + "_wall_s", best.wall_s);
@@ -254,6 +293,12 @@ int main(int argc, char** argv) {
     json.set(key + "_peak_pending_events",
              static_cast<std::uint64_t>(best.peak_pending));
     json.set(key + "_rss_peak_kb", row_rss_kb);
+    json.set(key + "_net_completed", net_run.completed);
+    json.set(key + "_net_wall_s", net_run.wall_s);
+    json.set(key + "_net_events", net_run.events);
+    json.set(key + "_net_events_per_sec", net_events_per_s);
+    json.set(key + "_net_ns_per_decision", net_ns_per_decision);
+    json.set(key + "_net_overhead_ratio", net_overhead);
     if (!smoke && point.hosts == 10000) {
       json.set("before_jobs_per_wall_s_10k_hosts",
                kPreIndexJobsPerWallSec10k);
@@ -269,7 +314,8 @@ int main(int argc, char** argv) {
                    static_cast<long long>(best.completed), best.wall_s,
                    jobs_per_s, events_per_s, ns_per_decision,
                    static_cast<long long>(best.peak_pending),
-                   static_cast<long long>(row_rss_kb)});
+                   static_cast<long long>(row_rss_kb), net_events_per_s,
+                   net_overhead});
   }
   json.set_rss_peak_kb();
   table.print(std::cout);
@@ -280,6 +326,7 @@ int main(int argc, char** argv) {
                "while the volunteer pool scales to 10^6 hosts; the 10k and "
                "100k rows record the measured speedups over the seed and "
                "the pre-sublinear pass, and the 500k/1M rows carry "
-               "proportionately scaled demand)\n";
+               "proportionately scaled demand; the net columns hold the "
+               "transfer-on twin to its <=1.3x event-throughput budget)\n";
   return 0;
 }

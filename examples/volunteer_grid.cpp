@@ -14,6 +14,13 @@
 //        scenario (docs/RESILIENCE.md): a small multi-resource grid under
 //        the declarative fault plan, verified to recover end to end (all
 //        jobs complete, zero corrupted canonical results under quorum).
+//        --net-profile=FILE instead runs the transfer-aware scenario
+//        (docs/NETWORKING.md): the volunteer pool stages workunit data
+//        over per-host link classes from the INI profile, and the run
+//        self-verifies the transfer contract — all jobs complete, every
+//        dispatch staged real transfers (zero free staging), and
+//        transfer-bound jobs were kept off volunteer hosts by the
+//        staging-aware stability filter.
 // See docs/OBSERVABILITY.md for the metric catalog and trace schema.
 #include <algorithm>
 #include <iostream>
@@ -29,6 +36,7 @@
 #include "fault/plan.hpp"
 #include "grid/inventory.hpp"
 #include "grid/mds.hpp"
+#include "net/model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "phylo/likelihood.hpp"
@@ -182,6 +190,201 @@ int run_fault_scenario(const std::string& plan_path,
   return ok ? 0 : 1;
 }
 
+// The transfer-aware scenario: a small stable cluster plus a net-enabled
+// volunteer pool whose hosts stage workunit data over the link classes in
+// --net-profile=FILE. Two cohorts are submitted — ordinary jobs, and
+// bulk-data jobs whose staging time alone exceeds the stability cutoff —
+// and the run self-verifies the transfer contract, so it doubles as the
+// slow_link_smoke ctest; scripts/determinism.sh additionally asserts two
+// identical invocations (and a sharded twin) are bit-identical.
+int run_net_scenario(const std::string& profile_path,
+                     const std::string& metrics_out,
+                     const std::string& trace_out, std::size_t shards) {
+  using namespace lattice;
+
+  net::NetConfig profile;
+  try {
+    profile = net::load_net_profile(profile_path);
+  } catch (const std::exception& error) {
+    std::cerr << "net profile: " << error.what() << "\n";
+    return 2;
+  }
+  std::cout << util::format("net profile ({}): {} link classes, uplink "
+                            "{:.0f}/{:.0f} Mbps down/up\n",
+                            profile_path, profile.classes.size(),
+                            profile.server_down_mbps, profile.server_up_mbps);
+  for (const net::LinkClassSpec& spec : profile.classes) {
+    std::cout << util::format(
+        "  class {}: {:.3f}/{:.3f} Mbps, {:.2f}s latency, fraction {:.2f}\n",
+        spec.name, spec.down_mbps, spec.up_mbps, spec.latency_s,
+        spec.fraction);
+  }
+
+  core::LatticeConfig config;
+  config.seed = 20260808;
+  config.max_attempts = 24;
+  // The transfer-aware knobs under test: deadlines budget staging wall
+  // time, and the stability filter charges staging against the cutoff.
+  // The cutoff is widened so ordinary jobs stay volunteer-eligible on the
+  // slow (availability-discounted) pool; bulk staging at 0.1 Mbps adds
+  // ~56 h, which no cutoff survives.
+  config.scheduler.stability_cutoff_hours = 48.0;
+  config.deadline.typical_mbps = 0.5;
+  config.scheduler.staging_mbps = 0.1;
+  core::LatticeSystem system(config);
+
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  // Always observe: the contract below reads boinc.results_sent, and
+  // observation never changes decisions or timing (tests/test_obs.cpp).
+  system.enable_observability(
+      metrics, trace_out.empty() ? obs::Tracer::null() : tracer);
+
+  // Estimates drive both transfer-aware paths (deadline + stability), so
+  // train the estimator up front from the cost model's synthetic corpus.
+  {
+    util::Rng corpus_rng(4242);
+    system.estimator().train(
+        core::generate_corpus(80, system.cost_model(), corpus_rng));
+  }
+
+  // Deliberately small and slow: once a handful of jobs back up on it,
+  // the eta rank sends the rest to the (slower but wide) volunteer pool —
+  // except the bulk cohort, which the staging-aware filter pins here.
+  grid::BatchQueueResource::Config cluster;
+  cluster.nodes = 1;
+  cluster.cores_per_node = 2;
+  cluster.node_speed = 0.6;
+  boinc::BoincPoolConfig volunteers;
+  volunteers.hosts = 150;
+  volunteers.mean_speed = 0.8;
+  volunteers.speed_sigma = 0.6;
+  volunteers.seed = 99;
+  volunteers.shards = shards;
+  volunteers.network = profile;
+
+  std::vector<grid::ResourceSpec> specs;
+  specs.push_back(grid::ResourceSpec::cluster("stable-cluster", cluster));
+  specs.push_back(
+      grid::ResourceSpec::boinc_pool("lattice-boinc", volunteers));
+  grid::build_inventory(system, specs);
+  system.calibrate_speeds();
+
+  // Cohorts: ordinary jobs stage under a megabyte; bulk jobs carry a
+  // supermatrix whose staging alone (2505 MB at the policy's 0.1 Mbps,
+  // ~56 h) exceeds the 48 h stability cutoff, so the scheduler must keep
+  // them on the stable cluster no matter how the volunteer pool ranks.
+  constexpr std::size_t kNormalJobs = 24;
+  constexpr std::size_t kBulkJobs = 4;
+  const core::GarliFeatures features;  // ~0.45 reference-hours
+  const core::GarliCostModel::DataSizes sizes =
+      system.cost_model().data_sizes(features);
+  std::vector<std::uint64_t> normal_ids;
+  std::vector<std::uint64_t> bulk_ids;
+  for (std::size_t i = 0; i < kNormalJobs; ++i) {
+    normal_ids.push_back(system.submit_garli_job(
+        features, {}, 0, core::JobData{sizes.input_mb, sizes.output_mb}));
+  }
+  for (std::size_t i = 0; i < kBulkJobs; ++i) {
+    bulk_ids.push_back(system.submit_garli_job(
+        features, {}, 0, core::JobData{2500.0, 5.0}));
+  }
+  std::cout << util::format(
+      "submitted {} ordinary jobs ({:.1f} MB staged) and {} bulk jobs "
+      "(2505.0 MB staged)\n",
+      kNormalJobs, sizes.input_mb + sizes.output_mb, kBulkJobs);
+
+  system.run_until_drained(120.0 * 86400.0);
+
+  const auto& m = system.metrics();
+  auto* server =
+      dynamic_cast<boinc::BoincServer*>(system.resource("lattice-boinc"));
+  const net::NetworkModel* network = server->network();
+  const double results_sent = metrics.counter_total("boinc.results_sent");
+  std::cout << util::format(
+      "drained at {:.1f} days: {}/{} completed, {} failed attempts\n",
+      system.simulation().now() / 86400.0, m.completed,
+      kNormalJobs + kBulkJobs, m.failed_attempts);
+  std::cout << util::format(
+      "volunteer pool: {} results sent, {} transfers started / {} "
+      "completed / {} cancelled, {:.1f} MB down, {:.1f} MB up\n",
+      static_cast<std::uint64_t>(results_sent),
+      network->transfers_started(), network->transfers_completed(),
+      network->transfers_cancelled(),
+      network->megabytes_moved(net::Direction::kDown),
+      network->megabytes_moved(net::Direction::kUp));
+
+  // The transfer contract this scenario exists to demonstrate.
+  bool ok = true;
+  if (m.completed != kNormalJobs + kBulkJobs) {
+    std::cerr << "FAIL: not every job completed under the slow links\n";
+    ok = false;
+  }
+  // Zero free staging: every volunteer dispatch must stage a real download
+  // (uploads only follow successful computes, so started >= sent).
+  if (results_sent <= 0.0 ||
+      network->transfers_started() <
+          static_cast<std::uint64_t>(results_sent)) {
+    std::cerr << "FAIL: a volunteer dispatch skipped transfer staging\n";
+    ok = false;
+  }
+  if (network->megabytes_moved(net::Direction::kDown) <= 0.0 ||
+      network->megabytes_moved(net::Direction::kUp) <= 0.0) {
+    std::cerr << "FAIL: no data moved through the link model\n";
+    ok = false;
+  }
+  // Transfer-bound jobs stay off volunteer hosts: the staging-aware
+  // stability filter must route every bulk job to the stable cluster.
+  for (const std::uint64_t id : bulk_ids) {
+    const grid::GridJob* job = system.job(id);
+    if (job == nullptr || job->resource != "stable-cluster") {
+      std::cerr << "FAIL: bulk job " << id
+                << " was placed on volunteer hosts\n";
+      ok = false;
+    }
+  }
+  bool any_normal_on_volunteers = false;
+  for (const std::uint64_t id : normal_ids) {
+    const grid::GridJob* job = system.job(id);
+    if (job != nullptr && job->resource == "lattice-boinc") {
+      any_normal_on_volunteers = true;
+    }
+  }
+  if (!any_normal_on_volunteers) {
+    std::cerr << "FAIL: no ordinary job ran on the volunteer pool\n";
+    ok = false;
+  }
+  // Transfer-aware deadlines: the policy must extend a bulk job's report
+  // deadline beyond the data-free value.
+  const double est = 0.45 * 3600.0;
+  if (config.deadline.deadline_seconds(est, 2505.0) <=
+      config.deadline.deadline_seconds(est, 0.0)) {
+    std::cerr << "FAIL: deadline policy ignored the staged data\n";
+    ok = false;
+  }
+
+  if (!metrics_out.empty()) {
+    if (!obs::write_metrics(metrics, metrics_out)) {
+      std::cerr << "failed to write " << metrics_out << "\n";
+      return 1;
+    }
+    std::cout << util::format(
+        "metrics snapshot -> {} ({:.0f} MB through net.bytes_down)\n",
+        metrics_out, metrics.counter_total("net.bytes_down") / 1e6);
+  }
+  if (!trace_out.empty()) {
+    if (!obs::write_trace(tracer, trace_out)) {
+      std::cerr << "failed to write " << trace_out << "\n";
+      return 1;
+    }
+    std::cout << util::format("chrome trace -> {} ({} events)\n", trace_out,
+                              tracer.events());
+  }
+  std::cout << (ok ? "transfer contract holds\n"
+                   : "transfer contract VIOLATED\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,6 +393,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string fault_plan;
+  std::string net_profile;
   int pool_threads = -1;  // -1: self-test off
   std::size_t shards = 1;  // volunteer-pool calendar shards
   for (int i = 1; i < argc; ++i) {
@@ -210,16 +414,23 @@ int main(int argc, char** argv) {
       fault_plan = arg.substr(13);
     } else if (arg == "--fault-plan" && i + 1 < argc) {
       fault_plan = argv[++i];
+    } else if (arg.rfind("--net-profile=", 0) == 0) {
+      net_profile = arg.substr(14);
+    } else if (arg == "--net-profile" && i + 1 < argc) {
+      net_profile = argv[++i];
     } else {
       std::cerr << "usage: volunteer_grid [--metrics-out=FILE] "
                    "[--trace-out=FILE] [--pool-threads=N] [--shards=N] "
-                   "[--fault-plan=FILE]\n";
+                   "[--fault-plan=FILE] [--net-profile=FILE]\n";
       return 2;
     }
   }
 
   if (!fault_plan.empty()) {
     return run_fault_scenario(fault_plan, metrics_out, trace_out, shards);
+  }
+  if (!net_profile.empty()) {
+    return run_net_scenario(net_profile, metrics_out, trace_out, shards);
   }
 
   sim::Simulation sim;

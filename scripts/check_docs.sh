@@ -59,6 +59,26 @@ else
   done
 fi
 
+# The transfer layer documents its link-class model, contention
+# semantics, determinism contract, complexity budget, and INI schema
+# (docs/NETWORKING.md); the doc must keep naming the mechanisms it
+# promises so it cannot drift from src/net/.
+networking=docs/NETWORKING.md
+if [ ! -f "$networking" ]; then
+  echo "check_docs: missing $networking (transfer cost model)" >&2
+  fail=1
+else
+  for anchor in 'link class' 'fair share' 'finish_key' 'attained' \
+                'snap' 'epoch' 'server pipe' 'fraction' 'latency' \
+                'zero-size' 'staging_mbps' 'typical_mbps' \
+                'net_overhead_ratio' 'slow_link_smoke' 'bit-identical'; do
+    if ! grep -qiF "$anchor" "$networking"; then
+      echo "check_docs: $networking lost its '$anchor' section" >&2
+      fail=1
+    fi
+  done
+fi
+
 # The fault layer documents its fault model, recovery mechanisms, and
 # determinism contract (docs/RESILIENCE.md); the doc must keep naming the
 # mechanisms it promises so it cannot drift from src/fault/.
@@ -68,7 +88,8 @@ if [ ! -f "$resilience" ]; then
   fail=1
 else
   for anchor in 'fault plan' 'backoff' 'demotion' 'quorum' 'outage' \
-                'heartbeat_only' 'bit-identical' 'fault_smoke'; do
+                'heartbeat_only' 'bit-identical' 'fault_smoke' \
+                'link.' 'uplink'; do
     if ! grep -qiF "$anchor" "$resilience"; then
       echo "check_docs: $resilience lost its '$anchor' section" >&2
       fail=1
@@ -99,6 +120,20 @@ else
                 '(when, seq)'; do
     if ! grep -qiF "$anchor" "$design"; then
       echo "check_docs: $design §11 lost its '$anchor' invalidation rule" >&2
+      fail=1
+    fi
+  done
+fi
+
+if ! grep -qE '^## +(§ *)?12' "$design" 2>/dev/null; then
+  echo "check_docs: $design has no §12 (transfer-event invalidation" \
+       "rules)" >&2
+  fail=1
+else
+  for anchor in 'accrue' 'reproject' 'snap' 'tombstone' 'prune_dead' \
+                'finish_key' 'zero-delay'; do
+    if ! grep -qiF "$anchor" "$design"; then
+      echo "check_docs: $design §12 lost its '$anchor' invalidation rule" >&2
       fail=1
     fi
   done

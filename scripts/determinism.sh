@@ -17,6 +17,12 @@
 # from wall clock — and the fault/recovery counters must appear in the
 # snapshot.
 #
+# The transfer-aware scenario (--net-profile, docs/NETWORKING.md) likewise:
+# two identical runs plus a 4-way-sharded twin must be bit-identical —
+# transfer completion times come from epoch arithmetic on the sim clock,
+# never from iteration order — and the net.* counters must appear in the
+# snapshot.
+#
 # Usage: determinism.sh <volunteer_grid-binary> [workdir]
 set -euo pipefail
 
@@ -49,12 +55,25 @@ run_fault() {  # run_fault <tag>
   grep -v 'handler_wall_us' "$work/fm-$tag.json" > "$work/fm-$tag.det"
 }
 
+profile="$(cd "$(dirname "$0")" && pwd)/../scenarios/slow_link_smoke.ini"
+run_net() {  # run_net <tag> [shards]
+  local tag=$1 shards=${2:-1}
+  "$bin" --net-profile="$profile" --shards="$shards" \
+         --metrics-out="$work/nm-$tag.json" > "$work/nout-$tag.raw"
+  sed -e "s#$work#WORK#g" -e "s#-$tag\.json#-RUN.json#g" \
+      -e "s#$profile#PROFILE#g" "$work/nout-$tag.raw" > "$work/nout-$tag.txt"
+  grep -v 'handler_wall_us' "$work/nm-$tag.json" > "$work/nm-$tag.det"
+}
+
 run a 2
 run b 2
 run c 5
 run d 2 4
 run_fault a
 run_fault b
+run_net a
+run_net b
+run_net c 4
 
 fail=0
 # The scheduler-scalability metrics must be present in the snapshot: the
@@ -102,9 +121,24 @@ for metric in fault. sched.retry_; do
   fi
 done
 
+# Transfer-model runs: completion times are recomputed at start/finish
+# epochs, so shard count and run order must both be unobservable.
+check nout-a.txt nout-b.txt "stdout across identical net-profile runs"
+check nm-a.det nm-b.det "metrics across identical net-profile runs"
+check nout-a.txt nout-c.txt "stdout across calendar shards (net, 1 vs 4)"
+check nm-a.det nm-c.det "metrics across calendar shards (net, 1 vs 4)"
+# ...and the transfer pipeline must be visibly exercised by the profile.
+for metric in net.bytes_down net.bytes_up net.transfers_completed; do
+  if ! grep -q "$metric" "$work/nm-a.json"; then
+    echo "determinism: '$metric' missing from net-run snapshot" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
-  echo "determinism: 6 runs bit-identical" \
+  echo "determinism: 9 runs bit-identical" \
        "(sha256 $(sha256sum "$work/m-a.det" | cut -c1-12)…" \
-       "fault $(sha256sum "$work/fm-a.det" | cut -c1-12)…)"
+       "fault $(sha256sum "$work/fm-a.det" | cut -c1-12)…" \
+       "net $(sha256sum "$work/nm-a.det" | cut -c1-12)…)"
 fi
 exit "$fail"

@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "grid/job.hpp"
+#include "net/config.hpp"
 
 namespace lattice::boinc {
 
@@ -47,11 +48,17 @@ struct BoincPoolConfig {
   /// calendar's per-shard drains parallelize; firing order is always the
   /// strict (when, seq) merge. 1 keeps the pool fully sequential.
   std::size_t shards = 1;
-  /// Fixed wall-clock cost per result on the host (input download, upload,
-  /// scheduler RPC round trips) — what replicate bundling amortizes.
+  /// Fixed wall-clock cost per result on the host (scheduler RPC round
+  /// trips, client bookkeeping) — what replicate bundling amortizes.
   double result_overhead_seconds = 120.0;
-  /// Volunteer last-mile bandwidth for staging job data.
+  /// Volunteer last-mile bandwidth for the free-staging fold: with the
+  /// transfer model off, job data time is charged against the work ledger
+  /// at this rate instead of being simulated.
   double host_mb_per_second = 0.5;
+  /// Transfer cost model (docs/NETWORKING.md). Disabled by default: the
+  /// free-staging fold above stays bit-identical. When enabled, downloads
+  /// and uploads become contended net::Transfer events and the fold is off.
+  net::NetConfig network{};
   grid::PlatformSpec platform{};
   std::uint64_t seed = 1;
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "boinc/server.hpp"
+#include "net/model.hpp"
 #include "util/log.hpp"
 
 namespace lattice::boinc {
@@ -41,7 +42,10 @@ void VolunteerHost::depart() {
   if (churn_.departed != 0) return;
   churn_.departed = 1;
   if (task_) {
-    if (churn_.online != 0) pause_task();
+    if (task_->phase == TaskPhase::kCompute && churn_.online != 0) {
+      pause_task();
+    }
+    if (task_->transfer != 0) server_.cancel_transfer(task_->transfer);
     server_.notify_departure(task_->result_id);
     task_.reset();
   }
@@ -63,7 +67,8 @@ void VolunteerHost::request_work() {
   }
 }
 
-void VolunteerHost::assign(std::uint64_t result_id, double reference_work) {
+void VolunteerHost::assign(std::uint64_t result_id, double reference_work,
+                           double input_mb, double output_mb) {
   assert(online() && !task_);
   task_ = Task{result_id, reference_work, 0.0};
   sync_census();
@@ -71,7 +76,31 @@ void VolunteerHost::assign(std::uint64_t result_id, double reference_work) {
   // kernel event.
   server_.calendar_.cancel(key());
   arm_churn();
+  net::NetworkModel* network = server_.network();
+  if (network != nullptr) {
+    // Stage the input through the contended downlink first; compute starts
+    // from the transfer callback. The upload size waits in the task.
+    task_->phase = TaskPhase::kDownload;
+    task_->output_mb = output_mb;
+    task_->link_class = network->config().class_of_host(key());
+    task_->transfer =
+        network->start(net::Direction::kDown, task_->link_class, input_mb,
+                       [this, result_id] { on_download_complete(result_id); });
+    return;
+  }
   resume_task();
+}
+
+void VolunteerHost::on_download_complete(std::uint64_t result_id) {
+  if (!task_ || task_->result_id != result_id ||
+      task_->phase != TaskPhase::kDownload) {
+    return;  // stale delivery: the task moved on before the callback fired
+  }
+  task_->transfer = 0;
+  task_->phase = TaskPhase::kCompute;
+  // Finished while the host is off: park as a checkpointed compute task;
+  // the next online flip (churn_step) resumes it.
+  if (online()) resume_task();
 }
 
 void VolunteerHost::resume_task() {
@@ -98,7 +127,8 @@ void VolunteerHost::complete_task() {
   const double cpu = task_->cpu_spent;
   // Fault injection: outright compute failure, reported through the error
   // path (gated so an unconfigured host draws nothing and the baseline RNG
-  // stream is untouched).
+  // stream is untouched). Error reports carry metadata, not output — they
+  // skip the upload stage even with the transfer model on.
   if (params_.compute_error_probability > 0.0 &&
       churn_.rng.bernoulli(params_.compute_error_probability)) {
     task_.reset();
@@ -109,24 +139,52 @@ void VolunteerHost::complete_task() {
     return;
   }
   const bool flawed = churn_.rng.bernoulli(params_.error_probability);
-  task_.reset();
-  sync_census();
-  after_task_cleared();
   // A flawed host perturbs the output fingerprint; the validator's quorum
   // comparison is what catches it.
   const std::uint64_t hash = flawed ? 0xbad0000 + id_ : 0;
+  net::NetworkModel* network = server_.network();
+  if (network != nullptr) {
+    // Return the output through the contended uplink; the report fires on
+    // upload completion and the host stays busy until then (matching a
+    // client that cannot fetch new work while its result is in flight).
+    task_->phase = TaskPhase::kUpload;
+    task_->pending_hash = hash;
+    task_->transfer =
+        network->start(net::Direction::kUp, task_->link_class,
+                       task_->output_mb,
+                       [this, result_id] { on_upload_complete(result_id); });
+    return;
+  }
+  task_.reset();
+  sync_census();
+  after_task_cleared();
+  server_.report_result(result_id, cpu, hash);
+  request_work();
+}
+
+void VolunteerHost::on_upload_complete(std::uint64_t result_id) {
+  if (!task_ || task_->result_id != result_id ||
+      task_->phase != TaskPhase::kUpload) {
+    return;  // stale delivery
+  }
+  const double cpu = task_->cpu_spent;
+  const std::uint64_t hash = task_->pending_hash;
+  task_.reset();
+  sync_census();
+  after_task_cleared();
   server_.report_result(result_id, cpu, hash);
   request_work();
 }
 
 void VolunteerHost::abort_task(std::uint64_t result_id) {
   if (!task_ || task_->result_id != result_id) return;
-  if (churn_.online != 0) {
+  if (task_->phase == TaskPhase::kCompute && churn_.online != 0) {
     // Account the partial progress of the in-flight slice as well.
     const double elapsed = sim_.now() - compute_started_;
     task_->cpu_spent += elapsed;
     sim_.cancel(completion_);
   }
+  if (task_->transfer != 0) server_.cancel_transfer(task_->transfer);
   server_.note_discarded_cpu(task_->cpu_spent);
   task_.reset();
   sync_census();

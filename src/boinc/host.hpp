@@ -79,8 +79,11 @@ class VolunteerHost {
   void start(bool initially_online);
 
   /// Server pushes a task (result instance) to this host. Preconditions:
-  /// online and idle.
-  void assign(std::uint64_t result_id, double reference_work);
+  /// online and idle. With the transfer model on, the data sizes stage as
+  /// contended download/upload events around the compute phase; otherwise
+  /// they are already folded into `reference_work` (free staging).
+  void assign(std::uint64_t result_id, double reference_work,
+              double input_mb = 0.0, double output_mb = 0.0);
 
   /// Server-side abort (workunit cancelled/validated elsewhere).
   void abort_task(std::uint64_t result_id);
@@ -88,10 +91,24 @@ class VolunteerHost {
  private:
   friend class BoincServer;  // churn/census bookkeeping, churn_step
 
+  /// Task lifecycle with the transfer model on: kDownload (input staging
+  /// in flight) -> kCompute -> kUpload (output in flight; the report fires
+  /// on completion). With it off, tasks are born in kCompute. Transfers
+  /// keep flowing across availability flips (BOINC clients network in the
+  /// background); only the compute phase pauses with the host.
+  enum class TaskPhase : std::uint8_t { kDownload, kCompute, kUpload };
+
   struct Task {
     std::uint64_t result_id;
     double remaining_work;  // reference seconds
     double cpu_spent = 0.0;
+    double output_mb = 0.0;
+    /// Output fingerprint decided at compute end, reported after upload.
+    std::uint64_t pending_hash = 0;
+    /// In-flight transfer id (0 = none).
+    std::uint64_t transfer = 0;
+    std::uint32_t link_class = 0;
+    TaskPhase phase = TaskPhase::kCompute;
   };
 
   /// Calendar key of this host (ids are dense, assigned from 1).
@@ -116,6 +133,12 @@ class VolunteerHost {
   void pause_task();
   void complete_task();
   void request_work();
+  /// Transfer-completion callbacks (net::NetworkModel fires these through
+  /// the sim kernel, latency included). Guarded by result id + phase: a
+  /// zero-size transfer cannot be cancelled, so a stale callback may
+  /// arrive after the task moved on and must be a no-op.
+  void on_download_complete(std::uint64_t result_id);
+  void on_upload_complete(std::uint64_t result_id);
   /// Push the delta between this host's cached census contribution and its
   /// current state (online / free / departed) to the server, keeping the
   /// server's ResourceInfo counts O(1). Called after every state mutation.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <functional>
 
+#include "net/model.hpp"
 #include "util/log.hpp"
 #include "util/threadpool.hpp"
 
@@ -54,6 +55,12 @@ BoincServer::BoincServer(sim::Simulation& sim, std::string name,
       calendar_(config.shards == 0 ? 1 : config.shards,
                 churn_far_window(config)) {
   assert(config_.hosts > 0);
+  // The transfer model draws no randomness (class assignment is a pure
+  // function of the host key), so constructing it here leaves the host
+  // RNG stream below untouched.
+  if (config_.network.enabled) {
+    network_ = std::make_unique<net::NetworkModel>(sim_, config_.network);
+  }
   calendar_.ensure_keys(config_.hosts);
   if (calendar_.shards() > 1) {
     // Drain workers for the sharded calendar. Bounded: the drains are
@@ -166,6 +173,11 @@ void BoincServer::on_observability() {
       "fault.reports_delayed", "reports",
       "finished-result reports deferred on the report path (fault injection)",
       name());
+  if (network_ != nullptr) network_->bind_metrics(m, name());
+}
+
+void BoincServer::cancel_transfer(std::uint64_t transfer_id) {
+  if (network_ != nullptr) network_->cancel(transfer_id);
 }
 
 void BoincServer::observe_result_end(const Result& result,
@@ -236,6 +248,8 @@ void BoincServer::submit(grid::GridJob& job) {
   wu.id = next_workunit_id_++;
   wu.grid_job = &job;
   wu.reference_work = job.true_reference_runtime;
+  wu.input_mb = job.input_mb;
+  wu.output_mb = job.output_mb;
   wu.created = sim_.now();
   wu.target_nresults = config_.target_nresults;
   wu.min_quorum = config_.min_quorum;
@@ -246,6 +260,15 @@ void BoincServer::submit(grid::GridJob& job) {
     delay_bound_overrides_.erase(override_it);
   } else {
     wu.delay_bound = config_.default_delay_bound;
+    if (network_ != nullptr) {
+      // Transfer-aware default bound: a deadline that was achievable on a
+      // compute-only pool can be structurally unmeetable for a slow-link
+      // cohort, so the expected (uncontended, population-weighted) staging
+      // time rides on top. Grid-level overrides handle this through
+      // DeadlinePolicy::typical_mbps instead.
+      wu.delay_bound +=
+          network_->expected_staging_seconds(wu.input_mb, wu.output_mb);
+    }
   }
 
   auto [it, inserted] = workunits_.emplace(wu.id, std::move(wu));
@@ -362,16 +385,19 @@ bool BoincServer::request_work(VolunteerHost& host) {
       wu->grid_job->attempts += 1;
     }
     // The per-result overhead and data staging are wall-clock on the host,
-    // so they enter the work ledger scaled by host speed.
+    // so they enter the work ledger scaled by host speed. With the transfer
+    // model on, staging leaves the ledger entirely (zero free staging) and
+    // becomes contended download/upload events around the compute phase.
     double staging = 0.0;
-    if (wu->grid_job != nullptr) {
+    if (network_ == nullptr && wu->grid_job != nullptr) {
       staging = (wu->grid_job->input_mb + wu->grid_job->output_mb) /
                 config_.host_mb_per_second;
     }
     host.assign(result->id,
                 wu->reference_work +
                     (config_.result_overhead_seconds + staging) *
-                        host.speed());
+                        host.speed(),
+                wu->input_mb, wu->output_mb);
     return FeederQueue::Probe::kTake;
   });
 }

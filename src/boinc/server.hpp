@@ -39,6 +39,10 @@ namespace lattice::util {
 class ThreadPool;
 }
 
+namespace lattice::net {
+class NetworkModel;
+}
+
 namespace lattice::boinc {
 
 class BoincServer final : public grid::LocalResource {
@@ -104,6 +108,14 @@ class BoincServer final : public grid::LocalResource {
     discarded_cpu_ += cpu_seconds;
   }
   const BoincPoolConfig& config() const { return config_; }
+  /// The pool's transfer cost model, or nullptr when config.network is
+  /// disabled (free staging). Hosts start downloads/uploads through it;
+  /// the fault injector drives [link.*]/[uplink] windows through it.
+  net::NetworkModel* network() { return network_.get(); }
+  const net::NetworkModel* network() const { return network_.get(); }
+  /// Host-side helper: cancel an in-flight transfer (no-op without a
+  /// network model). Defined in server.cpp where NetworkModel is complete.
+  void cancel_transfer(std::uint64_t transfer_id);
 
   /// Test knob: run the transitioner as the seed's full workunit-table
   /// sweep instead of the deadline heap. The two paths are
@@ -274,6 +286,8 @@ class BoincServer final : public grid::LocalResource {
 
   BoincPoolConfig config_;
   util::Rng rng_;
+  /// Transfer cost model (config_.network.enabled); null = free staging.
+  std::unique_ptr<net::NetworkModel> network_;
   /// Idle-host churn timers, sharded by host key (config_.shards).
   sim::ShardedCalendar calendar_;
   /// Drain workers for the calendar when config_.shards > 1.
@@ -397,7 +411,9 @@ inline void VolunteerHost::churn_step(sim::SimTime when) {
   // later barrier.
   const sim::SimTime flip = churn_.next_transition;
   if (churn_.online != 0) {
-    if (task_) pause_task();
+    // Only the compute phase pauses with the host; in-flight transfers
+    // keep moving (the BOINC client networks in the background).
+    if (task_ && task_->phase == TaskPhase::kCompute) pause_task();
     churn_.online = 0;
     sync_census();
     churn_.next_transition =
@@ -407,7 +423,10 @@ inline void VolunteerHost::churn_step(sim::SimTime when) {
     churn_.online = 1;
     sync_census();
     if (task_) {
-      resume_task();
+      // Resumes compute (including a download that completed while the
+      // host was off and parked as a checkpointed kCompute task);
+      // kDownload/kUpload tasks are still waiting on their transfer.
+      if (task_->phase == TaskPhase::kCompute) resume_task();
     } else {
       server_.register_idle(*this);
     }

@@ -52,6 +52,12 @@ struct Workunit {
   grid::GridJob* grid_job = nullptr;
   /// Compute demand in reference-machine seconds.
   double reference_work = 0.0;
+  /// Staged data per attempt (copied from the grid job at submit): every
+  /// result instance downloads input_mb before compute and uploads
+  /// output_mb before reporting (free-staged when the transfer model is
+  /// off, contended net::Transfer events when it is on).
+  double input_mb = 0.0;
+  double output_mb = 0.0;
   /// Report deadline given to each result instance, in seconds from send.
   double delay_bound = 0.0;
   /// Replication policy (the paper's project ran with quorum 1; the

@@ -90,6 +90,28 @@ double GarliCostModel::sample_runtime(const GarliFeatures& f,
   return expected_runtime(f) * rng.lognormal(-0.5 * sigma * sigma, sigma);
 }
 
+GarliCostModel::DataSizes GarliCostModel::data_sizes(
+    const GarliFeatures& f) const {
+  DataSizes sizes;
+  // The alignment matrix dominates the download (4 bytes per site-state
+  // cell in GARLI's expanded representation); tiny jobs still ship the
+  // ~100 KB of config, model, and constraint files.
+  sizes.input_mb = std::max(0.1, f.num_taxa * f.num_patterns * 4.0 / 1e6);
+  // Uploads are the best tree(s) plus the search log — roughly constant.
+  sizes.output_mb = 0.5;
+  return sizes;
+}
+
+GarliCostModel::DataSizes GarliCostModel::sample_data_sizes(
+    const GarliFeatures& f, util::Rng& rng) const {
+  DataSizes sizes = data_sizes(f);
+  const double sigma = params_.data_noise_sigma;
+  if (sigma > 0.0) {
+    sizes.input_mb *= rng.lognormal(-0.5 * sigma * sigma, sigma);
+  }
+  return sizes;
+}
+
 GarliFeatures random_features(util::Rng& rng) {
   GarliFeatures f;
   // Taxon and pattern counts follow the clustered sizes of real portal

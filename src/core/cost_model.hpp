@@ -78,6 +78,17 @@ class GarliCostModel {
     double starting_tree_factor = 0.72;
     /// sigma of the lognormal run-to-run noise.
     double noise_sigma = 0.2;
+    /// sigma of the lognormal input-size spread around the alignment's
+    /// nominal bytes (partitioned supermatrices, bundled site data).
+    double data_noise_sigma = 0.35;
+  };
+
+  /// Staged data per attempt implied by the features (docs/NETWORKING.md):
+  /// what a result instance downloads before compute and uploads before
+  /// reporting.
+  struct DataSizes {
+    double input_mb = 0.0;
+    double output_mb = 0.0;
   };
 
   GarliCostModel() = default;
@@ -88,6 +99,17 @@ class GarliCostModel {
 
   /// One stochastic realization (expected * lognormal noise).
   double sample_runtime(const GarliFeatures& features, util::Rng& rng) const;
+
+  /// Deterministic expected data sizes: the alignment matrix (taxa x
+  /// patterns x 4 bytes, floored at 0.1 MB) in, the best tree + logs
+  /// (~0.5 MB) out. The exact formulas the portal used inline; every
+  /// harness now derives sizes from this one place.
+  DataSizes data_sizes(const GarliFeatures& features) const;
+
+  /// One stochastic realization: lognormal spread around the expected
+  /// input size, fixed output.
+  DataSizes sample_data_sizes(const GarliFeatures& features,
+                              util::Rng& rng) const;
 
   const Params& params() const { return params_; }
 

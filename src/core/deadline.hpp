@@ -20,12 +20,23 @@ struct DeadlinePolicy {
   /// Deadlines never drop below this (client scheduling needs headroom).
   double min_deadline_seconds = 6.0 * 3600.0;
   double max_deadline_seconds = 30.0 * 86400.0;
+  /// Assumed staging bandwidth (Mbit/s) on the typical host's link, used
+  /// to budget deadline headroom for the job's data transfers. Zero
+  /// disables the transfer term (free staging, pre-lattice::net behavior).
+  double typical_mbps = 0.0;
 
   /// Report deadline (seconds from send) for a job with the given
-  /// estimated reference runtime.
-  double deadline_seconds(double estimated_reference_runtime) const {
-    const double wall = estimated_reference_runtime /
-                        (typical_host_speed * typical_availability);
+  /// estimated reference runtime and total staged data (input + output,
+  /// MB). The transfer term is *not* divided by availability: the BOINC
+  /// client keeps transfers moving across compute-off periods, so staging
+  /// costs wall time at link speed, not duty-cycled time.
+  double deadline_seconds(double estimated_reference_runtime,
+                          double data_mb = 0.0) const {
+    double wall = estimated_reference_runtime /
+                  (typical_host_speed * typical_availability);
+    if (typical_mbps > 0.0 && data_mb > 0.0) {
+      wall += data_mb * 8.0 / typical_mbps;
+    }
     return std::clamp(slack * wall, min_deadline_seconds,
                       max_deadline_seconds);
   }

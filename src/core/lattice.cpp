@@ -314,7 +314,7 @@ void LatticeSystem::dispatch(grid::GridJob& job,
     // fall back to the pool's manual default by submitting plainly.
     if (job.estimated_reference_runtime) {
       const double deadline = config_.deadline.deadline_seconds(
-          *job.estimated_reference_runtime);
+          *job.estimated_reference_runtime, job.input_mb + job.output_mb);
       boinc_it->second->submit_with_deadline(job, deadline);
     } else {
       boinc_it->second->submit(job);

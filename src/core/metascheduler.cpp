@@ -88,8 +88,14 @@ std::optional<std::string> MetaScheduler::choose(const grid::GridJob& job) {
         if (job.require_stable && !entry.info.stable) return false;
         if (estimate) {
           // Step-3 advisory stability cutoff (estimated wall hours on this
-          // candidate).
-          const double wall_hours = *estimate / entry.speed / 3600.0;
+          // candidate, plus staging time at the policy's assumed link —
+          // the identical formula pick() applies, keeping the streamed and
+          // merged-list paths decision-identical).
+          double wall_hours = *estimate / entry.speed / 3600.0;
+          if (policy_.staging_mbps > 0.0) {
+            wall_hours += (job.input_mb + job.output_mb) * 8.0 /
+                          policy_.staging_mbps / 3600.0;
+          }
           if (!entry.info.stable &&
               wall_hours > policy_.stability_cutoff_hours) {
             return false;
@@ -176,7 +182,11 @@ std::optional<std::string> MetaScheduler::pick(
   if (estimate) {
     stable_scratch_.clear();
     for (const grid::MdsEntry* entry : eligible) {
-      const double wall_hours = *estimate / entry->speed / 3600.0;
+      double wall_hours = *estimate / entry->speed / 3600.0;
+      if (policy_.staging_mbps > 0.0) {
+        wall_hours += (job.input_mb + job.output_mb) * 8.0 /
+                      policy_.staging_mbps / 3600.0;
+      }
       if (entry->info.stable ||
           wall_hours <= policy_.stability_cutoff_hours) {
         stable_scratch_.push_back(entry);

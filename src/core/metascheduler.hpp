@@ -64,6 +64,12 @@ struct SchedulerPolicy {
   /// Load inflation: expected time is multiplied by (1 + load_weight *
   /// backlog_per_slot).
   double load_weight = 1.0;
+  /// Assumed staging bandwidth (Mbit/s) for the transfer term of the
+  /// stability cutoff: jobs whose data takes long to stage occupy an
+  /// unstable host's attempt window just like compute does. Zero disables
+  /// the term (free staging). Advisory only — rank keys never see it, so
+  /// the maintained rank index stays job-independent (DESIGN.md §12).
+  double staging_mbps = 0.0;
 };
 
 class MetaScheduler {

@@ -80,11 +80,13 @@ PortalOutcome Portal::submit(const std::string& user_email,
       std::max(0.25, static_cast<double>(num_taxa) *
                          static_cast<double>(num_patterns) * 8.0 * 12.0 /
                          1e9);  // partials footprint heuristic
-  // Data staged per attempt: the alignment in, trees/logs out.
-  const double input_mb = std::max(
-      0.1, static_cast<double>(num_taxa) *
-               static_cast<double>(num_patterns) * 4.0 / 1e6);
-  const double output_mb = 0.5;
+  // Data staged per attempt: the alignment in, trees/logs out (the shared
+  // cost-model formula, so workunit payloads and deadline/stability math
+  // all see the same sizes).
+  const GarliCostModel::DataSizes data =
+      system_.cost_model().data_sizes(features);
+  const double input_mb = data.input_mb;
+  const double output_mb = data.output_mb;
 
   std::size_t remaining = replicates;
   double eta_total = 0.0;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "boinc/server.hpp"
+#include "net/model.hpp"
 #include "util/fmt.hpp"
 #include "util/log.hpp"
 
@@ -17,6 +19,18 @@ void FaultInjector::set_observability(obs::MetricsRegistry& metrics) {
                                 "resource outage windows entered");
   obs_ended_ = &metrics.counter("fault.outages_ended", "outages",
                                 "resource outage windows exited");
+  obs_link_begun_ =
+      &metrics.counter("fault.link_windows_begun", "windows",
+                       "link-class degradation windows entered");
+  obs_link_ended_ =
+      &metrics.counter("fault.link_windows_ended", "windows",
+                       "link-class degradation windows exited");
+  obs_uplink_begun_ =
+      &metrics.counter("fault.uplink_outages_begun", "outages",
+                       "server-uplink outage windows entered");
+  obs_uplink_ended_ =
+      &metrics.counter("fault.uplink_outages_ended", "outages",
+                       "server-uplink outage windows exited");
 }
 
 void FaultInjector::arm() {
@@ -29,6 +43,32 @@ void FaultInjector::arm() {
           outage.resource));
     }
     schedule_window(outage, outage.start);
+  }
+
+  if (plan_.link_faults.empty() && plan_.uplink_outages.empty()) return;
+  const std::vector<boinc::BoincServer*> pools = net_pools();
+  if (pools.empty()) {
+    throw std::runtime_error(
+        "fault plan: [link.*]/[uplink] windows need a volunteer pool with "
+        "the network model enabled");
+  }
+  for (const LinkFault& fault : plan_.link_faults) {
+    // Resolve the class name on every net-enabled pool up front: a typo'd
+    // class fails at arm(), not silently mid-run.
+    LinkTargets targets;
+    for (boinc::BoincServer* pool : pools) {
+      const auto index = pool->network()->class_index(fault.link_class);
+      if (!index) {
+        throw std::runtime_error(util::format(
+            "fault plan: [link.{}] names a class unknown to pool '{}'",
+            fault.link_class, pool->name()));
+      }
+      targets.emplace_back(pool, *index);
+    }
+    schedule_link_window(fault, targets, fault.start);
+  }
+  for (const UplinkOutage& outage : plan_.uplink_outages) {
+    schedule_uplink_window(outage, outage.start);
   }
 }
 
@@ -69,6 +109,71 @@ void FaultInjector::end_outage(const ResourceOutage& outage) {
   // Re-announce immediately so the scheduler does not wait out a full
   // provider period (plus TTL) before using the recovered resource.
   system_.mds().report(system_.resource(outage.resource)->info());
+}
+
+std::vector<boinc::BoincServer*> FaultInjector::net_pools() const {
+  std::vector<boinc::BoincServer*> pools;
+  // resource_names() preserves creation order, so the window's
+  // set_class_bandwidth_scale calls land in a deterministic pool order.
+  for (const std::string& name : system_.resource_names()) {
+    auto* pool = dynamic_cast<boinc::BoincServer*>(
+        const_cast<core::LatticeSystem&>(system_).resource(name));
+    if (pool != nullptr && pool->network() != nullptr) {
+      pools.push_back(pool);
+    }
+  }
+  return pools;
+}
+
+void FaultInjector::schedule_link_window(const LinkFault& fault,
+                                         const LinkTargets& targets,
+                                         double start) {
+  // Same lazy periodic chaining as schedule_window: the captured reference
+  // points into plan_.link_faults (immutable after arm()); the resolved
+  // targets are copied into the closures (pools outlive the run).
+  sim::Simulation& sim = system_.simulation();
+  sim.at(start, [this, &fault, targets, start] {
+    obs_link_begun_->inc();
+    util::log_info("fault", "link class {}: bandwidth x{:.2f}",
+                   fault.link_class, fault.bandwidth_scale);
+    for (const auto& [pool, index] : targets) {
+      pool->network()->set_class_bandwidth_scale(index,
+                                                 fault.bandwidth_scale);
+    }
+    if (fault.period > 0.0) {
+      schedule_link_window(fault, targets, start + fault.period);
+    }
+  });
+  sim.at(start + fault.duration, [this, &fault, targets] {
+    obs_link_ended_->inc();
+    util::log_info("fault", "link class {}: bandwidth restored",
+                   fault.link_class);
+    for (const auto& [pool, index] : targets) {
+      pool->network()->set_class_bandwidth_scale(index, 1.0);
+    }
+  });
+}
+
+void FaultInjector::schedule_uplink_window(const UplinkOutage& outage,
+                                           double start) {
+  sim::Simulation& sim = system_.simulation();
+  sim.at(start, [this, &outage, start] {
+    obs_uplink_begun_->inc();
+    util::log_info("fault", "server uplink: outage begins");
+    for (boinc::BoincServer* pool : net_pools()) {
+      pool->network()->set_uplink_outage(true);
+    }
+    if (outage.period > 0.0) {
+      schedule_uplink_window(outage, start + outage.period);
+    }
+  });
+  sim.at(start + outage.duration, [this] {
+    obs_uplink_ended_->inc();
+    util::log_info("fault", "server uplink: outage ends");
+    for (boinc::BoincServer* pool : net_pools()) {
+      pool->network()->set_uplink_outage(false);
+    }
+  });
 }
 
 }  // namespace lattice::fault

@@ -5,14 +5,28 @@
 // outage does just the latter, so in-flight work survives but the
 // scheduler routes around the resource.
 //
+// Network faults ride the same machinery: [link.<class>] windows scale a
+// link class's bandwidth on every net-enabled volunteer pool, and [uplink]
+// windows stall the shared server uplink outright — both are applied at
+// window edges through NetworkModel's epoch recompute, so in-flight
+// transfers slow/stall/resume without being dropped (docs/RESILIENCE.md).
+//
 // Host-level faults (churn, error rates, report path) are config-time —
 // apply_fault_plan() must rewrite the BoincPoolConfig before the pool is
 // built; the injector only handles what varies with simulated time.
 #pragma once
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "core/lattice.hpp"
 #include "fault/plan.hpp"
 #include "obs/metrics.hpp"
+
+namespace lattice::boinc {
+class BoincServer;
+}  // namespace lattice::boinc
 
 namespace lattice::fault {
 
@@ -23,13 +37,17 @@ class FaultInjector {
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
-  /// Schedule every outage window of the plan. Call once, before run();
-  /// windows naming unknown resources throw std::runtime_error (a plan
-  /// typo should fail loudly, not silently inject nothing).
+  /// Schedule every outage, link-degradation, and uplink window of the
+  /// plan. Call once, before run(); windows naming unknown resources or
+  /// link classes — or network windows with no net-enabled pool to act
+  /// on — throw std::runtime_error (a plan typo should fail loudly, not
+  /// silently inject nothing).
   void arm();
 
-  /// Count outage transitions in the given registry (fault.outages_begun /
-  /// fault.outages_ended). Defaults to the null registry.
+  /// Count fault transitions in the given registry (fault.outages_begun /
+  /// fault.outages_ended, plus fault.link_windows_* and
+  /// fault.uplink_outages_* for network windows). Defaults to the null
+  /// registry.
   void set_observability(obs::MetricsRegistry& metrics);
 
   const FaultPlan& plan() const { return plan_; }
@@ -42,6 +60,16 @@ class FaultInjector {
   void begin_outage(const ResourceOutage& outage);
   void end_outage(const ResourceOutage& outage);
 
+  /// Net-enabled volunteer pools paired with the fault's class index on
+  /// each (classes can differ per pool, so the index is resolved per pool
+  /// at arm time).
+  using LinkTargets =
+      std::vector<std::pair<boinc::BoincServer*, std::uint32_t>>;
+  void schedule_link_window(const LinkFault& fault,
+                            const LinkTargets& targets, double start);
+  void schedule_uplink_window(const UplinkOutage& outage, double start);
+  std::vector<boinc::BoincServer*> net_pools() const;
+
   core::LatticeSystem& system_;
   FaultPlan plan_;
   bool armed_ = false;
@@ -49,6 +77,10 @@ class FaultInjector {
 
   obs::Counter* obs_begun_ = nullptr;
   obs::Counter* obs_ended_ = nullptr;
+  obs::Counter* obs_link_begun_ = nullptr;
+  obs::Counter* obs_link_ended_ = nullptr;
+  obs::Counter* obs_uplink_begun_ = nullptr;
+  obs::Counter* obs_uplink_ended_ = nullptr;
 };
 
 }  // namespace lattice::fault

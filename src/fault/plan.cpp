@@ -86,6 +86,52 @@ FaultPlan fault_plan_from_ini(const util::IniFile& ini) {
     }
     plan.outages.push_back(std::move(outage));
   }
+
+  // One [link.<class>] degradation window per section, in file order.
+  for (const std::string& section : ini.section_names()) {
+    const std::string prefix = "link.";
+    if (section.size() <= prefix.size() ||
+        section.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    LinkFault fault;
+    fault.link_class = section.substr(prefix.size());
+    fault.bandwidth_scale = ini.get_double(section, "bandwidth_scale", 1.0);
+    fault.start = ini.get_double(section, "start", 0.0);
+    fault.duration = ini.get_double(section, "duration", 0.0);
+    fault.period = ini.get_double(section, "period", 0.0);
+    if (fault.bandwidth_scale < 0.0) {
+      throw std::runtime_error(util::format(
+          "fault plan: [{}] bandwidth_scale must be >= 0", section));
+    }
+    if (fault.duration <= 0.0) {
+      throw std::runtime_error(util::format(
+          "fault plan: [{}] needs a positive duration", section));
+    }
+    if (fault.period > 0.0 && fault.period <= fault.duration) {
+      throw std::runtime_error(util::format(
+          "fault plan: [{}] period must exceed its duration", section));
+    }
+    plan.link_faults.push_back(std::move(fault));
+  }
+
+  // [uplink]: a (possibly periodic) server-connectivity outage window.
+  for (const std::string& section : ini.section_names()) {
+    if (section != "uplink") continue;
+    UplinkOutage outage;
+    outage.start = ini.get_double(section, "start", 0.0);
+    outage.duration = ini.get_double(section, "duration", 0.0);
+    outage.period = ini.get_double(section, "period", 0.0);
+    if (outage.duration <= 0.0) {
+      throw std::runtime_error(
+          "fault plan: [uplink] needs a positive duration");
+    }
+    if (outage.period > 0.0 && outage.period <= outage.duration) {
+      throw std::runtime_error(
+          "fault plan: [uplink] period must exceed its duration");
+    }
+    plan.uplink_outages.push_back(outage);
+  }
   return plan;
 }
 
@@ -135,6 +181,22 @@ std::string fault_plan_summary(const FaultPlan& plan) {
             : std::string{},
         outage.heartbeat_only ? std::string(" (heartbeat only)")
                               : std::string{});
+  }
+  for (const LinkFault& fault : plan.link_faults) {
+    out << util::format(
+        "  link: {} x{:.2f} at {:.0f}s for {:.0f}s{}\n", fault.link_class,
+        fault.bandwidth_scale, fault.start, fault.duration,
+        fault.period > 0.0
+            ? util::format(", every {:.0f}s", fault.period)
+            : std::string{});
+  }
+  for (const UplinkOutage& outage : plan.uplink_outages) {
+    out << util::format(
+        "  uplink outage: at {:.0f}s for {:.0f}s{}\n", outage.start,
+        outage.duration,
+        outage.period > 0.0
+            ? util::format(", every {:.0f}s", outage.period)
+            : std::string{});
   }
   if (!plan.active()) out << "  (inactive: no faults configured)\n";
   return out.str();

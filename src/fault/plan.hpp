@@ -74,6 +74,27 @@ struct ResourceOutage {
   bool heartbeat_only = false;
 };
 
+/// One link-class degradation window (docs/NETWORKING.md): while open, the
+/// named class's bandwidth is multiplied by `bandwidth_scale` in both
+/// directions on every net-enabled volunteer pool. Window/period semantics
+/// mirror ResourceOutage; in-flight transfers slow down (or speed back up)
+/// at the window edges — they are never dropped.
+struct LinkFault {
+  std::string link_class;
+  double bandwidth_scale = 1.0;
+  double start = 0.0;
+  double duration = 0.0;
+  double period = 0.0;
+};
+
+/// Server-uplink outage window: the project's shared connectivity drops,
+/// stalling every in-flight transfer in both directions until it ends.
+struct UplinkOutage {
+  double start = 0.0;
+  double duration = 0.0;
+  double period = 0.0;
+};
+
 struct FaultPlan {
   HostChurnFault churn;
   HostClassFault normal_hosts;
@@ -82,6 +103,8 @@ struct FaultPlan {
   double flaky_host_fraction = -1.0;
   ReportPathFault report_path;
   std::vector<ResourceOutage> outages;
+  std::vector<LinkFault> link_faults;
+  std::vector<UplinkOutage> uplink_outages;
   /// Reserved for plan-level randomness; recorded in the summary so runs
   /// are identifiable.
   std::uint64_t seed = 1;
@@ -89,7 +112,8 @@ struct FaultPlan {
   bool active() const {
     return churn.active() || normal_hosts.active() || flaky_hosts.active() ||
            flaky_host_fraction >= 0.0 || report_path.active() ||
-           !outages.empty();
+           !outages.empty() || !link_faults.empty() ||
+           !uplink_outages.empty();
   }
 };
 
@@ -106,6 +130,8 @@ void apply_fault_plan(const FaultPlan& plan, boinc::BoincPoolConfig& config);
 ///                 flaky_corruption_probability
 ///   [report_path] drop_probability delay_probability delay_seconds
 ///   [outage.<resource>]  start duration period heartbeat_only
+///   [link.<class>]       bandwidth_scale start duration period
+///   [uplink]             start duration period
 /// Every key is optional; omitted keys keep their inert defaults. Throws
 /// std::runtime_error on malformed values.
 FaultPlan fault_plan_from_ini(const util::IniFile& ini);

@@ -73,6 +73,7 @@ std::vector<ResourceSpec> lattice_inventory(const InventoryOptions& options) {
     config.target_nresults = options.boinc_target_nresults;
     config.flaky_host_fraction = options.boinc_flaky_fraction;
     config.default_delay_bound = options.boinc_delay_bound;
+    config.network = options.boinc_network;
     specs.push_back(ResourceSpec::boinc_pool("lattice-boinc", config));
   }
   return specs;

@@ -76,6 +76,10 @@ struct InventoryOptions {
   int boinc_target_nresults = 1;
   double boinc_flaky_fraction = 0.0;
   double boinc_delay_bound = 14.0 * 86400.0;
+  /// Data-transfer model for the volunteer pool (docs/NETWORKING.md).
+  /// Disabled by default: staging stays free and the event stream is
+  /// bit-identical to pre-lattice::net builds.
+  net::NetConfig boinc_network{};
 };
 
 /// The Lattice Project's §IV inventory as specs: clusters at four

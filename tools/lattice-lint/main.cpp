@@ -40,8 +40,8 @@ namespace {
 // Directories under src/ whose code must be bit-deterministic. Wall time
 // and ambient RNG are allowed only in obs/ (pure observation) and util/
 // (the seeded Rng itself, the thread pool's condition variables).
-const std::set<std::string> kDeterministicDirs = {"sim",   "core", "grid",
-                                                  "boinc", "phylo", "fault"};
+const std::set<std::string> kDeterministicDirs = {
+    "sim", "core", "grid", "boinc", "phylo", "fault", "net"};
 
 // Directories holding the scheduler's per-decision paths (matchmaking,
 // ranking): std::sort and friends are audit points there (decision-sort).
