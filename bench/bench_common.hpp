@@ -19,7 +19,7 @@
 #include "core/cost_model.hpp"
 #include "core/estimator.hpp"
 #include "core/lattice.hpp"
-#include "grid/inventory.hpp"
+#include "core/inventory.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
@@ -112,17 +112,17 @@ inline void paper_note(const std::string& note) {
   std::cout << "[paper] " << note << "\n";
 }
 
-/// The canonical paper inventory now lives in grid::lattice_inventory
-/// (src/grid/inventory.hpp); the bench-local builder is a thin alias so
+/// The canonical paper inventory now lives in core::lattice_inventory
+/// (src/core/inventory.hpp); the bench-local builder is a thin alias so
 /// existing bench code keeps compiling unchanged.
-using InventoryOptions = grid::InventoryOptions;
+using InventoryOptions = core::InventoryOptions;
 
 /// The Lattice Project's §IV inventory: clusters at four institutions
 /// (PBS/SGE, differing speeds and memory), four Condor pools, and the
 /// international BOINC pool.
 inline void build_inventory(core::LatticeSystem& system,
                             const InventoryOptions& options = {}) {
-  grid::build_inventory(system, options);
+  core::build_inventory(system, options);
 }
 
 /// Train the system's estimator on a synthetic "previously submitted jobs"

@@ -13,7 +13,7 @@
 #include "core/portal.hpp"
 #include "core/status.hpp"
 #include "core/workload.hpp"
-#include "grid/inventory.hpp"
+#include "core/inventory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/fmt.hpp"
@@ -51,27 +51,27 @@ int main(int argc, char** argv) {
         metrics, trace_out.empty() ? obs::Tracer::null() : tracer);
   }
 
-  // The operator's inventory as declarative specs (grid/inventory.hpp):
+  // The operator's inventory as declarative specs (core/inventory.hpp):
   // two clusters, a Condor pool, the volunteer pool.
-  std::vector<grid::ResourceSpec> specs;
+  std::vector<core::ResourceSpec> specs;
   grid::BatchQueueResource::Config big;
   big.nodes = 32;
   big.cores_per_node = 8;
   big.node_speed = 1.6;
-  specs.push_back(grid::ResourceSpec::cluster("umd-deepthought", big));
+  specs.push_back(core::ResourceSpec::cluster("umd-deepthought", big));
   grid::BatchQueueResource::Config small;
   small.nodes = 8;
   small.cores_per_node = 4;
   small.kind = grid::ResourceKind::kSgeCluster;
-  specs.push_back(grid::ResourceSpec::cluster("smithsonian-hpc", small));
+  specs.push_back(core::ResourceSpec::cluster("smithsonian-hpc", small));
   grid::CondorPool::Config condor;
   condor.machines = 60;
   condor.memory_sigma = 0.5;
-  specs.push_back(grid::ResourceSpec::condor("umd-condor", condor));
+  specs.push_back(core::ResourceSpec::condor("umd-condor", condor));
   boinc::BoincPoolConfig volunteers;
   volunteers.hosts = 200;
-  specs.push_back(grid::ResourceSpec::boinc_pool("lattice-boinc", volunteers));
-  grid::build_inventory(system, specs);
+  specs.push_back(core::ResourceSpec::boinc_pool("lattice-boinc", volunteers));
+  core::build_inventory(system, specs);
   system.calibrate_speeds();
 
   core::RuntimeEstimator::Config est;

@@ -34,7 +34,7 @@
 #include "core/speed.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
-#include "grid/inventory.hpp"
+#include "core/inventory.hpp"
 #include "grid/mds.hpp"
 #include "net/model.hpp"
 #include "obs/metrics.hpp"
@@ -106,12 +106,12 @@ int run_fault_scenario(const std::string& plan_path,
   volunteers.shards = shards;
   fault::apply_fault_plan(plan, volunteers);
 
-  std::vector<grid::ResourceSpec> specs;
-  specs.push_back(grid::ResourceSpec::cluster("stable-cluster", cluster));
-  specs.push_back(grid::ResourceSpec::condor("campus-condor", condor));
+  std::vector<core::ResourceSpec> specs;
+  specs.push_back(core::ResourceSpec::cluster("stable-cluster", cluster));
+  specs.push_back(core::ResourceSpec::condor("campus-condor", condor));
   specs.push_back(
-      grid::ResourceSpec::boinc_pool("lattice-boinc", volunteers));
-  grid::build_inventory(system, specs);
+      core::ResourceSpec::boinc_pool("lattice-boinc", volunteers));
+  core::build_inventory(system, specs);
   system.calibrate_speeds();
 
   fault::FaultInjector injector(system, plan);
@@ -263,11 +263,11 @@ int run_net_scenario(const std::string& profile_path,
   volunteers.shards = shards;
   volunteers.network = profile;
 
-  std::vector<grid::ResourceSpec> specs;
-  specs.push_back(grid::ResourceSpec::cluster("stable-cluster", cluster));
+  std::vector<core::ResourceSpec> specs;
+  specs.push_back(core::ResourceSpec::cluster("stable-cluster", cluster));
   specs.push_back(
-      grid::ResourceSpec::boinc_pool("lattice-boinc", volunteers));
-  grid::build_inventory(system, specs);
+      core::ResourceSpec::boinc_pool("lattice-boinc", volunteers));
+  core::build_inventory(system, specs);
   system.calibrate_speeds();
 
   // Cohorts: ordinary jobs stage under a megabyte; bulk jobs carry a

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Bench-gate lint (ctest test `check_bench`): the frozen performance
+# numbers recorded in BENCH_grid_scale.json are CI gates, not prose — a
+# re-record that regresses either headline result must fail here instead
+# of drifting silently. Gates (docs/PERFORMANCE.md, docs/NETWORKING.md):
+#
+#   * sub-linear decision pass: >= 5x ns/decision speedup at 100k hosts
+#     (ns_per_decision_100k_before / ns_per_decision_100k_after);
+#   * transfer model: every recorded hosts_*_net_overhead_ratio <= 1.3x —
+#     enabling the network layer may not blow up the event budget.
+#
+# Usage: check_bench.sh [bench-json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench=${1:-BENCH_grid_scale.json}
+if [ ! -f "$bench" ]; then
+  echo "check_bench: missing $bench (frozen bench record)" >&2
+  exit 1
+fi
+
+python3 - "$bench" <<'EOF'
+import json
+import sys
+
+MIN_DECISION_SPEEDUP = 5.0
+MAX_NET_OVERHEAD = 1.3
+
+path = sys.argv[1]
+with open(path) as f:
+    record = json.load(f)
+
+fail = 0
+
+def get(key):
+    value = record.get(key)
+    if not isinstance(value, (int, float)):
+        print(f"check_bench: {path} is missing numeric key '{key}'")
+        return None
+    return float(value)
+
+before = get("ns_per_decision_100k_before")
+after = get("ns_per_decision_100k_after")
+if before is None or after is None:
+    fail = 1
+elif after <= 0:
+    print(f"check_bench: ns_per_decision_100k_after = {after} is not positive")
+    fail = 1
+else:
+    speedup = before / after
+    if speedup < MIN_DECISION_SPEEDUP:
+        print(
+            f"check_bench: decision speedup at 100k hosts is {speedup:.2f}x "
+            f"({before:.0f} -> {after:.0f} ns/decision); the frozen gate is "
+            f">= {MIN_DECISION_SPEEDUP}x"
+        )
+        fail = 1
+    else:
+        print(
+            f"check_bench: decision speedup 100k hosts {speedup:.2f}x "
+            f">= {MIN_DECISION_SPEEDUP}x  OK"
+        )
+
+ratios = sorted(k for k in record if k.endswith("_net_overhead_ratio"))
+if not ratios:
+    print(f"check_bench: {path} records no *_net_overhead_ratio keys")
+    fail = 1
+for key in ratios:
+    ratio = get(key)
+    if ratio is None:
+        fail = 1
+    elif ratio > MAX_NET_OVERHEAD:
+        print(
+            f"check_bench: {key} = {ratio:.3f} exceeds the frozen "
+            f"{MAX_NET_OVERHEAD}x gate"
+        )
+        fail = 1
+if not fail and ratios:
+    worst = max(float(record[k]) for k in ratios)
+    print(
+        f"check_bench: {len(ratios)} net overhead ratios <= "
+        f"{MAX_NET_OVERHEAD}x (worst {worst:.3f})  OK"
+    )
+
+sys.exit(fail)
+EOF

@@ -139,6 +139,37 @@ else
   done
 fi
 
+if ! grep -qE '^## +(§ *)?13' "$design" 2>/dev/null; then
+  echo "check_docs: $design has no §13 (module-layering ledger)" >&2
+  fail=1
+else
+  for anchor in 'layering.ini' 'layering-violation' 'layering-cycle' \
+                'consumer' 'back-edge' 'orchestration layer'; do
+    if ! grep -qiF "$anchor" "$design"; then
+      echo "check_docs: $design §13 lost its '$anchor' layering entry" >&2
+      fail=1
+    fi
+  done
+fi
+
+# The lint layer documents its project-wide rule catalog and the layering
+# DAG (docs/LINTING.md); the doc must keep naming every rule family the
+# engine enforces so the catalog cannot drift from tools/lattice-lint.
+linting=docs/LINTING.md
+if [ ! -f "$linting" ]; then
+  echo "check_docs: missing $linting (rule catalog)" >&2
+  fail=1
+else
+  for anchor in 'layering-violation' 'layering-cycle' 'unordered-alias' \
+                'kernel-callback-throw' 'suppression-dead' 'layering.ini' \
+                '--json' 'project model'; do
+    if ! grep -qiF -- "$anchor" "$linting"; then
+      echo "check_docs: $linting lost its '$anchor' rule-catalog entry" >&2
+      fail=1
+    fi
+  done
+fi
+
 if [ "$fail" -eq 0 ]; then
   count=$(printf '%s\n' "$registered" | wc -l)
   echo "check_docs: all $count registered metric names documented in $doc;" \

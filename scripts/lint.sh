@@ -2,9 +2,12 @@
 # Unified lint driver (ctest test `lint`): one entry point for every static
 # check in the tree.
 #
-#   1. lattice-lint      determinism rules + metric-name grammar + header
-#                        self-containment + suppression inventory (docs/
-#                        LINTING.md)
+#   1. lattice-lint      project-wide pass: determinism rules with the
+#                        cross-header unordered index + metric-name grammar
+#                        + layering DAG / include-cycle enforcement
+#                        (tools/lattice-lint/layering.ini) + header
+#                        self-containment + suppression inventory and
+#                        dead-suppression audit (docs/LINTING.md)
 #   2. clang-tidy        curated .clang-tidy baseline over compile_commands
 #                        (skipped with a notice when clang-tidy is absent)
 #   3. check_docs.sh     registered metric names vs docs/OBSERVABILITY.md
@@ -17,8 +20,30 @@ lint_bin=${1:?usage: lint.sh <lattice-lint-binary> [build-dir]}
 build_dir=${2:-build}
 fail=0
 
+# Fail fast on a missing or stale binary: chaining into clang-tidy with a
+# half-run lattice-lint leg would report a misleading partial pass.
+if [ ! -x "$lint_bin" ]; then
+  echo "lint: lattice-lint binary '$lint_bin' is missing or not" \
+       "executable — build it first (cmake --build $build_dir --target" \
+       "lattice-lint)" >&2
+  exit 2
+fi
+stale=$(find tools/lattice-lint -name '*.cpp' -o -name '*.hpp' \
+          -o -name 'layering.ini' | while read -r f; do
+  if [ "$f" -nt "$lint_bin" ]; then echo "$f"; fi
+done)
+if [ -n "$stale" ]; then
+  echo "lint: lattice-lint binary '$lint_bin' is STALE — newer sources:" >&2
+  printf '  %s\n' $stale >&2
+  echo "lint: rebuild it first (cmake --build $build_dir --target" \
+       "lattice-lint)" >&2
+  exit 2
+fi
+
 echo "== lattice-lint =="
-if ! "$lint_bin" --src src --headers --docs docs/LINTING.md; then
+if ! "$lint_bin" --src src --root bench --root examples --root tools \
+     --layering tools/lattice-lint/layering.ini \
+     --headers --docs docs/LINTING.md; then
   fail=1
 fi
 

@@ -1,5 +1,5 @@
 // Volunteer-pool configuration, split out of server.hpp so construction
-// APIs (grid::ResourceSpec / build_inventory) and fault plans can name the
+// APIs (core::ResourceSpec / build_inventory) and fault plans can name the
 // config without pulling in the whole server complex. Pure data: the
 // defaults describe a healthy pool, and every fault knob defaults to the
 // inert value so an unconfigured pool is bit-identical to the pre-fault

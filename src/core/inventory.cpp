@@ -1,24 +1,24 @@
-#include "grid/inventory.hpp"
+#include "core/inventory.hpp"
 
-namespace lattice::grid {
+namespace lattice::core {
 
-ResourceKind ResourceSpec::kind() const {
-  if (const auto* batch = std::get_if<BatchQueueResource::Config>(&config)) {
+grid::ResourceKind ResourceSpec::kind() const {
+  if (const auto* batch = std::get_if<grid::BatchQueueResource::Config>(&config)) {
     return batch->kind;
   }
-  if (std::holds_alternative<CondorPool::Config>(config)) {
-    return ResourceKind::kCondorPool;
+  if (std::holds_alternative<grid::CondorPool::Config>(config)) {
+    return grid::ResourceKind::kCondorPool;
   }
-  return ResourceKind::kBoincPool;
+  return grid::ResourceKind::kBoincPool;
 }
 
 ResourceSpec ResourceSpec::cluster(std::string name,
-                                   BatchQueueResource::Config config) {
+                                   grid::BatchQueueResource::Config config) {
   return ResourceSpec{std::move(name), std::move(config)};
 }
 
 ResourceSpec ResourceSpec::condor(std::string name,
-                                  CondorPool::Config config) {
+                                  grid::CondorPool::Config config) {
   return ResourceSpec{std::move(name), std::move(config)};
 }
 
@@ -32,8 +32,8 @@ std::vector<ResourceSpec> lattice_inventory(const InventoryOptions& options) {
 
   const auto cluster = [&](const std::string& name, std::size_t nodes,
                            std::size_t cores, double speed, double memory,
-                           ResourceKind kind) {
-    BatchQueueResource::Config config;
+                           grid::ResourceKind kind) {
+    grid::BatchQueueResource::Config config;
     config.nodes = nodes;
     config.cores_per_node = cores;
     config.node_speed = speed;
@@ -44,16 +44,16 @@ std::vector<ResourceSpec> lattice_inventory(const InventoryOptions& options) {
     config.software = {"java"};
     specs.push_back(ResourceSpec::cluster(name, std::move(config)));
   };
-  cluster("umd-deepthought", 32, 8, 1.6, 32.0, ResourceKind::kPbsCluster);
-  cluster("umd-cbcb", 16, 4, 1.2, 64.0, ResourceKind::kSgeCluster);
-  cluster("bowie-hpc", 8, 4, 0.8, 8.0, ResourceKind::kPbsCluster);
-  cluster("smithsonian-hpc", 12, 4, 1.0, 16.0, ResourceKind::kSgeCluster);
+  cluster("umd-deepthought", 32, 8, 1.6, 32.0, grid::ResourceKind::kPbsCluster);
+  cluster("umd-cbcb", 16, 4, 1.2, 64.0, grid::ResourceKind::kSgeCluster);
+  cluster("bowie-hpc", 8, 4, 0.8, 8.0, grid::ResourceKind::kPbsCluster);
+  cluster("smithsonian-hpc", 12, 4, 1.0, 16.0, grid::ResourceKind::kSgeCluster);
 
   const char* pool_names[4] = {"umd-condor", "bowie-condor", "coppin-condor",
                                "smithsonian-condor"};
   const double pool_speeds[4] = {1.0, 0.7, 0.6, 0.9};
   for (int i = 0; i < 4; ++i) {
-    CondorPool::Config config;
+    grid::CondorPool::Config config;
     config.machines = options.condor_machines_per_pool;
     config.mean_speed = pool_speeds[i];
     config.machine_memory_gb = 2.0;
@@ -85,9 +85,9 @@ void build_inventory(InventoryHost& host,
     std::visit(
         [&](const auto& config) {
           using Config = std::decay_t<decltype(config)>;
-          if constexpr (std::is_same_v<Config, BatchQueueResource::Config>) {
+          if constexpr (std::is_same_v<Config, grid::BatchQueueResource::Config>) {
             host.add_cluster(spec.name, config);
-          } else if constexpr (std::is_same_v<Config, CondorPool::Config>) {
+          } else if constexpr (std::is_same_v<Config, grid::CondorPool::Config>) {
             host.add_condor_pool(spec.name, config);
           } else {
             host.add_boinc_pool(spec.name, config);
@@ -101,4 +101,4 @@ void build_inventory(InventoryHost& host, const InventoryOptions& options) {
   build_inventory(host, lattice_inventory(options));
 }
 
-}  // namespace lattice::grid
+}  // namespace lattice::core

@@ -5,9 +5,12 @@
 // the benchmark-local inventory builder — the paper's §IV federation is
 // now data (lattice_inventory()), not code repeated per harness.
 //
-// Layering: this header needs only the resource Config structs, which are
-// pure data (boinc/config.hpp is header-only), so lattice_grid does not
-// link against the BOINC or core libraries. The host interface is
+// Layering: inventory lives in core — the orchestration layer — because a
+// ResourceSpec names configs from grid AND boinc, and only core sits above
+// both in the module DAG (tools/lattice-lint/layering.ini). Its earlier
+// home in src/grid was the tree's one layering back-edge (grid including
+// boinc/config.hpp while boinc includes grid), which lattice-lint's
+// include-graph pass now rejects as a module cycle. The host interface is
 // implemented by core::LatticeSystem.
 #pragma once
 
@@ -22,17 +25,17 @@ namespace lattice::boinc {
 class BoincServer;
 }  // namespace lattice::boinc
 
-namespace lattice::grid {
+namespace lattice::core {
 
 /// Anything that can own the three resource kinds (core::LatticeSystem).
 class InventoryHost {
  public:
   virtual ~InventoryHost() = default;
 
-  virtual BatchQueueResource& add_cluster(
-      const std::string& name, BatchQueueResource::Config config) = 0;
-  virtual CondorPool& add_condor_pool(const std::string& name,
-                                      CondorPool::Config config) = 0;
+  virtual grid::BatchQueueResource& add_cluster(
+      const std::string& name, grid::BatchQueueResource::Config config) = 0;
+  virtual grid::CondorPool& add_condor_pool(
+      const std::string& name, grid::CondorPool::Config config) = 0;
   virtual boinc::BoincServer& add_boinc_pool(
       const std::string& name, boinc::BoincPoolConfig config) = 0;
 };
@@ -43,15 +46,16 @@ class InventoryHost {
 /// build_inventory().
 struct ResourceSpec {
   std::string name;
-  std::variant<BatchQueueResource::Config, CondorPool::Config,
+  std::variant<grid::BatchQueueResource::Config, grid::CondorPool::Config,
                boinc::BoincPoolConfig>
       config;
 
-  ResourceKind kind() const;
+  grid::ResourceKind kind() const;
 
   static ResourceSpec cluster(std::string name,
-                              BatchQueueResource::Config config);
-  static ResourceSpec condor(std::string name, CondorPool::Config config);
+                              grid::BatchQueueResource::Config config);
+  static ResourceSpec condor(std::string name,
+                             grid::CondorPool::Config config);
   static ResourceSpec boinc_pool(std::string name,
                                  boinc::BoincPoolConfig config);
 };
@@ -94,4 +98,4 @@ void build_inventory(InventoryHost& host,
 /// Convenience: the canonical paper inventory in one call.
 void build_inventory(InventoryHost& host, const InventoryOptions& options);
 
-}  // namespace lattice::grid
+}  // namespace lattice::core

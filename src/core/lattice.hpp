@@ -24,8 +24,8 @@
 #include "core/estimator.hpp"
 #include "core/metascheduler.hpp"
 #include "core/speed.hpp"
+#include "core/inventory.hpp"
 #include "grid/adapter.hpp"
-#include "grid/inventory.hpp"
 #include "grid/mds.hpp"
 #include "grid/resource.hpp"
 #include "sim/simulation.hpp"
@@ -92,7 +92,7 @@ struct JobData {
   double output_mb = 0.0;
 };
 
-class LatticeSystem : public grid::InventoryHost {
+class LatticeSystem : public InventoryHost {
  public:
   explicit LatticeSystem(LatticeConfig config = {});
   ~LatticeSystem() override;
@@ -108,9 +108,9 @@ class LatticeSystem : public grid::InventoryHost {
   const LatticeConfig& config() const { return config_; }
   LatticeMetrics& metrics() { return metrics_; }
 
-  // Resource building (paper §IV): the grid::InventoryHost interface, so
+  // Resource building (paper §IV): the core::InventoryHost interface, so
   // declarative ResourceSpec lists build into this system via
-  // grid::build_inventory.
+  // core::build_inventory.
   grid::BatchQueueResource& add_cluster(
       const std::string& name,
       grid::BatchQueueResource::Config config) override;

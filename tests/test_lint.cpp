@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "lattice-lint/lint.hpp"
+#include "lattice-lint/model.hpp"
 
 namespace lattice::lint {
 namespace {
@@ -273,11 +274,322 @@ TEST(LintReport, FindingsSortedByLineThenRule) {
 TEST(LintReport, RuleIdsAreStable) {
   const auto& ids = rule_ids();
   for (const char* expected :
-       {"wall-clock", "ambient-rng", "unordered-member",
-        "unordered-iteration", "metric-name", "header-self-contained"}) {
+       {"wall-clock", "ambient-rng", "unordered-member", "unordered-alias",
+        "unordered-iteration", "kernel-callback-throw", "metric-name",
+        "header-self-contained", "layering-violation", "layering-cycle",
+        "suppression-dead"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << expected;
   }
+}
+
+// --- kernel-callback-throw ------------------------------------------------
+
+TEST(LintKernelThrow, FiresOnThrowInsideAtLambda) {
+  const std::string src =
+      "void f(sim::Simulation& sim) {\n"
+      "  sim.at(10.0, [&] { if (bad) throw std::runtime_error(\"x\"); });\n"
+      "}\n";
+  const auto findings = lint_source("src/sim/x.cpp", src, deterministic());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "kernel-callback-throw");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintKernelThrow, FiresThroughAfterAndPeriodicTask) {
+  const std::string src =
+      "void f(sim::Simulation& sim) {\n"
+      "  sim->after(5.0, [] {\n"
+      "    throw std::logic_error(\"boom\");\n"
+      "  });\n"
+      "  PeriodicTask pump(sim, 0.0, 60.0,\n"
+      "                    [&] { throw too_much(); });\n"
+      "}\n";
+  const auto findings = lint_source("src/sim/x.cpp", src, deterministic());
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "kernel-callback-throw");
+  EXPECT_EQ(findings[1].rule, "kernel-callback-throw");
+}
+
+TEST(LintKernelThrow, ThrowOutsideCallbackOrKernelIsFine) {
+  const std::string src =
+      "void validate(int x) {\n"
+      "  if (x < 0) throw std::invalid_argument(\"x\");\n"
+      "}\n"
+      "void g(sim::Simulation& sim) {\n"
+      "  sim.at(1.0, [] { finish(); });\n"
+      "  map.at(key) = 1;  // std::map::at is not the kernel\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/sim/x.cpp", src, deterministic()).empty());
+}
+
+// --- project model: include graph + layering ------------------------------
+
+std::vector<FileEntry> layered_tree() {
+  return {
+      {"src/util/a.hpp", "#pragma once\n"},
+      {"src/sim/kernel.hpp", "#pragma once\n#include \"util/a.hpp\"\n"},
+      {"src/grid/pool.hpp", "#pragma once\n#include \"sim/kernel.hpp\"\n"},
+      {"src/grid/pool.cpp", "#include \"grid/pool.hpp\"\n"},
+  };
+}
+
+Layering parse_ok(const std::string& ini) {
+  std::vector<std::string> errors;
+  Layering layering = parse_layering(ini, &errors);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  return layering;
+}
+
+TEST(LintModel, ResolvesIncludesAndModules) {
+  const ProjectModel model = build_model(layered_tree());
+  const ModelFile* pool = model.file("src/grid/pool.hpp");
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->module, "grid");
+  ASSERT_EQ(pool->includes.size(), 1u);
+  EXPECT_EQ(pool->includes[0].target, "src/sim/kernel.hpp");
+  EXPECT_EQ(pool->includes[0].line, 2);
+}
+
+TEST(LintModel, DownwardEdgesSatisfyTheDag) {
+  const ProjectModel model = build_model(layered_tree());
+  const Layering layering =
+      parse_ok("[layers]\nutil\nsim\ngrid\n[consumers]\nbench\n");
+  EXPECT_TRUE(check_layering(model, layering).empty());
+  EXPECT_TRUE(find_cycles(model).empty());
+}
+
+TEST(LintModel, UpwardEdgeIsALayeringViolation) {
+  auto entries = layered_tree();
+  entries.push_back(
+      {"src/sim/peek.hpp", "#pragma once\n#include \"grid/pool.hpp\"\n"});
+  const ProjectModel model = build_model(entries);
+  const Layering layering = parse_ok("[layers]\nutil\nsim\ngrid\n");
+  const auto findings = check_layering(model, layering);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering-violation");
+  EXPECT_EQ(findings[0].file, "src/sim/peek.hpp");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintModel, SameLayerPeersMayNotIncludeEachOther) {
+  const std::vector<FileEntry> entries = {
+      {"src/grid/a.hpp", "#pragma once\n#include \"net/b.hpp\"\n"},
+      {"src/net/b.hpp", "#pragma once\n"},
+  };
+  const ProjectModel model = build_model(entries);
+  // grid and net as peers: the edge is rejected...
+  EXPECT_TRUE(fired(check_layering(model, parse_ok("[layers]\ngrid net\n")),
+                    "layering-violation"));
+  // ...but fine when net sits strictly below grid.
+  EXPECT_TRUE(
+      check_layering(model, parse_ok("[layers]\nnet\ngrid\n")).empty());
+}
+
+TEST(LintModel, ConsumersMayIncludeEverythingButNeverBeIncluded) {
+  const std::vector<FileEntry> entries = {
+      {"src/grid/a.hpp", "#pragma once\n"},
+      {"bench/common.hpp", "#pragma once\n#include \"grid/a.hpp\"\n"},
+      {"src/grid/bad.hpp", "#pragma once\n#include \"bench/common.hpp\"\n"},
+  };
+  const ProjectModel model = build_model(entries);
+  const Layering layering =
+      parse_ok("[layers]\ngrid\n[consumers]\nbench\n");
+  const auto findings = check_layering(model, layering);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/grid/bad.hpp");
+  EXPECT_EQ(findings[0].rule, "layering-violation");
+}
+
+TEST(LintModel, SrcModuleMissingFromTheDagIsAFinding) {
+  const std::vector<FileEntry> entries = {
+      {"src/rogue/a.hpp", "#pragma once\n"},
+  };
+  const ProjectModel model = build_model(entries);
+  EXPECT_TRUE(fired(check_layering(model, parse_ok("[layers]\ngrid\n")),
+                    "layering-violation"));
+}
+
+TEST(LintModel, MalformedLayeringIniReportsErrors) {
+  std::vector<std::string> errors;
+  parse_layering("[layer\ngrid\n", &errors);
+  EXPECT_FALSE(errors.empty());
+  errors.clear();
+  parse_layering("grid\n", &errors);  // entry outside any section
+  EXPECT_FALSE(errors.empty());
+  errors.clear();
+  parse_layering("[layers]\ngrid\ngrid\n", &errors);  // duplicate module
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST(LintModel, ModuleCycleIsDetectedWithoutAHeaderLoop) {
+  // grid -> boinc through one header, boinc -> grid through another: no
+  // file-level loop exists, but the module graph has a cycle.
+  const std::vector<FileEntry> entries = {
+      {"src/grid/inv.hpp", "#pragma once\n#include \"boinc/cfg.hpp\"\n"},
+      {"src/boinc/cfg.hpp", "#pragma once\n"},
+      {"src/boinc/srv.hpp", "#pragma once\n#include \"grid/job.hpp\"\n"},
+      {"src/grid/job.hpp", "#pragma once\n"},
+  };
+  const auto findings = find_cycles(build_model(entries));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering-cycle");
+  EXPECT_NE(findings[0].message.find("module include cycle"),
+            std::string::npos);
+}
+
+TEST(LintModel, HeaderLoopIsDetectedAtFileGranularity) {
+  const std::vector<FileEntry> entries = {
+      {"src/sim/a.hpp", "#pragma once\n#include \"sim/b.hpp\"\n"},
+      {"src/sim/b.hpp", "#pragma once\n#include \"sim/a.hpp\"\n"},
+  };
+  const auto findings = find_cycles(build_model(entries));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layering-cycle");
+  EXPECT_NE(findings[0].message.find("header include cycle"),
+            std::string::npos);
+}
+
+// --- project model: cross-header alias + member resolution ----------------
+
+TEST(LintModel, AliasChainAcrossHeadersReachesTheIndex) {
+  // using A = unordered_map (header 1) -> using B = A (header 2)
+  // -> typedef B C (header 3): all three names resolve to unordered.
+  const std::vector<FileEntry> entries = {
+      {"src/grid/h1.hpp",
+       "#pragma once\nusing HostMap = std::unordered_map<int, int>;\n"},
+      {"src/grid/h2.hpp",
+       "#pragma once\n#include \"grid/h1.hpp\"\nusing Pool = HostMap;\n"},
+      {"src/grid/h3.hpp",
+       "#pragma once\n#include \"grid/h2.hpp\"\ntypedef Pool Cohort;\n"},
+  };
+  const ProjectModel model = build_model(entries);
+  EXPECT_EQ(model.unordered_aliases.count("HostMap"), 1u);
+  EXPECT_EQ(model.unordered_aliases.count("Pool"), 1u);
+  EXPECT_EQ(model.unordered_aliases.count("Cohort"), 1u);
+}
+
+TEST(LintModel, MemberDeclaredViaAliasJoinsTheMemberIndex) {
+  const std::vector<FileEntry> entries = {
+      {"src/phylo/cache.hpp",
+       "#pragma once\nusing Cache = std::unordered_map<int, int>;\n"
+       "struct Engine { Cache matrix_cache_; };\n"},
+  };
+  const ProjectModel model = build_model(entries);
+  EXPECT_EQ(model.unordered_members.count("matrix_cache_"), 1u);
+}
+
+TEST(LintModel, CrossTuIterationOverInjectedMemberFires) {
+  // The member is declared in the header; the .cpp only iterates it. The
+  // per-file pass alone cannot see the type — the injected index can.
+  const std::vector<FileEntry> entries = {
+      {"src/phylo/cache.hpp",
+       "#pragma once\nstruct Engine {\n"
+       "  // lattice-lint: allow(unordered-member) — lookups only\n"
+       "  std::unordered_map<int, int> matrix_cache_;\n};\n"},
+      {"src/phylo/cache.cpp",
+       "#include \"phylo/cache.hpp\"\n"
+       "void Engine::sweep() {\n"
+       "  for (auto& kv : matrix_cache_) { drop(kv); }\n"
+       "}\n"},
+  };
+  const ProjectModel model = build_model(entries);
+  AnalysisOptions analysis;
+  analysis.deterministic_modules = {"phylo"};
+  analysis.audit_suppressions = false;
+  const auto findings = analyze_project(entries, model, analysis);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iteration");
+  EXPECT_EQ(findings[0].file, "src/phylo/cache.cpp");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintModel, DeclarationViaCrossHeaderAliasFiresUnorderedAlias) {
+  const std::vector<FileEntry> entries = {
+      {"src/grid/h1.hpp",
+       "#pragma once\n"
+       "// lattice-lint: allow(unordered-member) — index declares it\n"
+       "using HostMap = std::unordered_map<int, int>;\n"},
+      {"src/grid/user.cpp",
+       "#include \"grid/h1.hpp\"\n"
+       "HostMap live_hosts_;\n"},
+  };
+  const ProjectModel model = build_model(entries);
+  AnalysisOptions analysis;
+  analysis.deterministic_modules = {"grid"};
+  analysis.audit_suppressions = false;
+  const auto findings = analyze_project(entries, model, analysis);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-alias");
+  EXPECT_EQ(findings[0].file, "src/grid/user.cpp");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+// --- suppression-dead -----------------------------------------------------
+
+TEST(LintDeadSuppression, SuppressionWithNoFindingIsDead) {
+  const std::vector<FileEntry> entries = {
+      {"src/sim/x.cpp",
+       "// lattice-lint: allow(wall-clock) — used to read the clock here\n"
+       "double t = simulated_now();\n"},
+  };
+  const ProjectModel model = build_model(entries);
+  AnalysisOptions analysis;
+  analysis.deterministic_modules = {"sim"};
+  const auto findings = analyze_project(entries, model, analysis);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "suppression-dead");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintDeadSuppression, LiveSuppressionIsNotDead) {
+  const std::vector<FileEntry> entries = {
+      {"src/sim/x.cpp",
+       "// lattice-lint: allow(wall-clock) — obs measurement, never fed back\n"
+       "double t = obs::Tracer::wall_now_us();\n"},
+  };
+  const ProjectModel model = build_model(entries);
+  AnalysisOptions analysis;
+  analysis.deterministic_modules = {"sim"};
+  const auto findings = analyze_project(entries, model, analysis);
+  EXPECT_TRUE(findings.empty());  // suppressed finding filtered, not dead
+}
+
+TEST(LintDeadSuppression, RawViewKeepsSuppressedFindingsFlagged) {
+  const std::vector<FileEntry> entries = {
+      {"src/sim/x.cpp",
+       "long t = time(nullptr);  "
+       "// lattice-lint: allow(wall-clock) — why\n"},
+  };
+  const ProjectModel model = build_model(entries);
+  AnalysisOptions analysis;
+  analysis.deterministic_modules = {"sim"};
+  analysis.apply_suppressions = false;
+  const auto findings = analyze_project(entries, model, analysis);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "wall-clock");
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+// --- JSON output ----------------------------------------------------------
+
+TEST(LintJson, StableSchemaAndEscaping) {
+  std::vector<Finding> findings;
+  findings.push_back(Finding{"src/a.cpp", 3, "wall-clock",
+                             "quote \" backslash \\ newline \n tab \t",
+                             true});
+  const std::string json = to_json(findings);
+  EXPECT_EQ(json,
+            "[\n"
+            "  {\"file\": \"src/a.cpp\", \"line\": 3, "
+            "\"rule\": \"wall-clock\", "
+            "\"message\": \"quote \\\" backslash \\\\ newline \\n "
+            "tab \\t\", \"suppressed\": true}\n"
+            "]");
+}
+
+TEST(LintJson, EmptyFindingsIsAnEmptyArray) {
+  EXPECT_EQ(to_json({}), "[]");
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <map>
 #include <regex>
 #include <set>
@@ -212,9 +213,9 @@ bool ident_char(char c) {
 
 // Returns declared variable names plus alias type names for
 // unordered_map/unordered_set in `code`.
-void collect_unordered_names(const std::string& code,
-                             std::set<std::string>* vars,
-                             std::set<std::string>* aliases) {
+void scan_unordered_decls(const std::string& code,
+                          std::set<std::string>* vars,
+                          std::set<std::string>* aliases) {
   static const std::regex decl_re(R"(unordered_(?:map|set)\s*<)");
   for (auto it = std::sregex_iterator(code.begin(), code.end(), decl_re);
        it != std::sregex_iterator(); ++it) {
@@ -280,16 +281,53 @@ void collect_unordered_names(const std::string& code,
 }
 
 // Resolve alias declarations:  AliasName var;
-void collect_alias_vars(const std::string& code,
-                        const std::set<std::string>& aliases,
-                        std::set<std::string>* vars) {
+// Returns the (line, var) pairs so alias-typed declarations can be both
+// audited (unordered-alias) and tracked for the iteration rule.
+struct AliasDecl {
+  int line;
+  std::string var;
+  std::string alias;
+};
+
+std::vector<AliasDecl> collect_alias_decls(
+    const std::string& code, const std::vector<std::size_t>& line_starts,
+    const std::set<std::string>& aliases) {
+  std::vector<AliasDecl> out;
   for (const std::string& alias : aliases) {
     const std::regex re("\\b" + alias + R"(\s+([A-Za-z_]\w*)\s*[;={(])");
     for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
          it != std::sregex_iterator(); ++it) {
-      vars->insert((*it)[1]);
+      out.push_back(AliasDecl{
+          0, (*it)[1], alias});
+      out.back().line = static_cast<int>(
+          std::upper_bound(line_starts.begin(), line_starts.end(),
+                           static_cast<std::size_t>(it->position())) -
+          line_starts.begin());
     }
   }
+  return out;
+}
+
+// using LOCAL = KnownAlias;  — a local re-alias of a (possibly injected)
+// unordered alias. Returns (line, new-alias-name) pairs.
+std::vector<AliasDecl> collect_realiases(
+    const std::string& code, const std::vector<std::size_t>& line_starts,
+    const std::set<std::string>& aliases) {
+  std::vector<AliasDecl> out;
+  for (const std::string& alias : aliases) {
+    const std::regex re(
+        R"(using\s+([A-Za-z_]\w*)\s*=\s*(?:\w+\s*::\s*)*)" + alias +
+        R"(\s*[;<])");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      out.push_back(AliasDecl{0, (*it)[1], alias});
+      out.back().line = static_cast<int>(
+          std::upper_bound(line_starts.begin(), line_starts.end(),
+                           static_cast<std::size_t>(it->position())) -
+          line_starts.begin());
+    }
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -382,15 +420,60 @@ int line_of(const std::vector<std::size_t>& line_starts, std::size_t pos) {
   return static_cast<int>(it - line_starts.begin());
 }
 
+// ---------------------------------------------------------------------------
+// kernel-callback-throw: a `throw` inside the argument list of a sim-kernel
+// scheduling call (at/after/PeriodicTask). A throw expression can only
+// reach that span through a lambda body, and an exception escaping an
+// event-loop handler kills the run mid-epoch, so every hit is a finding.
+// ---------------------------------------------------------------------------
+
+struct KernelThrow {
+  std::size_t pos;      // byte offset of the throw keyword
+  std::string method;   // at / after / PeriodicTask
+};
+
+std::vector<KernelThrow> scan_kernel_throws(const std::string& code) {
+  static const std::regex head_re(
+      R"((?:(\.|->)\s*(at|after)|(PeriodicTask)\b[^;{}()\n]*)\s*\()");
+  static const std::regex throw_re(R"(\bthrow\b)");
+  std::vector<KernelThrow> hits;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), head_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string method =
+        (*it)[2].matched ? (*it)[2].str() : std::string("PeriodicTask");
+    // Walk to the matching close paren of the scheduling call.
+    std::size_t p = static_cast<std::size_t>(it->position() + it->length());
+    const std::size_t arg_start = p;
+    int depth = 1;
+    while (p < code.size() && depth > 0) {
+      if (code[p] == '(') ++depth;
+      if (code[p] == ')') --depth;
+      ++p;
+    }
+    if (depth != 0) continue;
+    const std::string args = code.substr(arg_start, p - arg_start);
+    for (auto th = std::sregex_iterator(args.begin(), args.end(), throw_re);
+         th != std::sregex_iterator(); ++th) {
+      hits.push_back(
+          KernelThrow{arg_start + static_cast<std::size_t>(th->position()),
+                      method});
+    }
+  }
+  return hits;
+}
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
       "wall-clock",          "ambient-rng",
-      "unordered-member",    "unordered-iteration",
+      "unordered-member",    "unordered-alias",
+      "unordered-iteration", "kernel-callback-throw",
       "metric-name",         "header-self-contained",
-      "decision-sort",       "suppression-syntax",
-      "suppression-unknown-rule", "suppression-undocumented"};
+      "decision-sort",       "layering-violation",
+      "layering-cycle",      "suppression-syntax",
+      "suppression-unknown-rule", "suppression-undocumented",
+      "suppression-dead"};
   return ids;
 }
 
@@ -416,9 +499,6 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
   const auto comment_lines = split_lines(views.comment);
   std::vector<Finding> findings;
   const std::string file(path);
-  auto add = [&](int line, const char* rule, std::string message) {
-    findings.push_back(Finding{file, line, rule, std::move(message)});
-  };
 
   // --- Suppressions (and their own lint) ---------------------------------
   const auto suppressions = parse_suppressions(comment_lines, code_lines);
@@ -430,17 +510,33 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
     }
     return false;
   };
+  // Record a finding: suppressed ones are dropped in the default mode but
+  // retained (flagged) for the raw view (--json, suppression-dead).
+  auto add = [&](int line, const char* rule, std::string message) {
+    const bool covered = suppressed(line, rule);
+    if (covered && options.apply_suppressions) return;
+    findings.push_back(
+        Finding{file, line, rule, std::move(message), covered});
+  };
   for (const ParsedSuppression& s : suppressions) {
     if (!s.well_formed) {
-      add(s.comment_line, "suppression-syntax",
+      findings.push_back(Finding{
+          file, s.comment_line, "suppression-syntax",
           "allow(" + s.rule +
-              ") needs a reason: `// lattice-lint: allow(<rule>) — <why>`");
+              ") needs a reason: `// lattice-lint: allow(<rule>) — <why>`",
+          false});
     }
     if (std::find(rule_ids().begin(), rule_ids().end(), s.rule) ==
         rule_ids().end()) {
-      add(s.comment_line, "suppression-unknown-rule",
-          "unknown rule id '" + s.rule + "' in suppression");
+      findings.push_back(Finding{
+          file, s.comment_line, "suppression-unknown-rule",
+          "unknown rule id '" + s.rule + "' in suppression", false});
     }
+  }
+
+  std::vector<std::size_t> line_starts{0};
+  for (std::size_t i = 0; i < views.code.size(); ++i) {
+    if (views.code[i] == '\n') line_starts.push_back(i + 1);
   }
 
   // --- Deterministic-path rules ------------------------------------------
@@ -477,8 +573,7 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
     for (std::size_t i = 0; i < code_lines.size(); ++i) {
       const int line = static_cast<int>(i) + 1;
       for (const Pattern& p : patterns) {
-        if (std::regex_search(code_lines[i], p.re) &&
-            !suppressed(line, p.rule)) {
+        if (std::regex_search(code_lines[i], p.re)) {
           add(line, p.rule,
               std::string(p.what) +
                   " in deterministic code (allowed only in obs/ or with a "
@@ -495,28 +590,69 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
       const std::size_t first = l.find_first_not_of(" \t");
       if (first != std::string::npos && l[first] == '#') continue;  // include
       const int line = static_cast<int>(i) + 1;
-      if (std::regex_search(l, member_re) &&
-          !suppressed(line, "unordered-member")) {
+      if (std::regex_search(l, member_re)) {
         add(line, "unordered-member",
             "unordered container in a deterministic path: convert to "
             "ordered/vector storage or justify with a suppression");
       }
     }
 
-    // unordered-iteration over declared unordered variables.
+    // Local declarations plus the project model's cross-header knowledge.
     std::set<std::string> vars;
     std::set<std::string> aliases;
-    collect_unordered_names(views.code, &vars, &aliases);
-    collect_alias_vars(views.code, aliases, &vars);
-    if (!vars.empty()) {
+    scan_unordered_decls(views.code, &vars, &aliases);
+
+    // unordered-alias: declarations whose type is an alias (local alias
+    // names are reported by unordered-member at their definition; alias
+    // names injected from the model fire here, because the defining header
+    // is out of view for the per-file pass).
+    std::set<std::string> all_aliases = aliases;
+    for (const std::string& a : options.unordered_aliases) {
+      all_aliases.insert(a);
+    }
+    // Re-aliases (`using Local = HostMap;`) extend the alias set and are
+    // themselves audit points when they launder an injected alias.
+    for (int pass = 0; pass < 2; ++pass) {  // two passes: chain of re-alias
+      for (const AliasDecl& d :
+           collect_realiases(views.code, line_starts, all_aliases)) {
+        if (all_aliases.insert(d.var).second &&
+            options.unordered_aliases.count(d.alias) > 0) {
+          add(d.line, "unordered-alias",
+              "'" + d.var + "' re-aliases '" + d.alias +
+                  "', which resolves to an unordered container in another "
+                  "header: audit or convert to ordered storage");
+        }
+      }
+    }
+    for (const AliasDecl& d :
+         collect_alias_decls(views.code, line_starts, all_aliases)) {
+      vars.insert(d.var);
+      if (aliases.count(d.alias) == 0) {
+        // The alias was defined elsewhere (injected or re-aliased): the
+        // declaration itself is the audit point the alias laundered away.
+        add(d.line, "unordered-alias",
+            "'" + d.var + "' is declared via alias '" + d.alias +
+                "', which resolves to an unordered container: audit or "
+                "convert to ordered storage");
+      }
+    }
+
+    // unordered-iteration over anything known to be unordered: local
+    // declarations, alias-typed declarations, and member names indexed by
+    // the project model (a .cpp iterating `matrix_cache_` declared in its
+    // header is the cross-TU escape the per-file scan used to miss).
+    std::set<std::string> iterables = vars;
+    for (const std::string& m : options.unordered_members) {
+      iterables.insert(m);
+    }
+    if (!iterables.empty()) {
       for (std::size_t i = 0; i < code_lines.size(); ++i) {
         const int line = static_cast<int>(i) + 1;
         const std::string& l = code_lines[i];
         std::smatch m;
         static const std::regex range_for_re(
-            R"(for\s*\([^;()]*:\s*(?:this->)?([A-Za-z_]\w*)\s*\))");
-        if (std::regex_search(l, m, range_for_re) && vars.count(m[1]) &&
-            !suppressed(line, "unordered-iteration")) {
+            R"(for\s*\([^;()]*:\s*(?:[A-Za-z_]\w*\s*(?:\.|->)\s*)*([A-Za-z_]\w*)\s*\))");
+        if (std::regex_search(l, m, range_for_re) && iterables.count(m[1])) {
           add(line, "unordered-iteration",
               "range-for over unordered container '" + m[1].str() +
                   "': iteration order is hash-order, not deterministic "
@@ -524,14 +660,22 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
         }
         static const std::regex begin_re(
             R"((^|[^A-Za-z0-9_])([A-Za-z_]\w*)\s*\.\s*c?r?begin\s*\()");
-        if (std::regex_search(l, m, begin_re) && vars.count(m[2]) &&
-            !suppressed(line, "unordered-iteration")) {
+        if (std::regex_search(l, m, begin_re) && iterables.count(m[2])) {
           add(line, "unordered-iteration",
               "iterator walk over unordered container '" + m[2].str() +
                   "': iteration order is hash-order, not deterministic "
                   "across platforms");
         }
       }
+    }
+
+    // kernel-callback-throw: exceptions may not cross the event loop.
+    for (const KernelThrow& hit : scan_kernel_throws(views.code)) {
+      add(line_of(line_starts, hit.pos), "kernel-callback-throw",
+          "throw inside a callback handed to the sim kernel (" + hit.method +
+              "): an exception escaping an event handler kills the run "
+              "mid-epoch — validate before scheduling, or fail via the "
+              "outcome path");
     }
   }
 
@@ -547,8 +691,7 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
     for (std::size_t i = 0; i < code_lines.size(); ++i) {
       const int line = static_cast<int>(i) + 1;
       std::smatch m;
-      if (std::regex_search(code_lines[i], m, sort_re) &&
-          !suppressed(line, "decision-sort")) {
+      if (std::regex_search(code_lines[i], m, sort_re)) {
         add(line, "decision-sort",
             "std::" + m[1].str() +
                 " in a scheduler decision-path dir: keep rank order in the "
@@ -560,13 +703,12 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
 
   // --- Metric/trace name grammar (all files) -----------------------------
   {
-    std::vector<std::size_t> line_starts{0};
+    std::vector<std::size_t> str_line_starts{0};
     for (std::size_t i = 0; i < views.code_str.size(); ++i) {
-      if (views.code_str[i] == '\n') line_starts.push_back(i + 1);
+      if (views.code_str[i] == '\n') str_line_starts.push_back(i + 1);
     }
     for (const MetricCall& call : scan_metric_calls(views.code_str)) {
-      const int line = line_of(line_starts, call.pos);
-      if (suppressed(line, "metric-name")) continue;
+      const int line = line_of(str_line_starts, call.pos);
       if (!call.has_literal) continue;  // variable name: check_docs covers it
       if (!metric_name_ok(call.literal)) {
         add(line, "metric-name",
@@ -583,6 +725,13 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
               if (a.rule != b.rule) return a.rule < b.rule;
               return a.message < b.message;
             });
+  findings.erase(
+      std::unique(findings.begin(), findings.end(),
+                  [](const Finding& a, const Finding& b) {
+                    return a.line == b.line && a.rule == b.rule &&
+                           a.message == b.message;
+                  }),
+      findings.end());
   return findings;
 }
 
@@ -592,5 +741,54 @@ std::string format(const Finding& finding) {
       << finding.message;
   return out.str();
 }
+
+std::string to_json(const std::vector<Finding>& findings) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i ? ",\n  " : "\n  ") << "{\"file\": \"" << escape(f.file)
+        << "\", \"line\": " << f.line << ", \"rule\": \"" << escape(f.rule)
+        << "\", \"message\": \"" << escape(f.message)
+        << "\", \"suppressed\": " << (f.suppressed ? "true" : "false")
+        << "}";
+  }
+  out << (findings.empty() ? "]" : "\n]");
+  return out.str();
+}
+
+namespace detail {
+
+std::string code_view(std::string_view text) { return lex(text).code; }
+
+void collect_unordered_names(const std::string& code,
+                             std::set<std::string>* vars,
+                             std::set<std::string>* aliases) {
+  scan_unordered_decls(code, vars, aliases);
+}
+
+}  // namespace detail
 
 }  // namespace lattice::lint

@@ -1,27 +1,44 @@
-// lattice-lint CLI — walks src/ and enforces the project's determinism
-// invariants (see lint.hpp for the rule catalog and docs/LINTING.md for the
-// rationale). Exit status: 0 clean, 1 findings, 2 usage/I/O error.
+// lattice-lint CLI — the project-wide driver. Walks src/ plus the
+// consumer trees (bench/, examples/, tools/), builds the project model
+// (include graph + cross-header unordered-container index, see model.hpp),
+// and runs the full rule catalog over it: per-file determinism rules with
+// the model's cross-TU knowledge injected, layering-DAG enforcement,
+// include-cycle detection, and the dead-suppression audit. Exit status:
+// 0 clean, 1 findings, 2 usage/I/O/config error.
 //
 // Usage:
-//   lattice-lint [--src DIR] [--headers] [--docs FILE]
-//                [--list-suppressions] [--compiler CXX] [files...]
+//   lattice-lint [--src DIR] [--root DIR]... [--layering FILE] [--json]
+//                [--headers] [--docs FILE] [--list-suppressions]
+//                [--compiler CXX] [files...]
 //
-//   --src DIR            source root to walk (default: src)
-//   --headers            also check every .hpp compiles standalone via a
-//                        generated TU (rule header-self-contained)
-//   --docs FILE          cross-check each suppression against the inventory
-//                        table in FILE (rule suppression-undocumented)
+//   --src DIR            module root to walk (default: src); its immediate
+//                        children are the modules of the layering DAG
+//   --root DIR           additional consumer tree to walk (repeatable;
+//                        bench, examples, tools). Consumer files join the
+//                        include graph but get no determinism rules.
+//   --layering FILE      enforce the module DAG declared in FILE
+//                        (layering-violation / layering-cycle); a
+//                        malformed FILE is a usage error, not a pass
+//   --json               emit the findings as a JSON array (stable schema:
+//                        file, line, rule, message, suppressed) instead of
+//                        text; suppressed findings are included, flagged
+//   --headers            also check every .hpp under --src compiles
+//                        standalone via a generated TU
+//   --docs FILE          cross-check suppressions against the inventory
+//                        table in FILE, in both directions
+//                        (suppression-undocumented / stale row -> dead)
 //   --list-suppressions  print `file:line rule — reason` for every
 //                        suppression and exit 0
 //   --compiler CXX       compiler for --headers (default: $CXX, else c++)
-//   files...             lint only these files (paths still classified by
-//                        their directory under --src)
+//   files...             lint only these files (the model is built over
+//                        just them; project rules see a partial graph)
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <regex>
 #include <set>
 #include <sstream>
 #include <string>
@@ -29,23 +46,27 @@
 #include <vector>
 
 #include "lattice-lint/lint.hpp"
+#include "lattice-lint/model.hpp"
 
 namespace fs = std::filesystem;
+using lattice::lint::AnalysisOptions;
+using lattice::lint::FileEntry;
 using lattice::lint::Finding;
-using lattice::lint::Options;
+using lattice::lint::Layering;
+using lattice::lint::ProjectModel;
 using lattice::lint::Suppression;
 
 namespace {
 
-// Directories under src/ whose code must be bit-deterministic. Wall time
-// and ambient RNG are allowed only in obs/ (pure observation) and util/
-// (the seeded Rng itself, the thread pool's condition variables).
-const std::set<std::string> kDeterministicDirs = {
+// Modules under src/ whose code must be bit-deterministic. Wall time and
+// ambient RNG are allowed only in obs/ (pure observation) and util/ (the
+// seeded Rng itself, the thread pool's condition variables).
+const std::set<std::string> kDeterministicModules = {
     "sim", "core", "grid", "boinc", "phylo", "fault", "net"};
 
-// Directories holding the scheduler's per-decision paths (matchmaking,
+// Modules holding the scheduler's per-decision paths (matchmaking,
 // ranking): std::sort and friends are audit points there (decision-sort).
-const std::set<std::string> kDecisionDirs = {"grid", "core"};
+const std::set<std::string> kDecisionModules = {"grid", "core"};
 
 std::string read_file(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
@@ -57,12 +78,6 @@ std::string read_file(const fs::path& path) {
 bool is_source(const fs::path& path) {
   const std::string ext = path.extension().string();
   return ext == ".hpp" || ext == ".cpp";
-}
-
-// First path component below the source root ("src/sim/x.cpp" -> "sim").
-std::string top_dir(const fs::path& root, const fs::path& path) {
-  const fs::path rel = fs::relative(path, root);
-  return rel.begin() != rel.end() ? rel.begin()->string() : std::string();
 }
 
 // Portable-ish shell quoting for the header-check system() command.
@@ -134,10 +149,39 @@ std::vector<HeaderCheck> check_headers(const fs::path& src_root,
   return checks;
 }
 
+// One inventory row of the docs suppression table:
+// `| `src/path.cpp` (context) | `rule-id` | why |`
+struct InventoryRow {
+  int line = 0;
+  std::string file;
+  std::string rule;
+};
+
+std::vector<InventoryRow> parse_inventory(const std::string& doc_text) {
+  static const std::regex row_re(
+      R"re(^\|\s*`([^`]*/[^`]*)`[^|]*\|\s*`([^`]+)`)re");
+  std::vector<InventoryRow> rows;
+  std::istringstream lines(doc_text);
+  int line_no = 0;
+  for (std::string line; std::getline(lines, line);) {
+    ++line_no;
+    std::smatch m;
+    if (!std::regex_search(line, m, row_re)) continue;
+    const std::string rule = m[2];
+    const auto& ids = lattice::lint::rule_ids();
+    if (std::find(ids.begin(), ids.end(), rule) == ids.end()) continue;
+    rows.push_back(InventoryRow{line_no, m[1], rule});
+  }
+  return rows;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path src_root = "src";
+  std::vector<fs::path> extra_roots;
+  std::string layering_file;
+  bool json = false;
   bool headers = false;
   bool list_suppressions = false;
   std::string docs;
@@ -150,6 +194,12 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--src" && i + 1 < argc) {
       src_root = argv[++i];
+    } else if (arg == "--root" && i + 1 < argc) {
+      extra_roots.emplace_back(argv[++i]);
+    } else if (arg == "--layering" && i + 1 < argc) {
+      layering_file = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--headers") {
       headers = true;
     } else if (arg == "--docs" && i + 1 < argc) {
@@ -176,32 +226,44 @@ int main(int argc, char** argv) {
   if (!explicit_files.empty()) {
     files = explicit_files;
   } else {
-    for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
-      if (entry.is_regular_file() && is_source(entry.path())) {
-        files.push_back(entry.path());
+    std::vector<fs::path> roots{src_root};
+    roots.insert(roots.end(), extra_roots.begin(), extra_roots.end());
+    for (const fs::path& root : roots) {
+      if (!fs::is_directory(root)) {
+        std::cerr << "lattice-lint: root " << root
+                  << " is not a directory\n";
+        return 2;
+      }
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && is_source(entry.path())) {
+          files.push_back(entry.path());
+        }
       }
     }
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Finding> findings;
-  std::vector<Suppression> suppressions;
+  // Pass 1: load everything and build the project model.
+  std::vector<FileEntry> entries;
   std::vector<fs::path> header_files;
+  entries.reserve(files.size());
   for (const fs::path& file : files) {
-    const std::string text = read_file(file);
-    Options options;
-    const std::string dir = top_dir(src_root, file);
-    options.deterministic = kDeterministicDirs.count(dir) > 0;
-    options.decision_path = kDecisionDirs.count(dir) > 0;
-    const std::string display = file.generic_string();
-    for (Finding f : lattice::lint::lint_source(display, text, options)) {
-      findings.push_back(std::move(f));
+    entries.push_back(FileEntry{file.generic_string(), read_file(file)});
+    if (file.extension() == ".hpp" &&
+        file.generic_string().rfind(src_root.generic_string() + "/", 0) ==
+            0) {
+      header_files.push_back(file);
     }
+  }
+  const ProjectModel model =
+      lattice::lint::build_model(entries, src_root.generic_string());
+
+  std::vector<Suppression> suppressions;
+  for (const FileEntry& e : entries) {
     for (Suppression s :
-         lattice::lint::collect_suppressions(display, text)) {
+         lattice::lint::collect_suppressions(e.path, e.text)) {
       suppressions.push_back(std::move(s));
     }
-    if (file.extension() == ".hpp") header_files.push_back(file);
   }
 
   if (list_suppressions) {
@@ -212,9 +274,41 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Docs inventory cross-check: every suppression must be listed (file and
-  // rule id on one line) in the docs inventory, so the audit trail in
-  // docs/LINTING.md can never silently lag the tree.
+  Layering layering;
+  if (!layering_file.empty()) {
+    const std::string text = read_file(layering_file);
+    if (text.empty()) {
+      std::cerr << "lattice-lint: cannot read layering config "
+                << layering_file << "\n";
+      return 2;
+    }
+    std::vector<std::string> errors;
+    layering = lattice::lint::parse_layering(text, &errors);
+    if (!errors.empty()) {
+      for (const std::string& e : errors) {
+        std::cerr << "lattice-lint: " << e << "\n";
+      }
+      return 2;  // a typo'd DAG must not silently allow everything
+    }
+  }
+
+  // Pass 2: the full rule catalog over the model. Suppressed findings are
+  // kept (flagged) so --json shows the audit surface; the text report and
+  // the exit status count only active ones.
+  AnalysisOptions analysis;
+  analysis.deterministic_modules = kDeterministicModules;
+  analysis.decision_modules = kDecisionModules;
+  if (!layering_file.empty()) analysis.layering = &layering;
+  analysis.audit_suppressions = true;
+  analysis.apply_suppressions = false;
+  analysis.src_root = src_root.generic_string();
+  std::vector<Finding> findings =
+      lattice::lint::analyze_project(entries, model, analysis);
+
+  // Docs inventory cross-check, both directions: every suppression must be
+  // listed (file and rule id on one row), and every row must still have a
+  // live suppression behind it — a stale row is a suppression-dead finding
+  // on the docs file itself.
   if (!docs.empty()) {
     const std::string doc_text = read_file(docs);
     if (doc_text.empty()) {
@@ -241,7 +335,23 @@ int main(int argc, char** argv) {
             Finding{s.file, s.line, "suppression-undocumented",
                     "allow(" + s.rule +
                         ") is not listed in the suppression inventory in " +
-                        docs});
+                        docs,
+                    false});
+      }
+    }
+    for (const InventoryRow& row : parse_inventory(doc_text)) {
+      const bool live = std::any_of(
+          suppressions.begin(), suppressions.end(),
+          [&](const Suppression& s) {
+            return s.file == row.file && s.rule == row.rule;
+          });
+      if (!live) {
+        findings.push_back(Finding{
+            docs, row.line, "suppression-dead",
+            "inventory row for `" + row.file + "` / allow(" + row.rule +
+                ") has no matching suppression left in the tree — delete "
+                "the row",
+            false});
       }
     }
   }
@@ -252,7 +362,8 @@ int main(int argc, char** argv) {
       if (!check.ok) {
         findings.push_back(Finding{
             check.header.generic_string(), 1, "header-self-contained",
-            "header does not compile standalone (generated TU failed)"});
+            "header does not compile standalone (generated TU failed)",
+            false});
         std::cerr << check.diagnostics;
       }
     }
@@ -264,14 +375,24 @@ int main(int argc, char** argv) {
               if (a.line != b.line) return a.line < b.line;
               return a.rule < b.rule;
             });
+
+  std::size_t active = 0;
   for (const Finding& f : findings) {
+    if (!f.suppressed) ++active;
+  }
+  if (json) {
+    std::cout << lattice::lint::to_json(findings) << "\n";
+    return active == 0 ? 0 : 1;
+  }
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
     std::cout << lattice::lint::format(f) << "\n";
   }
-  if (findings.empty()) {
+  if (active == 0) {
     std::cout << "lattice-lint: " << files.size() << " files clean ("
               << suppressions.size() << " audited suppressions)\n";
     return 0;
   }
-  std::cout << "lattice-lint: " << findings.size() << " finding(s)\n";
+  std::cout << "lattice-lint: " << active << " finding(s)\n";
   return 1;
 }

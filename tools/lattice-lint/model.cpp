@@ -1,0 +1,509 @@
+#include "lattice-lint/model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace lattice::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path helpers (pure string work: the model never touches the filesystem,
+// so tests can feed synthetic trees).
+// ---------------------------------------------------------------------------
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// Collapse "." and ".." segments ("a/b/../c" -> "a/c").
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t slash = path.find('/', start);
+    const std::size_t end = slash == std::string::npos ? path.size() : slash;
+    const std::string part = path.substr(start, end - start);
+    if (part == "..") {
+      if (!parts.empty()) parts.pop_back();
+    } else if (!part.empty() && part != ".") {
+      parts.push_back(part);
+    }
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string first_component(const std::string& path) {
+  const std::size_t slash = path.find('/');
+  return slash == std::string::npos ? path : path.substr(0, slash);
+}
+
+std::string module_of(const std::string& path, const std::string& src_root) {
+  const std::string prefix = src_root + "/";
+  if (path.rfind(prefix, 0) == 0) {
+    return first_component(path.substr(prefix.size()));
+  }
+  return first_component(path);
+}
+
+bool under_src(const std::string& path, const std::string& src_root) {
+  return path.rfind(src_root + "/", 0) == 0;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  for (std::string tok; in >> tok;) out.push_back(tok);
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      lines.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Include scan: quoted includes only (system headers are not project
+// edges), taken from the raw line but only when the line is a real
+// preprocessor directive — string literals that *mention* includes (test
+// fixtures, generated-TU writers) start with other tokens and never match.
+// ---------------------------------------------------------------------------
+
+struct RawInclude {
+  int line;
+  std::string raw;
+};
+
+std::vector<RawInclude> scan_includes(const std::string& text) {
+  static const std::regex inc_re(
+      R"re(^\s*#\s*include\s+"([^"]+)")re");
+  std::vector<RawInclude> out;
+  const auto lines = split_lines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(lines[i], m, inc_re)) {
+      out.push_back(RawInclude{static_cast<int>(i) + 1, m[1]});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Layering
+// ---------------------------------------------------------------------------
+
+Layering parse_layering(std::string_view text,
+                        std::vector<std::string>* errors) {
+  Layering layering;
+  std::string section;
+  int line_no = 0;
+  for (const std::string& raw : split_lines(std::string(text))) {
+    ++line_no;
+    std::string line = raw;
+    const std::size_t hash = line.find_first_of("#;");
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        if (errors) {
+          errors->push_back("layering.ini:" + std::to_string(line_no) +
+                            " malformed section header '" + line + "'");
+        }
+        continue;
+      }
+      section = line.substr(1, line.size() - 2);
+      if (section != "layers" && section != "consumers" && errors) {
+        errors->push_back("layering.ini:" + std::to_string(line_no) +
+                          " unknown section [" + section + "]");
+      }
+      continue;
+    }
+    if (section == "layers") {
+      const std::vector<std::string> modules = split_ws(line);
+      for (const std::string& m : modules) {
+        if (layering.layer_of.count(m) != 0 && errors) {
+          errors->push_back("layering.ini:" + std::to_string(line_no) +
+                            " module '" + m + "' listed twice");
+        }
+        layering.layer_of[m] =
+            static_cast<int>(layering.layers.size());
+      }
+      layering.layers.push_back(modules);
+    } else if (section == "consumers") {
+      for (const std::string& m : split_ws(line)) {
+        layering.consumers.insert(m);
+      }
+    } else if (errors) {
+      errors->push_back("layering.ini:" + std::to_string(line_no) +
+                        " entry outside a [layers]/[consumers] section");
+    }
+  }
+  if (layering.layers.empty() && errors) {
+    errors->push_back("layering.ini declares no [layers]");
+  }
+  return layering;
+}
+
+// ---------------------------------------------------------------------------
+// Model construction
+// ---------------------------------------------------------------------------
+
+const ModelFile* ProjectModel::file(std::string_view path) const {
+  const auto it = std::lower_bound(
+      files.begin(), files.end(), path,
+      [](const ModelFile& f, std::string_view p) { return f.path < p; });
+  return it != files.end() && it->path == path ? &*it : nullptr;
+}
+
+ProjectModel build_model(const std::vector<FileEntry>& entries,
+                         std::string_view src_root) {
+  const std::string root(src_root);
+  ProjectModel model;
+  std::set<std::string> paths;
+  for (const FileEntry& e : entries) paths.insert(e.path);
+
+  // Pass 1a: the include graph. Resolution mirrors the build's include
+  // dirs: relative to the including file, then -I<src_root>, then the
+  // includer's own top-level tree (tools/ compiles with -Itools).
+  for (const FileEntry& e : entries) {
+    ModelFile f;
+    f.path = e.path;
+    f.module = module_of(e.path, root);
+    const std::string dir = dirname_of(e.path);
+    const std::string top = first_component(e.path);
+    for (const RawInclude& inc : scan_includes(e.text)) {
+      for (const std::string& candidate :
+           {normalize(dir.empty() ? inc.raw : dir + "/" + inc.raw),
+            normalize(root + "/" + inc.raw), normalize(top + "/" + inc.raw),
+            normalize(inc.raw)}) {
+        if (paths.count(candidate) != 0) {
+          f.includes.push_back(IncludeEdge{inc.line, candidate, inc.raw});
+          break;
+        }
+      }
+    }
+    model.files.push_back(std::move(f));
+  }
+  std::sort(model.files.begin(), model.files.end(),
+            [](const ModelFile& a, const ModelFile& b) {
+              return a.path < b.path;
+            });
+
+  // Pass 1b: the cross-header symbol index, over src files only (the
+  // deterministic rules do not apply to consumer trees, and test fixtures
+  // there must not pollute the index). Aliases chain to a fixpoint:
+  //   using HostMap = std::unordered_map<...>;   (header A)
+  //   using Pool = HostMap;                      (header B)
+  //   typedef Pool Cohort;                       (header C)
+  // all three names resolve to unordered.
+  std::vector<std::string> src_code;
+  std::vector<const ModelFile*> src_files;
+  for (const FileEntry& e : entries) {
+    if (!under_src(e.path, root)) continue;
+    src_code.push_back(detail::code_view(e.text));
+    src_files.push_back(model.file(e.path));
+  }
+  for (const std::string& code : src_code) {
+    std::set<std::string> vars;
+    detail::collect_unordered_names(code, &vars, &model.unordered_aliases);
+    for (const std::string& v : vars) model.unordered_members.insert(v);
+  }
+  // typedef std::unordered_map<...> Name;
+  static const std::regex typedef_direct_re(
+      R"(typedef\s+[^;]*\bunordered_(?:map|set)\s*<[^;]*>\s*(\w+)\s*;)");
+  for (const std::string& code : src_code) {
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        typedef_direct_re);
+         it != std::sregex_iterator(); ++it) {
+      model.unordered_aliases.insert((*it)[1]);
+    }
+  }
+  // Chase alias-of-alias chains across headers to a fixpoint.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const std::string& alias :
+         std::vector<std::string>(model.unordered_aliases.begin(),
+                                  model.unordered_aliases.end())) {
+      const std::regex using_re(
+          R"(using\s+(\w+)\s*=\s*(?:\w+\s*::\s*)*)" + alias + R"(\s*;)");
+      const std::regex typedef_re(
+          R"(typedef\s+(?:\w+\s*::\s*)*)" + alias + R"(\s+(\w+)\s*;)");
+      for (const std::string& code : src_code) {
+        for (auto it =
+                 std::sregex_iterator(code.begin(), code.end(), using_re);
+             it != std::sregex_iterator(); ++it) {
+          grew |= model.unordered_aliases.insert((*it)[1]).second;
+        }
+        for (auto it =
+                 std::sregex_iterator(code.begin(), code.end(), typedef_re);
+             it != std::sregex_iterator(); ++it) {
+          grew |= model.unordered_aliases.insert((*it)[1]).second;
+        }
+      }
+    }
+  }
+  // Members/variables declared with an alias type:  HostMap hosts_;
+  for (const std::string& alias : model.unordered_aliases) {
+    const std::regex decl_re(
+        "\\b" + alias + R"(\s+(\w+)\s*[;={(])");
+    for (const std::string& code : src_code) {
+      for (auto it = std::sregex_iterator(code.begin(), code.end(), decl_re);
+           it != std::sregex_iterator(); ++it) {
+        model.unordered_members.insert((*it)[1]);
+      }
+    }
+  }
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// Layering validation + cycle detection
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> check_layering(const ProjectModel& model,
+                                    const Layering& layering) {
+  std::vector<Finding> findings;
+  std::set<std::string> undeclared_reported;
+  for (const ModelFile& f : model.files) {
+    const bool in_dag = layering.layer_of.count(f.module) != 0;
+    const bool consumer = layering.consumers.count(f.module) != 0 ||
+                          (!in_dag && !under_src(f.path, "src"));
+    // Consumer trees (bench, examples, tools) may include anything; src
+    // modules must be declared in the DAG — an undeclared one would
+    // otherwise silently escape every constraint.
+    if (!in_dag && !consumer && undeclared_reported.insert(f.module).second) {
+      findings.push_back(Finding{
+          f.path, 1, "layering-violation",
+          "src module '" + f.module +
+              "' is not declared in layering.ini — every module must have "
+              "a layer",
+          false});
+    }
+    for (const IncludeEdge& edge : f.includes) {
+      const ModelFile* target = model.file(edge.target);
+      if (target == nullptr) continue;
+      if (f.module == target->module) continue;
+      const auto to_layer = layering.layer_of.find(target->module);
+      if (layering.consumers.count(target->module) != 0) {
+        findings.push_back(Finding{
+            f.path, edge.line, "layering-violation",
+            "include of consumer tree '" + target->module +
+                "' — consumer trees (bench/examples/tools) sit on top of "
+                "the DAG and may not be included",
+            false});
+        continue;
+      }
+      if (consumer || !in_dag) continue;
+      const int from_layer = layering.layer_of.at(f.module);
+      if (to_layer == layering.layer_of.end()) {
+        findings.push_back(Finding{
+            f.path, edge.line, "layering-violation",
+            "include of module '" + target->module +
+                "' which is not declared in layering.ini — add it to the "
+                "DAG (every module must have a layer)",
+            false});
+        continue;
+      }
+      if (to_layer->second >= from_layer) {
+        std::ostringstream msg;
+        msg << "include edge " << f.module << " -> " << target->module
+            << " contradicts the layering DAG (" << target->module
+            << " is " << (to_layer->second == from_layer ? "in the same layer"
+                                                         : "above")
+            << "; " << edge.raw << "): depend only on lower layers, or "
+            << "move the shared declaration down";
+        findings.push_back(Finding{f.path, edge.line, "layering-violation",
+                                   msg.str(), false});
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> find_cycles(const ProjectModel& model) {
+  std::vector<Finding> findings;
+
+  // Module-granularity: condense the file graph onto modules with one
+  // witness edge per (from, to) pair; a module-level cycle (grid <-> boinc
+  // through different headers) never shows up as a header loop.
+  struct Witness {
+    std::string file;
+    int line;
+  };
+  std::map<std::string, std::map<std::string, Witness>> module_edges;
+  for (const ModelFile& f : model.files) {
+    for (const IncludeEdge& edge : f.includes) {
+      const ModelFile* target = model.file(edge.target);
+      if (target == nullptr || target->module == f.module) continue;
+      module_edges[f.module].emplace(target->module,
+                                     Witness{f.path, edge.line});
+    }
+  }
+  {
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+    std::function<void(const std::string&)> dfs =
+        [&](const std::string& module) {
+          color[module] = 1;
+          stack.push_back(module);
+          for (const auto& [next, witness] : module_edges[module]) {
+            if (color[next] == 1) {
+              // Reconstruct module cycle from the grey stack.
+              auto it = std::find(stack.begin(), stack.end(), next);
+              std::ostringstream cyc;
+              for (auto p = it; p != stack.end(); ++p) cyc << *p << " -> ";
+              cyc << next;
+              if (reported.insert(cyc.str()).second) {
+                findings.push_back(Finding{
+                    witness.file, witness.line, "layering-cycle",
+                    "module include cycle: " + cyc.str() +
+                        " — break the back-edge (move the shared "
+                        "declaration into a lower layer)",
+                    false});
+              }
+            } else if (color[next] == 0) {
+              dfs(next);
+            }
+          }
+          stack.pop_back();
+          color[module] = 2;
+        };
+    for (const auto& [module, _] : module_edges) {
+      if (color[module] == 0) dfs(module);
+    }
+  }
+
+  // File-granularity header loops (a.hpp -> b.hpp -> a.hpp): the include
+  // guard hides these from the compiler until someone reorders includes.
+  {
+    std::map<std::string, int> color;
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+    std::function<void(const ModelFile&)> dfs = [&](const ModelFile& f) {
+      color[f.path] = 1;
+      stack.push_back(f.path);
+      for (const IncludeEdge& edge : f.includes) {
+        const ModelFile* target = model.file(edge.target);
+        if (target == nullptr) continue;
+        if (color[target->path] == 1) {
+          auto it = std::find(stack.begin(), stack.end(), target->path);
+          std::ostringstream cyc;
+          for (auto p = it; p != stack.end(); ++p) cyc << *p << " -> ";
+          cyc << target->path;
+          if (reported.insert(cyc.str()).second) {
+            findings.push_back(Finding{
+                f.path, edge.line, "layering-cycle",
+                "header include cycle: " + cyc.str(), false});
+          }
+        } else if (color[target->path] == 0) {
+          dfs(*target);
+        }
+      }
+      stack.pop_back();
+      color[f.path] = 2;
+    };
+    for (const ModelFile& f : model.files) {
+      if (color[f.path] == 0) dfs(f);
+    }
+  }
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-project pass 2
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> analyze_project(const std::vector<FileEntry>& entries,
+                                     const ProjectModel& model,
+                                     const AnalysisOptions& options) {
+  std::vector<Finding> findings;
+  const std::string& src_root = options.src_root;
+  for (const FileEntry& e : entries) {
+    const std::string module = module_of(e.path, src_root);
+    const bool in_src = under_src(e.path, src_root);
+    Options per_file;
+    per_file.deterministic =
+        in_src && options.deterministic_modules.count(module) != 0;
+    per_file.decision_path =
+        in_src && options.decision_modules.count(module) != 0;
+    per_file.apply_suppressions = false;  // raw view; filtered below
+    per_file.unordered_aliases = model.unordered_aliases;
+    per_file.unordered_members = model.unordered_members;
+    std::vector<Finding> raw = lint_source(e.path, e.text, per_file);
+
+    if (options.audit_suppressions) {
+      // A suppression is live iff its rule produces a raw finding exactly
+      // at its target line. Driver-level rules (header-self-contained)
+      // cannot be audited lexically and are exempt.
+      for (const Suppression& s : collect_suppressions(e.path, e.text)) {
+        if (s.rule == "header-self-contained") continue;
+        const bool live = std::any_of(
+            raw.begin(), raw.end(), [&](const Finding& f) {
+              return f.line == s.line && f.rule == s.rule;
+            });
+        if (!live) {
+          raw.push_back(Finding{
+              e.path, s.line, "suppression-dead",
+              "allow(" + s.rule + ") no longer fires here (reason was: " +
+                  s.reason +
+                  ") — delete the suppression and its inventory row",
+              false});
+        }
+      }
+    }
+    for (Finding& f : raw) {
+      if (f.suppressed && options.apply_suppressions) continue;
+      findings.push_back(std::move(f));
+    }
+  }
+
+  if (options.layering != nullptr) {
+    for (Finding& f : check_layering(model, *options.layering)) {
+      findings.push_back(std::move(f));
+    }
+  }
+  for (Finding& f : find_cycles(model)) {
+    findings.push_back(std::move(f));
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace lattice::lint

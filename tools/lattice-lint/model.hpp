@@ -1,0 +1,135 @@
+// lattice-lint project model (pass 1) — see lint.hpp for the rule catalog.
+//
+// The per-file rules in lint.cpp are deliberately lexer-grade; what they
+// cannot see is anything that spans translation units: an #include
+// back-edge coupling src/core to src/boinc, a `using HostMap =
+// std::unordered_map<...>` alias defined in one header and iterated in
+// another TU, or a suppression whose rule stopped firing three PRs ago.
+// This pass builds the project-wide view those rules need:
+//
+//   * the full #include graph over the given roots (src/, bench/,
+//     examples/, tools/), with every edge resolved to an in-tree file and
+//     classified by module (the first path component under src/, or the
+//     root name for the consumer trees);
+//   * a symbol index of using-aliases/typedefs and struct/class members
+//     that resolve — transitively, across headers — to unordered
+//     containers, injected into pass 2 through lint::Options;
+//   * the declared module DAG (tools/lattice-lint/layering.ini), with
+//     every include edge validated against it (layering-violation) and
+//     any include cycle, at file or module granularity, a hard finding
+//     (layering-cycle);
+//   * the dead-suppression audit: a suppression whose rule produces no raw
+//     finding at its site is itself a finding (suppression-dead), so
+//     docs/LINTING.md stays a truthful audit trail.
+//
+// Everything here operates on (path, text) pairs so tests can drive the
+// model on synthetic trees without touching the filesystem; main.cpp is
+// just the walker that loads real files.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lattice-lint/lint.hpp"
+
+namespace lattice::lint {
+
+/// One file handed to the model: repo-relative generic path + contents.
+struct FileEntry {
+  std::string path;
+  std::string text;
+};
+
+/// A resolved `#include "..."` edge.
+struct IncludeEdge {
+  int line = 0;            // 1-based line of the #include
+  std::string target;      // repo-relative path of the included file
+  std::string raw;         // the literal between the quotes
+};
+
+/// Module layering declaration, parsed from layering.ini. Layers are
+/// listed bottom → top; a module may include itself and any module in a
+/// strictly lower layer. Consumers (bench, examples, tools, tests) sit on
+/// top: they may include every module, and nothing may include them.
+struct Layering {
+  std::map<std::string, int> layer_of;  // module -> 0-based layer index
+  std::vector<std::vector<std::string>> layers;  // bottom → top
+  std::set<std::string> consumers;
+};
+
+/// Parse layering.ini text. Unknown sections and malformed lines are
+/// reported into `errors` (the caller treats any error as fatal: a typo'd
+/// DAG must not silently allow everything).
+Layering parse_layering(std::string_view text,
+                        std::vector<std::string>* errors);
+
+struct ModelFile {
+  std::string path;    // repo-relative, generic separators
+  std::string module;  // "grid" for src/grid/..., "bench" for bench/...
+  std::vector<IncludeEdge> includes;
+};
+
+/// The project model: the include graph plus the cross-header symbol
+/// index. Built once (pass 1), consumed by every project-level rule and
+/// injected into the per-file pass.
+struct ProjectModel {
+  std::vector<ModelFile> files;  // sorted by path
+  /// Alias/typedef names that resolve (transitively, across headers) to an
+  /// unordered container.
+  std::set<std::string> unordered_aliases;
+  /// Struct/class member (or namespace-scope variable) names declared with
+  /// an unordered container type or an alias resolving to one.
+  std::set<std::string> unordered_members;
+
+  const ModelFile* file(std::string_view path) const;
+};
+
+/// Pass 1: resolve includes and build the symbol index. `src_root` names
+/// the directory whose immediate children are the modules (normally
+/// "src"); files outside it are classified by their first path component.
+ProjectModel build_model(const std::vector<FileEntry>& entries,
+                         std::string_view src_root = "src");
+
+/// Validate every include edge of `model` against the declared DAG.
+/// Only edges whose *including* file belongs to a src module are
+/// constrained; consumer trees may include anything. An edge into a module
+/// absent from the DAG is a finding too (the DAG must stay total).
+std::vector<Finding> check_layering(const ProjectModel& model,
+                                    const Layering& layering);
+
+/// Find include cycles: module-granularity first (a back-edge like
+/// grid ↔ boinc is a cycle even when no single header loop exists), then
+/// file-granularity header loops. Each cycle is reported once, on the
+/// lexicographically smallest participant.
+std::vector<Finding> find_cycles(const ProjectModel& model);
+
+/// Knobs for analyze_project, mirroring the driver's directory policy.
+struct AnalysisOptions {
+  /// src modules whose files get the deterministic rule set.
+  std::set<std::string> deterministic_modules;
+  /// src modules whose files get the decision-sort rule.
+  std::set<std::string> decision_modules;
+  /// When non-null, layering is enforced.
+  const Layering* layering = nullptr;
+  /// When true (default), emit a suppression-dead finding for every
+  /// suppression whose rule produces no raw finding at its target line.
+  bool audit_suppressions = true;
+  /// When false, findings covered by suppressions are retained and
+  /// flagged (the --json view).
+  bool apply_suppressions = true;
+  /// Root whose immediate children are the modules (matches build_model).
+  std::string src_root = "src";
+};
+
+/// Pass 2 over the whole model: per-file rules with the symbol index
+/// injected, layering validation, cycle detection, and the
+/// dead-suppression audit. Findings come back sorted by (file, line,
+/// rule) — the stable report order.
+std::vector<Finding> analyze_project(const std::vector<FileEntry>& entries,
+                                     const ProjectModel& model,
+                                     const AnalysisOptions& options);
+
+}  // namespace lattice::lint
