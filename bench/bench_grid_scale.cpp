@@ -76,6 +76,11 @@ SweepResult run_once(std::size_t hosts, std::size_t shards, int batches,
   core::LatticeConfig config;
   config.scheduler.mode = core::SchedulingMode::kEstimateAware;
   config.seed = 9;
+  // Pin the pre-vectorization cost surface: every historical row in
+  // BENCH_grid_scale.json was measured against these constants, and this
+  // sweep gates on before/after ratios — repricing the workload would
+  // silently change what "before" means (see GarliCostModel::Params).
+  config.cost_params = core::GarliCostModel::Params::scalar_client();
   core::LatticeSystem system(config);
   bench::InventoryOptions inventory;
   inventory.boinc_hosts = hosts;

@@ -5,11 +5,14 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "core/cost_model.hpp"
 #include "phylo/ga.hpp"
+#include "phylo/island.hpp"
+#include "phylo/kernels/kernels.hpp"
 #include "phylo/likelihood.hpp"
 #include "phylo/linalg.hpp"
 #include "phylo/model.hpp"
@@ -17,6 +20,7 @@
 #include "rf/forest.hpp"
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace {
 
@@ -173,6 +177,33 @@ void BM_GaGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_GaGeneration);
 
+// Island-model GA: one migration round (4 islands x 5 generations) per
+// iteration on an Arg(0)-thread pool. Bit-identical for every thread
+// count — the wall-clock spread across 1/2/4 threads is the point.
+void BM_IslandGA(benchmark::State& state) {
+  util::Rng rng(21);
+  phylo::ModelSpec spec;
+  spec.rate_het = phylo::RateHet::kGamma;
+  spec.n_rate_categories = 4;
+  const auto dataset = phylo::simulate_dataset(12, 240, spec, rng, 0.15);
+  const phylo::PatternizedAlignment patterns(dataset.alignment);
+  phylo::IslandGaConfig config;
+  config.n_islands = 4;
+  config.migration_interval = 5;
+  config.max_rounds = 1u << 30;
+  config.island.seed = 99;
+  config.island.genthresh = 1u << 30;
+  config.island.max_generations = 1u << 30;
+  phylo::IslandGaSearch search(patterns, spec, config);
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  search.set_thread_pool(&pool);
+  for (auto _ : state) {
+    search.round(&pool);
+    benchmark::DoNotOptimize(search.best().log_likelihood);
+  }
+}
+BENCHMARK(BM_IslandGA)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_ForestTrain(benchmark::State& state) {
   const core::GarliCostModel model;
   util::Rng rng(9);
@@ -218,6 +249,47 @@ BENCHMARK(BM_CostModelSample);
 // single-branch perturbation per evaluation), written to
 // BENCH_likelihood.json so the perf trajectory is machine-readable without
 // parsing google-benchmark output.
+// One fixed-length island-GA run: `rounds` migration rounds on a
+// `threads`-thread pool with every engine pinned to `tier`. Returns the
+// per-round wall time plus the exact best-likelihood bits and generation
+// count, so the caller can assert that thread count and ISA tier change
+// the clock and nothing else.
+struct IslandGaRun {
+  double ns_per_round;
+  double best_log_likelihood;
+  std::size_t generations;
+};
+
+IslandGaRun run_island_ga(std::size_t threads,
+                          phylo::kernels::IsaTier tier) {
+  using clock = std::chrono::steady_clock;
+  util::Rng rng(21);
+  phylo::ModelSpec spec;
+  spec.rate_het = phylo::RateHet::kGamma;
+  spec.n_rate_categories = 4;
+  const auto dataset = phylo::simulate_dataset(12, 240, spec, rng, 0.15);
+  const phylo::PatternizedAlignment patterns(dataset.alignment);
+  phylo::IslandGaConfig config;
+  config.n_islands = 4;
+  config.migration_interval = 5;
+  config.max_rounds = 1u << 30;
+  config.island.seed = 99;
+  config.island.genthresh = 1u << 30;
+  config.island.max_generations = 1u << 30;
+  phylo::IslandGaSearch search(patterns, spec, config);
+  search.force_isa(tier);
+  util::ThreadPool pool(threads);
+  search.set_thread_pool(&pool);
+  constexpr int kRounds = 6;
+  const auto start = clock::now();
+  for (int r = 0; r < kRounds; ++r) search.round(&pool);
+  const double ns =
+      std::chrono::duration<double, std::nano>(clock::now() - start)
+          .count() /
+      kRounds;
+  return {ns, search.best().log_likelihood, search.total_generations()};
+}
+
 void emit_likelihood_json() {
   using clock = std::chrono::steady_clock;
   util::Rng rng(15);
@@ -226,10 +298,12 @@ void emit_likelihood_json() {
   const phylo::PatternizedAlignment patterns(dataset.alignment);
   const phylo::SubstitutionModel model(spec);
 
-  const auto time_mode = [&](bool incremental, int iters) {
+  const auto time_mode = [&](bool incremental, int iters,
+                             phylo::kernels::IsaTier tier) {
     phylo::LikelihoodEngine engine(patterns);
     engine.enable_incremental(incremental);
     engine.enable_matrix_cache();
+    engine.force_isa(tier);
     phylo::Tree tree = dataset.tree;
     double sink = engine.log_likelihood(tree, model);  // warm
     std::size_t branch = 0;
@@ -249,8 +323,34 @@ void emit_likelihood_json() {
     return ns;
   };
 
-  const double full_ns = time_mode(false, 300);
-  const double inc_ns = time_mode(true, 3000);
+  // full/incremental run on the active (best) tier; the scalar-pinned
+  // full run is the vectorization baseline. vector_speedup is the
+  // headline kernel win: same scenario, same engine, kernels apart.
+  const phylo::kernels::IsaTier active = phylo::kernels::active_tier();
+  const double full_ns = time_mode(false, 300, active);
+  const double inc_ns = time_mode(true, 3000, active);
+  const double scalar_full_ns =
+      time_mode(false, 300, phylo::kernels::IsaTier::kScalar);
+
+  // Island-GA wall clock at 1/2/4 pool threads, plus the determinism
+  // cross-check: identical bits for every thread count and for the
+  // scalar tier.
+  const IslandGaRun ga1 = run_island_ga(1, active);
+  const IslandGaRun ga2 = run_island_ga(2, active);
+  const IslandGaRun ga4 = run_island_ga(4, active);
+  const IslandGaRun ga_scalar =
+      run_island_ga(1, phylo::kernels::IsaTier::kScalar);
+  const auto same_bits = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
+  const bool ga_identical =
+      same_bits(ga1.best_log_likelihood, ga2.best_log_likelihood) &&
+      same_bits(ga1.best_log_likelihood, ga4.best_log_likelihood) &&
+      same_bits(ga1.best_log_likelihood, ga_scalar.best_log_likelihood) &&
+      ga1.generations == ga2.generations &&
+      ga1.generations == ga4.generations &&
+      ga1.generations == ga_scalar.generations;
+
   std::ofstream out("BENCH_likelihood.json");
   out.precision(6);
   out << "{\n"
@@ -258,13 +358,25 @@ void emit_likelihood_json() {
       << "  \"scenario\": \"32-taxon 4-category DNA, single-branch "
          "perturbation\",\n"
       << "  \"n_patterns\": " << patterns.n_patterns() << ",\n"
+      << "  \"isa_tier\": \"" << phylo::kernels::tier_name(active) << "\",\n"
       << "  \"full_ns_per_eval\": " << full_ns << ",\n"
       << "  \"incremental_ns_per_eval\": " << inc_ns << ",\n"
-      << "  \"speedup\": " << full_ns / inc_ns << "\n"
+      << "  \"speedup\": " << full_ns / inc_ns << ",\n"
+      << "  \"scalar_full_ns_per_eval\": " << scalar_full_ns << ",\n"
+      << "  \"vector_speedup\": " << scalar_full_ns / full_ns << ",\n"
+      << "  \"island_ga_ns_1t\": " << ga1.ns_per_round << ",\n"
+      << "  \"island_ga_ns_2t\": " << ga2.ns_per_round << ",\n"
+      << "  \"island_ga_ns_4t\": " << ga4.ns_per_round << ",\n"
+      << "  \"island_ga_identical\": " << (ga_identical ? "true" : "false")
+      << "\n"
       << "}\n";
   std::cout << "BENCH_likelihood.json: full " << full_ns / 1e3
-            << " us/eval, incremental " << inc_ns / 1e3
-            << " us/eval, speedup " << full_ns / inc_ns << "x\n";
+            << " us/eval (" << phylo::kernels::tier_name(active)
+            << "), scalar " << scalar_full_ns / 1e3
+            << " us/eval, vector speedup " << scalar_full_ns / full_ns
+            << "x, incremental " << inc_ns / 1e3 << " us/eval, island GA "
+            << (ga_identical ? "bit-identical" : "DIVERGED")
+            << " across 1/2/4 threads + scalar tier\n";
 }
 
 }  // namespace

@@ -1,30 +1,53 @@
 #!/usr/bin/env bash
 # Bench-gate lint (ctest test `check_bench`): the frozen performance
-# numbers recorded in BENCH_grid_scale.json are CI gates, not prose — a
-# re-record that regresses either headline result must fail here instead
-# of drifting silently. Gates (docs/PERFORMANCE.md, docs/NETWORKING.md):
+# numbers recorded in BENCH_*.json are CI gates, not prose — a re-record
+# that regresses a headline result must fail here instead of drifting
+# silently. Records are dispatched on their "bench" key. Gates
+# (docs/PERFORMANCE.md, docs/NETWORKING.md):
 #
+#   grid_scale:
 #   * sub-linear decision pass: >= 5x ns/decision speedup at 100k hosts
 #     (ns_per_decision_100k_before / ns_per_decision_100k_after);
 #   * transfer model: every recorded hosts_*_net_overhead_ratio <= 1.3x —
 #     enabling the network layer may not blow up the event budget.
 #
-# Usage: check_bench.sh [bench-json]
+#   likelihood:
+#   * vectorized kernels: vector_speedup (best supported ISA tier vs the
+#     scalar oracle on the full-eval benchmark) >= 3x;
+#   * the scalar oracle itself must not regress: scalar_full_ns_per_eval
+#     within 15% of the frozen pre-vectorization 937669 ns/eval;
+#   * island_ga_identical == true — the parallel island GA produced
+#     bit-identical results across 1/2/4 pool threads and across ISA
+#     tiers (the determinism contract of DESIGN.md §14);
+#   * island_ga_ns_{1,2,4}t present and positive (the wall-clock record
+#     behind the threading satellite).
+#
+# Usage: check_bench.sh [bench-json ...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-bench=${1:-BENCH_grid_scale.json}
-if [ ! -f "$bench" ]; then
-  echo "check_bench: missing $bench (frozen bench record)" >&2
-  exit 1
+benches=("$@")
+if [ ${#benches[@]} -eq 0 ]; then
+  benches=(BENCH_grid_scale.json BENCH_likelihood.json)
 fi
+fail=0
+for bench in "${benches[@]}"; do
+  if [ ! -f "$bench" ]; then
+    echo "check_bench: missing $bench (frozen bench record)" >&2
+    fail=1
+    continue
+  fi
 
-python3 - "$bench" <<'EOF'
+  python3 - "$bench" <<'EOF' || fail=1
 import json
 import sys
 
 MIN_DECISION_SPEEDUP = 5.0
 MAX_NET_OVERHEAD = 1.3
+
+MIN_VECTOR_SPEEDUP = 3.0
+SCALAR_BASELINE_NS = 937669.0   # pre-vectorization full_ns_per_eval
+SCALAR_TOLERANCE = 0.15         # single-core CI timing is noisy
 
 path = sys.argv[1]
 with open(path) as f:
@@ -34,53 +57,111 @@ fail = 0
 
 def get(key):
     value = record.get(key)
-    if not isinstance(value, (int, float)):
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
         print(f"check_bench: {path} is missing numeric key '{key}'")
         return None
     return float(value)
 
-before = get("ns_per_decision_100k_before")
-after = get("ns_per_decision_100k_after")
-if before is None or after is None:
-    fail = 1
-elif after <= 0:
-    print(f"check_bench: ns_per_decision_100k_after = {after} is not positive")
-    fail = 1
-else:
-    speedup = before / after
-    if speedup < MIN_DECISION_SPEEDUP:
+kind = record.get("bench")
+
+if kind == "grid_scale":
+    before = get("ns_per_decision_100k_before")
+    after = get("ns_per_decision_100k_after")
+    if before is None or after is None:
+        fail = 1
+    elif after <= 0:
+        print(f"check_bench: ns_per_decision_100k_after = {after} is not "
+              "positive")
+        fail = 1
+    else:
+        speedup = before / after
+        if speedup < MIN_DECISION_SPEEDUP:
+            print(
+                f"check_bench: decision speedup at 100k hosts is "
+                f"{speedup:.2f}x ({before:.0f} -> {after:.0f} ns/decision); "
+                f"the frozen gate is >= {MIN_DECISION_SPEEDUP}x"
+            )
+            fail = 1
+        else:
+            print(
+                f"check_bench: decision speedup 100k hosts {speedup:.2f}x "
+                f">= {MIN_DECISION_SPEEDUP}x  OK"
+            )
+
+    ratios = sorted(k for k in record if k.endswith("_net_overhead_ratio"))
+    if not ratios:
+        print(f"check_bench: {path} records no *_net_overhead_ratio keys")
+        fail = 1
+    for key in ratios:
+        ratio = get(key)
+        if ratio is None:
+            fail = 1
+        elif ratio > MAX_NET_OVERHEAD:
+            print(
+                f"check_bench: {key} = {ratio:.3f} exceeds the frozen "
+                f"{MAX_NET_OVERHEAD}x gate"
+            )
+            fail = 1
+    if not fail and ratios:
+        worst = max(float(record[k]) for k in ratios)
         print(
-            f"check_bench: decision speedup at 100k hosts is {speedup:.2f}x "
-            f"({before:.0f} -> {after:.0f} ns/decision); the frozen gate is "
-            f">= {MIN_DECISION_SPEEDUP}x"
+            f"check_bench: {len(ratios)} net overhead ratios <= "
+            f"{MAX_NET_OVERHEAD}x (worst {worst:.3f})  OK"
+        )
+
+elif kind == "likelihood":
+    speedup = get("vector_speedup")
+    if speedup is None:
+        fail = 1
+    elif speedup < MIN_VECTOR_SPEEDUP:
+        print(
+            f"check_bench: vector_speedup = {speedup:.2f}x is below the "
+            f"frozen >= {MIN_VECTOR_SPEEDUP}x kernel gate"
         )
         fail = 1
     else:
         print(
-            f"check_bench: decision speedup 100k hosts {speedup:.2f}x "
-            f">= {MIN_DECISION_SPEEDUP}x  OK"
+            f"check_bench: vector kernel speedup {speedup:.2f}x "
+            f">= {MIN_VECTOR_SPEEDUP}x  OK"
         )
 
-ratios = sorted(k for k in record if k.endswith("_net_overhead_ratio"))
-if not ratios:
-    print(f"check_bench: {path} records no *_net_overhead_ratio keys")
-    fail = 1
-for key in ratios:
-    ratio = get(key)
-    if ratio is None:
+    scalar = get("scalar_full_ns_per_eval")
+    if scalar is None:
         fail = 1
-    elif ratio > MAX_NET_OVERHEAD:
+    elif scalar > SCALAR_BASELINE_NS * (1.0 + SCALAR_TOLERANCE):
         print(
-            f"check_bench: {key} = {ratio:.3f} exceeds the frozen "
-            f"{MAX_NET_OVERHEAD}x gate"
+            f"check_bench: scalar_full_ns_per_eval = {scalar:.0f} regresses "
+            f"the frozen {SCALAR_BASELINE_NS:.0f} ns/eval scalar oracle by "
+            f"more than {SCALAR_TOLERANCE:.0%}"
         )
         fail = 1
-if not fail and ratios:
-    worst = max(float(record[k]) for k in ratios)
-    print(
-        f"check_bench: {len(ratios)} net overhead ratios <= "
-        f"{MAX_NET_OVERHEAD}x (worst {worst:.3f})  OK"
-    )
+    else:
+        print(
+            f"check_bench: scalar oracle {scalar:.0f} ns/eval within "
+            f"{SCALAR_TOLERANCE:.0%} of {SCALAR_BASELINE_NS:.0f}  OK"
+        )
+
+    identical = record.get("island_ga_identical")
+    if identical is not True:
+        print(
+            "check_bench: island_ga_identical is not true — the island GA "
+            "must be bit-identical across 1/2/4 pool threads and ISA tiers"
+        )
+        fail = 1
+    else:
+        print("check_bench: island GA bit-identical across threads/tiers  OK")
+
+    for key in ("island_ga_ns_1t", "island_ga_ns_2t", "island_ga_ns_4t"):
+        ns = get(key)
+        if ns is None or ns <= 0:
+            print(f"check_bench: {key} missing or not positive")
+            fail = 1
+
+else:
+    print(f"check_bench: {path} has unknown bench kind {kind!r}")
+    fail = 1
 
 sys.exit(fail)
 EOF
+done
+exit "$fail"

@@ -51,7 +51,9 @@ if [ ! -f "$perf" ]; then
 else
   for anchor in match_online 'deadline heap' 'feeder' 'census' \
                 'far band' 'ns/decision' 'best_ranked' \
-                'lookahead barrier' 'weak-scaled'; do
+                'lookahead barrier' 'weak-scaled' \
+                'vector_speedup' 'LATTICE_FORCE_ISA' 'scalar_client' \
+                'island_ga_identical'; do
     if ! grep -qiF "$anchor" "$perf"; then
       echo "check_docs: $perf lost its '$anchor' budget entry" >&2
       fail=1
@@ -152,6 +154,25 @@ else
   done
 fi
 
+# The vectorized likelihood kernels document their bit-determinism
+# contract (DESIGN.md §14): the no-FMA rule, contraction flags,
+# tail-lane masking, the dispatch override, and the help-while-waiting
+# pool join must keep being named so a kernel edit argues with the
+# ledger instead of silently relaxing it.
+if ! grep -qE '^## +(§ *)?14' "$design" 2>/dev/null; then
+  echo "check_docs: $design has no §14 (ISA-dispatch determinism ledger)" >&2
+  fail=1
+else
+  for anchor in 'No FMA' 'ffp-contract' 'LATTICE_FORCE_ISA' \
+                'intrinsics-confined' 'helps while waiting' \
+                'masked' 'KernelOps' 'aligned_vector'; do
+    if ! grep -qiF "$anchor" "$design"; then
+      echo "check_docs: $design §14 lost its '$anchor' determinism entry" >&2
+      fail=1
+    fi
+  done
+fi
+
 # The lint layer documents its project-wide rule catalog and the layering
 # DAG (docs/LINTING.md); the doc must keep naming every rule family the
 # engine enforces so the catalog cannot drift from tools/lattice-lint.
@@ -162,6 +183,7 @@ if [ ! -f "$linting" ]; then
 else
   for anchor in 'layering-violation' 'layering-cycle' 'unordered-alias' \
                 'kernel-callback-throw' 'suppression-dead' 'layering.ini' \
+                'intrinsics-confined' 'src/phylo/kernels' \
                 '--json' 'project model'; do
     if ! grep -qiF -- "$anchor" "$linting"; then
       echo "check_docs: $linting lost its '$anchor' rule-catalog entry" >&2

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end determinism check (ctest test `determinism_e2e`): the PR 2
 # obs-on/off guard, promoted to the binary level. Runs the volunteer_grid
-# scenario (with the pooled-likelihood self-test enabled) four times —
+# scenario (with the pooled-likelihood self-test enabled) five times —
 # twice identically, once with a different thread-pool size, once with the
-# volunteer-pool calendar sharded 4 ways — and demands bit-identical
-# stdout, metrics snapshot, and trace.
+# volunteer-pool calendar sharded 4 ways, once with the likelihood-kernel
+# ISA pinned to the scalar oracle (LATTICE_FORCE_ISA=scalar) — and demands
+# bit-identical stdout, metrics snapshot, and trace.
 #
 # Wall-clock observations are the one sanctioned nondeterminism, and they
 # are confined by construction: the sim.handler_wall_us histogram in the
@@ -65,10 +66,23 @@ run_net() {  # run_net <tag> [shards]
   grep -v 'handler_wall_us' "$work/nm-$tag.json" > "$work/nm-$tag.det"
 }
 
+run_scalar() {  # run_scalar <tag>: ISA tier pinned to the portable oracle
+  local tag=$1
+  LATTICE_FORCE_ISA=scalar \
+      "$bin" --pool-threads=2 --shards=1 \
+             --metrics-out="$work/m-$tag.json" \
+             --trace-out="$work/t-$tag.json" > "$work/out-$tag.raw"
+  sed -e "s#$work#WORK#g" -e "s#-$tag\.json#-RUN.json#g" \
+      "$work/out-$tag.raw" > "$work/out-$tag.txt"
+  grep -v 'handler_wall_us' "$work/m-$tag.json" > "$work/m-$tag.det"
+  grep -v '"pid": 2' "$work/t-$tag.json" > "$work/t-$tag.det"
+}
+
 run a 2
 run b 2
 run c 5
 run d 2 4
+run_scalar e
 run_fault a
 run_fault b
 run_net a
@@ -108,6 +122,12 @@ check t-a.det t-c.det "trace across thread counts (2 vs 5)"
 check out-a.txt out-d.txt "stdout across calendar shards (1 vs 4)"
 check m-a.det m-d.det "metrics across calendar shards (1 vs 4)"
 check t-a.det t-d.det "trace across calendar shards (1 vs 4)"
+# ISA tier pinned to the scalar oracle: the likelihood-kernel dispatch
+# (LATTICE_FORCE_ISA, DESIGN.md §14) must be unobservable — every vector
+# tier computes bit-identical partials, scale folds, and reductions.
+check out-a.txt out-e.txt "stdout across ISA tiers (native vs scalar)"
+check m-a.det m-e.det "metrics across ISA tiers (native vs scalar)"
+check t-a.det t-e.det "trace across ISA tiers (native vs scalar)"
 
 # Fault-injection runs under the same plan: the injected event stream must
 # be a pure function of seed + plan.
@@ -136,7 +156,7 @@ for metric in net.bytes_down net.bytes_up net.transfers_completed; do
 done
 
 if [ "$fail" -eq 0 ]; then
-  echo "determinism: 9 runs bit-identical" \
+  echo "determinism: 10 runs bit-identical" \
        "(sha256 $(sha256sum "$work/m-a.det" | cut -c1-12)…" \
        "fault $(sha256sum "$work/fm-a.det" | cut -c1-12)…" \
        "net $(sha256sum "$work/nm-a.det" | cut -c1-12)…)"

@@ -54,15 +54,22 @@ class GarliCostModel {
  public:
   struct Params {
     /// Seconds for the unit job (one nucleotide pattern, one taxon-pair
-    /// scale); calibrated so typical web jobs land in the paper's "hours,
-    /// weeks, or months" range: a 60-taxon/500-pattern equal-rates search
-    /// is ~1.2 h on the reference machine, gamma pushes it to ~8 h, and
-    /// codon+gamma analyses run for days.
-    double base_seconds = 2.0e-2;
+    /// scale). Recalibrated against the vectorized likelihood kernels
+    /// (src/phylo/kernels/, PERFORMANCE.md): the measured DNA full-eval
+    /// speedup of ~4.1x over the scalar client divides the old
+    /// 2.0e-2 base down to 4.8e-3, keeping typical web jobs in the
+    /// paper's "hours, weeks, or months" range on modern vector hosts.
+    /// The pre-vectorization surface survives as scalar_client().
+    double base_seconds = 4.8e-3;
     double taxa_exponent = 1.3;
-    /// Per-pattern cost multipliers by data type.
-    double aa_factor = 5.5;
-    double codon_factor = 12.0;
+    /// Per-pattern cost multipliers by data type, rescaled by each
+    /// type's measured vector speedup relative to DNA's 4.1x: amino
+    /// acids vectorize to ~2.8x (generic-ns kernel), so their relative
+    /// cost grows 5.5 -> 8.2; codon work is dominated by 61x61 P(t)
+    /// reconstruction the kernels do not touch (~1.3x end to end), so
+    /// its relative factor grows 12 -> 38.
+    double aa_factor = 8.2;
+    double codon_factor = 38.0;
     /// Rate-heterogeneity slowdowns (the dominant effect): extra
     /// conditional-likelihood passes per category plus markedly slower GA
     /// convergence under the larger parameter space.
@@ -81,6 +88,12 @@ class GarliCostModel {
     /// sigma of the lognormal input-size spread around the alignment's
     /// nominal bytes (partitioned supermatrices, bundled site data).
     double data_noise_sigma = 0.35;
+
+    /// The pre-vectorization (scalar-client) surface: the constants every
+    /// BENCH_grid_scale row before the kernel work was measured against.
+    /// Benches that must stay comparable across that boundary pin these
+    /// via LatticeConfig::cost_params.
+    static Params scalar_client();
   };
 
   /// Staged data per attempt implied by the features (docs/NETWORKING.md):

@@ -28,6 +28,7 @@ LatticeSystem::LatticeSystem(LatticeConfig config)
       sim_(),
       mds_(sim_, config.mds_ttl),
       speeds_(600.0),
+      cost_model_(config.cost_params),
       estimator_(),
       scheduler_(mds_, speeds_, config.scheduler),
       rng_(config.seed),

@@ -85,6 +85,11 @@ class GaSearch {
     engine_.set_thread_pool(pool);
   }
 
+  /// Pin this search's likelihood engine to one ISA kernel tier (clamped
+  /// to host support; see LikelihoodEngine::force_isa). All tiers are
+  /// bit-identical, so the search trajectory does not depend on it.
+  void force_isa(kernels::IsaTier tier) { engine_.force_isa(tier); }
+
   /// Replace the worst individual with `migrant` (island-model migration;
   /// GARLI's MPI version exchanges individuals between populations). The
   /// migrant's log_likelihood must already be evaluated for this data.

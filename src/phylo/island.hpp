@@ -40,6 +40,22 @@ class IslandGaSearch {
   /// One migration round; returns false once terminated.
   bool round(util::ThreadPool* pool = nullptr);
 
+  /// Fan each island's likelihood evaluation across `pool` workers (the
+  /// same pool `round` uses across islands — parallel_for is reentrant
+  /// and every (island, category, block-chunk) cell is written by exactly
+  /// one task, so any `--pool-threads` value yields bit-identical
+  /// rounds). Borrowed, not owned; nullptr returns to serial engines.
+  void set_thread_pool(util::ThreadPool* pool) {
+    for (auto& island : islands_) island->set_thread_pool(pool);
+  }
+
+  /// Pin every island's likelihood engine to one ISA kernel tier
+  /// (clamped to host support). Tiers are bit-identical, so this cannot
+  /// change the search trajectory — benches use it to compare tiers.
+  void force_isa(kernels::IsaTier tier) {
+    for (auto& island : islands_) island->force_isa(tier);
+  }
+
   bool done() const;
   const Individual& best() const;
   std::size_t rounds() const { return rounds_; }

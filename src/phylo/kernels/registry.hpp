@@ -1,0 +1,15 @@
+// Internal wiring between the per-ISA kernel TUs and the dispatcher.
+// Each TU exports its table through one of these hooks; a TU compiled
+// without its ISA flags (non-x86 build, older compiler) returns nullptr
+// and the dispatcher treats the tier as absent from the build.
+#pragma once
+
+#include "phylo/kernels/kernels.hpp"
+
+namespace lattice::phylo::kernels {
+
+const KernelOps* scalar_ops();  // never null
+const KernelOps* avx2_ops();    // null when built without AVX2 support
+const KernelOps* avx512_ops();  // null when built without AVX-512 support
+
+}  // namespace lattice::phylo::kernels

@@ -15,110 +15,12 @@
 namespace lattice::phylo {
 
 namespace {
-// Rescale when the largest partial in a block falls below this; keeps
-// products of many small branch probabilities out of the denormal range.
-constexpr double kScaleThreshold = 1e-100;
-
+// The block kernels themselves live in src/phylo/kernels/ (scalar oracle
+// plus AVX2/AVX-512 tiers, selected through kernel_ops_); this TU keeps
+// only the orchestration around them.
 constexpr std::size_t kB = LikelihoodEngine::kPatternBlock;
-
-// One child-edge contribution to a block of a parent partial. `dst` holds
-// n_states rows of kB doubles; `cp` is the child's block in the same
-// layout; `p` is the row-major n_states x n_states transition matrix.
-// kAssign writes the first child's factor, the second multiplies in.
-template <bool kAssign>
-void child_internal_generic(double* __restrict dst,
-                            const double* __restrict cp,
-                            const double* __restrict p, std::size_t ns) {
-  double acc[kB];
-  for (std::size_t x = 0; x < ns; ++x) {
-    for (std::size_t i = 0; i < kB; ++i) acc[i] = 0.0;
-    const double* px = p + x * ns;
-    for (std::size_t y = 0; y < ns; ++y) {
-      const double pxy = px[y];
-      const double* __restrict cpy = cp + y * kB;
-      for (std::size_t i = 0; i < kB; ++i) acc[i] += pxy * cpy[i];
-    }
-    double* __restrict row = dst + x * kB;
-    for (std::size_t i = 0; i < kB; ++i) {
-      if constexpr (kAssign) {
-        row[i] = acc[i];
-      } else {
-        row[i] *= acc[i];
-      }
-    }
-  }
-}
-
-// Specialized fully unrolled 4-state (DNA) path: the compiler sees four
-// contiguous input rows and four constants per output row and vectorizes
-// the pattern loop.
-template <bool kAssign>
-void child_internal_4(double* __restrict dst, const double* __restrict cp,
-                      const double* __restrict p) {
-  const double* __restrict c0 = cp;
-  const double* __restrict c1 = cp + kB;
-  const double* __restrict c2 = cp + 2 * kB;
-  const double* __restrict c3 = cp + 3 * kB;
-  double* __restrict r0 = dst;
-  double* __restrict r1 = dst + kB;
-  double* __restrict r2 = dst + 2 * kB;
-  double* __restrict r3 = dst + 3 * kB;
-  for (std::size_t i = 0; i < kB; ++i) {
-    const double v0 = c0[i];
-    const double v1 = c1[i];
-    const double v2 = c2[i];
-    const double v3 = c3[i];
-    const double a0 = p[0] * v0 + p[1] * v1 + p[2] * v2 + p[3] * v3;
-    const double a1 = p[4] * v0 + p[5] * v1 + p[6] * v2 + p[7] * v3;
-    const double a2 = p[8] * v0 + p[9] * v1 + p[10] * v2 + p[11] * v3;
-    const double a3 = p[12] * v0 + p[13] * v1 + p[14] * v2 + p[15] * v3;
-    if constexpr (kAssign) {
-      r0[i] = a0;
-      r1[i] = a1;
-      r2[i] = a2;
-      r3[i] = a3;
-    } else {
-      r0[i] *= a0;
-      r1[i] *= a1;
-      r2[i] *= a2;
-      r3[i] *= a3;
-    }
-  }
-}
-
-// Leaf contribution: column of P for the observed state, or 1 for missing
-// data.
-template <bool kAssign>
-void child_leaf(double* __restrict dst, const State* __restrict states,
-                const double* __restrict p, std::size_t ns) {
-  for (std::size_t x = 0; x < ns; ++x) {
-    const double* px = p + x * ns;
-    double* __restrict row = dst + x * kB;
-    for (std::size_t i = 0; i < kB; ++i) {
-      const State s = states[i];
-      const double f = s == kMissing ? 1.0 : px[static_cast<std::size_t>(s)];
-      if constexpr (kAssign) {
-        row[i] = f;
-      } else {
-        row[i] *= f;
-      }
-    }
-  }
-}
-
-template <bool kAssign>
-void apply_child(double* dst, const double* child_partial,
-                 const State* child_states, const double* p,
-                 std::size_t ns) {
-  if (child_states != nullptr) {
-    child_leaf<kAssign>(dst, child_states, p, ns);
-  } else if (ns == 4) {
-    child_internal_4<kAssign>(dst, child_partial, p);
-  } else {
-    child_internal_generic<kAssign>(dst, child_partial, p, ns);
-  }
-}
-
+static_assert(kB == kernels::kPatternBlock,
+              "engine block size must match the kernel block size");
 }  // namespace
 
 LikelihoodEngine::LikelihoodEngine(const PatternizedAlignment& data)
@@ -322,6 +224,8 @@ void LikelihoodEngine::compute_range(std::size_t cat, std::size_t blk_lo,
                                      std::size_t blk_hi) {
   const std::size_t ns = n_states_;
   const std::size_t nn = ns * ns;
+  const std::size_t n_patterns = data_->n_patterns();
+  const kernels::KernelOps& ops = *kernel_ops_;
   for (std::size_t k = 0; k < dirty_nodes_.size(); ++k) {
     const DirtyNode& dn = dirty_nodes_[k];
     double* partial = partial_ptr(dn.node, cat);
@@ -349,34 +253,23 @@ void LikelihoodEngine::compute_range(std::size_t cat, std::size_t blk_lo,
 
     for (std::size_t b = blk_lo; b < blk_hi; ++b) {
       double* block = partial + b * ns * kB;
-      apply_child<true>(block,
-                        left_partial ? left_partial + b * ns * kB : nullptr,
-                        left_states ? left_states + b * kB : nullptr,
-                        left_mat, ns);
-      apply_child<false>(block,
-                         right_partial ? right_partial + b * ns * kB : nullptr,
-                         right_states ? right_states + b * kB : nullptr,
-                         right_mat, ns);
+      ops.apply_child_assign(
+          block, left_partial ? left_partial + b * ns * kB : nullptr,
+          left_states ? left_states + b * kB : nullptr, left_mat, ns);
+      ops.apply_child_mul(
+          block, right_partial ? right_partial + b * ns * kB : nullptr,
+          right_states ? right_states + b * kB : nullptr, right_mat, ns);
 
-      // Cumulative subtree scale: children first, then this node's own
-      // per-block rescale when the whole block has drifted tiny.
-      double* sb = scale + b * kB;
-      const double* sl = left_scale ? left_scale + b * kB : nullptr;
-      const double* sr = right_scale ? right_scale + b * kB : nullptr;
-      for (std::size_t i = 0; i < kB; ++i) {
-        sb[i] = (sl ? sl[i] : 0.0) + (sr ? sr[i] : 0.0);
-      }
-      double block_max = 0.0;
-      const std::size_t len = ns * kB;
-      for (std::size_t i = 0; i < len; ++i) {
-        block_max = std::max(block_max, block[i]);
-      }
-      if (block_max > 0.0 && block_max < kScaleThreshold) {
-        const double inv = 1.0 / block_max;
-        for (std::size_t i = 0; i < len; ++i) block[i] *= inv;
-        const double log_max = std::log(block_max);
-        for (std::size_t i = 0; i < kB; ++i) sb[i] += log_max;
-      }
+      // Cumulative subtree scale (children first, then this node's own
+      // per-block rescale) fused with the max scan in the kernel
+      // epilogue. `lanes` masks the pad lanes of the final block out of
+      // the rescale decision.
+      const std::size_t lanes =
+          std::min<std::size_t>(kB, n_patterns - b * kB);
+      ops.block_epilogue(block, scale + b * kB,
+                         left_scale ? left_scale + b * kB : nullptr,
+                         right_scale ? right_scale + b * kB : nullptr, ns,
+                         lanes);
     }
   }
 }
@@ -476,31 +369,41 @@ double LikelihoodEngine::evaluate(const Tree& tree,
     root_partials_[cat] = partial_ptr(tree.root(), cat);
     root_scales_[cat] = scale_ptr(tree.root(), cat);
   }
+  // Per block: the kernel reduces each category's state rows to per-lane
+  // site products (same ascending-state association as the old per-lane
+  // loop), then the lanes are mixed serially in pattern order — the
+  // deterministic reduction is untouched.
+  root_site_buf_.resize(n_cat_ * kB);
   double total = 0.0;
-  for (std::size_t pat = 0; pat < n_patterns; ++pat) {
-    const std::size_t b = pat / kB;
-    const std::size_t lane = pat % kB;
-    double max_scale = root_scales_[0][pat];
-    for (std::size_t cat = 1; cat < n_cat_; ++cat) {
-      max_scale = std::max(max_scale, root_scales_[cat][pat]);
-    }
-    double mix = 0.0;
+  for (std::size_t b = 0; b < n_blocks_; ++b) {
+    const std::size_t pat_lo = b * kB;
+    const std::size_t pat_hi = std::min(n_patterns, pat_lo + kB);
     for (std::size_t cat = 0; cat < n_cat_; ++cat) {
-      const double weight = categories[cat].weight;
-      if (weight <= 0.0) continue;
-      const double* block = root_partials_[cat] + b * n_states_ * kB;
-      double site = 0.0;
-      for (std::size_t x = 0; x < n_states_; ++x) {
-        site += freqs[x] * block[x * kB + lane];
+      if (categories[cat].weight <= 0.0) continue;
+      kernel_ops_->root_sites(root_partials_[cat] + b * n_states_ * kB,
+                              freqs.data(), n_states_,
+                              root_site_buf_.data() + cat * kB);
+    }
+    for (std::size_t pat = pat_lo; pat < pat_hi; ++pat) {
+      const std::size_t lane = pat - pat_lo;
+      double max_scale = root_scales_[0][pat];
+      for (std::size_t cat = 1; cat < n_cat_; ++cat) {
+        max_scale = std::max(max_scale, root_scales_[cat][pat]);
       }
-      const double scale = root_scales_[cat][pat];
-      mix += weight * site *
-             (scale == max_scale ? 1.0 : std::exp(scale - max_scale));
+      double mix = 0.0;
+      for (std::size_t cat = 0; cat < n_cat_; ++cat) {
+        const double weight = categories[cat].weight;
+        if (weight <= 0.0) continue;
+        const double site = root_site_buf_[cat * kB + lane];
+        const double scale = root_scales_[cat][pat];
+        mix += weight * site *
+               (scale == max_scale ? 1.0 : std::exp(scale - max_scale));
+      }
+      if (!(mix > 0.0)) {
+        return -std::numeric_limits<double>::infinity();
+      }
+      total += data_->weight(pat) * (std::log(mix) + max_scale);
     }
-    if (!(mix > 0.0)) {
-      return -std::numeric_limits<double>::infinity();
-    }
-    total += data_->weight(pat) * (std::log(mix) + max_scale);
   }
   return total;
 }

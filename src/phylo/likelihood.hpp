@@ -8,12 +8,13 @@
 //      are kept across calls, tagged with the tree's per-node revision;
 //      only nodes on the path from a mutated edge to the root recompute.
 //   2. Blocked structure-of-arrays kernel: patterns are processed in
-//      fixed-size blocks laid out state-major, so the inner loops run over
-//      contiguous doubles and auto-vectorize (with a specialized 4-state
-//      path for DNA).
+//      fixed-size blocks laid out state-major over 64-byte-aligned
+//      storage, dispatched at runtime to the best ISA tier the host
+//      supports (scalar / AVX2 / AVX-512, src/phylo/kernels/) — every
+//      tier bit-identical by construction (DESIGN.md §14).
 //   3. Optional thread pool: rate categories — crossed with pattern-block
 //      chunks — fan out across workers; every (category, pattern) cell is
-//      computed by exactly one task with the same scalar code, and the
+//      computed by exactly one task with the same kernel code, and the
 //      final mixing reduction is serial, so results are bit-identical to
 //      the single-threaded evaluation.
 #pragma once
@@ -24,8 +25,10 @@
 #include <vector>
 
 #include "phylo/alignment.hpp"
+#include "phylo/kernels/kernels.hpp"
 #include "phylo/model.hpp"
 #include "phylo/tree.hpp"
+#include "util/aligned.hpp"
 
 namespace lattice::util {
 class ThreadPool;
@@ -47,7 +50,7 @@ class LikelihoodEngine {
  public:
   /// Patterns per SoA block. Each block stores n_states contiguous rows of
   /// kPatternBlock doubles; rescaling decisions are made per block.
-  static constexpr std::size_t kPatternBlock = 32;
+  static constexpr std::size_t kPatternBlock = kernels::kPatternBlock;
 
   explicit LikelihoodEngine(const PatternizedAlignment& data);
 
@@ -77,6 +80,18 @@ class LikelihoodEngine {
   /// The pool is borrowed, not owned; pass nullptr to go back to serial.
   /// Pooled results are bit-identical to serial ones.
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+
+  /// Pin this engine to one ISA kernel tier (clamped to what the host
+  /// supports). The process-wide default is kernels::active_tier() — the
+  /// best supported tier unless LATTICE_FORCE_ISA overrides it; this
+  /// per-instance hook exists so tests and benches can compare tiers
+  /// side by side. Safe to call between evaluations: all tiers are
+  /// bit-identical, so switching never invalidates cached partials.
+  void force_isa(kernels::IsaTier tier) {
+    kernel_ops_ = &kernels::ops_for(tier);
+  }
+  /// Name of the kernel tier this engine dispatches to.
+  const char* isa_name() const { return kernel_ops_->name; }
 
   /// Enable the BEAGLE-style transition-matrix cache: P(t) matrices are
   /// memoized by (model instance, branch length, rate). In a GA step only
@@ -150,7 +165,7 @@ class LikelihoodEngine {
     }
   };
   struct MatrixEntry {
-    std::vector<double> matrix;
+    util::aligned_vector<double> matrix;
     bool referenced = true;  // second-chance bit, cleared by eviction sweeps
   };
 
@@ -188,24 +203,33 @@ class LikelihoodEngine {
   std::size_t n_blocks_ = 0;
   std::size_t slab_ = 0;     // n_pad_ * n_states_: one (node, cat) partial
 
+  // Kernel tier this engine dispatches to (never null; defaults to the
+  // process-wide active tier, overridable per instance via force_isa).
+  const kernels::KernelOps* kernel_ops_ = &kernels::active_ops();
+
   // partials_: per (internal node, category) SoA blocks — block-major,
-  // then state-major rows of kPatternBlock. scales_: per (internal node,
-  // category, pattern) *cumulative* log scaling of the subtree, so a
-  // node's scale is its own rescale plus its children's, and incremental
-  // recomputes stay local.
-  std::vector<double> partials_;
-  std::vector<double> scales_;
+  // then state-major rows of kPatternBlock, 64-byte aligned so every
+  // state row is an aligned vector load on every ISA tier. scales_: per
+  // (internal node, category, pattern) *cumulative* log scaling of the
+  // subtree, so a node's scale is its own rescale plus its children's,
+  // and incremental recomputes stay local.
+  util::aligned_vector<double> partials_;
+  util::aligned_vector<double> scales_;
   // Taxon-major padded tip states; pad lanes replicate the last real
-  // pattern so block rescaling sees no artificial outliers.
-  std::vector<State> tips_;
+  // pattern so block rescaling sees no artificial outliers (and the
+  // kernel epilogue additionally masks pads out of the rescale decision).
+  util::aligned_vector<State> tips_;
   // Transition matrices for the current dirty set, copied out of the
   // cache: [(dirty_index * 2 + side) * n_cat + cat] * n_states^2.
-  std::vector<double> edge_mats_;
+  util::aligned_vector<double> edge_mats_;
   std::vector<DirtyNode> dirty_nodes_;
-  std::vector<double> p_matrix_;  // uncached transition() scratch
+  util::aligned_vector<double> p_matrix_;  // uncached transition() scratch
   // Per-category root pointers, cached across the mixing loop.
   std::vector<const double*> root_partials_;
   std::vector<const double*> root_scales_;
+  // Per-(category, block) root site products from the kernel, consumed
+  // lane by lane by the serial pattern-order mixing loop.
+  util::aligned_vector<double> root_site_buf_;
 
   // Observability (bound to the null sinks by the constructor). pub_* hold
   // the totals already published, so each publish is a cheap delta.

@@ -1,0 +1,54 @@
+// 64-byte-aligned allocation for the SIMD likelihood kernels. The blocked
+// SoA layout (phylo::LikelihoodEngine) keeps every state-major row a
+// multiple of 64 bytes, so an aligned *base* pointer makes every row an
+// aligned vector load on every ISA tier — no peeling, no split loads
+// crossing cache lines.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace lattice::util {
+
+/// Minimal std::allocator drop-in that over-aligns every allocation to
+/// `Alignment` bytes (default: one cache line, which also covers the
+/// widest vector register in use, 64-byte AVX-512 zmm).
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not weaken the type's natural alignment");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+};
+
+template <typename T, typename U, std::size_t A>
+bool operator==(const AlignedAllocator<T, A>&,
+                const AlignedAllocator<U, A>&) noexcept {
+  return true;
+}
+
+/// std::vector whose data() is 64-byte aligned.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace lattice::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 namespace lattice::util {
 
@@ -69,7 +70,31 @@ void ThreadPool::parallel_for(std::size_t n,
   pending.reserve(helpers);
   for (std::size_t h = 0; h < helpers; ++h) pending.push_back(submit(run));
   run();  // caller thread always makes progress, even with a saturated pool
-  for (auto& f : pending) f.get();
+  // Help-while-waiting join. A blocking get() here can deadlock under
+  // nesting: with every worker parked in a join like this one, a nested
+  // call's helpers sit in the queue with no thread left to pop them.
+  // Draining queued tasks while our helpers finish keeps some thread
+  // always making progress. (By this point our own range is exhausted, so
+  // a stolen task is always someone else's work or a helper that returns
+  // immediately — never a reentrant surprise.)
+  for (auto& f : pending) {
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      std::function<void()> task;
+      {
+        std::scoped_lock lock(mutex_);
+        if (!queue_.empty()) {
+          task = std::move(queue_.front());
+          queue_.pop();
+        }
+      }
+      if (task) {
+        task();
+      } else {
+        f.wait_for(std::chrono::microseconds(50));
+      }
+    }
+  }
 }
 
 }  // namespace lattice::util

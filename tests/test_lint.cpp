@@ -194,6 +194,47 @@ TEST(LintMetricName, LookupHelpersAreNotRegistrationSites) {
   EXPECT_TRUE(lint_source("f.cpp", src, any).empty());
 }
 
+// --- intrinsics confinement ----------------------------------------------
+
+TEST(LintIntrinsics, FiresOutsideKernelModule) {
+  Options any;  // applies everywhere, not just deterministic dirs
+  const auto findings = lint_source(
+      "src/phylo/likelihood.cpp",
+      "#include <immintrin.h>\n"
+      "__m256d v = _mm256_loadu_pd(p);\n"
+      "#if defined(__AVX2__)\n"
+      "#endif\n",
+      any);
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "intrinsics-confined");
+  }
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_EQ(findings[2].line, 3);
+}
+
+TEST(LintIntrinsics, KernelModuleFilesAreExempt) {
+  Options kernels;
+  kernels.intrinsics_allowed = true;
+  const std::string src =
+      "#include <immintrin.h>\n"
+      "__m512d v = _mm512_mul_pd(a, b);\n";
+  EXPECT_TRUE(
+      lint_source("src/phylo/kernels/kernels_avx512.cpp", src, kernels)
+          .empty());
+}
+
+TEST(LintIntrinsics, IgnoresLookalikesCommentsAndStrings) {
+  Options any;
+  const std::string src =
+      "// __m256d and _mm256_add_pd( live in kernel docs only\n"
+      "const char* s = \"_mm512_fmadd_pd(\";\n"
+      "double comm_mbps = 1.0; int mm_count = 3;\n"
+      "hmm_forward(x);\n";
+  EXPECT_TRUE(lint_source("src/sim/clock.cpp", src, any).empty());
+}
+
 // --- suppressions ---------------------------------------------------------
 
 TEST(LintSuppression, SameLineAllowSilencesTheRule) {

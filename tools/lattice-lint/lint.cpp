@@ -470,6 +470,7 @@ const std::vector<std::string>& rule_ids() {
       "unordered-member",    "unordered-alias",
       "unordered-iteration", "kernel-callback-throw",
       "metric-name",         "header-self-contained",
+      "intrinsics-confined",
       "decision-sort",       "layering-violation",
       "layering-cycle",      "suppression-syntax",
       "suppression-unknown-rule", "suppression-undocumented",
@@ -697,6 +698,25 @@ std::vector<Finding> lint_source(std::string_view path, std::string_view text,
                 " in a scheduler decision-path dir: keep rank order in the "
                 "MDS index (or tag the sort as off the decision path with a "
                 "suppression)");
+      }
+    }
+  }
+
+  // --- Intrinsics confinement (all files outside src/phylo/kernels/) -----
+  // Raw SIMD usage anywhere else would fork the arithmetic per ISA and
+  // break the cross-tier bit-determinism contract the kernel module's
+  // dispatcher guarantees (DESIGN.md §14): vector code lives behind the
+  // KernelOps table or not at all.
+  if (!options.intrinsics_allowed) {
+    static const std::regex intrin_re(
+        R"(\b_mm\d*_\w+\s*\(|\b__m(128|256|512)[id]?\b|\b__AVX\w*__\b|\bimmintrin\.h\b)");
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+      const int line = static_cast<int>(i) + 1;
+      if (std::regex_search(code_lines[i], intrin_re)) {
+        add(line, "intrinsics-confined",
+            "raw SIMD intrinsic / vector type / ISA guard outside "
+            "src/phylo/kernels/: route vector code through the KernelOps "
+            "dispatch table so every other layer stays ISA-neutral");
       }
     }
   }

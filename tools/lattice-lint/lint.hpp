@@ -107,6 +107,12 @@ struct Options {
   /// in another TU is hash-order iteration even though the declaring
   /// header is out of view.
   std::set<std::string> unordered_members;
+  /// True only for files under src/phylo/kernels/: raw SIMD intrinsics
+  /// (`_mm*`), vector register types (`__m256d`, ...), `<immintrin.h>`
+  /// includes, and `__AVX*__` preprocessor guards are confined to the
+  /// kernel module so the engine and search layers stay ISA-neutral
+  /// (DESIGN.md §14). Everywhere else they fire intrinsics-confined.
+  bool intrinsics_allowed = false;
 };
 
 /// All rule ids the engine knows (suppressions must name one of these).

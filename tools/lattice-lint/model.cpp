@@ -460,6 +460,10 @@ std::vector<Finding> analyze_project(const std::vector<FileEntry>& entries,
     per_file.apply_suppressions = false;  // raw view; filtered below
     per_file.unordered_aliases = model.unordered_aliases;
     per_file.unordered_members = model.unordered_members;
+    // The kernel module is the one place raw SIMD may live; everywhere
+    // else intrinsics-confined fires (DESIGN.md §14).
+    per_file.intrinsics_allowed =
+        e.path.find(src_root + "/phylo/kernels/") != std::string::npos;
     std::vector<Finding> raw = lint_source(e.path, e.text, per_file);
 
     if (options.audit_suppressions) {
