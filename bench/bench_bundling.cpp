@@ -109,8 +109,15 @@ int main() {
     core::Portal portal(*system, portal_config);
     phylo::GarliJob job;
     job.genthresh = 100;
-    const auto outcome =
-        portal.submit("investigator@umd.edu", true, job, 1000, 24, 150);
+    core::SubmissionRequest request;
+    request.user_id = core::user_id_from_email("investigator@umd.edu");
+    request.user_class = core::UserClass::kRegistered;
+    request.user_email = "investigator@umd.edu";
+    request.job = job;
+    request.replicates = 1000;
+    request.num_taxa = 24;
+    request.num_patterns = 150;
+    const auto outcome = portal.submit(request);
     std::cout << util::format(
         "portal chose bundle={} -> {} grid jobs (accepted: {})\n",
         outcome.bundle_size, outcome.grid_jobs, outcome.accepted);

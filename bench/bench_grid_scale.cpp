@@ -113,9 +113,15 @@ SweepResult run_once(std::size_t hosts, std::size_t shards, int batches,
   phylo::GarliJob job;
   job.genthresh = 400;
   for (int user = 0; user < batches; ++user) {
-    const auto outcome = portal.submit(
-        util::format("investigator{}@umd.edu", user), true, job,
-        replicates_per_batch, 45, 300);
+    core::SubmissionRequest request;
+    request.user_email = util::format("investigator{}@umd.edu", user);
+    request.user_id = core::user_id_from_email(request.user_email);
+    request.user_class = core::UserClass::kRegistered;
+    request.job = job;
+    request.replicates = replicates_per_batch;
+    request.num_taxa = 45;
+    request.num_patterns = 300;
+    const auto outcome = portal.submit(request);
     if (!outcome.accepted) {
       std::cout << "portal rejected a batch!\n";
       std::exit(1);

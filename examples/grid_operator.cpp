@@ -102,10 +102,31 @@ int main(int argc, char** argv) {
   phylo::GarliJob job;
   job.model.data_type = phylo::DataType::kCodon;
   job.model.rate_het = phylo::RateHet::kGamma;
-  const auto runaway =
-      portal.submit("overeager@example.org", true, job, 40, 200, 900);
+  core::SubmissionRequest form;
+  form.user_id = core::user_id_from_email("overeager@example.org");
+  form.user_class = core::UserClass::kRegistered;
+  form.user_email = "overeager@example.org";
+  form.job = job;
+  form.replicates = 40;
+  form.num_taxa = 200;
+  form.num_patterns = 900;
+  const auto runaway = portal.submit(form);
   std::cout << util::format("\nrunaway batch accepted: {} grid jobs\n",
                             runaway.grid_jobs);
+
+  // An oversized resubmission is rejected (it never gets a batch id), and
+  // a typo'd status query hits a batch that does not exist — the two look
+  // different at the API: a rejection reports problems, an unknown id
+  // reports found=false.
+  core::SubmissionRequest oversized = form;
+  oversized.replicates = 5000;
+  const auto rejected = portal.submit(oversized);
+  std::cout << util::format("resubmission rejected: {}\n",
+                            rejected.problems.at(0));
+  const auto bogus = portal.progress(9999);
+  std::cout << util::format(
+      "status of batch 9999: {}\n",
+      bogus.found ? "tracked" : "no such batch (not found)");
 
   system.run(6.0 * 3600.0);  // six hours in
   std::cout << "\n=== six hours in ===\n"

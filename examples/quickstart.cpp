@@ -50,9 +50,15 @@ int main() {
   job.model.rate_het = phylo::RateHet::kGamma;
   job.model.n_rate_categories = 4;
   job.genthresh = 500;
-  const auto outcome =
-      portal.submit("you@example.org", /*registered=*/true, job,
-                    /*replicates=*/100, /*num_taxa=*/80, /*num_patterns=*/600);
+  core::SubmissionRequest request;
+  request.user_id = core::user_id_from_email("you@example.org");
+  request.user_class = core::UserClass::kRegistered;
+  request.user_email = "you@example.org";
+  request.job = job;
+  request.replicates = 100;
+  request.num_taxa = 80;
+  request.num_patterns = 600;
+  const auto outcome = portal.submit(request);
   if (!outcome.accepted) {
     for (const auto& problem : outcome.problems) {
       std::cout << "rejected: " << problem << "\n";

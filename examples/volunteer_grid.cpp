@@ -21,6 +21,13 @@
 //        dispatch staged real transfers (zero free staging), and
 //        transfer-bound jobs were kept off volunteer hosts by the
 //        staging-aware stability filter.
+//        --portal-users=N instead runs the multi-tenant portal scenario
+//        (DESIGN.md §15): a heavy-tailed workload from an N-user
+//        guest/registered/power population flows through admission
+//        control, per-user quotas, and fair-share queue ordering, and the
+//        run self-verifies the admission ledger — every submission is
+//        accounted (accepted + quota-denied + shed + rejected), every
+//        accepted batch drains, and the fair-share odometer was charged.
 // See docs/OBSERVABILITY.md for the metric catalog and trace schema.
 #include <algorithm>
 #include <iostream>
@@ -28,10 +35,13 @@
 #include <vector>
 
 #include "boinc/server.hpp"
+#include "core/cost_model.hpp"
 #include "core/deadline.hpp"
 #include "core/lattice.hpp"
 #include "core/metascheduler.hpp"
+#include "core/portal.hpp"
 #include "core/speed.hpp"
+#include "core/workload.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "core/inventory.hpp"
@@ -385,6 +395,164 @@ int run_net_scenario(const std::string& profile_path,
   return ok ? 0 : 1;
 }
 
+// The multi-tenant portal scenario: a heavy-tailed batch workload drawn
+// from an N-user guest/registered/power population (core::UserPopulation)
+// flows through the portal's admission control (per-user quotas, guest
+// shedding) and the fair-share-ordered meta-scheduler queue. The run
+// self-verifies the admission ledger and exits nonzero when it is
+// violated; scripts/determinism.sh additionally asserts two identical
+// invocations are bit-identical and that the portal.admit_* counters
+// appear in the metrics snapshot.
+int run_portal_scenario(std::size_t users, const std::string& metrics_out,
+                        const std::string& trace_out) {
+  using namespace lattice;
+
+  core::LatticeConfig config;
+  config.seed = 20260808;
+  config.scheduler.mode = core::SchedulingMode::kEstimateAware;
+  config.scheduler_period = 300.0;
+  config.scheduler.fair_share_weight = 0.5;
+  config.fair_share.order_queue = true;
+  config.fair_share.backlog_per_slot = 2.0;
+  core::LatticeSystem system(config);
+
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+  // Always observe: the ledger contract below reads the portal.admit_*
+  // counters, and observation never changes decisions or timing.
+  system.enable_observability(
+      metrics, trace_out.empty() ? obs::Tracer::null() : tracer);
+
+  // Admission quotes and fair-share ordering both consume runtime
+  // estimates, so train the estimator from the cost model's corpus.
+  {
+    util::Rng corpus_rng(4242);
+    system.estimator().train(
+        core::generate_corpus(80, system.cost_model(), corpus_rng));
+  }
+
+  grid::BatchQueueResource::Config cluster;
+  cluster.nodes = 16;
+  cluster.cores_per_node = 4;
+  cluster.node_speed = 1.0;
+  std::vector<core::ResourceSpec> specs;
+  specs.push_back(core::ResourceSpec::cluster("hpc-cluster", cluster));
+  core::build_inventory(system, specs);
+  system.calibrate_speeds();
+
+  core::PortalConfig portal_config;
+  portal_config.quota_guest = {2, 50};
+  portal_config.quota_registered = {8, 400};
+  portal_config.quota_power = {16, 2000};
+  portal_config.shed_backlog_watermark = 2000;
+  core::Portal portal(system, portal_config);
+  portal.set_observability(metrics);
+
+  // 90/9/1% population split with per-class heavy-tailed batch sizes;
+  // per-user rates are set for ~600 batches/day in aggregate no matter
+  // how large the population is, mirroring bench_portal_scale.
+  core::UserPopulationConfig pop;
+  pop.guests = {users * 90 / 100, 0.0, 1.2, 1};
+  pop.registered = {users * 9 / 100, 0.0, 1.4, 2};
+  pop.power = {users - pop.guests.users - pop.registered.users, 0.0, 1.8,
+               8};
+  pop.guests.batches_per_user_day =
+      0.30 * 600.0 / static_cast<double>(pop.guests.users);
+  pop.registered.batches_per_user_day =
+      0.50 * 600.0 / static_cast<double>(pop.registered.users);
+  pop.power.batches_per_user_day =
+      0.20 * 600.0 / static_cast<double>(pop.power.users);
+  pop.max_replicates = 30;
+  pop.max_expected_hours = 8.0;
+  core::UserPopulation population(pop);
+
+  constexpr std::size_t kBatches = 80;
+  util::Rng workload_rng(29);
+  const auto trace =
+      population.generate(kBatches, system.cost_model(), workload_rng);
+  std::size_t trace_replicates = 0;
+  for (const auto& entry : trace) trace_replicates += entry.replicates;
+  std::cout << util::format(
+      "portal population: {} users ({} guests / {} registered / {} "
+      "power), {} batches over {:.1f} days, {} replicates total\n",
+      population.total_users(), pop.guests.users, pop.registered.users,
+      pop.power.users, trace.size(), trace.back().arrival_seconds / 86400.0,
+      trace_replicates);
+
+  core::submit_portal_workload(portal, trace);
+  system.run(trace.back().arrival_seconds + 1.0);
+  system.run_until_drained(400.0 * 86400.0);
+
+  const double accepted = metrics.counter_total("portal.admit_accepted");
+  const double rejected = metrics.counter_total("portal.admit_rejected");
+  const double quota_denied =
+      metrics.counter_total("portal.admit_quota_denied");
+  const double shed = metrics.counter_total("portal.shed_guest");
+  const double charges = metrics.counter_total("sched.fair_share_charges");
+  std::size_t done_batches = 0;
+  double total_turnaround_h = 0.0;
+  for (const auto& [id, record] : portal.batches()) {
+    if (record.done) {
+      ++done_batches;
+      total_turnaround_h += (record.finished - record.submitted) / 3600.0;
+    }
+  }
+  std::cout << util::format(
+      "admission ledger: {:.0f} accepted, {:.0f} quota-denied, {:.0f} "
+      "guest-shed, {:.0f} rejected\n",
+      accepted, quota_denied, shed, rejected);
+  std::cout << util::format(
+      "drained at {:.1f} days: {} batches done, {} grid jobs completed, "
+      "{:.0f} fair-share charges, mean turnaround {:.2f} h\n",
+      system.simulation().now() / 86400.0, done_batches,
+      system.metrics().completed, charges,
+      done_batches > 0
+          ? total_turnaround_h / static_cast<double>(done_batches)
+          : 0.0);
+
+  // The admission-ledger contract this scenario exists to demonstrate.
+  bool ok = true;
+  if (accepted + rejected + quota_denied + shed !=
+      static_cast<double>(trace.size())) {
+    std::cerr << "FAIL: admission counters do not account for every "
+                 "submission\n";
+    ok = false;
+  }
+  if (accepted <= 0.0) {
+    std::cerr << "FAIL: no submission was accepted\n";
+    ok = false;
+  }
+  if (done_batches != static_cast<std::size_t>(accepted)) {
+    std::cerr << "FAIL: an accepted batch never drained\n";
+    ok = false;
+  }
+  if (charges <= 0.0) {
+    std::cerr << "FAIL: the fair-share odometer was never charged\n";
+    ok = false;
+  }
+
+  if (!metrics_out.empty()) {
+    if (!obs::write_metrics(metrics, metrics_out)) {
+      std::cerr << "failed to write " << metrics_out << "\n";
+      return 1;
+    }
+    std::cout << util::format(
+        "metrics snapshot -> {} ({} fair-share queue reorders)\n",
+        metrics_out, metrics.counter_total("sched.fair_share_reorders"));
+  }
+  if (!trace_out.empty()) {
+    if (!obs::write_trace(tracer, trace_out)) {
+      std::cerr << "failed to write " << trace_out << "\n";
+      return 1;
+    }
+    std::cout << util::format("chrome trace -> {} ({} events)\n", trace_out,
+                              tracer.events());
+  }
+  std::cout << (ok ? "admission ledger holds\n"
+                   : "admission ledger VIOLATED\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -394,6 +562,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string fault_plan;
   std::string net_profile;
+  std::size_t portal_users = 0;  // 0: portal scenario off
   int pool_threads = -1;  // -1: self-test off
   std::size_t shards = 1;  // volunteer-pool calendar shards
   for (int i = 1; i < argc; ++i) {
@@ -418,10 +587,13 @@ int main(int argc, char** argv) {
       net_profile = arg.substr(14);
     } else if (arg == "--net-profile" && i + 1 < argc) {
       net_profile = argv[++i];
+    } else if (arg.rfind("--portal-users=", 0) == 0) {
+      portal_users = static_cast<std::size_t>(std::stoul(arg.substr(15)));
     } else {
       std::cerr << "usage: volunteer_grid [--metrics-out=FILE] "
                    "[--trace-out=FILE] [--pool-threads=N] [--shards=N] "
-                   "[--fault-plan=FILE] [--net-profile=FILE]\n";
+                   "[--fault-plan=FILE] [--net-profile=FILE] "
+                   "[--portal-users=N]\n";
       return 2;
     }
   }
@@ -431,6 +603,9 @@ int main(int argc, char** argv) {
   }
   if (!net_profile.empty()) {
     return run_net_scenario(net_profile, metrics_out, trace_out, shards);
+  }
+  if (portal_users > 0) {
+    return run_portal_scenario(portal_users, metrics_out, trace_out);
   }
 
   sim::Simulation sim;

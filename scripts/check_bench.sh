@@ -11,6 +11,13 @@
 #   * transfer model: every recorded hosts_*_net_overhead_ratio <= 1.3x —
 #     enabling the network layer may not blow up the event budget.
 #
+#   portal_scale:
+#   * multi-tenant scale-invariance: fixed aggregate demand attributed
+#     across 10^4, 10^5 and 10^6 portal users must keep p99 batch
+#     turnaround at 10^6 users within 3x of the 10^4-user row (simulated
+#     time, so the gate is deterministic); every row must record its
+#     users / submissions_per_wall_s / p50 / p99 / rss_peak_kb columns.
+#
 #   likelihood:
 #   * vectorized kernels: vector_speedup (best supported ISA tier vs the
 #     scalar oracle on the full-eval benchmark) >= 3x;
@@ -28,7 +35,8 @@ cd "$(dirname "$0")/.."
 
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-  benches=(BENCH_grid_scale.json BENCH_likelihood.json)
+  benches=(BENCH_grid_scale.json BENCH_likelihood.json
+           BENCH_portal_scale.json)
 fi
 fail=0
 for bench in "${benches[@]}"; do
@@ -108,6 +116,42 @@ if kind == "grid_scale":
             f"check_bench: {len(ratios)} net overhead ratios <= "
             f"{MAX_NET_OVERHEAD}x (worst {worst:.3f})  OK"
         )
+
+elif kind == "portal_scale":
+    MAX_P99_BLOWUP = 3.0
+    ROWS = (10000, 100000, 1000000)
+    COLUMNS = ("users", "submissions", "accepted", "submissions_per_wall_s",
+               "p50_turnaround_h", "p99_turnaround_h", "rss_peak_kb")
+    values = {}
+    for users in ROWS:
+        for column in COLUMNS:
+            value = get(f"users_{users}_{column}")
+            if value is None:
+                fail = 1
+            else:
+                values[(users, column)] = value
+    if not fail:
+        small = values[(10000, "p99_turnaround_h")]
+        large = values[(1000000, "p99_turnaround_h")]
+        if small <= 0:
+            print(f"check_bench: p99 turnaround at 10^4 users is {small} "
+                  "(no completed batches?)")
+            fail = 1
+        elif large > small * MAX_P99_BLOWUP:
+            print(
+                f"check_bench: p99 batch turnaround grew from {small:.2f} h "
+                f"at 10^4 users to {large:.2f} h at 10^6 users "
+                f"({large / small:.2f}x); the frozen gate is <= "
+                f"{MAX_P99_BLOWUP}x — the portal layer must stay "
+                "scale-invariant under fixed demand"
+            )
+            fail = 1
+        else:
+            print(
+                f"check_bench: p99 turnaround {small:.2f} h @ 10^4 users -> "
+                f"{large:.2f} h @ 10^6 users ({large / small:.2f}x <= "
+                f"{MAX_P99_BLOWUP}x)  OK"
+            )
 
 elif kind == "likelihood":
     speedup = get("vector_speedup")

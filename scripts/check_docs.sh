@@ -53,7 +53,10 @@ else
                 'far band' 'ns/decision' 'best_ranked' \
                 'lookahead barrier' 'weak-scaled' \
                 'vector_speedup' 'LATTICE_FORCE_ISA' 'scalar_client' \
-                'island_ga_identical'; do
+                'island_ga_identical' \
+                'BENCH_portal_scale' 'p99_turnaround_h' \
+                'submissions_per_wall_s' 'per-user ledger' \
+                'aggregate demand'; do
     if ! grep -qiF "$anchor" "$perf"; then
       echo "check_docs: $perf lost its '$anchor' budget entry" >&2
       fail=1
@@ -168,6 +171,26 @@ else
                 'masked' 'KernelOps' 'aligned_vector'; do
     if ! grep -qiF "$anchor" "$design"; then
       echo "check_docs: $design §14 lost its '$anchor' determinism entry" >&2
+      fail=1
+    fi
+  done
+fi
+
+# The multi-tenant portal documents its admission pipeline, quota and
+# shedding mechanics, the fair-share odometer, and the queue-ordering /
+# backpressure knobs (DESIGN.md §15); the ledger must keep naming the
+# mechanisms whose bit-identity it argues for.
+if ! grep -qE '^## +(§ *)?15' "$design" 2>/dev/null; then
+  echo "check_docs: $design has no §15 (portal admission + fair-share" \
+       "ledger)" >&2
+  fail=1
+else
+  for anchor in 'SubmissionRequest' 'shed_backlog_watermark' 'UserQuota' \
+                'half-life' 'order_queue' 'backlog_per_slot' \
+                'rank_estimate' 'grid_backlog' 'Pareto' \
+                'fair_share_weight' 'UserPopulation'; do
+    if ! grep -qiF "$anchor" "$design"; then
+      echo "check_docs: $design §15 lost its '$anchor' ledger entry" >&2
       fail=1
     fi
   done

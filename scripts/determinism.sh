@@ -24,6 +24,14 @@
 # never from iteration order — and the net.* counters must appear in the
 # snapshot.
 #
+# The multi-tenant portal scenario (--portal-users, DESIGN.md §15) closes
+# the set: two identical 10^4-user heavy-tailed workload runs through
+# admission control, quotas, and fair-share queue ordering must be
+# bit-identical — arrival sampling, Pareto batch sizes, admission verdicts,
+# and fair-share reorders all draw from seeded RNGs and ordered state —
+# and the portal.admit_* / sched.fair_share_* counters must appear in the
+# snapshot.
+#
 # Usage: determinism.sh <volunteer_grid-binary> [workdir]
 set -euo pipefail
 
@@ -78,6 +86,15 @@ run_scalar() {  # run_scalar <tag>: ISA tier pinned to the portable oracle
   grep -v '"pid": 2' "$work/t-$tag.json" > "$work/t-$tag.det"
 }
 
+run_portal() {  # run_portal <tag>: 10^4-user multi-tenant workload
+  local tag=$1
+  "$bin" --portal-users=10000 \
+         --metrics-out="$work/pm-$tag.json" > "$work/pout-$tag.raw"
+  sed -e "s#$work#WORK#g" -e "s#-$tag\.json#-RUN.json#g" \
+      "$work/pout-$tag.raw" > "$work/pout-$tag.txt"
+  grep -v 'handler_wall_us' "$work/pm-$tag.json" > "$work/pm-$tag.det"
+}
+
 run a 2
 run b 2
 run c 5
@@ -88,6 +105,8 @@ run_fault b
 run_net a
 run_net b
 run_net c 4
+run_portal a
+run_portal b
 
 fail=0
 # The scheduler-scalability metrics must be present in the snapshot: the
@@ -155,10 +174,23 @@ for metric in net.bytes_down net.bytes_up net.transfers_completed; do
   fi
 done
 
+# Multi-tenant portal runs: admission decisions, heavy-tailed workload
+# sampling, and fair-share ordering must be pure functions of the seed.
+check pout-a.txt pout-b.txt "stdout across identical portal runs"
+check pm-a.det pm-b.det "metrics across identical portal runs"
+# ...and the admission + fair-share machinery must be visibly exercised.
+for metric in portal.admit_ sched.fair_share_; do
+  if ! grep -q "$metric" "$work/pm-a.json"; then
+    echo "determinism: '$metric*' missing from portal-run snapshot" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
-  echo "determinism: 10 runs bit-identical" \
+  echo "determinism: 12 runs bit-identical" \
        "(sha256 $(sha256sum "$work/m-a.det" | cut -c1-12)…" \
        "fault $(sha256sum "$work/fm-a.det" | cut -c1-12)…" \
-       "net $(sha256sum "$work/nm-a.det" | cut -c1-12)…)"
+       "net $(sha256sum "$work/nm-a.det" | cut -c1-12)…" \
+       "portal $(sha256sum "$work/pm-a.det" | cut -c1-12)…)"
 fi
 exit "$fail"

@@ -94,6 +94,16 @@ class BoincServer final : public grid::LocalResource {
   std::size_t calendar_shards() const { return calendar_.shards(); }
   std::uint64_t reissued_results() const { return reissued_; }
   std::uint64_t timed_out_results() const { return timeouts_; }
+  /// Unsent results sitting in the per-platform feeder queues — the
+  /// server-side backlog signal the portal's admission control watches
+  /// (load shedding kicks in when this crosses its watermark).
+  std::size_t feeder_backlog() const {
+    std::size_t backlog = 0;
+    for (const auto& [platform, feeder] : feeders_) {
+      backlog += feeder.size();
+    }
+    return backlog;
+  }
   /// Workunits validated with a flawed canonical result (a host error that
   /// slipped past the redundancy policy). Zero output hash marks the
   /// correct computation in this model.

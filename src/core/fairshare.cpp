@@ -1,0 +1,15 @@
+#include "core/fairshare.hpp"
+
+#include <cmath>
+
+namespace lattice::core {
+
+double FairShareLedger::decayed(const Entry& entry) const {
+  if (config_.half_life_seconds <= 0.0) return entry.value;
+  const double age = now_ - entry.as_of;
+  if (age <= 0.0) return entry.value;
+  return entry.value *
+         std::exp2(-age / config_.half_life_seconds);
+}
+
+}  // namespace lattice::core

@@ -31,6 +31,7 @@ LatticeSystem::LatticeSystem(LatticeConfig config)
       cost_model_(config.cost_params),
       estimator_(),
       scheduler_(mds_, speeds_, config.scheduler),
+      fair_share_ledger_(config.fair_share),
       rng_(config.seed),
       obs_metrics_(&obs::MetricsRegistry::null()),
       obs_tracer_(&obs::Tracer::null()) {
@@ -38,6 +39,9 @@ LatticeSystem::LatticeSystem(LatticeConfig config)
   // policy's load weight for the scheduler to stream decisions from the
   // rank index (it falls back to the merged-list path on a mismatch).
   mds_.set_rank_load_weight(config_.scheduler.load_weight);
+  // The scheduler reads the ledger on every rank_estimate call; the term
+  // is inert until scheduler.fair_share_weight is raised above zero.
+  scheduler_.set_fair_share(&fair_share_ledger_);
   pump_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, config_.scheduler_period, config_.scheduler_period,
       [this] { pump(); });
@@ -90,6 +94,13 @@ void LatticeSystem::bind_observability() {
       "sched.demote_unstable_stable", "jobs",
       "jobs restricted to stable resources after repeated unstable-resource "
       "failures");
+  obs_fair_share_reorders_ = &m.counter(
+      "sched.fair_share_reorders", "passes",
+      "pump passes that reordered the pending queue by decayed per-user "
+      "usage (FairShareConfig.order_queue)");
+  obs_fair_share_charges_ = &m.counter(
+      "sched.fair_share_charges", "dispatches",
+      "usage charges applied to a user's fair-share odometer at dispatch");
   obs_retry_backoff_ = &m.histogram(
       "sched.retry_backoff_s",
       {1.0, 10.0, 60.0, 600.0, 3600.0, 6.0 * 3600.0}, "s",
@@ -197,19 +208,21 @@ void LatticeSystem::calibrate_speeds(double reference_job_seconds,
 
 std::uint64_t LatticeSystem::submit_garli_job(
     const GarliFeatures& features, grid::JobRequirements requirements,
-    std::uint64_t batch_id, JobData data) {
+    std::uint64_t batch_id, JobData data, UserId user_id) {
   return submit_job_with_runtime(features,
                                  cost_model_.sample_runtime(features, rng_),
-                                 std::move(requirements), batch_id, data);
+                                 std::move(requirements), batch_id, data,
+                                 user_id);
 }
 
 std::uint64_t LatticeSystem::submit_job_with_runtime(
     const GarliFeatures& features, double true_reference_runtime,
     grid::JobRequirements requirements, std::uint64_t batch_id,
-    JobData data) {
+    JobData data, UserId user_id) {
   auto job = std::make_unique<grid::GridJob>();
   job->id = next_job_id_++;
   job->batch_id = batch_id;
+  job->user_id = user_id;
   job->requirements = std::move(requirements);
   job->true_reference_runtime = true_reference_runtime;
   job->input_mb = data.input_mb;
@@ -272,7 +285,37 @@ bool LatticeSystem::cancel_job(std::uint64_t id) {
   return false;
 }
 
+std::size_t LatticeSystem::grid_backlog() const {
+  std::size_t backlog = pending_.size();
+  for (const auto& [name, resource] : resources_) {
+    if (const auto* pool =
+            dynamic_cast<const boinc::BoincServer*>(resource.get())) {
+      backlog += pool->feeder_backlog();
+    }
+  }
+  return backlog;
+}
+
 void LatticeSystem::pump() {
+  fair_share_ledger_.settle(sim_.now());
+  if (config_.fair_share.order_queue && pending_.size() > 1) {
+    // Fair-share ordering: light users' jobs drain ahead of a heavy
+    // user's backlog. Runs once per scheduler period over the grid-level
+    // queue — queue maintenance, not a per-placement decision — and keys
+    // on (decayed usage, job id), a pure function of the charge history
+    // and the sim clock, so twin runs reorder identically.
+    // lattice-lint: allow(decision-sort) — once-per-period pending-queue maintenance keyed on (decayed usage, job id); no placement decision ranks with it
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [this](std::uint64_t a, std::uint64_t b) {
+                       const double usage_a = fair_share_ledger_.usage(
+                           jobs_.at(a)->user_id);
+                       const double usage_b = fair_share_ledger_.usage(
+                           jobs_.at(b)->user_id);
+                       if (usage_a != usage_b) return usage_a < usage_b;
+                       return a < b;
+                     });
+    obs_fair_share_reorders_->inc();
+  }
   std::size_t deferred = 0;
   const std::size_t to_place = pending_.size();
   for (std::size_t i = 0; i < to_place; ++i) {
@@ -284,6 +327,19 @@ void LatticeSystem::pump() {
       pending_.push_back(id);
       ++deferred;
       continue;
+    }
+    if (config_.fair_share.backlog_per_slot > 0.0) {
+      // Backpressure: past the per-slot backlog cap the job stays in the
+      // grid-level queue (where fair-share ordering applies) instead of
+      // sinking into the resource's own FIFO queue.
+      const grid::ResourceInfo info = resources_.at(*choice)->info();
+      if (static_cast<double>(info.queued_jobs) >=
+          config_.fair_share.backlog_per_slot *
+              static_cast<double>(info.total_slots)) {
+        pending_.push_back(id);
+        ++deferred;
+        continue;
+      }
     }
     dispatch(job, *choice);
   }
@@ -308,6 +364,15 @@ void LatticeSystem::dispatch(grid::GridJob& job,
 
   if (job.attempts == 0) {
     obs_sched_queue_wait_->observe(sim_.now() - job.submit_time);
+  }
+  // Charge the attempt's compute demand to the submitting user's odometer.
+  // Charged per dispatch (not per completion) so a user currently flooding
+  // the grid sees the weight immediately; retries charge again — an
+  // attempt occupies capacity whether or not it completes.
+  if (job.user_id != 0) {
+    fair_share_ledger_.settle(sim_.now());
+    fair_share_ledger_.charge(job.user_id, job.true_reference_runtime);
+    obs_fair_share_charges_->inc();
   }
   const auto boinc_it = boinc_adapters_.find(resource_name);
   if (boinc_it != boinc_adapters_.end()) {

@@ -22,6 +22,7 @@
 #include "core/cost_model.hpp"
 #include "core/deadline.hpp"
 #include "core/estimator.hpp"
+#include "core/fairshare.hpp"
 #include "core/metascheduler.hpp"
 #include "core/speed.hpp"
 #include "core/inventory.hpp"
@@ -64,6 +65,10 @@ struct LatticeConfig {
   SchedulerPolicy scheduler;
   DeadlinePolicy deadline;
   RetryPolicy retry;
+  /// Per-user fair-share accounting (decay half-life, optional pending
+  /// queue ordering). The scheduler-side weight lives in
+  /// scheduler.fair_share_weight; both default off.
+  FairShareConfig fair_share;
   /// Give up on a job after this many failed attempts.
   int max_attempts = 12;
   std::uint64_t seed = 1;
@@ -109,6 +114,8 @@ class LatticeSystem : public InventoryHost {
   SpeedCalibrator& speeds() { return speeds_; }
   RuntimeEstimator& estimator() { return estimator_; }
   MetaScheduler& scheduler() { return scheduler_; }
+  FairShareLedger& fair_share() { return fair_share_ledger_; }
+  const FairShareLedger& fair_share() const { return fair_share_ledger_; }
   const GarliCostModel& cost_model() const { return cost_model_; }
   const LatticeConfig& config() const { return config_; }
   LatticeMetrics& metrics() { return metrics_; }
@@ -142,17 +149,25 @@ class LatticeSystem : public InventoryHost {
   std::uint64_t submit_garli_job(const GarliFeatures& features,
                                  grid::JobRequirements requirements = {},
                                  std::uint64_t batch_id = 0,
-                                 JobData data = {});
+                                 JobData data = {},
+                                 UserId user_id = 0);
 
   /// Submit with an explicit true runtime (for controlled experiments).
   std::uint64_t submit_job_with_runtime(const GarliFeatures& features,
                                         double true_reference_runtime,
                                         grid::JobRequirements requirements = {},
                                         std::uint64_t batch_id = 0,
-                                        JobData data = {});
+                                        JobData data = {},
+                                        UserId user_id = 0);
 
   const grid::GridJob* job(std::uint64_t id) const;
   std::size_t pending_jobs() const { return pending_.size(); }
+
+  /// Work queued but not yet running anywhere: the grid-level pending
+  /// queue plus every BOINC pool's unsent feeder entries. The portal's
+  /// admission control sheds guest traffic when this crosses its
+  /// watermark (the paper's portal throttled the web tier, not the grid).
+  std::size_t grid_backlog() const;
 
   /// Visit every job ever submitted, in id order (status reports).
   void for_each_job(
@@ -197,6 +212,7 @@ class LatticeSystem : public InventoryHost {
   GarliCostModel cost_model_;
   RuntimeEstimator estimator_;
   MetaScheduler scheduler_;
+  FairShareLedger fair_share_ledger_;
   util::Rng rng_;
 
   std::vector<std::string> names_;
@@ -223,6 +239,8 @@ class LatticeSystem : public InventoryHost {
   obs::Counter* obs_failed_attempts_ = nullptr;
   obs::Counter* obs_retry_scheduled_ = nullptr;
   obs::Counter* obs_demotions_ = nullptr;
+  obs::Counter* obs_fair_share_reorders_ = nullptr;
+  obs::Counter* obs_fair_share_charges_ = nullptr;
   obs::Histogram* obs_retry_backoff_ = nullptr;
   obs::Histogram* obs_sched_queue_wait_ = nullptr;
   obs::Histogram* obs_predictor_error_ = nullptr;

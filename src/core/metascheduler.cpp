@@ -228,13 +228,23 @@ std::optional<std::string> MetaScheduler::pick(
 
 std::optional<double> MetaScheduler::rank_estimate(
     const grid::GridJob& job) const {
+  std::optional<double> estimate;
   if (policy_.mode == SchedulingMode::kOracle) {
-    return job.true_reference_runtime;
+    estimate = job.true_reference_runtime;
+  } else if (policy_.mode == SchedulingMode::kEstimateAware) {
+    estimate = job.estimated_reference_runtime;
   }
-  if (policy_.mode == SchedulingMode::kEstimateAware) {
-    return job.estimated_reference_runtime;
+  // Fair-share inflation: a heavy user's jobs look longer, which tightens
+  // the advisory stability cutoff against them. The factor depends only on
+  // the job's user (not on any candidate), so the rank argmin — which
+  // divides the estimate out — is untouched, and choose()/choose_linear()
+  // remain decision-identical with the ledger bound.
+  if (estimate && fair_share_ != nullptr &&
+      policy_.fair_share_weight > 0.0 && job.user_id != 0) {
+    const double usage_hours = fair_share_->usage(job.user_id) / 3600.0;
+    estimate = *estimate * (1.0 + policy_.fair_share_weight * usage_hours);
   }
-  return std::nullopt;
+  return estimate;
 }
 
 }  // namespace lattice::core

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fairshare.hpp"
 #include "core/speed.hpp"
 #include "grid/job.hpp"
 #include "grid/mds.hpp"
@@ -70,6 +71,16 @@ struct SchedulerPolicy {
   /// the term (free staging). Advisory only — rank keys never see it, so
   /// the maintained rank index stays job-independent (DESIGN.md §12).
   double staging_mbps = 0.0;
+  /// Per-user fair-share: the rank estimate is inflated by
+  /// (1 + weight * usage_hours) where usage_hours is the submitting
+  /// user's decayed odometer (FairShareLedger, wired by set_fair_share).
+  /// Zero disables the term. The inflation is a positive per-decision
+  /// constant — the same factor at every candidate — so the (rank key,
+  /// name) argmin is untouched and choose()/choose_linear() stay
+  /// bit-identical with fair-share on (tests/test_sched_index.cpp); the
+  /// term bites through the advisory stability cutoff, which both decision
+  /// sites apply with the identical inflated estimate (DESIGN.md §15).
+  double fair_share_weight = 0.0;
 };
 
 class MetaScheduler {
@@ -93,6 +104,13 @@ class MetaScheduler {
   const SchedulerPolicy& policy() const { return policy_; }
   void set_policy(const SchedulerPolicy& policy) { policy_ = policy; }
 
+  /// Bind the per-user usage ledger the fair-share term reads (nullptr
+  /// disables it). The ledger must be settled to sim-now by its owner; the
+  /// scheduler only reads.
+  void set_fair_share(const FairShareLedger* ledger) {
+    fair_share_ = ledger;
+  }
+
   /// Re-bind routing-decision counters into `metrics` (instruments default
   /// to the null registry's sinks, so un-instrumented scheduling pays one
   /// pointer increment per decision).
@@ -112,12 +130,15 @@ class MetaScheduler {
 
   /// The runtime estimate the current mode is allowed to rank with
   /// (reference seconds): true runtime for kOracle, the a priori estimate
-  /// for kEstimateAware, nothing otherwise.
+  /// for kEstimateAware, nothing otherwise. Inflated by the fair-share
+  /// factor when a ledger is bound — both decision sites call this, so the
+  /// inflation is identical by construction.
   std::optional<double> rank_estimate(const grid::GridJob& job) const;
 
   const grid::MdsDirectory& mds_;
   const SpeedCalibrator& speeds_;
   SchedulerPolicy policy_;
+  const FairShareLedger* fair_share_ = nullptr;
   std::size_t round_robin_next_ = 0;
   /// Scratch reused across choose() calls (allocation-lean hot path).
   std::vector<const grid::MdsEntry*> eligible_scratch_;

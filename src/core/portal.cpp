@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/fmt.hpp"
 
 namespace lattice::core {
@@ -13,48 +14,123 @@ Portal::Portal(LatticeSystem& system, PortalConfig config)
       [this](const grid::GridJob& job, bool completed) {
         on_job_terminal(job, completed);
       });
+  set_observability(obs::MetricsRegistry::null());
 }
 
-PortalOutcome Portal::submit(const std::string& user_email,
+void Portal::set_observability(obs::MetricsRegistry& metrics) {
+  admit_accepted_ = &metrics.counter(
+      "portal.admit_accepted", "batches",
+      "submissions that passed validation and admission control");
+  admit_rejected_ = &metrics.counter(
+      "portal.admit_rejected", "batches",
+      "submissions refused by the validation pass (bad form, oversized, "
+      "invalid model)");
+  admit_quota_denied_ = &metrics.counter(
+      "portal.admit_quota_denied", "batches",
+      "submissions refused because the user's concurrent-batch or "
+      "replicates-in-flight quota was full");
+  shed_guest_ = &metrics.counter(
+      "portal.shed_guest", "batches",
+      "guest submissions shed while the grid backlog sat at or above the "
+      "shed watermark");
+}
+
+SubmitReceipt Portal::submit(const std::string& user_email,
                              bool registered_user,
                              const phylo::GarliJob& job,
                              std::size_t replicates, std::size_t num_taxa,
                              std::size_t num_patterns,
                              const phylo::Alignment* alignment) {
-  PortalOutcome outcome;
+  SubmissionRequest request;
+  request.user_id =
+      user_email.empty() ? 0 : user_id_from_email(user_email);
+  request.user_class =
+      registered_user ? UserClass::kRegistered : UserClass::kGuest;
+  request.user_email = user_email;
+  request.job = job;
+  request.replicates = replicates;
+  request.num_taxa = num_taxa;
+  request.num_patterns = num_patterns;
+  request.alignment = alignment;
+  return submit(request);
+}
+
+SubmitReceipt Portal::submit(const SubmissionRequest& request) {
+  SubmitReceipt receipt;
 
   // Validation pass (paper: "the system uses a special GARLI validation
   // mode to ensure there are no problems ... before any jobs are
   // scheduled").
-  if (user_email.empty()) {
-    outcome.problems.push_back("an email address is required");
+  if (request.user_email.empty()) {
+    receipt.problems.push_back("an email address is required");
   }
-  if (replicates == 0) {
-    outcome.problems.push_back("at least one replicate is required");
+  if (request.replicates == 0) {
+    receipt.problems.push_back("at least one replicate is required");
   }
-  if (replicates > config_.max_replicates) {
-    outcome.problems.push_back(util::format(
-        "{} replicates exceeds the limit of {}", replicates,
+  if (request.replicates > config_.max_replicates) {
+    receipt.problems.push_back(util::format(
+        "{} replicates exceeds the limit of {}", request.replicates,
         config_.max_replicates));
   }
-  if (alignment != nullptr) {
+  if (request.alignment != nullptr) {
     const phylo::GarliValidation v =
-        phylo::validate_garli_job(job, *alignment);
+        phylo::validate_garli_job(request.job, *request.alignment);
     for (const std::string& problem : v.problems) {
-      outcome.problems.push_back(problem);
+      receipt.problems.push_back(problem);
     }
-  } else if (auto problem = job.model.validate()) {
-    outcome.problems.push_back(*problem);
+  } else if (auto problem = request.job.model.validate()) {
+    receipt.problems.push_back(*problem);
   }
-  if (!outcome.problems.empty()) return outcome;
+  if (!receipt.problems.empty()) {
+    admit_rejected_->inc();
+    return receipt;
+  }
 
-  if (alignment != nullptr) {
-    num_taxa = alignment->n_taxa();
+  // Admission control. Shedding first: while the grid is saturated the
+  // portal refuses guest work outright regardless of the guest's own
+  // footprint — the backlog, not the user, is the problem.
+  if (request.user_class == UserClass::kGuest &&
+      config_.shed_backlog_watermark > 0 &&
+      system_.grid_backlog() >= config_.shed_backlog_watermark) {
+    receipt.problems.push_back(
+        "the grid is at capacity; guest submissions are temporarily "
+        "disabled — register or retry later");
+    shed_guest_->inc();
+    return receipt;
+  }
+  const UserQuota& quota = config_.quota_for(request.user_class);
+  const auto user_it = users_.find(request.user_id);
+  const UserState state =
+      user_it == users_.end() ? UserState{} : user_it->second;
+  if (quota.max_concurrent_batches > 0 &&
+      state.active_batches >= quota.max_concurrent_batches) {
+    receipt.problems.push_back(util::format(
+        "concurrent-batch quota reached ({} of {} unfinished)",
+        state.active_batches, quota.max_concurrent_batches));
+  }
+  if (quota.max_replicates_in_flight > 0 &&
+      state.replicates_in_flight + request.replicates >
+          quota.max_replicates_in_flight) {
+    receipt.problems.push_back(util::format(
+        "replicate quota reached ({} in flight + {} requested > {})",
+        state.replicates_in_flight, request.replicates,
+        quota.max_replicates_in_flight));
+  }
+  if (!receipt.problems.empty()) {
+    admit_quota_denied_->inc();
+    return receipt;
+  }
+
+  std::size_t num_taxa = request.num_taxa;
+  std::size_t num_patterns = request.num_patterns;
+  if (request.alignment != nullptr) {
+    num_taxa = request.alignment->n_taxa();
     num_patterns =
-        phylo::PatternizedAlignment(*alignment).n_patterns();
+        phylo::PatternizedAlignment(*request.alignment).n_patterns();
   }
 
-  GarliFeatures features = features_from_job(job, num_taxa, num_patterns);
+  GarliFeatures features =
+      features_from_job(request.job, num_taxa, num_patterns);
   features.search_reps = 1;  // featurize a single replicate first
 
   // Replicate bundling (§VI.A): very short replicates are grouped so that
@@ -63,16 +139,18 @@ PortalOutcome Portal::submit(const std::string& user_email,
   const auto per_replicate = system_.estimator().predict(features);
   if (per_replicate && *per_replicate < config_.bundle_threshold_seconds) {
     bundle = static_cast<std::size_t>(
-        std::ceil(config_.bundle_target_seconds / std::max(*per_replicate, 1.0)));
+        std::ceil(config_.bundle_target_seconds /
+                  std::max(*per_replicate, 1.0)));
     bundle = std::clamp<std::size_t>(bundle, 1, config_.max_bundle);
-    bundle = std::min(bundle, replicates);
+    bundle = std::min(bundle, request.replicates);
   }
 
   BatchRecord record;
   record.id = next_batch_id_++;
-  record.user_email = user_email;
-  record.registered_user = registered_user;
-  record.replicates = replicates;
+  record.user_id = request.user_id;
+  record.user_class = request.user_class;
+  record.user_email = request.user_email;
+  record.replicates = request.replicates;
   record.submitted = system_.simulation().now();
 
   grid::JobRequirements requirements;
@@ -88,7 +166,7 @@ PortalOutcome Portal::submit(const std::string& user_email,
   const double input_mb = data.input_mb;
   const double output_mb = data.output_mb;
 
-  std::size_t remaining = replicates;
+  std::size_t remaining = request.replicates;
   double eta_total = 0.0;
   bool have_eta = per_replicate.has_value();
   while (remaining > 0) {
@@ -97,8 +175,8 @@ PortalOutcome Portal::submit(const std::string& user_email,
     GarliFeatures bundled = features;
     bundled.search_reps = static_cast<double>(this_bundle);
     const std::uint64_t job_id = system_.submit_garli_job(
-        bundled, requirements, record.id,
-        JobData{input_mb, output_mb});
+        bundled, requirements, record.id, JobData{input_mb, output_mb},
+        record.user_id);
     record.job_ids.push_back(job_id);
     if (have_eta) {
       eta_total = std::max(
@@ -111,15 +189,21 @@ PortalOutcome Portal::submit(const std::string& user_email,
   record.notifications.push_back(Notification{
       record.submitted, "submitted",
       util::format("batch {}: {} replicates as {} grid jobs (bundle {})",
-                   record.id, replicates, record.grid_jobs, bundle)});
+                   record.id, request.replicates, record.grid_jobs,
+                   bundle)});
 
-  outcome.accepted = true;
-  outcome.batch_id = record.id;
-  outcome.grid_jobs = record.grid_jobs;
-  outcome.bundle_size = bundle;
-  outcome.eta_seconds = record.eta_seconds;
+  UserState& user = users_[request.user_id];
+  ++user.active_batches;
+  user.replicates_in_flight += request.replicates;
+  admit_accepted_->inc();
+
+  receipt.accepted = true;
+  receipt.batch_id = record.id;
+  receipt.grid_jobs = record.grid_jobs;
+  receipt.bundle_size = bundle;
+  receipt.eta_seconds = record.eta_seconds;
   batches_[record.id] = std::move(record);
-  return outcome;
+  return receipt;
 }
 
 const BatchRecord* Portal::batch(std::uint64_t id) const {
@@ -127,27 +211,28 @@ const BatchRecord* Portal::batch(std::uint64_t id) const {
   return it == batches_.end() ? nullptr : &it->second;
 }
 
-PortalOutcome Portal::progress(std::uint64_t batch_id) const {
-  PortalOutcome outcome;
+BatchProgress Portal::progress(std::uint64_t batch_id) const {
+  BatchProgress progress;
   const BatchRecord* record = batch(batch_id);
-  if (record == nullptr) return outcome;
-  outcome.accepted = true;
-  outcome.batch_id = record->id;
-  outcome.grid_jobs = record->grid_jobs;
-  outcome.eta_seconds = record->eta_seconds;
-  outcome.completed_jobs = record->completed_jobs;
-  outcome.failed_jobs = record->failed_jobs;
+  if (record == nullptr) return progress;  // found stays false
+  progress.found = true;
+  progress.batch_id = record->id;
+  progress.grid_jobs = record->grid_jobs;
+  progress.eta_seconds = record->eta_seconds;
+  progress.completed_jobs = record->completed_jobs;
+  progress.failed_jobs = record->failed_jobs;
+  progress.done = record->done;
   for (const std::uint64_t job_id : record->job_ids) {
     const grid::GridJob* member = system_.job(job_id);
     if (member != nullptr && member->state == grid::JobState::kPending) {
-      ++outcome.pending_jobs;
+      ++progress.pending_jobs;
     }
   }
   // Members parked at the grid level with the batch unfinished: the grid
   // currently has nowhere to place them (or is backing off), but the batch
   // survives — it drains when resources return.
-  outcome.degraded = !record->done && outcome.pending_jobs > 0;
-  return outcome;
+  progress.degraded = !record->done && progress.pending_jobs > 0;
+  return progress;
 }
 
 std::size_t Portal::cancel_batch(std::uint64_t id) {
@@ -163,6 +248,16 @@ std::size_t Portal::cancel_batch(std::uint64_t id) {
         util::format("batch {}: {} jobs cancelled by user", id, cancelled)});
   }
   return cancelled;
+}
+
+std::size_t Portal::active_batches(UserId user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.active_batches;
+}
+
+std::size_t Portal::replicates_in_flight(UserId user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.replicates_in_flight;
 }
 
 void Portal::on_job_terminal(const grid::GridJob& job, bool completed) {
@@ -195,6 +290,15 @@ void Portal::on_job_terminal(const grid::GridJob& job, bool completed) {
       record.finished, "completed",
       util::format("batch {}: results ready ({} of {} jobs succeeded)",
                    record.id, record.completed_jobs, record.grid_jobs)});
+
+  // Release the user's quota hold now that the batch is terminal.
+  const auto user_it = users_.find(record.user_id);
+  if (user_it != users_.end()) {
+    UserState& user = user_it->second;
+    if (user.active_batches > 0) --user.active_batches;
+    user.replicates_in_flight -=
+        std::min(user.replicates_in_flight, record.replicates);
+  }
 }
 
 }  // namespace lattice::core

@@ -4,6 +4,14 @@
 // submissions cluster in the investigators' working hours), and whole
 // workloads round-trip through a CSV trace format so an experiment can be
 // replayed bit-for-bit against different schedulers or inventories.
+//
+// The multi-tenant layer adds UserPopulation: a deterministic generator of
+// portal traffic from a population of guest/registered/power users, with
+// per-class Poisson arrival processes (superposed, so generation is
+// O(batches) regardless of population size) and heavy-tailed Pareto batch
+// sizes clamped at the paper's 2000-replicate web cap. Its entries carry
+// user_id / user_class / replicates, which round-trip through the same
+// CSV columns.
 #pragma once
 
 #include <string>
@@ -12,8 +20,11 @@
 
 #include "core/cost_model.hpp"
 #include "core/lattice.hpp"
+#include "core/user.hpp"
 
 namespace lattice::core {
+
+class Portal;
 
 struct WorkloadEntry {
   double arrival_seconds = 0.0;
@@ -22,6 +33,13 @@ struct WorkloadEntry {
   /// cost model at submission", which makes replays scheduler-comparable
   /// but not runtime-identical.
   double true_reference_runtime = 0.0;
+  /// Portal attribution (user-population traces): who submitted, as what
+  /// class, and how many replicates the batch asked for. replicates == 0
+  /// marks a plain grid-level job (the pre-portal trace shape);
+  /// submit_portal_workload skips such rows.
+  UserId user_id = 0;
+  UserClass user_class = UserClass::kRegistered;
+  std::size_t replicates = 0;
 };
 
 struct DiurnalConfig {
@@ -41,8 +59,63 @@ std::vector<WorkloadEntry> generate_diurnal_workload(
     std::size_t n_jobs, const DiurnalConfig& config,
     const GarliCostModel& model, util::Rng& rng);
 
+/// One user class of a simulated population: how many users, how often
+/// each submits, and the heavy-tail shape of their batch sizes. Batch
+/// sizes follow a discrete Pareto (min_replicates · U^(-1/alpha), U
+/// uniform) clamped at the portal's replicate cap — most batches are
+/// small, and the tail hits the 2000-replicate web maximum.
+struct UserClassMix {
+  std::size_t users = 0;
+  double batches_per_user_day = 0.0;
+  /// Pareto tail exponent; smaller = heavier tail (more cap-sized
+  /// batches). Must be > 0.
+  double pareto_alpha = 1.5;
+  std::size_t min_replicates = 1;
+};
+
+struct UserPopulationConfig {
+  UserClassMix guests{900, 0.02, 1.1, 1};
+  UserClassMix registered{95, 0.2, 1.4, 5};
+  UserClassMix power{5, 1.0, 1.8, 200};
+  /// Batch-size clamp (the paper's web-interface maximum).
+  std::size_t max_replicates = 2000;
+  /// Resample features whose expected single-replicate runtime exceeds
+  /// this (hours) — portal traffic, not month-long analyses.
+  double max_expected_hours = 20.0;
+};
+
+/// Deterministic portal-traffic generator over a user population. User
+/// ids partition the id space by class: guests take [1, G], registered
+/// (G, G+R], power (G+R, G+R+P]. Arrivals superpose the per-class
+/// Poisson processes (aggregate exponential inter-arrivals, class chosen
+/// by rate share, user uniform within the class), so generating a trace
+/// costs O(batches) — a million-user population is just a wider id range.
+class UserPopulation {
+ public:
+  explicit UserPopulation(UserPopulationConfig config = {});
+
+  std::size_t total_users() const;
+  /// Aggregate submission rate (batches/day) across the population.
+  double total_batches_per_day() const;
+  UserClass class_of(UserId user) const;
+
+  /// Draw `n_batches` portal submissions. Entries carry user_id,
+  /// user_class, and replicates; true runtimes are left 0 (sampled at
+  /// submission), which keeps twin replays decision- and event-identical
+  /// when driven through the same seeded system.
+  std::vector<WorkloadEntry> generate(std::size_t n_batches,
+                                      const GarliCostModel& model,
+                                      util::Rng& rng) const;
+
+  const UserPopulationConfig& config() const { return config_; }
+
+ private:
+  UserPopulationConfig config_;
+};
+
 /// CSV round trip (header + one row per job). Throws std::runtime_error
-/// on malformed rows.
+/// on malformed rows. The trailing user_id/user_class/replicates columns
+/// are optional on read (older traces parse with no user attribution).
 std::string workload_to_csv(const std::vector<WorkloadEntry>& workload);
 std::vector<WorkloadEntry> workload_from_csv(std::string_view csv);
 
@@ -51,5 +124,11 @@ std::vector<WorkloadEntry> workload_from_csv(std::string_view csv);
 /// each arrival time.
 void submit_workload(LatticeSystem& system,
                      const std::vector<WorkloadEntry>& workload);
+
+/// Schedule every portal entry (replicates > 0) as a simulation-time
+/// portal submission — the full admission pipeline: validation, quotas,
+/// guest shedding, bundling. Rows with replicates == 0 are skipped.
+void submit_portal_workload(Portal& portal,
+                            const std::vector<WorkloadEntry>& workload);
 
 }  // namespace lattice::core

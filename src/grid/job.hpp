@@ -69,6 +69,9 @@ struct GridJob {
   std::string application = "garli";
   /// Identifier of the portal submission this job belongs to (0 = none).
   std::uint64_t batch_id = 0;
+  /// Portal user the job is billed to for fair-share accounting (0 = no
+  /// user attribution; such jobs are never charged or reordered).
+  std::uint64_t user_id = 0;
   JobRequirements requirements;
 
   /// True compute demand in seconds on the speed-1.0 reference machine.

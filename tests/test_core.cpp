@@ -561,23 +561,43 @@ struct PortalFixture {
   }
 };
 
+SubmissionRequest make_request(const std::string& email, UserClass user_class,
+                               const phylo::GarliJob& job,
+                               std::size_t replicates, std::size_t num_taxa,
+                               std::size_t num_patterns,
+                               const phylo::Alignment* alignment = nullptr) {
+  SubmissionRequest request;
+  request.user_id = email.empty() ? 0 : user_id_from_email(email);
+  request.user_class = user_class;
+  request.user_email = email;
+  request.job = job;
+  request.replicates = replicates;
+  request.num_taxa = num_taxa;
+  request.num_patterns = num_patterns;
+  request.alignment = alignment;
+  return request;
+}
+
 TEST(PortalTest, RejectsOversizedAndInvalid) {
   PortalFixture fx;
   phylo::GarliJob job;
-  auto outcome = fx.portal.submit("user@example.org", false, job, 2001, 50,
-                                  500);
-  EXPECT_FALSE(outcome.accepted);
+  auto receipt = fx.portal.submit(
+      make_request("user@example.org", UserClass::kGuest, job, 2001, 50, 500));
+  EXPECT_FALSE(receipt.accepted);
 
-  outcome = fx.portal.submit("", false, job, 10, 50, 500);
-  EXPECT_FALSE(outcome.accepted);
+  receipt = fx.portal.submit(
+      make_request("", UserClass::kGuest, job, 10, 50, 500));
+  EXPECT_FALSE(receipt.accepted);
 
-  outcome = fx.portal.submit("user@example.org", false, job, 0, 50, 500);
-  EXPECT_FALSE(outcome.accepted);
+  receipt = fx.portal.submit(
+      make_request("user@example.org", UserClass::kGuest, job, 0, 50, 500));
+  EXPECT_FALSE(receipt.accepted);
 
   phylo::GarliJob bad;
   bad.model.kappa = -3.0;
-  outcome = fx.portal.submit("user@example.org", false, bad, 10, 50, 500);
-  EXPECT_FALSE(outcome.accepted);
+  receipt = fx.portal.submit(
+      make_request("user@example.org", UserClass::kGuest, bad, 10, 50, 500));
+  EXPECT_FALSE(receipt.accepted);
 }
 
 TEST(PortalTest, ValidatesAgainstAlignment) {
@@ -587,18 +607,34 @@ TEST(PortalTest, ValidatesAgainstAlignment) {
                                                rng, 0.15);
   phylo::GarliJob job;
   job.model.data_type = phylo::DataType::kAminoAcid;  // mismatch
-  const auto outcome = fx.portal.submit("user@example.org", true, job, 5, 0,
-                                        0, &dataset.alignment);
-  EXPECT_FALSE(outcome.accepted);
-  ASSERT_FALSE(outcome.problems.empty());
+  const auto receipt = fx.portal.submit(
+      make_request("user@example.org", UserClass::kRegistered, job, 5, 0, 0,
+                   &dataset.alignment));
+  EXPECT_FALSE(receipt.accepted);
+  ASSERT_FALSE(receipt.problems.empty());
+}
+
+TEST(PortalTest, DeprecatedSubmitShimForwards) {
+  // The pre-SubmissionRequest overload must keep working for one PR:
+  // identity derived from the email, class from the registered flag.
+  PortalFixture fx;
+  phylo::GarliJob job;
+  const auto receipt =
+      fx.portal.submit("user@example.org", true, job, 4, 40, 300);
+  ASSERT_TRUE(receipt.accepted);
+  const BatchRecord* record = fx.portal.batch(receipt.batch_id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->user_id, user_id_from_email("user@example.org"));
+  EXPECT_EQ(record->user_class, UserClass::kRegistered);
 }
 
 TEST(PortalTest, AcceptsAndTracksBatch) {
   PortalFixture fx;
   phylo::GarliJob job;
   job.genthresh = 200;
-  const auto outcome =
-      fx.portal.submit("user@example.org", true, job, 25, 40, 300);
+  const auto outcome = fx.portal.submit(
+      make_request("user@example.org", UserClass::kRegistered, job, 25, 40,
+                   300));
   ASSERT_TRUE(outcome.accepted);
   const BatchRecord* record = fx.portal.batch(outcome.batch_id);
   ASSERT_NE(record, nullptr);
@@ -624,8 +660,8 @@ TEST(PortalTest, ShortJobsAreBundled) {
   config.bundle_target_seconds = 8.0 * 3600.0;
   Portal portal(fx.system, config);
   phylo::GarliJob job;  // default small nucleotide job
-  const auto outcome =
-      portal.submit("user@example.org", false, job, 200, 10, 60);
+  const auto outcome = portal.submit(
+      make_request("user@example.org", UserClass::kGuest, job, 200, 10, 60));
   ASSERT_TRUE(outcome.accepted);
   // Tiny replicates (10 taxa x 60 patterns) should bundle aggressively.
   EXPECT_GT(outcome.bundle_size, 1u);
@@ -640,8 +676,8 @@ TEST(PortalTest, LongJobsAreNotBundled) {
   job.model.rate_het = phylo::RateHet::kGamma;
   job.model.data_type = phylo::DataType::kCodon;
   job.model.n_rate_categories = 4;
-  const auto outcome = fx.portal.submit("user@example.org", false, job, 20,
-                                        800, 5000);
+  const auto outcome = fx.portal.submit(make_request(
+      "user@example.org", UserClass::kGuest, job, 20, 800, 5000));
   ASSERT_TRUE(outcome.accepted);
   EXPECT_EQ(outcome.bundle_size, 1u);
   EXPECT_EQ(outcome.grid_jobs, 20u);
@@ -651,8 +687,8 @@ TEST(StatusReports, CoverResourcesJobsAndBatches) {
   PortalFixture fx;
   fx.train_estimator();
   phylo::GarliJob job;
-  const auto outcome =
-      fx.portal.submit("user@example.org", true, job, 5, 40, 300);
+  const auto outcome = fx.portal.submit(make_request(
+      "user@example.org", UserClass::kRegistered, job, 5, 40, 300));
   ASSERT_TRUE(outcome.accepted);
   fx.system.run(3600.0);
 
@@ -676,8 +712,8 @@ TEST(StatusReports, CoverResourcesJobsAndBatches) {
 TEST(PortalTest, UntrainedEstimatorMeansNoEtaNoBundling) {
   PortalFixture fx;
   phylo::GarliJob job;
-  const auto outcome =
-      fx.portal.submit("user@example.org", false, job, 50, 10, 60);
+  const auto outcome = fx.portal.submit(
+      make_request("user@example.org", UserClass::kGuest, job, 50, 10, 60));
   ASSERT_TRUE(outcome.accepted);
   EXPECT_EQ(outcome.bundle_size, 1u);
   EXPECT_FALSE(outcome.eta_seconds.has_value());

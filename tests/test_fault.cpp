@@ -307,9 +307,14 @@ TEST(FaultInjection, PortalDegradesDuringTotalOutageThenRecovers) {
   injector.arm();
 
   core::Portal portal(system);
-  const auto accepted =
-      portal.submit("researcher@example.org", true, phylo::GarliJob{}, 6,
-                    60, 300);
+  core::SubmissionRequest request;
+  request.user_id = core::user_id_from_email("researcher@example.org");
+  request.user_class = core::UserClass::kRegistered;
+  request.user_email = "researcher@example.org";
+  request.replicates = 6;
+  request.num_taxa = 60;
+  request.num_patterns = 300;
+  const auto accepted = portal.submit(request);
   ASSERT_TRUE(accepted.accepted);
   ASSERT_GT(accepted.grid_jobs, 0u);
 

@@ -56,8 +56,15 @@ TEST(Integration, FormToFinishedBatch) {
   train(system);
 
   Portal portal(system);
-  const auto outcome =
-      portal.submit(form.at("email"), true, job, 40, 60, 400);
+  SubmissionRequest request;
+  request.user_id = user_id_from_email(form.at("email"));
+  request.user_class = UserClass::kRegistered;
+  request.user_email = form.at("email");
+  request.job = job;
+  request.replicates = 40;
+  request.num_taxa = 60;
+  request.num_patterns = 400;
+  const auto outcome = portal.submit(request);
   ASSERT_TRUE(outcome.accepted);
   system.run_until_drained(120.0 * 86400.0);
 
@@ -114,8 +121,15 @@ TEST(Integration, CancelBatchStopsRemainingWork) {
   Portal portal(system);
   phylo::GarliJob job;
   job.model.rate_het = phylo::RateHet::kGamma;
-  const auto outcome =
-      portal.submit("user@example.org", true, job, 10, 80, 600);
+  SubmissionRequest request;
+  request.user_id = user_id_from_email("user@example.org");
+  request.user_class = UserClass::kRegistered;
+  request.user_email = "user@example.org";
+  request.job = job;
+  request.replicates = 10;
+  request.num_taxa = 80;
+  request.num_patterns = 600;
+  const auto outcome = portal.submit(request);
   ASSERT_TRUE(outcome.accepted);
   system.run(2.0 * 3600.0);
   const std::size_t cancelled = portal.cancel_batch(outcome.batch_id);
@@ -256,8 +270,15 @@ TEST(Integration, MixedInventoryBatchWithChurnFinishes) {
 
   Portal portal(system);
   phylo::GarliJob job;
-  const auto outcome =
-      portal.submit("user@example.org", false, job, 60, 50, 350);
+  SubmissionRequest request;
+  request.user_id = user_id_from_email("user@example.org");
+  request.user_class = UserClass::kGuest;
+  request.user_email = "user@example.org";
+  request.job = job;
+  request.replicates = 60;
+  request.num_taxa = 50;
+  request.num_patterns = 350;
+  const auto outcome = portal.submit(request);
   ASSERT_TRUE(outcome.accepted);
   system.run_until_drained(300.0 * 86400.0);
   const BatchRecord* record = portal.batch(outcome.batch_id);

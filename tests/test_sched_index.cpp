@@ -239,6 +239,50 @@ TEST(MetaScheduler, IndexedAndLinearChooseIdenticallyInEveryMode) {
   }
 }
 
+TEST(MetaScheduler, FairShareKeepsIndexedAndLinearChoiceIdentical) {
+  // Fair-share inflates the runtime estimate by a per-decision-constant
+  // factor before either decision path ranks with it, so the indexed
+  // stream and the linear oracle must still agree bit-for-bit — with
+  // random usage odometers, random user ids, and the weight turned up.
+  const core::SchedulingMode modes[] = {core::SchedulingMode::kEstimateAware,
+                                        core::SchedulingMode::kOracle};
+  for (const core::SchedulingMode mode : modes) {
+    for (std::uint64_t trial = 0; trial < 5; ++trial) {
+      util::Rng rng(9100 + trial);
+      sim::Simulation sim;
+      grid::MdsDirectory mds(sim);
+      build_directory(sim, mds, rng, 25);
+      core::SpeedCalibrator speeds(3600.0);
+      for (std::size_t i = 0; i < 25; i += 3) {
+        const double runtime = rng.uniform(1200.0, 7200.0);
+        const std::string name = "res" + std::to_string(i);
+        speeds.calibrate(name, {{runtime}});
+        mds.set_speed(name, speeds.speed_or_default(name));
+      }
+      core::FairShareLedger ledger{core::FairShareConfig{}};
+      for (core::UserId user = 1; user <= 8; ++user) {
+        ledger.charge(user, rng.uniform(0.0, 400.0 * 3600.0));
+      }
+      core::SchedulerPolicy policy;
+      policy.mode = mode;
+      policy.fair_share_weight = rng.uniform(0.01, 2.0);
+      core::MetaScheduler indexed(mds, speeds, policy);
+      core::MetaScheduler linear(mds, speeds, policy);
+      indexed.set_fair_share(&ledger);
+      linear.set_fair_share(&ledger);
+      for (std::uint64_t j = 0; j < 100; ++j) {
+        grid::GridJob job = random_job(rng, j);
+        job.user_id = rng.below(9);  // 0 (unattributed) through 8
+        const std::optional<std::string> via_index = indexed.choose(job);
+        const std::optional<std::string> via_scan = linear.choose_linear(job);
+        ASSERT_EQ(via_index, via_scan)
+            << "mode " << scheduling_mode_name(mode) << " trial " << trial
+            << " job " << j << " user " << job.user_id;
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------
 // Rank index (best_ranked) vs linear argmin reference
 // ---------------------------------------------------------------------
